@@ -1,0 +1,89 @@
+// Ablation (DESIGN.md §5.4): price-model dependence.
+//
+// GreFar's advantage over Always comes from *temporal* price variation.
+// Under constant prices the advantage should vanish (only spatial choice
+// remains); under spikier prices it should widen.
+#include <iostream>
+#include <memory>
+
+#include "baselines/baselines.h"
+#include "common/experiment.h"
+#include "core/grefar.h"
+#include "price/price_model.h"
+#include "sim/metrics.h"
+#include "stats/summary_table.h"
+
+int main(int argc, char** argv) {
+  using namespace grefar;
+  using namespace grefar::bench;
+
+  CliParser cli("ablation_prices", "GreFar's edge vs price-model variability");
+  add_common_options(cli, /*default_horizon=*/"1000");
+  parse_or_exit(cli, argc, argv);
+  const auto horizon = cli.get_int("horizon");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  print_header("Ablation: price model vs GreFar's advantage",
+               "DESIGN.md section 5 (design-choice ablation)", seed, horizon);
+
+  PaperScenario base = make_paper_scenario(seed);
+  struct Variant {
+    std::string name;
+    std::shared_ptr<const PriceModel> prices;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"constant (Table I means)",
+                      std::make_shared<ConstantPriceModel>(
+                          std::vector<double>{0.392, 0.433, 0.548})});
+  variants.push_back({"diurnal+OU (paper)", base.prices});
+  variants.push_back({"diurnal+OU with spikes",
+                      std::make_shared<SpikyPriceModel>(base.prices, 0.02, 2.5, 0.5,
+                                                        seed ^ 0x5111ULL)});
+
+  // GreFar's saving decomposes into a *spatial* part (concentrating work on
+  // low cost-per-work servers, which works even under constant prices) and a
+  // *temporal* part (running work in cheap hours). The clean temporal metric
+  // is the price-capture ratio: the work-weighted average price each
+  // scheduler paid, relative to the time-average price of the DCs it used.
+  // Capture < 1 means work was shifted into troughs; constant prices force
+  // capture == 1 exactly.
+  auto price_capture = [&](const SimMetrics& m) {
+    double paid = 0.0, reference = 0.0;
+    for (std::size_t dc = 0; dc < m.num_data_centers(); ++dc) {
+      double work = m.dc_work[dc].sum();
+      double mean_price = m.dc_price[dc].mean();
+      for (std::size_t t = 0; t < m.slots(); ++t) {
+        paid += m.dc_price[dc].at(t) * m.dc_work[dc].at(t);
+      }
+      reference += mean_price * work;
+    }
+    return reference > 0.0 ? paid / reference : 1.0;
+  };
+
+  SummaryTable table({"price model", "Always cost", "GreFar cost", "saving %",
+                      "Always capture", "GreFar capture"});
+  const double V = 20.0;  // strong deferral to make the temporal effect visible
+  for (const auto& variant : variants) {
+    PaperScenario scenario = base;
+    scenario.prices = variant.prices;
+    auto grefar = run_scenario(scenario,
+                               std::make_shared<GreFarScheduler>(
+                                   scenario.config, paper_grefar_params(V, 0.0)),
+                               horizon);
+    auto always = run_scenario(
+        scenario, std::make_shared<AlwaysScheduler>(scenario.config), horizon);
+    double eg = grefar->metrics().final_average_energy_cost();
+    double ea = always->metrics().final_average_energy_cost();
+    table.add_row(variant.name, {ea, eg, 100.0 * (ea - eg) / ea,
+                                 price_capture(always->metrics()),
+                                 price_capture(grefar->metrics())});
+  }
+  std::cout << table.render()
+            << "\nexpected: price capture is exactly 1 for everyone under constant\n"
+               "prices (nothing to time). With variable prices Always pays a\n"
+               "premium (capture > 1: its processing follows the diurnal arrivals,\n"
+               "which peak with prices) while GreFar holds capture at or below 1 —\n"
+               "the temporal arbitrage. The constant-price saving that remains is\n"
+               "purely spatial.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation (DESIGN.md §5.1): per-slot solver choice.
+//
+// Runs the same 2000 h scenario with GreFar using each per-slot solver and
+// compares achieved cost/fairness/delay plus wall-clock time. Greedy and LP
+// are exact for beta = 0 and must agree; Frank-Wolfe and PGD handle the
+// fairness term and should agree with each other.
+#include <chrono>
+#include <iostream>
+#include <memory>
+
+#include "common/experiment.h"
+#include "core/grefar.h"
+#include "stats/summary_table.h"
+
+int main(int argc, char** argv) {
+  using namespace grefar;
+  using namespace grefar::bench;
+
+  CliParser cli("ablation_solvers", "compare per-slot solvers inside GreFar");
+  add_common_options(cli, /*default_horizon=*/"500");
+  cli.add_option("V", "7.5", "cost-delay parameter");
+  parse_or_exit(cli, argc, argv);
+  const auto horizon = cli.get_int("horizon");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const double V = cli.get_double("V");
+
+  print_header("Ablation: per-slot solver choice",
+               "DESIGN.md section 5 (design-choice ablation)", seed, horizon);
+
+  PaperScenario scenario = make_paper_scenario(seed);
+
+  auto run_with = [&](PerSlotSolver solver, double beta) {
+    auto scheduler = std::make_shared<GreFarScheduler>(
+        scenario.config, paper_grefar_params(V, beta), solver);
+    auto start = std::chrono::steady_clock::now();
+    auto engine = run_scenario(scenario, scheduler, horizon);
+    auto elapsed = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    return std::make_pair(std::move(engine), elapsed);
+  };
+
+  std::cout << "-- beta = 0 (greedy/LP exact; FW/PGD approximate) --\n";
+  SummaryTable t0({"solver", "avg energy cost", "overall delay", "ms/1000 slots"});
+  for (auto solver : {PerSlotSolver::kGreedy, PerSlotSolver::kLp,
+                      PerSlotSolver::kFrankWolfe, PerSlotSolver::kProjectedGradient}) {
+    auto [engine, ms] = run_with(solver, 0.0);
+    const auto& m = engine->metrics();
+    t0.add_row(to_string(solver),
+               {m.final_average_energy_cost(), m.mean_delay(),
+                ms * 1000.0 / static_cast<double>(horizon)});
+  }
+  std::cout << t0.render() << "\n";
+
+  std::cout << "-- beta = 100 (convex solvers only) --\n";
+  SummaryTable t1({"solver", "avg energy cost", "avg fairness", "overall delay",
+                   "ms/1000 slots"});
+  for (auto solver :
+       {PerSlotSolver::kFrankWolfe, PerSlotSolver::kProjectedGradient}) {
+    auto [engine, ms] = run_with(solver, 100.0);
+    const auto& m = engine->metrics();
+    t1.add_row(to_string(solver),
+               {m.final_average_energy_cost(), m.final_average_fairness(),
+                m.mean_delay(), ms * 1000.0 / static_cast<double>(horizon)});
+  }
+  std::cout << t1.render()
+            << "\nexpected: all solvers land on (nearly) the same cost; greedy is\n"
+               "several times faster than the simplex LP at identical decisions, which\n"
+               "is why it is the production path for beta = 0.\n";
+  return 0;
+}

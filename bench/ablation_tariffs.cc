@@ -1,0 +1,83 @@
+// Ablation: usage-dependent (convex) electricity billing — the paper's
+// §III-A2 extension. Each DC bills through a tiered tariff whose rate rises
+// once the slot's energy draw crosses a threshold (demand-charge style).
+//
+// Compares, under the tariffed meter:
+//   * Always (price- and tariff-blind),
+//   * GreFar that believes billing is linear (tariff-blind decisions),
+//   * GreFar with the tariff in its objective (tariff-aware decisions).
+// The aware scheduler should spread work to stay inside cheap tiers and pay
+// the least.
+#include <iostream>
+#include <memory>
+
+#include "baselines/baselines.h"
+#include "common/experiment.h"
+#include "core/grefar.h"
+#include "sim/engine.h"
+#include "stats/summary_table.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace grefar;
+  using namespace grefar::bench;
+
+  CliParser cli("ablation_tariffs", "tiered-billing extension (paper Sec. III-A2)");
+  add_common_options(cli, /*default_horizon=*/"1000");
+  cli.add_option("V", "7.5", "GreFar cost-delay parameter");
+  cli.add_option("tier-start", "60", "energy units where the expensive tier begins");
+  cli.add_option("tier-rate", "2.0", "rate multiplier inside the expensive tier");
+  parse_or_exit(cli, argc, argv);
+  const auto horizon = cli.get_int("horizon");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const double V = cli.get_double("V");
+  const double tier_start = cli.get_double("tier-start");
+  const double tier_rate = cli.get_double("tier-rate");
+
+  print_header("Ablation: tiered (convex) electricity billing",
+               "Ren, He, Xu (ICDCS'12), Sec. III-A2 extension", seed, horizon);
+
+  PaperScenario scenario = make_paper_scenario(seed);
+  ClusterConfig tariffed = scenario.config;
+  const double inf = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < tariffed.num_data_centers(); ++i) {
+    tariffed.tariffs.emplace_back(
+        std::vector<TieredTariff::Tier>{{tier_start, 1.0}, {inf, tier_rate}});
+  }
+
+  // All runs are *billed* under the tariffed cluster; only the scheduler's
+  // belief about billing differs.
+  auto run_billed = [&](std::shared_ptr<Scheduler> scheduler) {
+    SimulationEngine engine(tariffed, scenario.prices, scenario.availability,
+                            scenario.arrivals, std::move(scheduler));
+    engine.run(horizon);
+    return engine;
+  };
+
+  SummaryTable table({"scheduler", "avg energy cost", "overall delay", "p95 delay"});
+  {
+    auto engine = run_billed(std::make_shared<AlwaysScheduler>(scenario.config));
+    table.add_row("Always (tariff-blind)",
+                  {engine.metrics().final_average_energy_cost(),
+                   engine.metrics().mean_delay(), engine.metrics().delay_p95()});
+  }
+  {
+    auto engine = run_billed(std::make_shared<GreFarScheduler>(
+        scenario.config, paper_grefar_params(V, 0.0)));  // linear-billing belief
+    table.add_row("GreFar (tariff-blind)",
+                  {engine.metrics().final_average_energy_cost(),
+                   engine.metrics().mean_delay(), engine.metrics().delay_p95()});
+  }
+  {
+    auto engine = run_billed(
+        std::make_shared<GreFarScheduler>(tariffed, paper_grefar_params(V, 0.0)));
+    table.add_row("GreFar (tariff-aware)",
+                  {engine.metrics().final_average_energy_cost(),
+                   engine.metrics().mean_delay(), engine.metrics().delay_p95()});
+  }
+  std::cout << table.render()
+            << "\nexpected: the tariff penalizes the deep drain bursts that plain\n"
+               "GreFar uses at price troughs; the tariff-aware variant flattens its\n"
+               "draw to stay inside the cheap tier and pays the least.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "common/experiment.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "util/ascii_chart.h"
+#include "util/csv.h"
+#include "util/svg_chart.h"
+
+namespace grefar::bench {
+
+void add_common_options(CliParser& cli, const std::string& default_horizon) {
+  cli.add_option("horizon", default_horizon, "simulated hours");
+  cli.add_option("seed", "42", "scenario seed (all randomness derives from it)");
+  cli.add_option("csv-dir", "", "directory to drop raw series CSVs into");
+  cli.add_option("svg-dir", "", "directory to drop SVG renderings into");
+  cli.add_option("chart-width", "72", "ASCII chart width in columns");
+}
+
+void parse_or_exit(CliParser& cli, int argc, char** argv) {
+  auto status = cli.parse(argc, argv);
+  if (status.ok()) return;
+  if (status.error().message == "help") std::exit(0);
+  std::cerr << "error: " << status.error().message << "\n\n" << cli.usage();
+  std::exit(1);
+}
+
+std::string render_chart(const std::string& title, const std::string& y_label,
+                         std::vector<TimeSeries> series, std::int64_t horizon) {
+  AsciiChart chart(72, 16);
+  chart.set_title(title);
+  chart.set_y_label(y_label);
+  chart.set_x_label("time (hours)");
+  chart.set_x_range(0, static_cast<double>(horizon));
+  for (auto& s : series) {
+    chart.add_series({s.name(), s.values()});
+  }
+  return chart.render();
+}
+
+void maybe_write_csv(const std::string& csv_dir, const std::string& name,
+                     const std::vector<TimeSeries>& series) {
+  if (csv_dir.empty()) return;
+  std::vector<const TimeSeries*> ptrs;
+  ptrs.reserve(series.size());
+  for (const auto& s : series) ptrs.push_back(&s);
+  std::string path = csv_dir + "/" + name + ".csv";
+  auto status = write_file(path, time_series_to_csv(ptrs));
+  if (!status.ok()) {
+    std::cerr << "warning: " << status.error().message << "\n";
+  } else {
+    std::cout << "  wrote " << path << "\n";
+  }
+}
+
+void maybe_write_svg(const std::string& svg_dir, const std::string& name,
+                     const std::string& title, const std::string& y_label,
+                     const std::vector<TimeSeries>& series, std::int64_t horizon) {
+  if (svg_dir.empty()) return;
+  SvgChart chart;
+  chart.set_title(title);
+  chart.set_y_label(y_label);
+  chart.set_x_label("time (hours)");
+  chart.set_x_range(0, static_cast<double>(horizon));
+  for (const auto& s : series) chart.add_series(s.name(), s.values());
+  std::string path = svg_dir + "/" + name + ".svg";
+  auto status = write_file(path, chart.render());
+  if (!status.ok()) {
+    std::cerr << "warning: " << status.error().message << "\n";
+  } else {
+    std::cout << "  wrote " << path << "\n";
+  }
+}
+
+TimeSeries named(TimeSeries series, std::string name) {
+  series.set_name(std::move(name));
+  return series;
+}
+
+void print_header(const std::string& experiment, const std::string& paper_ref,
+                  std::uint64_t seed, std::int64_t horizon) {
+  std::cout << "== " << experiment << " ==\n"
+            << "reproduces: " << paper_ref << "\n"
+            << "seed " << seed << ", horizon " << horizon << " h\n\n";
+}
+
+}  // namespace grefar::bench

@@ -1,0 +1,46 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every bench binary: builds the paper scenario, runs one or more schedulers
+// through the job-level engine, prints the paper's y-axes as ASCII charts
+// and summary tables, and (with --csv-dir) drops the raw series as CSV for
+// external plotting.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenario/paper_scenario.h"
+#include "stats/time_series.h"
+#include "util/cli.h"
+
+namespace grefar::bench {
+
+/// Registers the options shared by all experiment binaries.
+void add_common_options(CliParser& cli, const std::string& default_horizon = "2000");
+
+/// Parses argv; exits the process on --help (status 0) or bad flags (1).
+void parse_or_exit(CliParser& cli, int argc, char** argv);
+
+/// Renders `series` (already running-averaged if desired) as an ASCII chart.
+std::string render_chart(const std::string& title, const std::string& y_label,
+                         std::vector<TimeSeries> series, std::int64_t horizon);
+
+/// Writes the series to `<csv_dir>/<name>.csv` when csv_dir is non-empty.
+void maybe_write_csv(const std::string& csv_dir, const std::string& name,
+                     const std::vector<TimeSeries>& series);
+
+/// Writes an SVG rendering of the series to `<svg_dir>/<name>.svg` when
+/// svg_dir (--svg-dir) is non-empty.
+void maybe_write_svg(const std::string& svg_dir, const std::string& name,
+                     const std::string& title, const std::string& y_label,
+                     const std::vector<TimeSeries>& series, std::int64_t horizon);
+
+/// Names a time series after its scheduler ("GreFar(V=7.50, beta=0.0)").
+TimeSeries named(TimeSeries series, std::string name);
+
+/// Standard header printed at the top of every experiment.
+void print_header(const std::string& experiment, const std::string& paper_ref,
+                  std::uint64_t seed, std::int64_t horizon);
+
+}  // namespace grefar::bench

@@ -1,0 +1,97 @@
+// Fig. 5 — "Scheduled work to process (beta = 0 and V = 7.5)".
+//
+// A one-day snapshot of DC #1: the electricity price (top) and the work
+// GreFar vs Always actually processed there each hour (bottom). GreFar's
+// processing should anti-correlate with price (bursts at troughs) while
+// Always simply tracks arrivals.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "baselines/baselines.h"
+#include "common/experiment.h"
+#include "util/strings.h"
+#include "core/grefar.h"
+#include "stats/summary_table.h"
+
+int main(int argc, char** argv) {
+  using namespace grefar;
+  using namespace grefar::bench;
+
+  CliParser cli("fig5_snapshot", "reproduce Fig. 5 (one-day schedule snapshot)");
+  add_common_options(cli, /*default_horizon=*/"2000");
+  cli.add_option("V", "7.5", "GreFar cost-delay parameter");
+  cli.add_option("day-start", "480", "first slot of the snapshot window");
+  cli.add_option("window", "24", "snapshot length (hours)");
+  parse_or_exit(cli, argc, argv);
+  const auto horizon = cli.get_int("horizon");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto csv_dir = cli.get_string("csv-dir");
+  const auto svg_dir = cli.get_string("svg-dir");
+  const double V = cli.get_double("V");
+  const auto start = cli.get_int("day-start");
+  const auto window = cli.get_int("window");
+
+  print_header("Fig. 5: scheduled work vs price (one-day snapshot, DC #1)",
+               "Ren, He, Xu (ICDCS'12), Fig. 5", seed, horizon);
+
+  // Our work-unit scaling (d = 1.5-3.5 vs the paper's d ~ 1) shifts the
+  // effective deferral strength of a given V; the V=20 run is the closest
+  // analogue of the paper's V=7.5 snapshot, so both are shown.
+  const double V_strong = 20.0;
+  PaperScenario scenario = make_paper_scenario(seed);
+  const auto run_slots = std::min<std::int64_t>(horizon, start + window);
+  auto grefar = run_scenario(
+      scenario,
+      std::make_shared<GreFarScheduler>(scenario.config, paper_grefar_params(V, 0.0)),
+      run_slots);
+  auto grefar_strong = run_scenario(
+      scenario,
+      std::make_shared<GreFarScheduler>(scenario.config,
+                                        paper_grefar_params(V_strong, 0.0)),
+      run_slots);
+  auto always = run_scenario(scenario, std::make_shared<AlwaysScheduler>(scenario.config),
+                             run_slots);
+
+  TimeSeries price("Price in DC #1");
+  TimeSeries g_work("GreFar V=" + format_fixed(V, 1));
+  TimeSeries gs_work("GreFar V=" + format_fixed(V_strong, 1));
+  TimeSeries a_work("Always");
+  for (std::int64_t t = start; t < start + window; ++t) {
+    auto i = static_cast<std::size_t>(t);
+    price.add(grefar->metrics().dc_price[0].at(i));
+    g_work.add(grefar->metrics().dc_work[0].at(i));
+    gs_work.add(grefar_strong->metrics().dc_work[0].at(i));
+    a_work.add(always->metrics().dc_work[0].at(i));
+  }
+
+  std::cout << render_chart("Price in DC #1 (hours " + std::to_string(start) + "-" +
+                                std::to_string(start + window) + ")",
+                            "price", {price}, window)
+            << "\n"
+            << render_chart("Work processed in DC #1", "work",
+                            {g_work, gs_work, a_work}, window)
+            << "\n";
+
+  // Correlation between price and processed work — over the whole run, so
+  // the snapshot's qualitative story is backed by a long-run statistic.
+  auto full_corr = [&](const SimulationEngine& engine) {
+    return correlation(engine.metrics().dc_price[0], engine.metrics().dc_work[0]);
+  };
+  SummaryTable summary(
+      {"scheduler", "price/work corr (full run)", "work in snapshot window"});
+  summary.add_row("GreFar V=" + format_fixed(V, 1), {full_corr(*grefar), g_work.sum()});
+  summary.add_row("GreFar V=" + format_fixed(V_strong, 1),
+                  {full_corr(*grefar_strong), gs_work.sum()});
+  summary.add_row("Always", {full_corr(*always), a_work.sum()});
+  std::cout << summary.render()
+            << "\npaper shape: Always' processing tracks (price-correlated, diurnal)\n"
+               "arrivals; GreFar decorrelates from price as V grows and goes\n"
+               "negative — it shifts the day's work into the price troughs.\n";
+
+  maybe_write_csv(csv_dir, "fig5_snapshot", {price, g_work, gs_work, a_work});
+  maybe_write_svg(svg_dir, "fig5_price", "Price in DC #1", "price", {price}, window);
+  maybe_write_svg(svg_dir, "fig5_work", "Work processed in DC #1", "work",
+                  {g_work, gs_work, a_work}, window);
+  return 0;
+}

@@ -1,0 +1,148 @@
+// google-benchmark microbenchmarks: per-slot decision latency.
+//
+// GreFar must decide every scheduling quantum (15 min - 1 h in the paper);
+// these benchmarks show the decision is microseconds even for clusters far
+// larger than the evaluation's, i.e. the online algorithm is practical.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/baselines.h"
+#include "core/grefar.h"
+#include "core/per_slot_solvers.h"
+#include "util/rng.h"
+
+namespace grefar {
+namespace {
+
+/// Builds a synthetic cluster with `n_dcs` DCs, `n_types` job types and
+/// `n_servers` server types, plus a populated random observation.
+struct Instance {
+  ClusterConfig config;
+  SlotObservation obs;
+};
+
+Instance make_instance(std::size_t n_dcs, std::size_t n_job_types,
+                       std::size_t n_server_types, std::uint64_t seed) {
+  Rng rng(seed);
+  Instance inst;
+  for (std::size_t k = 0; k < n_server_types; ++k) {
+    inst.config.server_types.push_back({"srv" + std::to_string(k),
+                                        rng.uniform(0.5, 1.5), rng.uniform(0.4, 1.4)});
+  }
+  for (std::size_t i = 0; i < n_dcs; ++i) {
+    DataCenterConfig dc;
+    dc.name = "dc" + std::to_string(i);
+    for (std::size_t k = 0; k < n_server_types; ++k) {
+      dc.installed.push_back(rng.uniform_int(50, 200));
+    }
+    inst.config.data_centers.push_back(std::move(dc));
+  }
+  const std::size_t n_accounts = 4;
+  for (std::size_t m = 0; m < n_accounts; ++m) {
+    inst.config.accounts.push_back({"org" + std::to_string(m), 1.0 / n_accounts});
+  }
+  for (std::size_t j = 0; j < n_job_types; ++j) {
+    JobType jt;
+    jt.name = "job" + std::to_string(j);
+    jt.work = rng.uniform(0.5, 5.0);
+    for (std::size_t i = 0; i < n_dcs; ++i) {
+      if (rng.bernoulli(0.7) || jt.eligible_dcs.empty()) jt.eligible_dcs.push_back(i);
+    }
+    jt.account = j % n_accounts;
+    inst.config.job_types.push_back(std::move(jt));
+  }
+  inst.config.validate();
+
+  inst.obs.slot = 0;
+  for (std::size_t i = 0; i < n_dcs; ++i) {
+    inst.obs.prices.push_back(rng.uniform(0.2, 0.8));
+  }
+  inst.obs.availability = Matrix<std::int64_t>(n_dcs, n_server_types);
+  for (std::size_t i = 0; i < n_dcs; ++i) {
+    for (std::size_t k = 0; k < n_server_types; ++k) {
+      inst.obs.availability(i, k) = inst.config.data_centers[i].installed[k];
+    }
+  }
+  inst.obs.central_queue.assign(n_job_types, 0.0);
+  for (auto& q : inst.obs.central_queue) q = rng.uniform(0.0, 30.0);
+  inst.obs.dc_queue = MatrixD(n_dcs, n_job_types);
+  for (std::size_t i = 0; i < n_dcs; ++i) {
+    for (std::size_t j = 0; j < n_job_types; ++j) {
+      if (inst.config.job_types[j].eligible(i)) {
+        inst.obs.dc_queue(i, j) = rng.uniform(0.0, 20.0);
+      }
+    }
+  }
+  return inst;
+}
+
+GreFarParams bench_params(double beta) {
+  GreFarParams p;
+  p.V = 7.5;
+  p.beta = beta;
+  p.r_max = 1e6;
+  p.h_max = 1e6;
+  return p;
+}
+
+void BM_GreFarDecideGreedy(benchmark::State& state) {
+  auto inst = make_instance(static_cast<std::size_t>(state.range(0)),
+                            static_cast<std::size_t>(state.range(1)), 3, 1);
+  GreFarScheduler scheduler(inst.config, bench_params(0.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.decide(inst.obs));
+  }
+}
+BENCHMARK(BM_GreFarDecideGreedy)
+    ->Args({3, 8})
+    ->Args({10, 16})
+    ->Args({30, 32})
+    ->Args({100, 64});
+
+void BM_GreFarDecideFairnessPgd(benchmark::State& state) {
+  auto inst = make_instance(static_cast<std::size_t>(state.range(0)),
+                            static_cast<std::size_t>(state.range(1)), 3, 2);
+  GreFarScheduler scheduler(inst.config, bench_params(100.0),
+                            PerSlotSolver::kProjectedGradient);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.decide(inst.obs));
+  }
+}
+BENCHMARK(BM_GreFarDecideFairnessPgd)->Args({3, 8})->Args({10, 16})->Args({30, 32});
+
+void BM_GreFarDecideFairnessFrankWolfe(benchmark::State& state) {
+  auto inst = make_instance(static_cast<std::size_t>(state.range(0)),
+                            static_cast<std::size_t>(state.range(1)), 3, 3);
+  GreFarScheduler scheduler(inst.config, bench_params(100.0),
+                            PerSlotSolver::kFrankWolfe);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.decide(inst.obs));
+  }
+}
+BENCHMARK(BM_GreFarDecideFairnessFrankWolfe)->Args({3, 8})->Args({10, 16});
+
+void BM_GreFarDecideLp(benchmark::State& state) {
+  auto inst = make_instance(static_cast<std::size_t>(state.range(0)),
+                            static_cast<std::size_t>(state.range(1)), 3, 4);
+  GreFarScheduler scheduler(inst.config, bench_params(0.0), PerSlotSolver::kLp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.decide(inst.obs));
+  }
+}
+BENCHMARK(BM_GreFarDecideLp)->Args({3, 8})->Args({10, 16});
+
+void BM_AlwaysDecide(benchmark::State& state) {
+  auto inst = make_instance(static_cast<std::size_t>(state.range(0)),
+                            static_cast<std::size_t>(state.range(1)), 3, 5);
+  AlwaysScheduler scheduler(inst.config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.decide(inst.obs));
+  }
+}
+BENCHMARK(BM_AlwaysDecide)->Args({3, 8})->Args({30, 32});
+
+}  // namespace
+}  // namespace grefar
+
+BENCHMARK_MAIN();

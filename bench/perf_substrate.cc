@@ -1,0 +1,112 @@
+// google-benchmark microbenchmarks for the substrates: simplex LP, the
+// capped-box oracles, the energy curve, and a full simulation step.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/baselines.h"
+#include "core/grefar.h"
+#include "scenario/paper_scenario.h"
+#include "sim/engine.h"
+#include "solver/capped_box.h"
+#include "solver/lp.h"
+#include "util/rng.h"
+
+namespace grefar {
+namespace {
+
+LinearProgram random_lp(std::size_t vars, std::size_t rows, std::uint64_t seed) {
+  Rng rng(seed);
+  LinearProgram lp(vars);
+  for (std::size_t j = 0; j < vars; ++j) lp.set_objective(j, rng.uniform(-1.0, 1.0));
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<double> coeffs(vars);
+    for (auto& c : coeffs) c = rng.uniform(0.0, 1.0);
+    lp.add_constraint(std::move(coeffs), ConstraintSense::kLessEqual,
+                      rng.uniform(1.0, 5.0));
+  }
+  for (std::size_t j = 0; j < vars; ++j) lp.add_upper_bound(j, 2.0);
+  return lp;
+}
+
+void BM_SimplexSolve(benchmark::State& state) {
+  auto lp = random_lp(static_cast<std::size_t>(state.range(0)),
+                      static_cast<std::size_t>(state.range(1)), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_lp(lp));
+  }
+}
+BENCHMARK(BM_SimplexSolve)->Args({10, 5})->Args({30, 15})->Args({80, 40});
+
+void BM_CappedBoxProject(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  CappedBoxPolytope polytope(std::vector<double>(n, 2.0));
+  std::vector<std::size_t> group(n);
+  for (std::size_t j = 0; j < n; ++j) group[j] = j;
+  polytope.add_group(std::move(group), static_cast<double>(n) / 3.0);
+  std::vector<double> y(n);
+  for (auto& v : y) v = rng.uniform(-1.0, 3.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(polytope.project(y));
+  }
+}
+BENCHMARK(BM_CappedBoxProject)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_CappedBoxLmo(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  CappedBoxPolytope polytope(std::vector<double>(n, 2.0));
+  std::vector<std::size_t> group(n);
+  for (std::size_t j = 0; j < n; ++j) group[j] = j;
+  polytope.add_group(std::move(group), static_cast<double>(n) / 3.0);
+  std::vector<double> c(n);
+  for (auto& v : c) v = rng.uniform(-1.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(polytope.minimize_linear(c));
+  }
+}
+BENCHMARK(BM_CappedBoxLmo)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_EnergyCurve(benchmark::State& state) {
+  std::vector<ServerType> types;
+  std::vector<std::int64_t> avail;
+  Rng rng(5);
+  for (int k = 0; k < 8; ++k) {
+    types.push_back({"t", rng.uniform(0.5, 1.5), rng.uniform(0.3, 1.5)});
+    avail.push_back(rng.uniform_int(10, 100));
+  }
+  for (auto _ : state) {
+    EnergyCostCurve curve(types, avail);
+    benchmark::DoNotOptimize(curve.energy_for_work(0.5 * curve.capacity()));
+  }
+}
+BENCHMARK(BM_EnergyCurve);
+
+void BM_SimulationStepGreFar(benchmark::State& state) {
+  auto scenario = make_paper_scenario(9);
+  auto scheduler = std::make_shared<GreFarScheduler>(scenario.config,
+                                                     paper_grefar_params(7.5, 0.0));
+  SimulationEngine engine(scenario.config, scenario.prices, scenario.availability,
+                          scenario.arrivals, scheduler);
+  for (auto _ : state) {
+    engine.step();
+  }
+}
+BENCHMARK(BM_SimulationStepGreFar);
+
+void BM_SimulationStepAlways(benchmark::State& state) {
+  auto scenario = make_paper_scenario(10);
+  auto scheduler = std::make_shared<AlwaysScheduler>(scenario.config);
+  SimulationEngine engine(scenario.config, scenario.prices, scenario.availability,
+                          scenario.arrivals, scheduler);
+  for (auto _ : state) {
+    engine.step();
+  }
+}
+BENCHMARK(BM_SimulationStepAlways);
+
+}  // namespace
+}  // namespace grefar
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Multi-tenant fairness: tuning beta on a shared cluster.
+//
+// Four organizations share the paper's 3-DC cluster with target shares
+// 40/30/15/15%. This example sweeps the energy-fairness parameter beta and
+// reports, per organization, the achieved share of processed work — showing
+// how beta moves allocations toward the targets at a small energy premium.
+//
+//   ./examples/fair_sharing [--horizon 1000] [--V 7.5] [--seed 42]
+#include <iostream>
+#include <memory>
+
+#include "core/grefar.h"
+#include "scenario/paper_scenario.h"
+#include "stats/summary_table.h"
+#include "util/cli.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace grefar;
+
+  CliParser cli("fair_sharing", "beta sweep on the shared 3-DC cluster");
+  cli.add_option("horizon", "1000", "slots (hours) to simulate");
+  cli.add_option("V", "7.5", "cost-delay parameter");
+  cli.add_option("beta", "0,100,300,1000", "beta values to sweep");
+  cli.add_option("seed", "42", "scenario seed");
+  if (auto st = cli.parse(argc, argv); !st.ok()) {
+    return st.error().message == "help" ? 0 : (std::cerr << st.error().message << "\n", 1);
+  }
+  const auto horizon = cli.get_int("horizon");
+  const double V = cli.get_double("V");
+  const auto betas = cli.get_double_list("beta");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  PaperScenario scenario = make_paper_scenario(seed);
+  std::cout << "fairness weights:";
+  for (const auto& account : scenario.config.accounts) {
+    std::cout << "  " << account.name << "=" << format_fixed(account.gamma * 100, 0)
+              << "%";
+  }
+  std::cout << "\n\n";
+
+  SummaryTable table({"beta", "org1 %", "org2 %", "org3 %", "org4 %",
+                      "avg fairness", "avg energy cost", "avg delay"});
+  for (double beta : betas) {
+    auto engine = run_scenario(
+        scenario,
+        std::make_shared<GreFarScheduler>(scenario.config, paper_grefar_params(V, beta)),
+        horizon);
+    const auto& m = engine->metrics();
+    double total = 0.0;
+    std::vector<double> per_org;
+    for (const auto& series : m.account_work) {
+      per_org.push_back(series.sum());
+      total += series.sum();
+    }
+    std::vector<double> row;
+    for (double w : per_org) row.push_back(total > 0 ? 100.0 * w / total : 0.0);
+    row.push_back(m.final_average_fairness());
+    row.push_back(m.final_average_energy_cost());
+    row.push_back(m.mean_delay());
+    table.add_row("beta=" + format_fixed(beta, 0), row, 2);
+  }
+  std::cout << table.render()
+            << "\nShares of *processed* work track arrivals when demand is below\n"
+               "capacity (everything eventually runs); the fairness score instead\n"
+               "rewards allocating each slot's resources near the target split,\n"
+               "which larger beta achieves — note the fairness column rising and\n"
+               "delay falling, at a modest energy premium at high beta.\n";
+  return 0;
+}

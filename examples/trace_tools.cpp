@@ -1,0 +1,128 @@
+// Trace tooling: generate, inspect and replay workload/price traces.
+//
+// Subcommand-style example exercising the trace substrate:
+//   --mode generate  writes a job trace + price trace CSV pair from the
+//                    calibrated paper generators;
+//   --mode inspect   prints summary statistics of an existing trace pair;
+//   --mode replay    drives GreFar from trace files instead of generators
+//                    (the workflow for plugging in *real* recorded data).
+//
+//   ./examples/trace_tools --mode generate --jobs jobs.csv --prices prices.csv
+//   ./examples/trace_tools --mode replay  --jobs jobs.csv --prices prices.csv
+#include <iostream>
+#include <memory>
+
+#include "core/grefar.h"
+#include "scenario/paper_scenario.h"
+#include "stats/running_stats.h"
+#include "stats/summary_table.h"
+#include "trace/job_trace.h"
+#include "trace/price_trace.h"
+#include "util/cli.h"
+#include "util/strings.h"
+
+using namespace grefar;
+
+namespace {
+
+int generate(const PaperScenario& scenario, std::int64_t horizon,
+             const std::string& jobs_path, const std::string& prices_path) {
+  auto counts = materialize_arrivals(*scenario.arrivals, horizon);
+  auto series = materialize_prices(*scenario.prices, horizon);
+  if (auto st = write_job_trace(jobs_path, counts); !st.ok()) {
+    std::cerr << "error: " << st.error().message << "\n";
+    return 1;
+  }
+  if (auto st = write_price_trace(prices_path, series); !st.ok()) {
+    std::cerr << "error: " << st.error().message << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << jobs_path << " (" << horizon << " slots, "
+            << scenario.config.num_job_types() << " job types)\n"
+            << "wrote " << prices_path << " (3 data centers)\n";
+  return 0;
+}
+
+int inspect(const PaperScenario& scenario, const std::string& jobs_path,
+            const std::string& prices_path) {
+  auto counts = read_job_trace(jobs_path, scenario.config.num_job_types());
+  if (!counts.ok()) {
+    std::cerr << "error: " << counts.error().message << "\n";
+    return 1;
+  }
+  auto series = read_price_trace(prices_path, scenario.config.num_data_centers());
+  if (!series.ok()) {
+    std::cerr << "error: " << series.error().message << "\n";
+    return 1;
+  }
+  std::cout << "job trace: " << counts.value().size() << " slots\n";
+  SummaryTable jobs({"type", "work d", "account", "mean jobs/slot", "max jobs/slot"});
+  for (std::size_t j = 0; j < scenario.config.num_job_types(); ++j) {
+    RunningStats stats;
+    for (const auto& row : counts.value()) stats.add(static_cast<double>(row[j]));
+    jobs.add_row(scenario.config.job_types[j].name,
+                 {scenario.config.job_types[j].work,
+                  static_cast<double>(scenario.config.job_types[j].account + 1),
+                  stats.mean(), stats.max()});
+  }
+  std::cout << jobs.render() << "\n";
+  SummaryTable prices({"dc", "mean price", "min", "max"});
+  for (std::size_t dc = 0; dc < series.value().size(); ++dc) {
+    RunningStats stats;
+    for (double p : series.value()[dc]) stats.add(p);
+    prices.add_row("#" + std::to_string(dc + 1), {stats.mean(), stats.min(), stats.max()});
+  }
+  std::cout << prices.render();
+  return 0;
+}
+
+int replay(const PaperScenario& scenario, std::int64_t horizon,
+           const std::string& jobs_path, const std::string& prices_path, double V) {
+  auto counts = read_job_trace(jobs_path, scenario.config.num_job_types());
+  auto series = read_price_trace(prices_path, scenario.config.num_data_centers());
+  if (!counts.ok() || !series.ok()) {
+    std::cerr << "error: cannot read traces (run --mode generate first)\n";
+    return 1;
+  }
+  auto arrivals = std::make_shared<TableArrivals>(std::move(counts).value());
+  auto prices = std::make_shared<TablePriceModel>(std::move(series).value());
+  auto scheduler = std::make_shared<GreFarScheduler>(scenario.config,
+                                                     paper_grefar_params(V, 0.0));
+  SimulationEngine engine(scenario.config, prices, scenario.availability, arrivals,
+                          scheduler);
+  engine.run(horizon);
+  const auto& m = engine.metrics();
+  std::cout << "replayed " << horizon << " slots from trace files with "
+            << scheduler->name() << "\n"
+            << "  avg energy cost: " << format_fixed(m.final_average_energy_cost(), 3)
+            << "\n  avg delay:       " << format_fixed(m.mean_delay(), 3) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("trace_tools", "generate / inspect / replay workload & price traces");
+  cli.add_option("mode", "generate", "generate | inspect | replay");
+  cli.add_option("horizon", "336", "slots to generate / replay (2 weeks)");
+  cli.add_option("jobs", "jobs_trace.csv", "job trace path");
+  cli.add_option("prices", "prices_trace.csv", "price trace path");
+  cli.add_option("V", "7.5", "GreFar cost-delay parameter for replay");
+  cli.add_option("seed", "42", "generator seed");
+  if (auto st = cli.parse(argc, argv); !st.ok()) {
+    return st.error().message == "help" ? 0 : (std::cerr << st.error().message << "\n", 1);
+  }
+
+  auto scenario = make_paper_scenario(static_cast<std::uint64_t>(cli.get_int("seed")));
+  const auto mode = cli.get_string("mode");
+  const auto horizon = cli.get_int("horizon");
+  const auto jobs = cli.get_string("jobs");
+  const auto prices = cli.get_string("prices");
+  if (mode == "generate") return generate(scenario, horizon, jobs, prices);
+  if (mode == "inspect") return inspect(scenario, jobs, prices);
+  if (mode == "replay") {
+    return replay(scenario, horizon, jobs, prices, cli.get_double("V"));
+  }
+  std::cerr << "unknown --mode '" << mode << "' (generate | inspect | replay)\n";
+  return 1;
+}

@@ -1,0 +1,264 @@
+#include "baselines/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "sim/energy.h"
+#include "util/check.h"
+
+namespace grefar {
+
+namespace {
+
+/// Per-DC capacity (work units) for this slot.
+std::vector<double> dc_capacities(const ClusterConfig& config,
+                                  const SlotObservation& obs) {
+  std::vector<double> caps(config.num_data_centers(), 0.0);
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    for (std::size_t k = 0; k < config.num_server_types(); ++k) {
+      caps[i] += static_cast<double>(obs.availability(i, k)) *
+                 config.server_types[k].speed;
+    }
+  }
+  return caps;
+}
+
+/// Cheapest energy cost per unit of work available in DC i right now.
+double best_energy_per_work(const ClusterConfig& config, const SlotObservation& obs,
+                            std::size_t i) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < config.num_server_types(); ++k) {
+    if (obs.availability(i, k) <= 0) continue;
+    const auto& st = config.server_types[k];
+    best = std::min(best, obs.prices[i] * st.busy_power / st.speed);
+  }
+  return best;
+}
+
+/// "Process everything": h_{i,j} covers the whole post-routing queue, scaled
+/// down proportionally where it exceeds the DC's capacity.
+MatrixD process_everything(const ClusterConfig& config, const SlotObservation& obs,
+                           const MatrixD& route) {
+  const std::size_t N = config.num_data_centers();
+  const std::size_t J = config.num_job_types();
+  auto caps = dc_capacities(config, obs);
+  MatrixD process(N, J);
+  for (std::size_t i = 0; i < N; ++i) {
+    double want_work = 0.0;
+    for (std::size_t j = 0; j < J; ++j) {
+      double jobs = obs.dc_queue(i, j) + route(i, j);
+      want_work += jobs * config.job_types[j].work;
+    }
+    double scale = want_work > caps[i] && want_work > 0.0 ? caps[i] / want_work : 1.0;
+    for (std::size_t j = 0; j < J; ++j) {
+      process(i, j) = (obs.dc_queue(i, j) + route(i, j)) * scale;
+    }
+  }
+  return process;
+}
+
+}  // namespace
+
+AlwaysScheduler::AlwaysScheduler(ClusterConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+SlotAction AlwaysScheduler::decide(const SlotObservation& obs) {
+  const std::size_t N = config_.num_data_centers();
+  const std::size_t J = config_.num_job_types();
+  SlotAction action;
+  action.route = MatrixD(N, J);
+  action.process = MatrixD(N, J);
+
+  // Spare capacity = capacity minus work already queued there.
+  auto spare = dc_capacities(config_, obs);
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t j = 0; j < J; ++j) {
+      spare[i] -= obs.dc_queue(i, j) * config_.job_types[j].work;
+    }
+  }
+  for (std::size_t j = 0; j < J; ++j) {
+    auto jobs = static_cast<std::int64_t>(std::floor(obs.central_queue[j]));
+    const double d = config_.job_types[j].work;
+    for (std::int64_t n = 0; n < jobs; ++n) {
+      // Greedily place each job where the most spare capacity remains.
+      DataCenterId best = config_.job_types[j].eligible_dcs.front();
+      for (DataCenterId i : config_.job_types[j].eligible_dcs) {
+        if (spare[i] > spare[best]) best = i;
+      }
+      action.route(best, j) += 1.0;
+      spare[best] -= d;
+    }
+  }
+  action.process = process_everything(config_, obs, action.route);
+  return action;
+}
+
+CheapestFirstScheduler::CheapestFirstScheduler(ClusterConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+}
+
+SlotAction CheapestFirstScheduler::decide(const SlotObservation& obs) {
+  const std::size_t N = config_.num_data_centers();
+  const std::size_t J = config_.num_job_types();
+  SlotAction action;
+  action.route = MatrixD(N, J);
+  action.process = MatrixD(N, J);
+
+  auto spare = dc_capacities(config_, obs);
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t j = 0; j < J; ++j) {
+      spare[i] -= obs.dc_queue(i, j) * config_.job_types[j].work;
+    }
+  }
+  for (std::size_t j = 0; j < J; ++j) {
+    auto jobs = static_cast<std::int64_t>(std::floor(obs.central_queue[j]));
+    const double d = config_.job_types[j].work;
+    for (std::int64_t n = 0; n < jobs; ++n) {
+      // Cheapest eligible DC that still has room; fall back to max spare.
+      DataCenterId best = config_.job_types[j].eligible_dcs.front();
+      double best_cost = std::numeric_limits<double>::infinity();
+      bool found = false;
+      for (DataCenterId i : config_.job_types[j].eligible_dcs) {
+        if (spare[i] < d) continue;
+        double cost = best_energy_per_work(config_, obs, i);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = i;
+          found = true;
+        }
+      }
+      if (!found) {
+        for (DataCenterId i : config_.job_types[j].eligible_dcs) {
+          if (spare[i] > spare[best]) best = i;
+        }
+      }
+      action.route(best, j) += 1.0;
+      spare[best] -= d;
+    }
+  }
+  action.process = process_everything(config_, obs, action.route);
+  return action;
+}
+
+RandomScheduler::RandomScheduler(ClusterConfig config, std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {
+  config_.validate();
+}
+
+SlotAction RandomScheduler::decide(const SlotObservation& obs) {
+  const std::size_t N = config_.num_data_centers();
+  const std::size_t J = config_.num_job_types();
+  SlotAction action;
+  action.route = MatrixD(N, J);
+  action.process = MatrixD(N, J);
+  for (std::size_t j = 0; j < J; ++j) {
+    auto jobs = static_cast<std::int64_t>(std::floor(obs.central_queue[j]));
+    const auto& eligible = config_.job_types[j].eligible_dcs;
+    for (std::int64_t n = 0; n < jobs; ++n) {
+      auto pick = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(eligible.size()) - 1));
+      action.route(eligible[pick], j) += 1.0;
+    }
+  }
+  action.process = process_everything(config_, obs, action.route);
+  return action;
+}
+
+PriceThresholdScheduler::PriceThresholdScheduler(ClusterConfig config,
+                                                 double threshold,
+                                                 double backlog_factor)
+    : config_(std::move(config)), threshold_(threshold),
+      backlog_factor_(backlog_factor) {
+  config_.validate();
+  GREFAR_CHECK_MSG(threshold_ > 0.0, "price threshold must be positive");
+  GREFAR_CHECK_MSG(backlog_factor_ >= 0.0, "backlog factor must be >= 0");
+}
+
+std::string PriceThresholdScheduler::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "PriceThreshold(%.3f)", threshold_);
+  return buf;
+}
+
+SlotAction PriceThresholdScheduler::decide(const SlotObservation& obs) {
+  const std::size_t N = config_.num_data_centers();
+  const std::size_t J = config_.num_job_types();
+  SlotAction action;
+  action.route = MatrixD(N, J);
+  action.process = MatrixD(N, J);
+
+  auto caps = dc_capacities(config_, obs);
+  auto spare = caps;
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t j = 0; j < J; ++j) {
+      spare[i] -= obs.dc_queue(i, j) * config_.job_types[j].work;
+    }
+  }
+  // Route like CheapestFirst: the cheapest eligible DC with room.
+  for (std::size_t j = 0; j < J; ++j) {
+    auto jobs = static_cast<std::int64_t>(std::floor(obs.central_queue[j]));
+    const double d = config_.job_types[j].work;
+    for (std::int64_t n = 0; n < jobs; ++n) {
+      DataCenterId best = config_.job_types[j].eligible_dcs.front();
+      double best_cost = std::numeric_limits<double>::infinity();
+      bool found = false;
+      for (DataCenterId i : config_.job_types[j].eligible_dcs) {
+        if (spare[i] < d) continue;
+        double cost = best_energy_per_work(config_, obs, i);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = i;
+          found = true;
+        }
+      }
+      if (!found) {
+        for (DataCenterId i : config_.job_types[j].eligible_dcs) {
+          if (spare[i] > spare[best]) best = i;
+        }
+      }
+      action.route(best, j) += 1.0;
+      spare[best] -= d;
+    }
+  }
+  // Process only where the price is low enough (or the backlog demands it).
+  for (std::size_t i = 0; i < N; ++i) {
+    double queued_work = 0.0;
+    for (std::size_t j = 0; j < J; ++j) {
+      queued_work += (obs.dc_queue(i, j) + action.route(i, j)) *
+                     config_.job_types[j].work;
+    }
+    bool overloaded = queued_work > backlog_factor_ * caps[i];
+    if (obs.prices[i] > threshold_ && !overloaded) continue;
+    double want_work = queued_work;
+    double scale = want_work > caps[i] && want_work > 0.0 ? caps[i] / want_work : 1.0;
+    for (std::size_t j = 0; j < J; ++j) {
+      action.process(i, j) = (obs.dc_queue(i, j) + action.route(i, j)) * scale;
+    }
+  }
+  return action;
+}
+
+LocalOnlyScheduler::LocalOnlyScheduler(ClusterConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+}
+
+SlotAction LocalOnlyScheduler::decide(const SlotObservation& obs) {
+  const std::size_t N = config_.num_data_centers();
+  const std::size_t J = config_.num_job_types();
+  SlotAction action;
+  action.route = MatrixD(N, J);
+  action.process = MatrixD(N, J);
+  for (std::size_t j = 0; j < J; ++j) {
+    auto jobs = std::floor(obs.central_queue[j]);
+    action.route(config_.job_types[j].eligible_dcs.front(), j) = jobs;
+  }
+  action.process = process_everything(config_, obs, action.route);
+  return action;
+}
+
+}  // namespace grefar

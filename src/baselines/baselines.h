@@ -1,0 +1,93 @@
+// Baseline schedulers.
+//
+// * AlwaysScheduler — the paper's §VI-B3 comparison: schedules jobs
+//   immediately whenever resources are available, ignoring prices. Jobs are
+//   routed to the eligible data center with the most spare capacity and all
+//   queued work is processed up to capacity, so almost every job finishes in
+//   the slot after it arrives (average delay ~= 1).
+// * CheapestFirstScheduler — price-aware *spatially* but not temporally:
+//   routes to the eligible DC with the lowest current energy cost per unit
+//   work, then processes everything immediately. Isolates how much of
+//   GreFar's saving comes from *when* versus *where*.
+// * RandomScheduler — routes uniformly at random among eligible DCs
+//   (seeded, deterministic); processes everything. A sanity floor.
+// * LocalOnlyScheduler — pins each job type to its first eligible DC;
+//   no geographic flexibility at all.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/cluster.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace grefar {
+
+class AlwaysScheduler final : public Scheduler {
+ public:
+  explicit AlwaysScheduler(ClusterConfig config);
+
+  SlotAction decide(const SlotObservation& obs) override;
+  std::string name() const override { return "Always"; }
+
+ private:
+  ClusterConfig config_;
+};
+
+class CheapestFirstScheduler final : public Scheduler {
+ public:
+  explicit CheapestFirstScheduler(ClusterConfig config);
+
+  SlotAction decide(const SlotObservation& obs) override;
+  std::string name() const override { return "CheapestFirst"; }
+
+ private:
+  ClusterConfig config_;
+};
+
+class RandomScheduler final : public Scheduler {
+ public:
+  RandomScheduler(ClusterConfig config, std::uint64_t seed);
+
+  SlotAction decide(const SlotObservation& obs) override;
+  std::string name() const override { return "Random"; }
+
+ private:
+  ClusterConfig config_;
+  Rng rng_;
+};
+
+/// Static price-threshold heuristic: routes like CheapestFirst, but a DC
+/// only processes while its current price is at or below `threshold` —
+/// the obvious hand-tuned alternative to GreFar's queue-adaptive threshold.
+/// A backlog safety valve forces processing regardless of price once a DC's
+/// queued work exceeds `backlog_factor` x its capacity, so the policy stays
+/// stable when prices sit above the threshold for long stretches.
+class PriceThresholdScheduler final : public Scheduler {
+ public:
+  PriceThresholdScheduler(ClusterConfig config, double threshold,
+                          double backlog_factor = 4.0);
+
+  SlotAction decide(const SlotObservation& obs) override;
+  std::string name() const override;
+
+ private:
+  ClusterConfig config_;
+  double threshold_;
+  double backlog_factor_;
+};
+
+class LocalOnlyScheduler final : public Scheduler {
+ public:
+  explicit LocalOnlyScheduler(ClusterConfig config);
+
+  SlotAction decide(const SlotObservation& obs) override;
+  std::string name() const override { return "LocalOnly"; }
+
+ private:
+  ClusterConfig config_;
+};
+
+}  // namespace grefar

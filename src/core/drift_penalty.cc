@@ -1,0 +1,155 @@
+#include "core/drift_penalty.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace grefar {
+
+namespace {
+
+CappedBoxPolytope build_polytope(const ClusterConfig& config,
+                                 const SlotObservation& obs,
+                                 const GreFarParams& params,
+                                 const std::vector<EnergyCostCurve>& curves) {
+  const std::size_t N = config.num_data_centers();
+  const std::size_t J = config.num_job_types();
+  std::vector<double> ub(N * J, 0.0);
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t j = 0; j < J; ++j) {
+      if (!config.job_types[j].eligible(i)) continue;  // stays 0
+      double d = config.job_types[j].work;
+      double h_cap = params.h_max;
+      if (params.clamp_to_queue) h_cap = std::min(h_cap, obs.dc_queue(i, j));
+      double work_ub = std::max(h_cap, 0.0) * d;
+      // Parallelism constraint: each of the (whole) queued jobs can absorb
+      // at most max_rate work per slot.
+      if (std::isfinite(config.job_types[j].max_rate)) {
+        work_ub = std::min(work_ub, config.job_types[j].max_rate *
+                                        std::ceil(obs.dc_queue(i, j)));
+      }
+      ub[i * J + j] = work_ub;
+    }
+  }
+  CappedBoxPolytope polytope(std::move(ub));
+  for (std::size_t i = 0; i < N; ++i) {
+    std::vector<std::size_t> group(J);
+    for (std::size_t j = 0; j < J; ++j) group[j] = i * J + j;
+    polytope.add_group(std::move(group), curves[i].capacity());
+  }
+  return polytope;
+}
+
+std::vector<EnergyCostCurve> build_curves(const ClusterConfig& config,
+                                          const SlotObservation& obs) {
+  std::vector<EnergyCostCurve> curves;
+  curves.reserve(config.num_data_centers());
+  for (std::size_t i = 0; i < config.num_data_centers(); ++i) {
+    std::vector<std::int64_t> avail(config.num_server_types());
+    for (std::size_t k = 0; k < avail.size(); ++k) avail[k] = obs.availability(i, k);
+    curves.emplace_back(config.server_types, avail);
+  }
+  return curves;
+}
+
+}  // namespace
+
+PerSlotProblem::PerSlotProblem(const ClusterConfig& config, const SlotObservation& obs,
+                               const GreFarParams& params)
+    : config_(&config),
+      obs_(&obs),
+      params_(params),
+      num_dcs_(config.num_data_centers()),
+      num_types_(config.num_job_types()),
+      curves_(build_curves(config, obs)),
+      fairness_(config.gammas()),
+      polytope_(build_polytope(config, obs, params, curves_)),
+      queue_value_(num_dcs_ * num_types_, 0.0) {
+  GREFAR_CHECK(params_.V >= 0.0);
+  GREFAR_CHECK(params_.beta >= 0.0);
+  GREFAR_CHECK(params_.r_max >= 0.0);
+  GREFAR_CHECK(params_.h_max >= 0.0);
+  smoothing_band_.reserve(num_dcs_);
+  energy_band_.reserve(num_dcs_);
+  for (const auto& curve : curves_) {
+    total_resource_ += curve.capacity();
+    // Blend the energy-curve (and tariff) kinks over 0.1% of the DC's
+    // capacity so the objective is C^1 — Frank-Wolfe/PGD need smoothness to
+    // converge, and the induced value error (<= band * slope-jump / 4 per
+    // kink) is far below anything the experiments can resolve.
+    smoothing_band_.push_back(1e-3 * curve.capacity());
+    energy_band_.push_back(1e-3 * curve.energy_for_work(curve.capacity()));
+  }
+  for (std::size_t i = 0; i < num_dcs_; ++i) {
+    for (std::size_t j = 0; j < num_types_; ++j) {
+      if (!config.job_types[j].eligible(i)) continue;
+      queue_value_[index(i, j)] = obs.dc_queue(i, j) / config.job_types[j].work;
+    }
+  }
+}
+
+double PerSlotProblem::queue_value(DataCenterId i, JobTypeId j) const {
+  GREFAR_CHECK(i < num_dcs_ && j < num_types_);
+  return queue_value_[index(i, j)];
+}
+
+double PerSlotProblem::value(const std::vector<double>& x) const {
+  GREFAR_CHECK(x.size() == num_vars());
+  double total = 0.0;
+  std::vector<double> account_work(config_->num_accounts(), 0.0);
+  for (std::size_t i = 0; i < num_dcs_; ++i) {
+    double dc_work = 0.0;
+    for (std::size_t j = 0; j < num_types_; ++j) {
+      double u = x[index(i, j)];
+      dc_work += u;
+      total -= queue_value_[index(i, j)] * u;
+      account_work[config_->job_types[j].account] += u;
+    }
+    double energy = curves_[i].smoothed_energy(dc_work, smoothing_band_[i]);
+    total += params_.V * obs_->prices[i] *
+             config_->tariff(i).smoothed_cost(energy, energy_band_[i]);
+  }
+  if (params_.beta > 0.0 && total_resource_ > 0.0) {
+    // -V*beta*f(u): f is the (negative) fairness score.
+    total -= params_.V * params_.beta * fairness_.score(account_work, total_resource_);
+  }
+  return total;
+}
+
+void PerSlotProblem::gradient(const std::vector<double>& x,
+                              std::vector<double>& out) const {
+  GREFAR_CHECK(x.size() == num_vars());
+  out.assign(num_vars(), 0.0);
+  std::vector<double> account_work(config_->num_accounts(), 0.0);
+  std::vector<double> dc_marginal(num_dcs_, 0.0);
+  for (std::size_t i = 0; i < num_dcs_; ++i) {
+    double dc_work = 0.0;
+    for (std::size_t j = 0; j < num_types_; ++j) {
+      double u = x[index(i, j)];
+      dc_work += u;
+      account_work[config_->job_types[j].account] += u;
+    }
+    double energy = curves_[i].smoothed_energy(dc_work, smoothing_band_[i]);
+    // Chain rule through the tariff: d cost/dW = tariff'(E(W)) * E'(W).
+    dc_marginal[i] = params_.V * obs_->prices[i] *
+                     config_->tariff(i).smoothed_marginal(energy, energy_band_[i]) *
+                     curves_[i].smoothed_marginal(dc_work, smoothing_band_[i]);
+  }
+  const bool fair = params_.beta > 0.0 && total_resource_ > 0.0;
+  for (std::size_t i = 0; i < num_dcs_; ++i) {
+    for (std::size_t j = 0; j < num_types_; ++j) {
+      std::size_t idx = index(i, j);
+      double g = dc_marginal[i] - queue_value_[idx];
+      if (fair) {
+        AccountId m = config_->job_types[j].account;
+        // d/du of -V*beta*f = -V*beta * score_gradient.
+        g -= params_.V * params_.beta *
+             fairness_.score_gradient(account_work[m], m, total_resource_);
+      }
+      out[idx] = g;
+    }
+  }
+}
+
+}  // namespace grefar

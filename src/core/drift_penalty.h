@@ -1,0 +1,97 @@
+// The GreFar per-slot optimization problem (paper eq. (14)).
+//
+// At slot t GreFar minimizes, over the action z(t),
+//
+//   V*g(t) - sum_j Q_j [sum_{i in D_j} r_{i,j}] + sum_{i,j} q_{i,j} (r_{i,j} - h_{i,j})
+//
+// The r- and h-parts separate:
+//   * r_{i,j} has linear coefficient (q_{i,j} - Q_j): route maximally where
+//     the DC queue is shorter than the central queue (handled in
+//     GreFarScheduler directly);
+//   * the h/b-part, in work variables u_{i,j} = h_{i,j} * d_j, is the convex
+//     program built here:
+//
+//       min  sum_i [ V*phi_i*C_i(sum_j u_{i,j}) - sum_j (q_{i,j}/d_j) u_{i,j} ]
+//            + V*beta * sum_m (r_m(u)/R - gamma_m)^2
+//       s.t. 0 <= u_{i,j} <= ub_{i,j},  sum_j u_{i,j} <= cap_i,
+//
+// with C_i the minimum-energy curve and r_m(u) the per-account work. This
+// file exposes the problem as a ConvexObjective over a CappedBoxPolytope so
+// any first-order solver can run on it; variables are flattened as
+// index = i * J + j.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/energy.h"
+#include "sim/fairness.h"
+#include "sim/scheduler.h"
+#include "solver/capped_box.h"
+#include "solver/objective.h"
+
+namespace grefar {
+
+/// Tuning knobs shared by the per-slot problem and the GreFar scheduler.
+struct GreFarParams {
+  double V = 1.0;      // cost-delay parameter (>= 0)
+  double beta = 0.0;   // energy-fairness parameter (>= 0)
+  double r_max = 1e9;  // per-(i,j) routing bound r^max (eq. (4))
+  double h_max = 1e9;  // per-(i,j) processing bound h^max (eq. (5))
+  /// Cap processing by the work actually queued (and routing by the jobs
+  /// actually queued). Disable to reproduce the literal dynamics (12)-(13)
+  /// where "null" work is permitted.
+  bool clamp_to_queue = true;
+  /// Evaluate the processing decision against the post-routing queues
+  /// q_{i,j} + r_{i,j} (the state service actually sees, since routing
+  /// executes first within a slot). Disable for the literal eq. (13)
+  /// ordering, which adds one slot of service lag.
+  bool process_after_routing = true;
+};
+
+/// The per-slot convex program in work units u (flattened N*J vector).
+class PerSlotProblem final : public ConvexObjective {
+ public:
+  PerSlotProblem(const ClusterConfig& config, const SlotObservation& obs,
+                 const GreFarParams& params);
+
+  std::size_t num_vars() const { return num_dcs_ * num_types_; }
+  std::size_t index(DataCenterId i, JobTypeId j) const { return i * num_types_ + j; }
+
+  /// Feasible region: box [0, ub] with one capacity group per data center.
+  const CappedBoxPolytope& polytope() const { return polytope_; }
+
+  /// Energy curves per data center for this slot's availability.
+  const EnergyCostCurve& curve(DataCenterId i) const { return curves_[i]; }
+
+  /// Total compute resource R(t) (work units across all DCs).
+  double total_resource() const { return total_resource_; }
+
+  /// Queue benefit per unit work: q_{i,j} / d_j (0 for ineligible pairs).
+  double queue_value(DataCenterId i, JobTypeId j) const;
+
+  // ConvexObjective: the h-part of eq. (14) as described above.
+  double value(const std::vector<double>& x) const override;
+  void gradient(const std::vector<double>& x, std::vector<double>& out) const override;
+
+  const GreFarParams& params() const { return params_; }
+  const ClusterConfig& config() const { return *config_; }
+  const SlotObservation& observation() const { return *obs_; }
+
+ private:
+  const ClusterConfig* config_;
+  const SlotObservation* obs_;
+  GreFarParams params_;
+  std::size_t num_dcs_;
+  std::size_t num_types_;
+  std::vector<EnergyCostCurve> curves_;
+  std::vector<double> smoothing_band_;  // per-DC kink-blend half-width (work)
+  std::vector<double> energy_band_;     // per-DC tariff-blend half-width (energy)
+  double total_resource_ = 0.0;
+  FairnessFunction fairness_;
+  CappedBoxPolytope polytope_;
+  std::vector<double> queue_value_;  // q_{i,j}/d_j, flattened
+};
+
+}  // namespace grefar

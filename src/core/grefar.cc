@@ -1,0 +1,126 @@
+#include "core/grefar.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace grefar {
+
+GreFarScheduler::GreFarScheduler(ClusterConfig config, GreFarParams params)
+    : GreFarScheduler(std::move(config), params,
+                      params.beta == 0.0 ? PerSlotSolver::kGreedy
+                                         : PerSlotSolver::kProjectedGradient) {}
+
+GreFarScheduler::GreFarScheduler(ClusterConfig config, GreFarParams params,
+                                 PerSlotSolver solver)
+    : config_(std::move(config)), params_(params), solver_(solver) {
+  config_.validate();
+  GREFAR_CHECK(params_.V >= 0.0);
+  GREFAR_CHECK(params_.beta >= 0.0);
+  GREFAR_CHECK_MSG(!(params_.beta > 0.0 &&
+                     (solver_ == PerSlotSolver::kGreedy || solver_ == PerSlotSolver::kLp)),
+                   "greedy/lp per-slot solvers ignore the fairness term; "
+                   "use Frank-Wolfe or PGD when beta > 0");
+}
+
+std::string GreFarScheduler::name() const {
+  return "GreFar(V=" + format_fixed(params_.V, 2) +
+         ", beta=" + format_fixed(params_.beta, 1) + ")";
+}
+
+SlotAction GreFarScheduler::decide(const SlotObservation& obs) {
+  const std::size_t N = config_.num_data_centers();
+  const std::size_t J = config_.num_job_types();
+  GREFAR_CHECK(obs.prices.size() == N);
+  GREFAR_CHECK(obs.central_queue.size() == J);
+  GREFAR_CHECK(obs.dc_queue.rows() == N && obs.dc_queue.cols() == J);
+
+  SlotAction action;
+  action.route = MatrixD(N, J);
+  action.process = MatrixD(N, J);
+
+  // -- Routing: minimize sum (q_{i,j} - Q_j) r_{i,j} ------------------------
+  for (std::size_t j = 0; j < J; ++j) {
+    const double Q = obs.central_queue[j];
+    std::vector<std::size_t> beneficial;
+    for (DataCenterId i : config_.job_types[j].eligible_dcs) {
+      if (obs.dc_queue(i, j) < Q) beneficial.push_back(i);
+    }
+    if (beneficial.empty()) continue;
+    std::sort(beneficial.begin(), beneficial.end(), [&](std::size_t a, std::size_t b) {
+      return obs.dc_queue(a, j) < obs.dc_queue(b, j);
+    });
+    if (params_.clamp_to_queue) {
+      // Distribute the queued jobs, shortest destination queue first. DCs
+      // whose queues tie (the common case is q == 0 at small V) are equally
+      // optimal for the linear routing term of eq. (14); split the batch
+      // across the tie group proportionally to capacity, so the policy
+      // degrades gracefully to Always-style load spreading as V -> 0.
+      double available = std::floor(Q);
+      std::size_t g = 0;
+      while (g < beneficial.size() && available > 0.0) {
+        std::size_t g_end = g + 1;
+        while (g_end < beneficial.size() &&
+               obs.dc_queue(beneficial[g_end], j) <=
+                   obs.dc_queue(beneficial[g], j) + 1e-9) {
+          ++g_end;
+        }
+        // Capacity weights of the tie group.
+        double total_cap = 0.0;
+        std::vector<double> cap(g_end - g, 0.0);
+        for (std::size_t s = g; s < g_end; ++s) {
+          for (std::size_t k = 0; k < config_.num_server_types(); ++k) {
+            cap[s - g] += static_cast<double>(obs.availability(beneficial[s], k)) *
+                          config_.server_types[k].speed;
+          }
+          total_cap += cap[s - g];
+        }
+        double group_jobs = available;
+        for (std::size_t s = g; s < g_end && available > 0.0; ++s) {
+          double share = total_cap > 0.0
+                             ? std::ceil(group_jobs * cap[s - g] / total_cap)
+                             : group_jobs;
+          double r = std::floor(std::min({params_.r_max, share, available}));
+          action.route(beneficial[s], j) = r;
+          available -= r;
+        }
+        g = g_end;
+      }
+    } else {
+      // Literal eq.-(14) optimum: saturate every beneficial destination.
+      for (std::size_t i : beneficial) action.route(i, j) = params_.r_max;
+    }
+  }
+
+  // -- Processing: solve the convex program of eq. (14) ---------------------
+  // Routing executes before service within a slot, so the processing
+  // decision is evaluated against the post-routing queue state q + r (the
+  // queues service will actually see). Eq. (13)'s literal ordering (h serves
+  // only the pre-routing queue) is recovered with process_after_routing =
+  // false; both are valid drift-minimizing policies, the default just avoids
+  // a structural one-slot service lag.
+  SlotObservation routed_obs;
+  const SlotObservation* problem_obs = &obs;
+  if (params_.process_after_routing) {
+    routed_obs = obs;
+    for (std::size_t j = 0; j < J; ++j) {
+      for (std::size_t i = 0; i < N; ++i) {
+        routed_obs.dc_queue(i, j) += action.route(i, j);
+      }
+    }
+    problem_obs = &routed_obs;
+  }
+  PerSlotProblem problem(config_, *problem_obs, params_);
+  std::vector<double> u = solve_per_slot(problem, solver_);
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t j = 0; j < J; ++j) {
+      double h = u[problem.index(i, j)] / config_.job_types[j].work;
+      action.process(i, j) = std::min(h, params_.h_max);
+    }
+  }
+  return action;
+}
+
+}  // namespace grefar

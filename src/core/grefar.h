@@ -1,0 +1,48 @@
+// GreFarScheduler — Algorithm 1 of the paper.
+//
+// Each slot, observe the data-center state x(t) and queue state Theta(t) and
+// choose the action minimizing the drift-plus-penalty expression (14):
+//
+//   * Routing r_{i,j}: linear with coefficient (q_{i,j} - Q_j). Jobs are
+//     routed (up to r_max per destination) to eligible data centers whose
+//     local queue is shorter than the central queue, shortest first.
+//   * Processing h_{i,j} / servers b_{i,k}: the convex program of
+//     drift_penalty.h, solved by the configured per-slot solver. With
+//     beta = 0 the greedy is exact: work is processed exactly when the
+//     queue pressure q_{i,j}/d_j exceeds V * phi_i * p_k/s_k — i.e. when
+//     electricity is cheap relative to how long jobs have waited. Larger V
+//     therefore trades delay for energy cost, which is Theorem 1's knob.
+//
+// GreFar needs no statistics of arrivals, prices or availability: the queue
+// lengths alone summarize the past.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/drift_penalty.h"
+#include "core/per_slot_solvers.h"
+#include "sim/scheduler.h"
+
+namespace grefar {
+
+class GreFarScheduler final : public Scheduler {
+ public:
+  /// `solver` defaults to the exact greedy when beta == 0 and Frank-Wolfe
+  /// otherwise; pass explicitly to ablate.
+  GreFarScheduler(ClusterConfig config, GreFarParams params);
+  GreFarScheduler(ClusterConfig config, GreFarParams params, PerSlotSolver solver);
+
+  SlotAction decide(const SlotObservation& obs) override;
+  std::string name() const override;
+
+  const GreFarParams& params() const { return params_; }
+  PerSlotSolver solver() const { return solver_; }
+
+ private:
+  ClusterConfig config_;
+  GreFarParams params_;
+  PerSlotSolver solver_;
+};
+
+}  // namespace grefar

@@ -1,0 +1,178 @@
+#include "core/per_slot_solvers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace grefar {
+
+std::string to_string(PerSlotSolver solver) {
+  switch (solver) {
+    case PerSlotSolver::kGreedy: return "greedy";
+    case PerSlotSolver::kFrankWolfe: return "frank-wolfe";
+    case PerSlotSolver::kProjectedGradient: return "pgd";
+    case PerSlotSolver::kLp: return "lp";
+  }
+  return "unknown";
+}
+
+std::vector<double> solve_per_slot_greedy(const PerSlotProblem& problem) {
+  const auto& config = problem.config();
+  const auto& obs = problem.observation();
+  const std::size_t N = config.num_data_centers();
+  const std::size_t J = config.num_job_types();
+  const double V = problem.params().V;
+
+  std::vector<double> u(problem.num_vars(), 0.0);
+  for (std::size_t i = 0; i < N; ++i) {
+    // Job demands with positive queue value, most valuable first.
+    struct Demand {
+      std::size_t j;
+      double value;      // q_{i,j} / d_j
+      double remaining;  // ub on work units
+    };
+    std::vector<Demand> demands;
+    for (std::size_t j = 0; j < J; ++j) {
+      double ub = problem.polytope().upper_bounds()[problem.index(i, j)];
+      double v = problem.queue_value(i, j);
+      if (ub > 0.0 && v > 0.0) demands.push_back({j, v, ub});
+    }
+    std::sort(demands.begin(), demands.end(),
+              [](const Demand& a, const Demand& b) { return a.value > b.value; });
+
+    // Server pieces, cheapest marginal-cost-per-work first. Filling cheapest
+    // energy-per-work servers first minimizes E(W), hence also tariff(E(W))
+    // (tariff increasing); subdividing each curve segment at the tariff's
+    // tier boundaries yields pieces whose unit cost — V*phi * rate(E) * c —
+    // is non-decreasing in fill order, so the two-list greedy stays exact.
+    struct Piece {
+      double capacity;   // work units
+      double unit_cost;  // V * phi * rate * energy_per_work
+    };
+    const TieredTariff& tariff = config.tariff(i);
+    std::vector<Piece> pieces;
+    double cum_energy = 0.0;
+    for (const auto& seg : problem.curve(i).segments()) {
+      double seg_work_left = seg.capacity;
+      while (seg_work_left > 1e-12) {
+        double rate = tariff.marginal(cum_energy);
+        // Work until the next tier boundary (or the segment end).
+        double work_to_boundary = seg_work_left;
+        for (const auto& tier : tariff.tiers()) {
+          if (cum_energy < tier.upto) {
+            double energy_left = tier.upto - cum_energy;
+            if (std::isfinite(energy_left)) {
+              work_to_boundary =
+                  std::min(work_to_boundary, energy_left / seg.energy_per_work);
+            }
+            break;
+          }
+        }
+        // Guard against zero-progress when sitting exactly on a boundary.
+        work_to_boundary = std::max(work_to_boundary, 1e-12);
+        work_to_boundary = std::min(work_to_boundary, seg_work_left);
+        pieces.push_back(
+            {work_to_boundary, V * obs.prices[i] * rate * seg.energy_per_work});
+        cum_energy += work_to_boundary * seg.energy_per_work;
+        seg_work_left -= work_to_boundary;
+      }
+    }
+
+    std::size_t d_idx = 0;
+    for (const auto& piece : pieces) {
+      double piece_remaining = piece.capacity;
+      while (piece_remaining > 1e-12 && d_idx < demands.size()) {
+        Demand& d = demands[d_idx];
+        if (d.value <= piece.unit_cost) {
+          // Demands are sorted descending and pieces are non-decreasing in
+          // cost, so no remaining pair is profitable.
+          d_idx = demands.size();
+          break;
+        }
+        double take = std::min(piece_remaining, d.remaining);
+        u[problem.index(i, d.j)] += take;
+        piece_remaining -= take;
+        d.remaining -= take;
+        if (d.remaining <= 1e-12) ++d_idx;
+      }
+      if (d_idx >= demands.size()) break;
+    }
+  }
+  return u;
+}
+
+std::vector<double> solve_per_slot_frank_wolfe(const PerSlotProblem& problem,
+                                               const FrankWolfeOptions& options) {
+  std::vector<double> warm = solve_per_slot_greedy(problem);
+  auto result = minimize_frank_wolfe(problem, problem.polytope(), std::move(warm),
+                                     options);
+  return std::move(result.x);
+}
+
+std::vector<double> solve_per_slot_pgd(const PerSlotProblem& problem,
+                                       const PgdOptions& options) {
+  std::vector<double> warm = solve_per_slot_greedy(problem);
+  auto result = minimize_projected_gradient(problem, problem.polytope(),
+                                            std::move(warm), options);
+  return std::move(result.x);
+}
+
+LinearProgram build_per_slot_lp(const PerSlotProblem& problem) {
+  const auto& config = problem.config();
+  GREFAR_CHECK_MSG(!config.has_nonlinear_billing(),
+                   "the per-slot LP models linear billing only; use the greedy "
+                   "or a convex solver with tiered tariffs");
+  const auto& obs = problem.observation();
+  const std::size_t N = config.num_data_centers();
+  const std::size_t J = config.num_job_types();
+  const std::size_t K = config.num_server_types();
+  const double V = problem.params().V;
+
+  // Variables: u_{i,j} at i*J+j, then w_{i,k} at N*J + i*K + k.
+  LinearProgram lp(N * J + N * K);
+  auto u_idx = [&](std::size_t i, std::size_t j) { return i * J + j; };
+  auto w_idx = [&](std::size_t i, std::size_t k) { return N * J + i * K + k; };
+
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t j = 0; j < J; ++j) {
+      lp.set_objective(u_idx(i, j), -problem.queue_value(i, j));
+      lp.add_upper_bound(u_idx(i, j),
+                         problem.polytope().upper_bounds()[problem.index(i, j)]);
+    }
+    std::vector<std::pair<std::size_t, double>> balance;
+    for (std::size_t j = 0; j < J; ++j) balance.emplace_back(u_idx(i, j), 1.0);
+    for (std::size_t k = 0; k < K; ++k) {
+      const auto& st = config.server_types[k];
+      lp.set_objective(w_idx(i, k),
+                       V * obs.prices[i] * st.busy_power / st.speed);
+      lp.add_upper_bound(w_idx(i, k),
+                         static_cast<double>(obs.availability(i, k)) * st.speed);
+      balance.emplace_back(w_idx(i, k), -1.0);
+    }
+    lp.add_constraint_sparse(balance, ConstraintSense::kLessEqual, 0.0);
+  }
+  return lp;
+}
+
+std::vector<double> solve_per_slot_lp(const PerSlotProblem& problem) {
+  LinearProgram lp = build_per_slot_lp(problem);
+  LpSolution sol = solve_lp(lp);
+  GREFAR_CHECK_MSG(sol.optimal(), "per-slot LP not optimal: " << to_string(sol.status));
+  std::vector<double> u(problem.num_vars());
+  std::copy_n(sol.x.begin(), problem.num_vars(), u.begin());
+  return u;
+}
+
+std::vector<double> solve_per_slot(const PerSlotProblem& problem, PerSlotSolver solver) {
+  switch (solver) {
+    case PerSlotSolver::kGreedy: return solve_per_slot_greedy(problem);
+    case PerSlotSolver::kFrankWolfe: return solve_per_slot_frank_wolfe(problem);
+    case PerSlotSolver::kProjectedGradient: return solve_per_slot_pgd(problem);
+    case PerSlotSolver::kLp: return solve_per_slot_lp(problem);
+  }
+  GREFAR_CHECK_MSG(false, "unreachable per-slot solver");
+  return {};
+}
+
+}  // namespace grefar

@@ -1,0 +1,55 @@
+// Solvers for the per-slot GreFar problem (see drift_penalty.h).
+//
+// * solve_per_slot_greedy — exact for beta = 0. The problem separates per
+//   data center into matching the highest queue-value-per-work job demand
+//   against the cheapest energy-per-work server segments; both lists sorted,
+//   allocate while the marginal value exceeds the marginal cost. This is
+//   also the linear minimization oracle Frank-Wolfe calls implicitly.
+// * solve_per_slot_frank_wolfe / solve_per_slot_pgd — handle beta > 0
+//   (quadratic fairness coupling across data centers).
+// * build_per_slot_lp — the equivalent LP for beta = 0, used to cross-check
+//   the greedy against the simplex solver in tests and ablations.
+#pragma once
+
+#include "core/drift_penalty.h"
+#include "solver/frank_wolfe.h"
+#include "solver/lp.h"
+#include "solver/projected_gradient.h"
+
+namespace grefar {
+
+/// Which engine GreFar uses to solve eq. (14) each slot.
+enum class PerSlotSolver {
+  kGreedy,      // exact for beta == 0; ignores the fairness term
+  kFrankWolfe,  // handles beta >= 0
+  kProjectedGradient,  // handles beta >= 0
+  kLp,          // simplex on the beta == 0 LP (cross-check / ablation)
+};
+
+std::string to_string(PerSlotSolver solver);
+
+/// Exact greedy for beta = 0 (the fairness term, if any, is ignored).
+/// Returns the flattened u vector (work units per (i,j)).
+std::vector<double> solve_per_slot_greedy(const PerSlotProblem& problem);
+
+/// Frank-Wolfe on the full convex objective. Warm-started from the greedy.
+std::vector<double> solve_per_slot_frank_wolfe(const PerSlotProblem& problem,
+                                               const FrankWolfeOptions& options = {});
+
+/// Projected gradient on the full convex objective. Warm-started likewise.
+std::vector<double> solve_per_slot_pgd(const PerSlotProblem& problem,
+                                       const PgdOptions& options = {});
+
+/// Builds the beta = 0 LP over variables [u_{i,j} | w_{i,k}] where w_{i,k}
+/// is work served by server type k in DC i:
+///   min  sum_{i,k} V*phi_i*(p_k/s_k) w_{i,k} - sum_{i,j} (q_{i,j}/d_j) u_{i,j}
+///   s.t. sum_j u_{i,j} <= sum_k w_{i,k};  w_{i,k} <= n_{i,k} s_k;  u <= ub.
+LinearProgram build_per_slot_lp(const PerSlotProblem& problem);
+
+/// Solves via the LP above and extracts the u block.
+std::vector<double> solve_per_slot_lp(const PerSlotProblem& problem);
+
+/// Dispatches on `solver`.
+std::vector<double> solve_per_slot(const PerSlotProblem& problem, PerSlotSolver solver);
+
+}  // namespace grefar

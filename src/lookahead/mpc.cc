@@ -1,0 +1,175 @@
+#include "lookahead/mpc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "solver/lp.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace grefar {
+
+MpcScheduler::MpcScheduler(ClusterConfig config,
+                           std::shared_ptr<const PriceModel> prices,
+                           std::shared_ptr<const AvailabilityModel> availability,
+                           std::shared_ptr<const ArrivalProcess> arrivals,
+                           MpcParams params)
+    : config_(std::move(config)),
+      prices_(std::move(prices)),
+      availability_(std::move(availability)),
+      arrivals_(std::move(arrivals)),
+      params_(params) {
+  config_.validate();
+  GREFAR_CHECK(prices_ != nullptr && availability_ != nullptr && arrivals_ != nullptr);
+  GREFAR_CHECK_MSG(params_.window >= 1, "MPC window must be >= 1");
+  GREFAR_CHECK(params_.r_max >= 0.0 && params_.h_max >= 0.0);
+  GREFAR_CHECK_MSG(!config_.has_nonlinear_billing(),
+                   "MpcScheduler's LP models linear billing only");
+}
+
+std::string MpcScheduler::name() const {
+  return "MPC(W=" + std::to_string(params_.window) + ")";
+}
+
+SlotAction MpcScheduler::decide(const SlotObservation& obs) {
+  const std::size_t N = config_.num_data_centers();
+  const std::size_t J = config_.num_job_types();
+  const std::size_t K = config_.num_server_types();
+  const auto W = static_cast<std::size_t>(params_.window);
+
+  // Variable layout.
+  const std::size_t r_block = N * J * W;
+  const std::size_t u_block = N * J * W;
+  const std::size_t w_block = N * K * W;
+  const std::size_t Q_block = J * W;      // Q[j][tau+1], tau = 0..W-1
+  const std::size_t q_block = N * J * W;  // q[i][j][tau+1]
+  LinearProgram lp(r_block + u_block + w_block + Q_block + q_block);
+  auto r_idx = [&](std::size_t tau, std::size_t i, std::size_t j) {
+    return (tau * N + i) * J + j;
+  };
+  auto u_idx = [&](std::size_t tau, std::size_t i, std::size_t j) {
+    return r_block + (tau * N + i) * J + j;
+  };
+  auto w_idx = [&](std::size_t tau, std::size_t i, std::size_t k) {
+    return r_block + u_block + (tau * N + i) * K + k;
+  };
+  auto Q_idx = [&](std::size_t tau_next, std::size_t j) {  // tau_next = tau+1
+    return r_block + u_block + w_block + (tau_next - 1) * J + j;
+  };
+  auto q_idx = [&](std::size_t tau_next, std::size_t i, std::size_t j) {
+    return r_block + u_block + w_block + Q_block + ((tau_next - 1) * N + i) * J + j;
+  };
+
+  // Gather window data and the worst in-window unit energy cost for the
+  // automatic terminal penalty.
+  std::vector<std::vector<double>> window_prices(W);
+  std::vector<Matrix<std::int64_t>> window_avail(W);
+  std::vector<std::vector<std::int64_t>> window_arrivals(W);
+  double worst_unit_cost = 0.0;
+  for (std::size_t tau = 0; tau < W; ++tau) {
+    std::int64_t slot = obs.slot + static_cast<std::int64_t>(tau);
+    window_prices[tau].reserve(N);
+    for (std::size_t i = 0; i < N; ++i) {
+      window_prices[tau].push_back(prices_->price(i, slot));
+    }
+    window_avail[tau] = availability_->availability(slot);
+    window_arrivals[tau] = arrivals_->arrivals(slot);
+    for (std::size_t i = 0; i < N; ++i) {
+      double cheapest = 0.0;
+      bool any = false;
+      for (std::size_t k = 0; k < K; ++k) {
+        if (window_avail[tau](i, k) <= 0) continue;
+        const auto& st = config_.server_types[k];
+        double c = window_prices[tau][i] * st.busy_power / st.speed;
+        cheapest = any ? std::min(cheapest, c) : c;
+        any = true;
+      }
+      if (any) worst_unit_cost = std::max(worst_unit_cost, cheapest);
+    }
+  }
+  // The 5% margin breaks ties so backlog is cleared within the window
+  // whenever in-window prices are no worse than the post-window estimate.
+  const double kappa = params_.terminal_penalty > 0.0 ? params_.terminal_penalty
+                                                      : 1.05 * worst_unit_cost;
+
+  // Objective: energy per slot + terminal backlog penalty (per work unit).
+  for (std::size_t tau = 0; tau < W; ++tau) {
+    for (std::size_t i = 0; i < N; ++i) {
+      for (std::size_t k = 0; k < K; ++k) {
+        const auto& st = config_.server_types[k];
+        lp.set_objective(w_idx(tau, i, k),
+                         window_prices[tau][i] * st.busy_power / st.speed);
+      }
+    }
+  }
+  for (std::size_t j = 0; j < J; ++j) {
+    lp.set_objective(Q_idx(W, j), kappa * config_.job_types[j].work);
+    for (std::size_t i = 0; i < N; ++i) {
+      lp.set_objective(q_idx(W, i, j), kappa * config_.job_types[j].work);
+    }
+  }
+
+  // Flow constraints + bounds.
+  for (std::size_t tau = 0; tau < W; ++tau) {
+    for (std::size_t j = 0; j < J; ++j) {
+      const double d = config_.job_types[j].work;
+      // Central queue: Q[tau+1] + sum_i r[tau] - Q[tau] = a[tau].
+      std::vector<std::pair<std::size_t, double>> central{{Q_idx(tau + 1, j), 1.0}};
+      double rhs = static_cast<double>(window_arrivals[tau][j]);
+      if (tau == 0) {
+        rhs += obs.central_queue[j];
+      } else {
+        central.emplace_back(Q_idx(tau, j), -1.0);
+      }
+      for (DataCenterId i : config_.job_types[j].eligible_dcs) {
+        central.emplace_back(r_idx(tau, i, j), 1.0);
+      }
+      lp.add_constraint_sparse(central, ConstraintSense::kEqual, rhs);
+
+      for (std::size_t i = 0; i < N; ++i) {
+        const bool eligible = config_.job_types[j].eligible(i);
+        lp.add_upper_bound(r_idx(tau, i, j), eligible ? params_.r_max : 0.0);
+        lp.add_upper_bound(u_idx(tau, i, j), eligible ? params_.h_max * d : 0.0);
+        // DC queue: q[tau+1] - q[tau] - r[tau] + u[tau]/d = 0.
+        std::vector<std::pair<std::size_t, double>> dc{{q_idx(tau + 1, i, j), 1.0},
+                                                       {r_idx(tau, i, j), -1.0},
+                                                       {u_idx(tau, i, j), 1.0 / d}};
+        double dc_rhs = 0.0;
+        if (tau == 0) {
+          dc_rhs = obs.dc_queue(i, j);
+        } else {
+          dc.emplace_back(q_idx(tau, i, j), -1.0);
+        }
+        lp.add_constraint_sparse(dc, ConstraintSense::kEqual, dc_rhs);
+      }
+    }
+    for (std::size_t i = 0; i < N; ++i) {
+      std::vector<std::pair<std::size_t, double>> balance;
+      for (std::size_t j = 0; j < J; ++j) balance.emplace_back(u_idx(tau, i, j), 1.0);
+      for (std::size_t k = 0; k < K; ++k) {
+        balance.emplace_back(w_idx(tau, i, k), -1.0);
+        lp.add_upper_bound(w_idx(tau, i, k),
+                           static_cast<double>(window_avail[tau](i, k)) *
+                               config_.server_types[k].speed);
+      }
+      lp.add_constraint_sparse(balance, ConstraintSense::kLessEqual, 0.0);
+    }
+  }
+
+  LpSolution sol = solve_lp(lp);
+  GREFAR_CHECK_MSG(sol.optimal(), "MPC window LP " << to_string(sol.status));
+
+  SlotAction action;
+  action.route = MatrixD(N, J);
+  action.process = MatrixD(N, J);
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t j = 0; j < J; ++j) {
+      // The engine moves whole jobs; floor the LP's fractional routing.
+      action.route(i, j) = std::floor(sol.x[r_idx(0, i, j)] + 1e-9);
+      action.process(i, j) = sol.x[u_idx(0, i, j)] / config_.job_types[j].work;
+    }
+  }
+  return action;
+}
+
+}  // namespace grefar

@@ -1,0 +1,64 @@
+// Model-predictive (rolling-horizon) scheduler.
+//
+// The related work the paper contrasts with (e.g. Guenter et al. [4])
+// schedules by *predicting* demand and optimizing over a finite window.
+// MpcScheduler is that family's strongest member: each slot it solves a
+// window-W linear program with **oracle** knowledge of future prices,
+// availability and arrivals, then executes the first slot's action.
+//
+//   min  sum_tau energy(tau) + kappa * (work left queued at the window end)
+//   s.t. central-queue flow  Q[tau+1] = Q[tau] - route[tau] + a[tau] >= 0
+//        DC-queue flow       q[tau+1] = q[tau] + route[tau] - h[tau] >= 0
+//        capacity            sum_j u <= sum_k w,  w <= n*s   (per slot)
+//        bounds              r <= r_max, u <= h_max * d
+//
+// The terminal penalty kappa (per work unit) prices deferral beyond the
+// window at the worst in-window unit cost, so the LP clears work when the
+// window contains a cheap moment but is never forced into infeasibility by
+// backlog. Oracle MPC upper-bounds what any prediction-based scheduler of
+// window W can do — the natural yardstick for GreFar, which uses *no*
+// prediction at all.
+//
+// Cost: one dense simplex solve per slot (O(W * N * J) variables); intended
+// for small instances and ablations, not the 2000-hour paper scenario.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "price/price_model.h"
+#include "sim/availability.h"
+#include "sim/cluster.h"
+#include "sim/scheduler.h"
+#include "workload/arrival_process.h"
+
+namespace grefar {
+
+struct MpcParams {
+  std::int64_t window = 8;  // W: lookahead slots per solve
+  double r_max = 1e6;
+  double h_max = 1e6;
+  /// Terminal penalty per unit of work still queued at the window end;
+  /// <= 0 selects the automatic choice (worst in-window unit energy cost).
+  double terminal_penalty = -1.0;
+};
+
+class MpcScheduler final : public Scheduler {
+ public:
+  MpcScheduler(ClusterConfig config, std::shared_ptr<const PriceModel> prices,
+               std::shared_ptr<const AvailabilityModel> availability,
+               std::shared_ptr<const ArrivalProcess> arrivals, MpcParams params);
+
+  SlotAction decide(const SlotObservation& obs) override;
+  std::string name() const override;
+
+ private:
+  ClusterConfig config_;
+  std::shared_ptr<const PriceModel> prices_;
+  std::shared_ptr<const AvailabilityModel> availability_;
+  std::shared_ptr<const ArrivalProcess> arrivals_;
+  MpcParams params_;
+};
+
+}  // namespace grefar

@@ -1,0 +1,145 @@
+#include "price/price_model.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace grefar {
+
+ConstantPriceModel::ConstantPriceModel(std::vector<double> prices)
+    : prices_(std::move(prices)) {
+  GREFAR_CHECK(!prices_.empty());
+  for (double p : prices_) GREFAR_CHECK_MSG(p > 0.0, "prices must be positive");
+}
+
+double ConstantPriceModel::price(std::size_t dc, std::int64_t t) const {
+  GREFAR_CHECK(dc < prices_.size());
+  GREFAR_CHECK(t >= 0);
+  return prices_[dc];
+}
+
+DiurnalOuPriceModel::DiurnalOuPriceModel(std::vector<DiurnalOuParams> params,
+                                         std::uint64_t seed)
+    : params_(std::move(params)),
+      seed_(seed),
+      cache_(params_.size()),
+      ou_state_(params_.size(), 0.0) {
+  GREFAR_CHECK(!params_.empty());
+  rng_.reserve(params_.size());
+  Rng root(seed_);
+  for (std::size_t dc = 0; dc < params_.size(); ++dc) {
+    rng_.push_back(root.fork(dc));
+  }
+}
+
+void DiurnalOuPriceModel::extend(std::size_t dc, std::int64_t t) const {
+  const auto& p = params_[dc];
+  auto& series = cache_[dc];
+  while (static_cast<std::int64_t>(series.size()) <= t) {
+    std::int64_t slot = static_cast<std::int64_t>(series.size());
+    double hour = static_cast<double>(slot % 24);
+    double diurnal = 0.5 * p.diurnal_amplitude *
+                     std::cos(2.0 * std::numbers::pi * (hour - p.peak_hour) / 24.0);
+    ou_state_[dc] = (1.0 - p.reversion) * ou_state_[dc] +
+                    rng_[dc].normal(0.0, p.volatility);
+    series.push_back(std::max(p.floor, p.mean + diurnal + ou_state_[dc]));
+  }
+}
+
+double DiurnalOuPriceModel::price(std::size_t dc, std::int64_t t) const {
+  GREFAR_CHECK(dc < params_.size());
+  GREFAR_CHECK(t >= 0);
+  extend(dc, t);
+  return cache_[dc][static_cast<std::size_t>(t)];
+}
+
+SpikyPriceModel::SpikyPriceModel(std::shared_ptr<const PriceModel> base,
+                                 double spike_prob, double spike_factor,
+                                 double decay, std::uint64_t seed)
+    : base_(std::move(base)),
+      spike_prob_(spike_prob),
+      spike_factor_(spike_factor),
+      decay_(decay),
+      seed_(seed) {
+  GREFAR_CHECK(base_ != nullptr);
+  GREFAR_CHECK(spike_prob_ >= 0.0 && spike_prob_ <= 1.0);
+  GREFAR_CHECK(spike_factor_ >= 1.0);
+  GREFAR_CHECK(decay_ >= 0.0 && decay_ < 1.0);
+  const std::size_t n = base_->num_data_centers();
+  multiplier_cache_.resize(n);
+  spike_state_.assign(n, 0.0);
+  Rng root(seed_);
+  rng_.reserve(n);
+  for (std::size_t dc = 0; dc < n; ++dc) rng_.push_back(root.fork(dc + 1000));
+}
+
+void SpikyPriceModel::extend(std::size_t dc, std::int64_t t) const {
+  auto& series = multiplier_cache_[dc];
+  while (static_cast<std::int64_t>(series.size()) <= t) {
+    if (rng_[dc].bernoulli(spike_prob_)) {
+      spike_state_[dc] = spike_factor_ - 1.0;
+    } else {
+      spike_state_[dc] *= decay_;
+    }
+    series.push_back(1.0 + spike_state_[dc]);
+  }
+}
+
+double SpikyPriceModel::price(std::size_t dc, std::int64_t t) const {
+  GREFAR_CHECK(dc < num_data_centers());
+  GREFAR_CHECK(t >= 0);
+  extend(dc, t);
+  return base_->price(dc, t) * multiplier_cache_[dc][static_cast<std::size_t>(t)];
+}
+
+TablePriceModel::TablePriceModel(std::vector<std::vector<double>> series)
+    : series_(std::move(series)) {
+  GREFAR_CHECK(!series_.empty());
+  for (const auto& s : series_) {
+    GREFAR_CHECK_MSG(!s.empty(), "each data center needs at least one price");
+    for (double p : s) GREFAR_CHECK_MSG(p > 0.0, "prices must be positive");
+  }
+}
+
+double TablePriceModel::price(std::size_t dc, std::int64_t t) const {
+  GREFAR_CHECK(dc < series_.size());
+  GREFAR_CHECK(t >= 0);
+  const auto& s = series_[dc];
+  return s[static_cast<std::size_t>(t) % s.size()];
+}
+
+std::shared_ptr<const PriceModel> make_paper_price_model(std::uint64_t seed) {
+  // Calibrated to Table I averages (0.392 / 0.433 / 0.548) with diurnal
+  // swings and volatility in the ranges visible in Fig. 1. The OU noise is
+  // zero-mean, so long-run averages converge to `mean`.
+  std::vector<DiurnalOuParams> params(3);
+  params[0] = {.mean = 0.392,
+               .diurnal_amplitude = 0.20,
+               .peak_hour = 16.0,
+               .reversion = 0.35,
+               .volatility = 0.035,
+               .floor = 0.05};
+  params[1] = {.mean = 0.433,
+               .diurnal_amplitude = 0.14,
+               .peak_hour = 14.0,
+               .reversion = 0.30,
+               .volatility = 0.028,
+               .floor = 0.05};
+  params[2] = {.mean = 0.548,
+               .diurnal_amplitude = 0.26,
+               .peak_hour = 17.0,
+               .reversion = 0.35,
+               .volatility = 0.042,
+               .floor = 0.05};
+  return std::make_shared<DiurnalOuPriceModel>(std::move(params), seed);
+}
+
+double average_price(const PriceModel& model, std::size_t dc, std::int64_t horizon) {
+  GREFAR_CHECK(horizon > 0);
+  double sum = 0.0;
+  for (std::int64_t t = 0; t < horizon; ++t) sum += model.price(dc, t);
+  return sum / static_cast<double>(horizon);
+}
+
+}  // namespace grefar

@@ -1,0 +1,122 @@
+// Electricity price models.
+//
+// The paper drives GreFar with publicly-available hourly prices (FERC/CAISO)
+// near three unnamed data-center locations; we substitute calibrated
+// synthetic models (see DESIGN.md §2). phi_i(t) maps (data center, slot) to
+// a price per unit of energy; GreFar only ever consumes the realized series.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace grefar {
+
+/// Interface: the electricity price phi_i(t) for data center `dc` at slot `t`.
+/// Implementations must be deterministic functions of (construction
+/// parameters, dc, t) so simulations replay exactly.
+class PriceModel {
+ public:
+  virtual ~PriceModel() = default;
+
+  /// Price for `dc` during slot `t` (t >= 0). Always > 0.
+  virtual double price(std::size_t dc, std::int64_t t) const = 0;
+
+  /// Number of data centers this model covers.
+  virtual std::size_t num_data_centers() const = 0;
+};
+
+/// Fixed price per data center, constant over time (the setting of prior
+/// work [3]; used by the ablation where GreFar's advantage should vanish).
+class ConstantPriceModel final : public PriceModel {
+ public:
+  explicit ConstantPriceModel(std::vector<double> prices);
+
+  double price(std::size_t dc, std::int64_t t) const override;
+  std::size_t num_data_centers() const override { return prices_.size(); }
+
+ private:
+  std::vector<double> prices_;
+};
+
+/// Parameters of one data center's diurnal + mean-reverting price process.
+struct DiurnalOuParams {
+  double mean = 0.45;             // long-run average price
+  double diurnal_amplitude = 0.08;  // peak-vs-trough of the 24 h sinusoid
+  double peak_hour = 16.0;        // hour-of-day of the diurnal maximum
+  double reversion = 0.35;        // OU mean-reversion rate per slot
+  double volatility = 0.02;       // OU noise standard deviation per slot
+  double floor = 0.05;            // prices never drop below this
+};
+
+/// Diurnal sinusoid plus Ornstein-Uhlenbeck noise, floored at > 0:
+///   phi(t) = max(floor, mean + A/2 * cos(2*pi*(hour - peak)/24) + ou(t))
+/// where ou(t+1) = (1 - reversion) * ou(t) + N(0, volatility).
+///
+/// The realized series is generated lazily (and cached) per data center, so
+/// price(dc, t) is O(1) amortized and identical across replays with the
+/// same seed.
+class DiurnalOuPriceModel final : public PriceModel {
+ public:
+  DiurnalOuPriceModel(std::vector<DiurnalOuParams> params, std::uint64_t seed);
+
+  double price(std::size_t dc, std::int64_t t) const override;
+  std::size_t num_data_centers() const override { return params_.size(); }
+
+ private:
+  void extend(std::size_t dc, std::int64_t t) const;
+
+  std::vector<DiurnalOuParams> params_;
+  std::uint64_t seed_;
+  mutable std::vector<std::vector<double>> cache_;
+  mutable std::vector<Rng> rng_;
+  mutable std::vector<double> ou_state_;
+};
+
+/// Wraps another model and injects occasional multiplicative price spikes
+/// (deregulated-market behaviour): with probability `spike_prob` per slot a
+/// spike of factor `spike_factor` starts and decays geometrically.
+class SpikyPriceModel final : public PriceModel {
+ public:
+  SpikyPriceModel(std::shared_ptr<const PriceModel> base, double spike_prob,
+                  double spike_factor, double decay, std::uint64_t seed);
+
+  double price(std::size_t dc, std::int64_t t) const override;
+  std::size_t num_data_centers() const override { return base_->num_data_centers(); }
+
+ private:
+  void extend(std::size_t dc, std::int64_t t) const;
+
+  std::shared_ptr<const PriceModel> base_;
+  double spike_prob_;
+  double spike_factor_;
+  double decay_;
+  std::uint64_t seed_;
+  mutable std::vector<std::vector<double>> multiplier_cache_;
+  mutable std::vector<Rng> rng_;
+  mutable std::vector<double> spike_state_;
+};
+
+/// Price series read from memory (e.g. a CSV trace): series[dc][t]; slots
+/// beyond the series wrap around (so short traces can drive long runs).
+class TablePriceModel final : public PriceModel {
+ public:
+  explicit TablePriceModel(std::vector<std::vector<double>> series);
+
+  double price(std::size_t dc, std::int64_t t) const override;
+  std::size_t num_data_centers() const override { return series_.size(); }
+
+ private:
+  std::vector<std::vector<double>> series_;
+};
+
+/// The calibrated three-data-center model whose long-run averages match the
+/// paper's Table I (0.392, 0.433, 0.548) with diurnal ranges as in Fig. 1.
+std::shared_ptr<const PriceModel> make_paper_price_model(std::uint64_t seed);
+
+/// Empirical mean of `model`'s price for `dc` over slots [0, horizon).
+double average_price(const PriceModel& model, std::size_t dc, std::int64_t horizon);
+
+}  // namespace grefar

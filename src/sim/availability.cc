@@ -1,0 +1,79 @@
+#include "sim/availability.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace grefar {
+
+namespace {
+
+Matrix<std::int64_t> to_matrix(const std::vector<DataCenterConfig>& dcs) {
+  GREFAR_CHECK(!dcs.empty());
+  Matrix<std::int64_t> m(dcs.size(), dcs.front().installed.size());
+  for (std::size_t i = 0; i < dcs.size(); ++i) {
+    GREFAR_CHECK_MSG(dcs[i].installed.size() == m.cols(), "ragged fleet table");
+    for (std::size_t k = 0; k < m.cols(); ++k) {
+      GREFAR_CHECK(dcs[i].installed[k] >= 0);
+      m(i, k) = dcs[i].installed[k];
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+FullAvailability::FullAvailability(std::vector<DataCenterConfig> dcs)
+    : full_(to_matrix(dcs)) {}
+
+Matrix<std::int64_t> FullAvailability::availability(std::int64_t t) const {
+  GREFAR_CHECK(t >= 0);
+  return full_;
+}
+
+TableAvailability::TableAvailability(std::vector<Matrix<std::int64_t>> snapshots)
+    : snapshots_(std::move(snapshots)) {
+  GREFAR_CHECK_MSG(!snapshots_.empty(), "availability table needs >= 1 snapshot");
+  const std::size_t rows = snapshots_.front().rows();
+  const std::size_t cols = snapshots_.front().cols();
+  GREFAR_CHECK(rows > 0 && cols > 0);
+  for (const auto& snap : snapshots_) {
+    GREFAR_CHECK_MSG(snap.rows() == rows && snap.cols() == cols,
+                     "ragged availability table");
+    for (const auto& v : snap.data()) GREFAR_CHECK_MSG(v >= 0, "negative availability");
+  }
+}
+
+Matrix<std::int64_t> TableAvailability::availability(std::int64_t t) const {
+  GREFAR_CHECK(t >= 0);
+  return snapshots_[static_cast<std::size_t>(t) % snapshots_.size()];
+}
+
+RandomFractionAvailability::RandomFractionAvailability(
+    std::vector<DataCenterConfig> dcs, double min_fraction, std::uint64_t seed)
+    : full_(to_matrix(dcs)), min_fraction_(min_fraction), rng_(seed) {
+  GREFAR_CHECK_MSG(min_fraction_ >= 0.0 && min_fraction_ <= 1.0,
+                   "min_fraction must be in [0,1]");
+}
+
+void RandomFractionAvailability::extend(std::int64_t t) const {
+  while (static_cast<std::int64_t>(cache_.size()) <= t) {
+    Matrix<std::int64_t> m(full_.rows(), full_.cols());
+    for (std::size_t i = 0; i < full_.rows(); ++i) {
+      for (std::size_t k = 0; k < full_.cols(); ++k) {
+        double fraction = rng_.uniform(min_fraction_, 1.0);
+        m(i, k) = static_cast<std::int64_t>(
+            std::floor(fraction * static_cast<double>(full_(i, k))));
+      }
+    }
+    cache_.push_back(std::move(m));
+  }
+}
+
+Matrix<std::int64_t> RandomFractionAvailability::availability(std::int64_t t) const {
+  GREFAR_CHECK(t >= 0);
+  extend(t);
+  return cache_[static_cast<std::size_t>(t)];
+}
+
+}  // namespace grefar

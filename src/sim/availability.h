@@ -1,0 +1,81 @@
+// Server availability n_{i,k}(t) (paper §III-A1).
+//
+// Availability varies over time — failures, software upgrades, interactive
+// workloads reclaiming capacity. Like arrivals and prices it is an arbitrary
+// bounded process; the models here are deterministic given their seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/server.h"
+#include "util/matrix.h"
+#include "util/rng.h"
+
+namespace grefar {
+
+/// Interface: number of usable type-k servers in data center i during slot t.
+/// Must satisfy 0 <= n_{i,k}(t) <= installed_{i,k} and be replay-deterministic.
+class AvailabilityModel {
+ public:
+  virtual ~AvailabilityModel() = default;
+
+  /// Full (N x K) availability matrix for slot t.
+  virtual Matrix<std::int64_t> availability(std::int64_t t) const = 0;
+
+  virtual std::size_t num_data_centers() const = 0;
+  virtual std::size_t num_server_types() const = 0;
+};
+
+/// Everything installed is always available.
+class FullAvailability final : public AvailabilityModel {
+ public:
+  explicit FullAvailability(std::vector<DataCenterConfig> dcs);
+
+  Matrix<std::int64_t> availability(std::int64_t t) const override;
+  std::size_t num_data_centers() const override { return full_.rows(); }
+  std::size_t num_server_types() const override { return full_.cols(); }
+
+ private:
+  Matrix<std::int64_t> full_;
+};
+
+/// Availability replayed from a recorded table: snapshots[t](i, k); slots
+/// beyond the table wrap around. Used to replay maintenance calendars or
+/// recorded interactive-load interference.
+class TableAvailability final : public AvailabilityModel {
+ public:
+  explicit TableAvailability(std::vector<Matrix<std::int64_t>> snapshots);
+
+  Matrix<std::int64_t> availability(std::int64_t t) const override;
+  std::size_t num_data_centers() const override { return snapshots_.front().rows(); }
+  std::size_t num_server_types() const override { return snapshots_.front().cols(); }
+
+ private:
+  std::vector<Matrix<std::int64_t>> snapshots_;
+};
+
+/// Each slot, each (i,k) pool independently offers a uniform fraction in
+/// [min_fraction, 1] of its installed servers (rounded down). Keeping
+/// min_fraction above the load level preserves the slackness conditions
+/// (20)-(22) the paper's experiments assume.
+class RandomFractionAvailability final : public AvailabilityModel {
+ public:
+  RandomFractionAvailability(std::vector<DataCenterConfig> dcs, double min_fraction,
+                             std::uint64_t seed);
+
+  Matrix<std::int64_t> availability(std::int64_t t) const override;
+  std::size_t num_data_centers() const override { return full_.rows(); }
+  std::size_t num_server_types() const override { return full_.cols(); }
+
+ private:
+  void extend(std::int64_t t) const;
+
+  Matrix<std::int64_t> full_;
+  double min_fraction_;
+  mutable std::vector<Matrix<std::int64_t>> cache_;
+  mutable Rng rng_;
+};
+
+}  // namespace grefar

@@ -1,0 +1,73 @@
+// ClusterConfig: the full static description of the system of paper §III —
+// server types, data-center fleets, accounts with fairness weights, and the
+// job-type table. One validated ClusterConfig is shared by the simulator,
+// the schedulers and the lookahead optimizer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/server.h"
+#include "sim/tariff.h"
+#include "workload/job.h"
+
+namespace grefar {
+
+/// An account (user / group / organization) with its fairness weight.
+struct Account {
+  std::string name;
+  double gamma = 0.0;  // desired resource share, gamma_m >= 0
+};
+
+struct ClusterConfig {
+  std::vector<ServerType> server_types;      // K types
+  std::vector<DataCenterConfig> data_centers;  // N fleets
+  std::vector<Account> accounts;             // M accounts
+  std::vector<JobType> job_types;            // J types
+  /// Per-DC usage-dependent billing (paper §III-A2 extension). Empty means
+  /// flat (linear) billing everywhere; otherwise one tariff per data center.
+  std::vector<TieredTariff> tariffs;
+
+  std::size_t num_data_centers() const { return data_centers.size(); }
+  std::size_t num_server_types() const { return server_types.size(); }
+  std::size_t num_accounts() const { return accounts.size(); }
+  std::size_t num_job_types() const { return job_types.size(); }
+
+  /// Billing tariff of DC i (a shared flat tariff when none are configured).
+  const TieredTariff& tariff(DataCenterId i) const {
+    static const TieredTariff kFlat;
+    if (tariffs.empty()) return kFlat;
+    GREFAR_CHECK(i < tariffs.size());
+    return tariffs[i];
+  }
+
+  /// True if any data center bills non-linearly.
+  bool has_nonlinear_billing() const {
+    for (const auto& t : tariffs) {
+      if (!t.is_flat()) return true;
+    }
+    return false;
+  }
+
+  /// Per-account gamma vector for the fairness function.
+  std::vector<double> gammas() const {
+    std::vector<double> g;
+    g.reserve(accounts.size());
+    for (const auto& a : accounts) g.push_back(a.gamma);
+    return g;
+  }
+
+  /// Checks internal consistency; throws ContractViolation on errors.
+  void validate() const {
+    validate_data_centers(data_centers, server_types);
+    GREFAR_CHECK_MSG(!accounts.empty(), "need at least one account");
+    for (const auto& a : accounts) {
+      GREFAR_CHECK_MSG(a.gamma >= 0.0, "account '" << a.name << "' gamma < 0");
+    }
+    validate_job_types(job_types, data_centers.size(), accounts.size());
+    GREFAR_CHECK_MSG(tariffs.empty() || tariffs.size() == data_centers.size(),
+                     "tariffs must be empty or one per data center");
+  }
+};
+
+}  // namespace grefar

@@ -1,0 +1,141 @@
+#include "sim/energy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace grefar {
+
+EnergyCostCurve::EnergyCostCurve(const std::vector<ServerType>& server_types,
+                                 const std::vector<std::int64_t>& available)
+    : num_types_(server_types.size()) {
+  GREFAR_CHECK(!server_types.empty());
+  GREFAR_CHECK(available.size() == server_types.size());
+  for (std::size_t k = 0; k < server_types.size(); ++k) {
+    GREFAR_CHECK(available[k] >= 0);
+    if (available[k] == 0) continue;
+    const auto& st = server_types[k];
+    GREFAR_CHECK(st.speed > 0.0);
+    double cap = static_cast<double>(available[k]) * st.speed;
+    segments_.push_back({k, st.speed, cap, st.busy_power / st.speed});
+    capacity_ += cap;
+  }
+  std::sort(segments_.begin(), segments_.end(), [](const Segment& a, const Segment& b) {
+    return a.energy_per_work < b.energy_per_work;
+  });
+}
+
+double EnergyCostCurve::energy_for_work(double work) const {
+  GREFAR_CHECK_MSG(work >= -1e-9, "negative work " << work);
+  double remaining = std::min(std::max(work, 0.0), capacity_);
+  double energy = 0.0;
+  for (const auto& seg : segments_) {
+    if (remaining <= 0.0) break;
+    double served = std::min(remaining, seg.capacity);
+    energy += served * seg.energy_per_work;
+    remaining -= served;
+  }
+  return energy;
+}
+
+double EnergyCostCurve::marginal_energy(double work) const {
+  GREFAR_CHECK_MSG(work >= -1e-9, "negative work " << work);
+  if (segments_.empty()) return 0.0;
+  double level = std::max(work, 0.0);
+  double cum = 0.0;
+  for (const auto& seg : segments_) {
+    cum += seg.capacity;
+    if (level < cum) return seg.energy_per_work;
+  }
+  return segments_.back().energy_per_work;
+}
+
+namespace {
+
+/// One piece of the smoothed slope function: linear slope from s0 at w0 to
+/// s1 at w1 (s0 == s1 for segment interiors).
+struct SlopePiece {
+  double w0, w1, s0, s1;
+};
+
+}  // namespace
+
+double EnergyCostCurve::smoothed_marginal(double work, double band) const {
+  GREFAR_CHECK(work >= -1e-9);
+  GREFAR_CHECK(band >= 0.0);
+  if (segments_.empty()) return 0.0;
+  double w = std::max(work, 0.0);
+  double boundary = 0.0;
+  for (std::size_t m = 0; m + 1 < segments_.size(); ++m) {
+    boundary += segments_[m].capacity;
+    double delta = std::min({band, 0.5 * segments_[m].capacity,
+                             0.5 * segments_[m + 1].capacity});
+    if (w < boundary - delta) return segments_[m].energy_per_work;
+    if (w <= boundary + delta) {
+      if (delta <= 0.0) return segments_[m + 1].energy_per_work;
+      double frac = (w - (boundary - delta)) / (2.0 * delta);
+      return segments_[m].energy_per_work +
+             frac * (segments_[m + 1].energy_per_work - segments_[m].energy_per_work);
+    }
+  }
+  return segments_.back().energy_per_work;
+}
+
+double EnergyCostCurve::smoothed_energy(double work, double band) const {
+  GREFAR_CHECK(work >= -1e-9);
+  GREFAR_CHECK(band >= 0.0);
+  if (segments_.empty()) return 0.0;
+  const double w = std::max(work, 0.0);
+
+  // Build the slope pieces: segment interiors and blend zones.
+  std::vector<SlopePiece> pieces;
+  double boundary = 0.0;
+  double piece_start = 0.0;
+  for (std::size_t m = 0; m < segments_.size(); ++m) {
+    boundary += segments_[m].capacity;
+    double slope = segments_[m].energy_per_work;
+    if (m + 1 < segments_.size()) {
+      double next = segments_[m + 1].energy_per_work;
+      double delta = std::min({band, 0.5 * segments_[m].capacity,
+                               0.5 * segments_[m + 1].capacity});
+      pieces.push_back({piece_start, boundary - delta, slope, slope});
+      pieces.push_back({boundary - delta, boundary + delta, slope, next});
+      piece_start = boundary + delta;
+    } else {
+      pieces.push_back({piece_start, boundary, slope, slope});
+      // Linear extension beyond capacity (the feasible set caps W anyway).
+      pieces.push_back({boundary, std::numeric_limits<double>::infinity(), slope,
+                        slope});
+    }
+  }
+
+  double energy = 0.0;
+  for (const auto& p : pieces) {
+    if (w <= p.w0) break;
+    double hi = std::min(w, p.w1);
+    double len = hi - p.w0;
+    if (len <= 0.0) continue;
+    double full = p.w1 - p.w0;
+    double s_hi = full > 0.0 && std::isfinite(full)
+                      ? p.s0 + (p.s1 - p.s0) * (len / full)
+                      : p.s0;
+    energy += 0.5 * (p.s0 + s_hi) * len;  // trapezoid
+  }
+  return energy;
+}
+
+std::vector<double> EnergyCostCurve::busy_servers(double work) const {
+  std::vector<double> b(num_types_, 0.0);
+  double remaining = std::min(std::max(work, 0.0), capacity_);
+  for (const auto& seg : segments_) {
+    if (remaining <= 0.0) break;
+    double served = std::min(remaining, seg.capacity);
+    b[seg.type] = served / seg.speed;  // server-slots occupied on type k
+    remaining -= served;
+  }
+  return b;
+}
+
+}  // namespace grefar

@@ -1,0 +1,252 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace grefar {
+
+SimulationEngine::SimulationEngine(ClusterConfig config,
+                                   std::shared_ptr<const PriceModel> prices,
+                                   std::shared_ptr<const AvailabilityModel> availability,
+                                   std::shared_ptr<const ArrivalProcess> arrivals,
+                                   std::shared_ptr<Scheduler> scheduler,
+                                   EngineOptions options)
+    : config_(std::move(config)),
+      prices_(std::move(prices)),
+      availability_(std::move(availability)),
+      arrivals_(std::move(arrivals)),
+      scheduler_(std::move(scheduler)),
+      options_(options),
+      fairness_fn_(config_.gammas()),
+      metrics_(config_.num_data_centers(), config_.num_accounts()) {
+  config_.validate();
+  GREFAR_CHECK(prices_ != nullptr && availability_ != nullptr &&
+               arrivals_ != nullptr && scheduler_ != nullptr);
+  GREFAR_CHECK_MSG(prices_->num_data_centers() == config_.num_data_centers(),
+                   "price model covers " << prices_->num_data_centers()
+                                         << " DCs, cluster has "
+                                         << config_.num_data_centers());
+  GREFAR_CHECK_MSG(availability_->num_data_centers() == config_.num_data_centers(),
+                   "availability model DC count mismatch");
+  GREFAR_CHECK_MSG(availability_->num_server_types() == config_.num_server_types(),
+                   "availability model server-type count mismatch");
+  GREFAR_CHECK_MSG(arrivals_->num_job_types() == config_.num_job_types(),
+                   "arrival process job-type count mismatch");
+
+  central_.reserve(config_.num_job_types());
+  for (const auto& jt : config_.job_types) central_.emplace_back(jt.work);
+  dc_.resize(config_.num_data_centers());
+  for (auto& row : dc_) {
+    row.reserve(config_.num_job_types());
+    for (const auto& jt : config_.job_types) row.emplace_back(jt.work);
+  }
+}
+
+double SimulationEngine::central_queue_length(JobTypeId j) const {
+  GREFAR_CHECK(j < central_.size());
+  return central_[j].length_jobs();
+}
+
+double SimulationEngine::dc_queue_length(DataCenterId i, JobTypeId j) const {
+  GREFAR_CHECK(i < dc_.size());
+  GREFAR_CHECK(j < dc_[i].size());
+  return dc_[i][j].length_jobs();
+}
+
+SlotObservation SimulationEngine::observe() const {
+  SlotObservation obs;
+  obs.slot = slot_;
+  obs.prices.reserve(config_.num_data_centers());
+  for (std::size_t i = 0; i < config_.num_data_centers(); ++i) {
+    obs.prices.push_back(prices_->price(i, slot_));
+  }
+  obs.availability = availability_->availability(slot_);
+  obs.central_queue.reserve(config_.num_job_types());
+  for (const auto& q : central_) {
+    obs.central_queue.push_back(q.length_jobs());
+  }
+  obs.dc_queue = MatrixD(config_.num_data_centers(), config_.num_job_types());
+  for (std::size_t i = 0; i < dc_.size(); ++i) {
+    for (std::size_t j = 0; j < dc_[i].size(); ++j) {
+      obs.dc_queue(i, j) = dc_[i][j].length_jobs();
+    }
+  }
+  return obs;
+}
+
+void SimulationEngine::run(std::int64_t slots) {
+  GREFAR_CHECK(slots >= 0);
+  for (std::int64_t s = 0; s < slots; ++s) step();
+}
+
+void SimulationEngine::step() {
+  SlotObservation obs = observe();
+  SlotAction action = scheduler_->decide(obs);
+
+  const std::size_t N = config_.num_data_centers();
+  const std::size_t J = config_.num_job_types();
+  GREFAR_CHECK_MSG(action.route.rows() == N && action.route.cols() == J,
+                   "action.route has wrong shape");
+  GREFAR_CHECK_MSG(action.process.rows() == N && action.process.cols() == J,
+                   "action.process has wrong shape");
+
+  // Ineligible pairs must stay zero: this is a scheduler contract.
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t j = 0; j < J; ++j) {
+      if (!config_.job_types[j].eligible(i)) {
+        GREFAR_CHECK_MSG(action.route(i, j) <= 1e-9 && action.process(i, j) <= 1e-9,
+                         "scheduler assigned work to ineligible DC " << i
+                                                                     << " job type " << j);
+      }
+    }
+  }
+
+  route(obs, action);
+  serve(obs, action);
+  admit_arrivals();
+  ++slot_;
+}
+
+void SimulationEngine::route(const SlotObservation& obs, const SlotAction& action) {
+  const std::size_t N = config_.num_data_centers();
+  const std::size_t J = config_.num_job_types();
+  std::vector<double> routed_per_dc(N, 0.0);
+
+  for (std::size_t j = 0; j < J; ++j) {
+    // Serve the most beneficial destinations first: ascending DC queue
+    // length, which is the order the drift term q_{i,j} - Q_j rewards.
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < N; ++i) {
+      if (action.route(i, j) > 1e-9) order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return obs.dc_queue(a, j) < obs.dc_queue(b, j);
+    });
+    for (std::size_t i : order) {
+      auto want = static_cast<std::int64_t>(std::llround(action.route(i, j)));
+      GREFAR_CHECK_MSG(want >= 0, "negative routing decision");
+      for (std::int64_t n = 0; n < want && !central_[j].empty(); ++n) {
+        Job job = central_[j].pop_front();
+        job.dc_entry_slot = slot_;
+        dc_[i][j].push(std::move(job));
+        routed_per_dc[i] += 1.0;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < N; ++i) metrics_.dc_routed_jobs[i].add(routed_per_dc[i]);
+}
+
+void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& action) {
+  const std::size_t N = config_.num_data_centers();
+  const std::size_t J = config_.num_job_types();
+
+  double total_energy = 0.0;
+  double total_resource = 0.0;
+  std::vector<double> account_work(config_.num_accounts(), 0.0);
+  std::vector<EnergyCostCurve> curves;
+  curves.reserve(N);
+  for (std::size_t i = 0; i < N; ++i) {
+    std::vector<std::int64_t> avail(config_.num_server_types());
+    for (std::size_t k = 0; k < avail.size(); ++k) avail[k] = obs.availability(i, k);
+    curves.emplace_back(config_.server_types, avail);
+    total_resource += curves.back().capacity();
+  }
+
+  for (std::size_t i = 0; i < N; ++i) {
+    // Desired work per type; clamp the total to capacity proportionally.
+    std::vector<double> want(J, 0.0);
+    double total_want = 0.0;
+    for (std::size_t j = 0; j < J; ++j) {
+      double h = action.process(i, j);
+      GREFAR_CHECK_MSG(h >= -1e-9, "negative processing decision");
+      want[j] = std::max(h, 0.0) * config_.job_types[j].work;
+      total_want += want[j];
+    }
+    double capacity = curves[i].capacity();
+    if (total_want > capacity && total_want > 0.0) {
+      double scale = capacity / total_want;
+      for (auto& w : want) w *= scale;
+    }
+
+    double dc_work = 0.0;
+    double dc_delay_sum = 0.0;
+    double dc_completions = 0.0;
+    for (std::size_t j = 0; j < J; ++j) {
+      if (want[j] <= 0.0) continue;
+      // In literal-(13) mode, only work queued at the start of the slot is
+      // servable this slot.
+      double servable = want[j];
+      if (!options_.serve_routed_same_slot) {
+        servable = std::min(servable, obs.dc_queue(i, j) * config_.job_types[j].work);
+      }
+      double consumed = 0.0;
+      auto completions = dc_[i][j].serve(servable, slot_, &consumed,
+                                         config_.job_types[j].max_rate);
+      dc_work += consumed;
+      account_work[config_.job_types[j].account] += consumed;
+      for (const auto& c : completions) {
+        dc_delay_sum += static_cast<double>(c.total_delay());
+        dc_completions += 1.0;
+        metrics_.record_completion_delay(static_cast<double>(c.total_delay()));
+      }
+    }
+    double energy = obs.prices[i] *
+                    config_.tariff(i).cost(curves[i].energy_for_work(dc_work));
+    total_energy += energy;
+
+    metrics_.dc_energy_cost[i].add(energy);
+    metrics_.dc_work[i].add(dc_work);
+    metrics_.dc_delay_sum[i].add(dc_delay_sum);
+    metrics_.dc_completions[i].add(dc_completions);
+    metrics_.dc_price[i].add(obs.prices[i]);
+  }
+
+  metrics_.energy_cost.add(total_energy);
+  double f = total_resource > 0.0 ? fairness_fn_.score(account_work, total_resource)
+                                  : 0.0;
+  metrics_.fairness.add(f);
+  for (std::size_t m = 0; m < account_work.size(); ++m) {
+    metrics_.account_work[m].add(account_work[m]);
+  }
+
+  // Queue-size telemetry (after routing and service, before new arrivals).
+  double total_q = 0.0, max_q = 0.0;
+  for (const auto& q : central_) {
+    total_q += q.length_jobs();
+    max_q = std::max(max_q, q.length_jobs());
+  }
+  for (const auto& row : dc_) {
+    for (const auto& q : row) {
+      total_q += q.length_jobs();
+      max_q = std::max(max_q, q.length_jobs());
+    }
+  }
+  metrics_.total_queue_jobs.add(total_q);
+  metrics_.max_queue_jobs.add(max_q);
+}
+
+void SimulationEngine::admit_arrivals() {
+  auto counts = arrivals_->arrivals(slot_);
+  GREFAR_CHECK(counts.size() == config_.num_job_types());
+  double jobs = 0.0, work = 0.0;
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    for (std::int64_t n = 0; n < counts[j]; ++n) {
+      Job job;
+      job.id = next_job_id_++;
+      job.type = j;
+      job.arrival_slot = slot_;
+      job.dc_entry_slot = slot_;  // updated when routed
+      job.remaining = config_.job_types[j].work;
+      central_[j].push(std::move(job));
+    }
+    jobs += static_cast<double>(counts[j]);
+    work += static_cast<double>(counts[j]) * config_.job_types[j].work;
+  }
+  metrics_.arrived_jobs.add(jobs);
+  metrics_.arrived_work.add(work);
+}
+
+}  // namespace grefar

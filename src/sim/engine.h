@@ -1,0 +1,101 @@
+// SimulationEngine: the discrete-time simulator that drives a Scheduler
+// through the system of paper §III and accounts energy, fairness and delay.
+//
+// Slot lifecycle (see DESIGN.md §3 for the clamping rationale):
+//   1. observe x(t) = {prices, availability} and queue state Theta(t);
+//   2. scheduler decides z(t) = {r, h};
+//   3. routing: up to r_{i,j} whole jobs move FIFO from central queue j to
+//      DC queue (i,j) (eligible DCs only, most-beneficial DC first);
+//   4. service: up to h_{i,j} * d_j work units of fluid FIFO service per DC
+//      queue, total clamped to the DC's available capacity; energy is
+//      charged via the minimum-energy curve on the work actually served;
+//   5. fairness is scored on the per-account work actually served;
+//   6. arrivals a_j(t) join the central queues (visible from slot t+1).
+//
+// With the engine's clamping, queue lengths follow
+//   Q_j(t+1) = max[Q_j(t) - sum_i r_{i,j}(t), 0] + a_j(t)
+//   q_{i,j}(t+1) = max[q_{i,j}(t) + r_{i,j}(t) - h_{i,j}(t), 0]
+// which is the paper's dynamics (12)-(13) with service also covering
+// just-routed jobs (never-larger queues; Theorem 1's bounds still apply).
+// The ScalarQueueSimulator replays the *literal* (12)-(13) for theorem tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "price/price_model.h"
+#include "sim/availability.h"
+#include "sim/cluster.h"
+#include "sim/energy.h"
+#include "sim/fairness.h"
+#include "sim/metrics.h"
+#include "sim/queue.h"
+#include "sim/scheduler.h"
+#include "workload/arrival_process.h"
+
+namespace grefar {
+
+struct EngineOptions {
+  /// When true (default) slot-t service may also cover jobs routed during
+  /// slot t; when false service applies only to jobs already queued at the
+  /// start of the slot (the literal eq. (13) ordering).
+  bool serve_routed_same_slot = true;
+};
+
+class SimulationEngine {
+ public:
+  SimulationEngine(ClusterConfig config, std::shared_ptr<const PriceModel> prices,
+                   std::shared_ptr<const AvailabilityModel> availability,
+                   std::shared_ptr<const ArrivalProcess> arrivals,
+                   std::shared_ptr<Scheduler> scheduler, EngineOptions options = {});
+
+  /// Advances the simulation by `slots` steps.
+  void run(std::int64_t slots);
+
+  /// Advances by a single slot.
+  void step();
+
+  std::int64_t slot() const { return slot_; }
+  const SimMetrics& metrics() const { return metrics_; }
+  const ClusterConfig& config() const { return config_; }
+  const Scheduler& scheduler() const { return *scheduler_; }
+
+  /// Queue introspection (jobs).
+  double central_queue_length(JobTypeId j) const;
+  double dc_queue_length(DataCenterId i, JobTypeId j) const;
+
+  /// Builds the observation for the current slot (exposed for tests).
+  SlotObservation observe() const;
+
+ private:
+  void route(const SlotObservation& obs, const SlotAction& action);
+  void serve(const SlotObservation& obs, const SlotAction& action);
+  void admit_arrivals();
+
+  ClusterConfig config_;
+  std::shared_ptr<const PriceModel> prices_;
+  std::shared_ptr<const AvailabilityModel> availability_;
+  std::shared_ptr<const ArrivalProcess> arrivals_;
+  std::shared_ptr<Scheduler> scheduler_;
+  EngineOptions options_;
+
+  std::int64_t slot_ = 0;
+  std::uint64_t next_job_id_ = 1;
+  std::vector<FifoJobQueue> central_;            // per job type
+  std::vector<std::vector<FifoJobQueue>> dc_;    // [i][j]
+  FairnessFunction fairness_fn_;
+  SimMetrics metrics_;
+
+  // Per-slot scratch recorded into metrics_ at the end of each step.
+  struct SlotScratch {
+    std::vector<double> dc_energy;
+    std::vector<double> dc_work;
+    std::vector<double> dc_routed;
+    std::vector<double> dc_delay_sum;
+    std::vector<double> dc_completions;
+    std::vector<double> account_work;
+  };
+};
+
+}  // namespace grefar

@@ -1,0 +1,32 @@
+#include "sim/fairness.h"
+
+#include "util/check.h"
+
+namespace grefar {
+
+FairnessFunction::FairnessFunction(std::vector<double> gamma)
+    : gamma_(std::move(gamma)) {
+  GREFAR_CHECK_MSG(!gamma_.empty(), "need at least one account");
+  for (double g : gamma_) GREFAR_CHECK_MSG(g >= 0.0, "gamma must be >= 0");
+}
+
+double FairnessFunction::score(const std::vector<double>& r,
+                               double total_resource) const {
+  GREFAR_CHECK(r.size() == gamma_.size());
+  GREFAR_CHECK_MSG(total_resource > 0.0, "total resource must be positive");
+  double penalty = 0.0;
+  for (std::size_t m = 0; m < r.size(); ++m) {
+    double deviation = r[m] / total_resource - gamma_[m];
+    penalty += deviation * deviation;
+  }
+  return -penalty;
+}
+
+double FairnessFunction::score_gradient(double r_m, std::size_t m,
+                                        double total_resource) const {
+  GREFAR_CHECK(m < gamma_.size());
+  GREFAR_CHECK_MSG(total_resource > 0.0, "total resource must be positive");
+  return -2.0 * (r_m / total_resource - gamma_[m]) / total_resource;
+}
+
+}  // namespace grefar

@@ -1,0 +1,37 @@
+// Fairness function (paper eq. (3)).
+//
+//   f(t) = - sum_m ( r_m(t) / R(t) - gamma_m )^2
+//
+// where r_m is the computing resource (work units) allocated to account m
+// during the slot, R(t) the total available resource, and gamma_m the
+// desired allocation share. f is maximized (= 0) when every account receives
+// exactly its share. Shared by the simulator's accounting and the GreFar
+// objective.
+#pragma once
+
+#include <vector>
+
+namespace grefar {
+
+/// Per-account target shares gamma_m >= 0 (the paper uses 40/30/15/15%).
+class FairnessFunction {
+ public:
+  explicit FairnessFunction(std::vector<double> gamma);
+
+  std::size_t num_accounts() const { return gamma_.size(); }
+  const std::vector<double>& gamma() const { return gamma_; }
+
+  /// f(t) for per-account allocated work `r` (length M) and total resource
+  /// R > 0. Always <= 0; equals 0 iff r_m == gamma_m * R for all m.
+  double score(const std::vector<double>& r, double total_resource) const;
+
+  /// Partial derivative of the *fairness score* with respect to r_m:
+  /// d f / d r_m = -2 (r_m/R - gamma_m) / R. (The GreFar objective uses
+  /// -beta * f, so its gradient contribution is -beta times this.)
+  double score_gradient(double r_m, std::size_t m, double total_resource) const;
+
+ private:
+  std::vector<double> gamma_;
+};
+
+}  // namespace grefar

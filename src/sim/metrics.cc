@@ -1,0 +1,63 @@
+#include "sim/metrics.h"
+
+#include "util/check.h"
+
+namespace grefar {
+
+SimMetrics::SimMetrics(std::size_t num_dcs, std::size_t num_accounts)
+    : energy_cost("energy_cost"),
+      fairness("fairness"),
+      arrived_jobs("arrived_jobs"),
+      arrived_work("arrived_work"),
+      total_queue_jobs("total_queue_jobs"),
+      max_queue_jobs("max_queue_jobs") {
+  GREFAR_CHECK(num_dcs > 0);
+  GREFAR_CHECK(num_accounts > 0);
+  for (std::size_t i = 0; i < num_dcs; ++i) {
+    auto suffix = std::to_string(i + 1);
+    dc_energy_cost.emplace_back("dc" + suffix + "_energy_cost");
+    dc_work.emplace_back("dc" + suffix + "_work");
+    dc_routed_jobs.emplace_back("dc" + suffix + "_routed_jobs");
+    dc_delay_sum.emplace_back("dc" + suffix + "_delay_sum");
+    dc_completions.emplace_back("dc" + suffix + "_completions");
+    dc_price.emplace_back("dc" + suffix + "_price");
+  }
+  for (std::size_t m = 0; m < num_accounts; ++m) {
+    account_work.emplace_back("account" + std::to_string(m + 1) + "_work");
+  }
+}
+
+void SimMetrics::record_completion_delay(double delay) {
+  delay_stats.add(delay);
+  delay_p50_.add(delay);
+  delay_p95_.add(delay);
+  delay_p99_.add(delay);
+}
+
+TimeSeries SimMetrics::average_dc_delay(std::size_t dc) const {
+  GREFAR_CHECK(dc < dc_delay_sum.size());
+  return TimeSeries::prefix_ratio(dc_delay_sum[dc], dc_completions[dc],
+                                  dc_delay_sum[dc].name() + "_avg");
+}
+
+double SimMetrics::mean_delay() const {
+  double delay = 0.0, jobs = 0.0;
+  for (std::size_t i = 0; i < dc_delay_sum.size(); ++i) {
+    delay += dc_delay_sum[i].sum();
+    jobs += dc_completions[i].sum();
+  }
+  return jobs > 0.0 ? delay / jobs : 0.0;
+}
+
+double SimMetrics::mean_dc_work(std::size_t dc) const {
+  GREFAR_CHECK(dc < dc_work.size());
+  return dc_work[dc].mean();
+}
+
+double SimMetrics::final_average_dc_delay(std::size_t dc) const {
+  GREFAR_CHECK(dc < dc_delay_sum.size());
+  double jobs = dc_completions[dc].sum();
+  return jobs > 0.0 ? dc_delay_sum[dc].sum() / jobs : 0.0;
+}
+
+}  // namespace grefar

@@ -1,0 +1,79 @@
+// SimMetrics: everything the paper's evaluation plots, recorded per slot.
+//
+// The figures all show *running averages* ("summing up all the values up to
+// time t and dividing by t", paper §VI footnote 8); the accessors here
+// produce exactly those views from the raw per-slot series.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/p2_quantile.h"
+#include "stats/running_stats.h"
+#include "stats/time_series.h"
+
+namespace grefar {
+
+class SimMetrics {
+ public:
+  SimMetrics(std::size_t num_dcs, std::size_t num_accounts);
+
+  /// Records one job completion (total delay in slots) for the percentile
+  /// trackers; the engine calls this for every finishing job.
+  void record_completion_delay(double delay);
+
+  // -- raw per-slot series ---------------------------------------------------
+  TimeSeries energy_cost;        // e(t), eq. (2) summed over DCs
+  TimeSeries fairness;           // f(t), eq. (3)
+  TimeSeries arrived_jobs;       // total jobs arrived during the slot
+  TimeSeries arrived_work;       // total work arrived during the slot
+  TimeSeries total_queue_jobs;   // sum of all queue lengths (jobs)
+  TimeSeries max_queue_jobs;     // max single queue length (jobs)
+  std::vector<TimeSeries> dc_energy_cost;   // e_i(t)
+  std::vector<TimeSeries> dc_work;          // work processed in DC i
+  std::vector<TimeSeries> dc_routed_jobs;   // jobs routed to DC i
+  std::vector<TimeSeries> dc_delay_sum;     // sum of total delays of jobs finishing in DC i
+  std::vector<TimeSeries> dc_completions;   // jobs finishing in DC i
+  std::vector<TimeSeries> dc_price;         // phi_i(t)
+  std::vector<TimeSeries> account_work;     // work processed for account m
+
+  std::size_t num_data_centers() const { return dc_work.size(); }
+  std::size_t num_accounts() const { return account_work.size(); }
+  std::size_t slots() const { return energy_cost.size(); }
+
+  // -- derived views (the paper's y-axes) -------------------------------------
+  /// Fig. 2a/3a/4a: running average energy cost.
+  TimeSeries average_energy_cost() const { return energy_cost.prefix_average(); }
+
+  /// Fig. 3b/4b: running average fairness score.
+  TimeSeries average_fairness() const { return fairness.prefix_average(); }
+
+  /// Fig. 2b,c/3c/4c: running average delay of jobs completed in DC i
+  /// (total delay incurred so far / jobs finished so far).
+  TimeSeries average_dc_delay(std::size_t dc) const;
+
+  /// Overall mean delay across all DCs (jobs-weighted).
+  double mean_delay() const;
+
+  /// Mean work per slot processed in DC i (the in-text §VI-B1 numbers).
+  double mean_dc_work(std::size_t dc) const;
+
+  /// Final running-average values (the figures' right edge).
+  double final_average_energy_cost() const { return energy_cost.mean(); }
+  double final_average_fairness() const { return fairness.mean(); }
+  double final_average_dc_delay(std::size_t dc) const;
+
+  /// Streaming delay percentiles across all completed jobs (P2 estimator):
+  /// tail latency, which the paper's averages hide.
+  double delay_p50() const { return delay_p50_.value(); }
+  double delay_p95() const { return delay_p95_.value(); }
+  double delay_p99() const { return delay_p99_.value(); }
+  RunningStats delay_stats;  // mean/max over all completions
+
+ private:
+  P2Quantile delay_p50_{0.50};
+  P2Quantile delay_p95_{0.95};
+  P2Quantile delay_p99_{0.99};
+};
+
+}  // namespace grefar

@@ -1,0 +1,59 @@
+#include "sim/queue.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace grefar {
+
+FifoJobQueue::FifoJobQueue(double job_work) : job_work_(job_work) {
+  GREFAR_CHECK_MSG(job_work_ > 0.0, "job work must be positive");
+}
+
+void FifoJobQueue::push(Job job) {
+  GREFAR_CHECK_MSG(job.remaining > 0.0, "cannot enqueue a finished job");
+  remaining_work_ += job.remaining;
+  jobs_.push_back(std::move(job));
+}
+
+Job FifoJobQueue::pop_front() {
+  GREFAR_CHECK_MSG(!jobs_.empty(), "pop_front on empty queue");
+  Job job = jobs_.front();
+  jobs_.pop_front();
+  remaining_work_ -= job.remaining;
+  if (remaining_work_ < 0.0) remaining_work_ = 0.0;  // numeric dust
+  return job;
+}
+
+std::vector<Completion> FifoJobQueue::serve(double work, std::int64_t slot,
+                                            double* consumed, double per_job_cap) {
+  GREFAR_CHECK_MSG(work >= -1e-12, "negative service work " << work);
+  GREFAR_CHECK_MSG(per_job_cap > 0.0, "per-job cap must be positive");
+  double budget = std::max(work, 0.0);
+  double used = 0.0;
+  for (auto it = jobs_.begin(); it != jobs_.end() && budget > 1e-12; ++it) {
+    double give = std::min({budget, per_job_cap, it->remaining});
+    it->remaining -= give;
+    remaining_work_ -= give;
+    used += give;
+    budget -= give;
+  }
+  // Collect and remove finished jobs in FIFO order (a capped head can leave
+  // later, smaller jobs finishing first).
+  std::vector<Completion> completions;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->remaining <= 1e-12) {
+      Completion c{*it, slot};
+      c.job.remaining = 0.0;
+      completions.push_back(std::move(c));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (remaining_work_ < 0.0) remaining_work_ = 0.0;
+  if (consumed != nullptr) *consumed = used;
+  return completions;
+}
+
+}  // namespace grefar

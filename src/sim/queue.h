@@ -1,0 +1,71 @@
+// FifoJobQueue: fluid FIFO service with exact per-job delay accounting.
+//
+// The paper's queue dynamics (12)-(13) track scalar lengths; to *measure*
+// delay (Figs. 2-4) we additionally keep the individual jobs. Service is
+// fluid: h_{i,j}(t) jobs' worth of work (h * d_j work units) is applied to
+// the queue head first (jobs can pause/resume, paper §III-B), and a job
+// departs in the slot its remaining work reaches zero. The scalar length
+// in jobs — total remaining work / d_j — then follows exactly the clamped
+// dynamics q(t+1) = max[q + r - h, 0].
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace grefar {
+
+/// A job completion event: who finished and how long it took.
+struct Completion {
+  Job job;
+  std::int64_t completion_slot = 0;
+
+  /// Slots from arrival at the central scheduler to completion.
+  std::int64_t total_delay() const { return completion_slot - job.arrival_slot; }
+  /// Slots from entering the data-center queue to completion.
+  std::int64_t dc_delay() const { return completion_slot - job.dc_entry_slot; }
+};
+
+class FifoJobQueue {
+ public:
+  /// `job_work` is d_j for the (single) job type this queue holds; used to
+  /// convert between work units and job counts.
+  explicit FifoJobQueue(double job_work);
+
+  /// Enqueues an arriving/routed job (its remaining work must be positive).
+  void push(Job job);
+
+  /// Pops the frontmost whole job (for routing from the central queue).
+  /// Contract-checked non-empty.
+  Job pop_front();
+
+  /// Applies up to `work` units of fluid FIFO service at `slot`; returns
+  /// the completions and sets `consumed` to the work actually used.
+  /// `per_job_cap` bounds the work any single job receives this slot (the
+  /// parallelism constraint, JobType::max_rate); when the head job hits its
+  /// cap, the remaining budget flows to the next job in FIFO order.
+  std::vector<Completion> serve(
+      double work, std::int64_t slot, double* consumed,
+      double per_job_cap = std::numeric_limits<double>::infinity());
+
+  bool empty() const { return jobs_.empty(); }
+  std::size_t job_count() const { return jobs_.size(); }
+
+  /// Queue length in (fractional) jobs: total remaining work / d_j.
+  double length_jobs() const { return remaining_work_ / job_work_; }
+
+  /// Total remaining work units queued.
+  double remaining_work() const { return remaining_work_; }
+
+  double job_work() const { return job_work_; }
+
+ private:
+  double job_work_;
+  double remaining_work_ = 0.0;
+  std::deque<Job> jobs_;
+};
+
+}  // namespace grefar

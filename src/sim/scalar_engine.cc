@@ -1,0 +1,106 @@
+#include "sim/scalar_engine.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace grefar {
+
+ScalarQueueSimulator::ScalarQueueSimulator(
+    ClusterConfig config, std::shared_ptr<const PriceModel> prices,
+    std::shared_ptr<const AvailabilityModel> availability,
+    std::shared_ptr<const ArrivalProcess> arrivals, std::shared_ptr<Scheduler> scheduler)
+    : config_(std::move(config)),
+      prices_(std::move(prices)),
+      availability_(std::move(availability)),
+      arrivals_(std::move(arrivals)),
+      scheduler_(std::move(scheduler)),
+      central_(config_.num_job_types(), 0.0),
+      dc_(config_.num_data_centers(), config_.num_job_types()),
+      fairness_fn_(config_.gammas()),
+      energy_cost_("energy_cost"),
+      fairness_("fairness") {
+  config_.validate();
+  GREFAR_CHECK(prices_ != nullptr && availability_ != nullptr &&
+               arrivals_ != nullptr && scheduler_ != nullptr);
+}
+
+double ScalarQueueSimulator::central_queue(JobTypeId j) const {
+  GREFAR_CHECK(j < central_.size());
+  return central_[j];
+}
+
+double ScalarQueueSimulator::dc_queue(DataCenterId i, JobTypeId j) const {
+  return dc_(i, j);
+}
+
+void ScalarQueueSimulator::run(std::int64_t slots) {
+  GREFAR_CHECK(slots >= 0);
+  for (std::int64_t s = 0; s < slots; ++s) step();
+}
+
+void ScalarQueueSimulator::step() {
+  const std::size_t N = config_.num_data_centers();
+  const std::size_t J = config_.num_job_types();
+
+  SlotObservation obs;
+  obs.slot = slot_;
+  obs.prices.reserve(N);
+  for (std::size_t i = 0; i < N; ++i) obs.prices.push_back(prices_->price(i, slot_));
+  obs.availability = availability_->availability(slot_);
+  obs.central_queue = central_;
+  obs.dc_queue = dc_;
+
+  SlotAction action = scheduler_->decide(obs);
+  GREFAR_CHECK(action.route.rows() == N && action.route.cols() == J);
+  GREFAR_CHECK(action.process.rows() == N && action.process.cols() == J);
+
+  // Cost accounting on the *decided* action (the analysis' convention).
+  double total_energy = 0.0;
+  double total_resource = 0.0;
+  std::vector<double> account_work(config_.num_accounts(), 0.0);
+  for (std::size_t i = 0; i < N; ++i) {
+    std::vector<std::int64_t> avail(config_.num_server_types());
+    for (std::size_t k = 0; k < avail.size(); ++k) avail[k] = obs.availability(i, k);
+    EnergyCostCurve curve(config_.server_types, avail);
+    total_resource += curve.capacity();
+    double work = 0.0;
+    for (std::size_t j = 0; j < J; ++j) {
+      double w = std::max(action.process(i, j), 0.0) * config_.job_types[j].work;
+      work += w;
+      account_work[config_.job_types[j].account] += w;
+    }
+    GREFAR_CHECK_MSG(work <= curve.capacity() + 1e-6,
+                     "scheduler violated capacity constraint (11)");
+    total_energy += obs.prices[i] * config_.tariff(i).cost(curve.energy_for_work(work));
+  }
+  energy_cost_.add(total_energy);
+  fairness_.add(total_resource > 0.0
+                    ? fairness_fn_.score(account_work, total_resource)
+                    : 0.0);
+
+  // Literal queue updates (12)-(13).
+  auto a = arrivals_->arrivals(slot_);
+  GREFAR_CHECK(a.size() == J);
+  for (std::size_t j = 0; j < J; ++j) {
+    double routed = 0.0;
+    for (std::size_t i = 0; i < N; ++i) routed += std::max(action.route(i, j), 0.0);
+    central_[j] = std::max(central_[j] - routed, 0.0) + static_cast<double>(a[j]);
+    max_queue_observed_ = std::max(max_queue_observed_, central_[j]);
+    for (std::size_t i = 0; i < N; ++i) {
+      double r = std::max(action.route(i, j), 0.0);
+      double h = std::max(action.process(i, j), 0.0);
+      dc_(i, j) = std::max(dc_(i, j) - h, 0.0) + r;
+      max_queue_observed_ = std::max(max_queue_observed_, dc_(i, j));
+    }
+  }
+  ++slot_;
+}
+
+double ScalarQueueSimulator::average_cost(double beta) const {
+  GREFAR_CHECK(energy_cost_.size() == fairness_.size());
+  if (energy_cost_.empty()) return 0.0;
+  return energy_cost_.mean() - beta * fairness_.mean();
+}
+
+}  // namespace grefar

@@ -1,0 +1,48 @@
+// Scheduler interface: the per-slot decision contract (paper §III-C2).
+//
+// At the beginning of slot t the scheduler observes the data-center state
+// x(t) = {n(t), phi(t)} and the queue state Theta(t) = {Q_j(t), q_{i,j}(t)},
+// and returns the action z(t) = {r_{i,j}(t), h_{i,j}(t)}. The busy-server
+// allocation b_{i,k}(t) is derived from the served work via the shared
+// minimum-energy curve, so schedulers decide *what* to process and the
+// energy model decides *which servers* run it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "price/price_model.h"
+#include "sim/cluster.h"
+#include "util/matrix.h"
+
+namespace grefar {
+
+/// Everything a (purely online) scheduler may look at for slot t.
+struct SlotObservation {
+  std::int64_t slot = 0;
+  std::vector<double> prices;             // phi_i(t), length N
+  Matrix<std::int64_t> availability;      // n_{i,k}(t), N x K
+  std::vector<double> central_queue;      // Q_j(t) in jobs, length J
+  MatrixD dc_queue;                       // q_{i,j}(t) in jobs (fractional), N x J
+};
+
+/// The action z(t). Ineligible (i,j) pairs must stay zero; the engine clamps
+/// desires against actual queue contents and capacity (see DESIGN.md §2).
+struct SlotAction {
+  MatrixD route;    // r_{i,j}(t): jobs moved central -> DC i (integral values)
+  MatrixD process;  // h_{i,j}(t): jobs' worth of work served at DC i (fractional)
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Decides the action for one slot. Called exactly once per slot in
+  /// increasing slot order.
+  virtual SlotAction decide(const SlotObservation& obs) = 0;
+
+  /// Display name for reports ("GreFar(V=7.5, beta=100)", "Always", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace grefar

@@ -1,0 +1,51 @@
+// Server and data-center hardware model (paper §III-A).
+//
+// A type-k server has processing speed s_k (work units per slot) and active
+// power p_k. Idle power is normalized to zero (paper §III-C1): only the
+// busy-minus-idle differential matters to the scheduler, because turning
+// servers on/off is an external event captured by the availability model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace grefar {
+
+using ServerTypeId = std::size_t;
+
+/// Static description of one server type.
+struct ServerType {
+  std::string name;
+  double speed = 1.0;       // s_k: work units processed per slot when busy
+  double busy_power = 1.0;  // p_k: energy per slot when busy (idle = 0)
+};
+
+/// One data center's installed fleet: `installed[k]` servers of type k.
+/// Availability models expose how many of these are usable each slot.
+struct DataCenterConfig {
+  std::string name;
+  std::vector<std::int64_t> installed;  // per server type
+};
+
+/// Validates fleet shapes against the server-type table.
+inline void validate_data_centers(const std::vector<DataCenterConfig>& dcs,
+                                  const std::vector<ServerType>& server_types) {
+  GREFAR_CHECK_MSG(!dcs.empty(), "need at least one data center");
+  GREFAR_CHECK_MSG(!server_types.empty(), "need at least one server type");
+  for (const auto& st : server_types) {
+    GREFAR_CHECK_MSG(st.speed > 0.0, "server type '" << st.name << "' speed <= 0");
+    GREFAR_CHECK_MSG(st.busy_power >= 0.0,
+                     "server type '" << st.name << "' has negative power");
+  }
+  for (const auto& dc : dcs) {
+    GREFAR_CHECK_MSG(dc.installed.size() == server_types.size(),
+                     "data center '" << dc.name << "' fleet width mismatch");
+    for (auto n : dc.installed) {
+      GREFAR_CHECK_MSG(n >= 0, "data center '" << dc.name << "' negative fleet");
+    }
+  }
+}
+
+}  // namespace grefar

@@ -1,0 +1,121 @@
+#include "sim/tariff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace grefar {
+
+TieredTariff::TieredTariff() : tiers_{Tier{}} {}
+
+TieredTariff::TieredTariff(std::vector<Tier> tiers) : tiers_(std::move(tiers)) {
+  GREFAR_CHECK_MSG(!tiers_.empty(), "tariff needs at least one tier");
+  double prev_upto = 0.0;
+  double prev_rate = 0.0;
+  for (std::size_t k = 0; k < tiers_.size(); ++k) {
+    GREFAR_CHECK_MSG(tiers_[k].rate > 0.0, "tariff rates must be positive");
+    GREFAR_CHECK_MSG(tiers_[k].rate >= prev_rate,
+                     "tariff rates must be non-decreasing (convexity)");
+    if (k + 1 < tiers_.size()) {
+      GREFAR_CHECK_MSG(std::isfinite(tiers_[k].upto) && tiers_[k].upto > prev_upto,
+                       "tier boundaries must be finite and strictly increasing");
+    } else {
+      GREFAR_CHECK_MSG(std::isinf(tiers_[k].upto),
+                       "the last tier must extend to infinity");
+    }
+    prev_upto = tiers_[k].upto;
+    prev_rate = tiers_[k].rate;
+  }
+}
+
+bool TieredTariff::is_flat() const {
+  return tiers_.size() == 1 && tiers_.front().rate == 1.0;
+}
+
+double TieredTariff::cost(double energy) const {
+  GREFAR_CHECK_MSG(energy >= -1e-9, "negative energy " << energy);
+  double remaining = std::max(energy, 0.0);
+  double total = 0.0;
+  double tier_start = 0.0;
+  for (const auto& tier : tiers_) {
+    double width = tier.upto - tier_start;
+    double used = std::min(remaining, width);
+    total += used * tier.rate;
+    remaining -= used;
+    if (remaining <= 0.0) break;
+    tier_start = tier.upto;
+  }
+  return total;
+}
+
+double TieredTariff::marginal(double energy) const {
+  GREFAR_CHECK_MSG(energy >= -1e-9, "negative energy " << energy);
+  double level = std::max(energy, 0.0);
+  for (const auto& tier : tiers_) {
+    if (level < tier.upto) return tier.rate;
+  }
+  return tiers_.back().rate;
+}
+
+double TieredTariff::smoothed_marginal(double energy, double band) const {
+  GREFAR_CHECK(energy >= -1e-9);
+  GREFAR_CHECK(band >= 0.0);
+  double level = std::max(energy, 0.0);
+  double tier_start = 0.0;
+  for (std::size_t k = 0; k + 1 < tiers_.size(); ++k) {
+    double boundary = tiers_[k].upto;
+    double next_width = (k + 2 < tiers_.size() ? tiers_[k + 1].upto : boundary * 2 +
+                                                                          band * 4) -
+                        boundary;
+    double delta = std::min({band, 0.5 * (boundary - tier_start), 0.5 * next_width});
+    if (level < boundary - delta) return tiers_[k].rate;
+    if (level <= boundary + delta) {
+      if (delta <= 0.0) return tiers_[k + 1].rate;
+      double frac = (level - (boundary - delta)) / (2.0 * delta);
+      return tiers_[k].rate + frac * (tiers_[k + 1].rate - tiers_[k].rate);
+    }
+    tier_start = boundary;
+  }
+  return tiers_.back().rate;
+}
+
+double TieredTariff::smoothed_cost(double energy, double band) const {
+  GREFAR_CHECK(energy >= -1e-9);
+  GREFAR_CHECK(band >= 0.0);
+  const double level = std::max(energy, 0.0);
+  // Integrate the smoothed marginal piecewise: constant runs plus linear
+  // blend zones around interior boundaries.
+  double total = 0.0;
+  double pos = 0.0;
+  double tier_start = 0.0;
+  for (std::size_t k = 0; k + 1 < tiers_.size() && pos < level; ++k) {
+    double boundary = tiers_[k].upto;
+    double next_width = (k + 2 < tiers_.size() ? tiers_[k + 1].upto : boundary * 2 +
+                                                                          band * 4) -
+                        boundary;
+    double delta = std::min({band, 0.5 * (boundary - tier_start), 0.5 * next_width});
+    // Constant run up to the blend zone.
+    double run_end = std::min(level, boundary - delta);
+    if (run_end > pos) {
+      total += (run_end - pos) * tiers_[k].rate;
+      pos = run_end;
+    }
+    // Blend zone [boundary - delta, boundary + delta].
+    double zone_end = std::min(level, boundary + delta);
+    if (zone_end > pos && delta > 0.0) {
+      double s0 = smoothed_marginal(pos, band);
+      double s1 = smoothed_marginal(zone_end, band);
+      total += 0.5 * (s0 + s1) * (zone_end - pos);
+      pos = zone_end;
+    } else if (zone_end > pos) {
+      total += (zone_end - pos) * tiers_[k + 1].rate;
+      pos = zone_end;
+    }
+    tier_start = boundary;
+  }
+  if (level > pos) total += (level - pos) * tiers_.back().rate;
+  return total;
+}
+
+}  // namespace grefar

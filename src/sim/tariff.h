@@ -1,0 +1,59 @@
+// Usage-dependent electricity billing (paper §III-A2).
+//
+// The paper's default bills energy linearly: cost = phi_i(t) * E. It notes
+// the model extends to an "increasing and convex" function of consumption —
+// deregulated markets charge more per kWh at higher draw (tiered tariffs,
+// demand charges). TieredTariff is that extension: a piecewise-linear
+// increasing convex multiplier with non-decreasing per-tier rates,
+//
+//   cost(E) = sum_k rate_k * (portion of E inside tier k),
+//
+// applied on top of the time-varying price: bill = phi_i(t) * cost(E).
+// The composition tariff(C_i(W)) stays convex and increasing in the served
+// work W, so the per-slot problem remains convex and the greedy solver
+// remains exact (see per_slot_solvers.cc).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+namespace grefar {
+
+class TieredTariff {
+ public:
+  /// One tier: `rate` applies to energy up to `upto` (cumulative).
+  /// The last tier's `upto` must be +infinity.
+  struct Tier {
+    double upto = std::numeric_limits<double>::infinity();
+    double rate = 1.0;
+  };
+
+  /// Flat tariff (rate 1 everywhere): the paper's linear billing.
+  TieredTariff();
+
+  /// Tiers must have strictly increasing `upto` (last one infinite) and
+  /// positive, non-decreasing rates (convexity).
+  explicit TieredTariff(std::vector<Tier> tiers);
+
+  /// True for the single-tier rate-1 tariff (billing is then just phi * E).
+  bool is_flat() const;
+
+  /// Billed units for consumption `energy` >= 0 (caller multiplies by phi).
+  double cost(double energy) const;
+
+  /// Marginal rate at consumption `energy` (right-continuous).
+  double marginal(double energy) const;
+
+  /// Smoothed counterparts: the rate is blended linearly across a band of
+  /// half-width `band` (energy units) around each tier boundary, making
+  /// cost() continuously differentiable for the first-order solvers.
+  double smoothed_cost(double energy, double band) const;
+  double smoothed_marginal(double energy, double band) const;
+
+  const std::vector<Tier>& tiers() const { return tiers_; }
+
+ private:
+  std::vector<Tier> tiers_;
+};
+
+}  // namespace grefar

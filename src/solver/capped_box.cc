@@ -1,0 +1,109 @@
+#include "solver/capped_box.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace grefar {
+
+CappedBoxPolytope::CappedBoxPolytope(std::vector<double> ub)
+    : ub_(std::move(ub)), grouped_(ub_.size(), false) {
+  for (double u : ub_) GREFAR_CHECK_MSG(u >= 0.0, "upper bound must be >= 0");
+}
+
+void CappedBoxPolytope::add_group(std::vector<std::size_t> indices, double cap) {
+  GREFAR_CHECK_MSG(cap >= 0.0, "group cap must be >= 0");
+  for (std::size_t j : indices) {
+    GREFAR_CHECK(j < ub_.size());
+    GREFAR_CHECK_MSG(!grouped_[j], "variable " << j << " already in a group");
+    grouped_[j] = true;
+  }
+  groups_.push_back({std::move(indices), cap});
+}
+
+bool CappedBoxPolytope::contains(const std::vector<double>& x, double tol) const {
+  GREFAR_CHECK(x.size() == ub_.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (x[j] < -tol || x[j] > ub_[j] + tol) return false;
+  }
+  for (const auto& g : groups_) {
+    double sum = 0.0;
+    for (std::size_t j : g.indices) sum += x[j];
+    if (sum > g.cap + tol) return false;
+  }
+  return true;
+}
+
+void CappedBoxPolytope::project_group(const Group& g, std::vector<double>& x) const {
+  // KKT: the projection is clamp(y - lambda, 0, ub) for the smallest
+  // lambda >= 0 satisfying the cap. Keep the *original* y values for the
+  // bisection — clamping first would change the solution for y_j > ub_j.
+  std::vector<double> y;
+  y.reserve(g.indices.size());
+  for (std::size_t j : g.indices) y.push_back(x[j]);
+
+  auto sum_at = [&](double lambda) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < y.size(); ++k) {
+      s += std::clamp(y[k] - lambda, 0.0, ub_[g.indices[k]]);
+    }
+    return s;
+  };
+  if (sum_at(0.0) <= g.cap) {
+    for (std::size_t k = 0; k < y.size(); ++k) {
+      x[g.indices[k]] = std::clamp(y[k], 0.0, ub_[g.indices[k]]);
+    }
+    return;
+  }
+  // sum_at is non-increasing in lambda and reaches 0 at max(y); bisect.
+  double lo = 0.0;
+  double hi = 0.0;
+  for (double v : y) hi = std::max(hi, v);
+  for (int iter = 0; iter < 100; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (sum_at(mid) > g.cap) lo = mid;
+    else hi = mid;
+  }
+  double lambda = 0.5 * (lo + hi);
+  for (std::size_t k = 0; k < y.size(); ++k) {
+    x[g.indices[k]] = std::clamp(y[k] - lambda, 0.0, ub_[g.indices[k]]);
+  }
+}
+
+std::vector<double> CappedBoxPolytope::project(const std::vector<double>& y) const {
+  GREFAR_CHECK(y.size() == ub_.size());
+  std::vector<double> x = y;
+  // Box-only variables.
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (!grouped_[j]) x[j] = std::clamp(x[j], 0.0, ub_[j]);
+  }
+  for (const auto& g : groups_) project_group(g, x);
+  return x;
+}
+
+std::vector<double> CappedBoxPolytope::minimize_linear(const std::vector<double>& c) const {
+  GREFAR_CHECK(c.size() == ub_.size());
+  std::vector<double> x(ub_.size(), 0.0);
+  // Box-only variables: saturate those with negative cost.
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (!grouped_[j] && c[j] < 0.0) x[j] = ub_[j];
+  }
+  for (const auto& g : groups_) {
+    // Fractional greedy: fill by ascending cost while cost < 0 and cap remains.
+    std::vector<std::size_t> order(g.indices);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return c[a] < c[b]; });
+    double remaining = g.cap;
+    for (std::size_t j : order) {
+      if (c[j] >= 0.0 || remaining <= 0.0) break;
+      double take = std::min(ub_[j], remaining);
+      x[j] = take;
+      remaining -= take;
+    }
+  }
+  return x;
+}
+
+}  // namespace grefar

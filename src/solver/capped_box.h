@@ -1,0 +1,54 @@
+// CappedBoxPolytope: the feasible region of the per-slot GreFar problem,
+//
+//   { x : 0 <= x_j <= ub_j,   sum_{j in group g} x_j <= cap_g  for all g }
+//
+// where the groups are disjoint (one group per data center, one variable per
+// job type). Provides the two oracles first-order methods need:
+//   * Euclidean projection (for projected gradient descent), and
+//   * a linear minimization oracle (for Frank-Wolfe) — a fractional greedy.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace grefar {
+
+class CappedBoxPolytope {
+ public:
+  /// `ub[j]` is the per-variable upper bound (>= 0; may be +infinity).
+  explicit CappedBoxPolytope(std::vector<double> ub);
+
+  /// Declares a group over distinct variable indices with sum cap >= 0.
+  /// Groups must be disjoint; indices not in any group are box-only.
+  void add_group(std::vector<std::size_t> indices, double cap);
+
+  std::size_t dim() const { return ub_.size(); }
+  const std::vector<double>& upper_bounds() const { return ub_; }
+
+  /// True if x satisfies all bounds and caps within `tol`.
+  bool contains(const std::vector<double>& x, double tol = 1e-9) const;
+
+  /// Euclidean projection of y onto the polytope. Decomposes per group:
+  /// clamp to the box, and when a cap binds, bisect the Lagrange multiplier
+  /// of sum(clamp(y - lambda)) = cap.
+  std::vector<double> project(const std::vector<double>& y) const;
+
+  /// Linear minimization oracle: argmin_{x in polytope} c . x.
+  /// Within each group, fills variables by ascending (most negative) cost
+  /// until the cap binds; variables with c >= 0 stay at 0.
+  std::vector<double> minimize_linear(const std::vector<double>& c) const;
+
+ private:
+  struct Group {
+    std::vector<std::size_t> indices;
+    double cap;
+  };
+
+  void project_group(const Group& g, std::vector<double>& x) const;
+
+  std::vector<double> ub_;
+  std::vector<Group> groups_;
+  std::vector<bool> grouped_;  // membership marker for disjointness checks
+};
+
+}  // namespace grefar

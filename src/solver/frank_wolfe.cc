@@ -1,0 +1,57 @@
+#include "solver/frank_wolfe.h"
+
+#include "util/check.h"
+
+namespace grefar {
+
+FrankWolfeResult minimize_frank_wolfe(const ConvexObjective& objective,
+                                      const CappedBoxPolytope& polytope,
+                                      std::vector<double> x0,
+                                      const FrankWolfeOptions& options) {
+  const std::size_t n = polytope.dim();
+  if (x0.empty()) x0.assign(n, 0.0);
+  GREFAR_CHECK(x0.size() == n);
+
+  FrankWolfeResult result;
+  std::vector<double> x = polytope.project(x0);
+  std::vector<double> grad(n);
+  std::vector<double> trial(n);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    objective.gradient(x, grad);
+    std::vector<double> s = polytope.minimize_linear(grad);
+
+    double gap = 0.0;
+    for (std::size_t j = 0; j < n; ++j) gap += grad[j] * (x[j] - s[j]);
+    result.gap = gap;
+    if (gap <= options.gap_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Exact line search on [0,1] along x + t (s - x) by ternary search
+    // (objective is convex along the segment).
+    auto value_at = [&](double t) {
+      for (std::size_t j = 0; j < n; ++j) trial[j] = x[j] + t * (s[j] - x[j]);
+      return objective.value(trial);
+    };
+    double lo = 0.0, hi = 1.0;
+    for (int ls = 0; ls < options.line_search_iters; ++ls) {
+      double m1 = lo + (hi - lo) / 3.0;
+      double m2 = hi - (hi - lo) / 3.0;
+      if (value_at(m1) <= value_at(m2)) hi = m2;
+      else lo = m1;
+    }
+    double t = 0.5 * (lo + hi);
+    // Guard against a stalled step: fall back to the classic 2/(k+2) rate.
+    if (t < 1e-12) t = 2.0 / (iter + 2.0);
+    for (std::size_t j = 0; j < n; ++j) x[j] += t * (s[j] - x[j]);
+  }
+
+  result.objective = objective.value(x);
+  result.x = std::move(x);
+  return result;
+}
+
+}  // namespace grefar

@@ -1,0 +1,37 @@
+// Frank-Wolfe (conditional gradient) over a CappedBoxPolytope.
+//
+// Each iteration calls the polytope's linear minimization oracle — which for
+// the GreFar per-slot problem is exactly the beta=0 greedy — then takes an
+// exact line-search step along the segment (the objective restricted to a
+// segment is convex in one variable; we use ternary search). The Frank-Wolfe
+// gap g_k = grad(x_k) . (x_k - s_k) upper-bounds the suboptimality, giving a
+// certified stopping rule.
+#pragma once
+
+#include <vector>
+
+#include "solver/capped_box.h"
+#include "solver/objective.h"
+
+namespace grefar {
+
+struct FrankWolfeOptions {
+  int max_iterations = 500;
+  double gap_tolerance = 1e-7;  // stop when the FW gap certificate is below
+  int line_search_iters = 48;   // ternary-search refinements per step
+};
+
+struct FrankWolfeResult {
+  std::vector<double> x;
+  double objective = 0.0;
+  double gap = 0.0;  // final duality-gap certificate
+  int iterations = 0;
+  bool converged = false;
+};
+
+FrankWolfeResult minimize_frank_wolfe(const ConvexObjective& objective,
+                                      const CappedBoxPolytope& polytope,
+                                      std::vector<double> x0 = {},
+                                      const FrankWolfeOptions& options = {});
+
+}  // namespace grefar

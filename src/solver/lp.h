@@ -1,0 +1,77 @@
+// Dense two-phase tableau simplex solver.
+//
+// Solves   minimize c^T x   subject to   A x (<=|>=|=) b,   x >= 0.
+//
+// This is the general-purpose LP substrate: the per-slot GreFar problem with
+// beta = 0 is an LP (used to cross-check the specialized greedy solver), and
+// the T-step lookahead policy of Section V is a frame LP. Bland's rule
+// guarantees termination on degenerate problems.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace grefar {
+
+enum class ConstraintSense { kLessEqual, kGreaterEqual, kEqual };
+
+/// One linear constraint: coeffs . x (sense) rhs.
+struct LinearConstraint {
+  std::vector<double> coeffs;
+  ConstraintSense sense = ConstraintSense::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// A linear program in "c, A, b" form with implicit x >= 0.
+class LinearProgram {
+ public:
+  explicit LinearProgram(std::size_t num_vars) : objective_(num_vars, 0.0) {}
+
+  std::size_t num_vars() const { return objective_.size(); }
+  std::size_t num_constraints() const { return constraints_.size(); }
+
+  /// Sets the objective coefficient of variable `j`.
+  void set_objective(std::size_t j, double coeff);
+  const std::vector<double>& objective() const { return objective_; }
+
+  /// Adds a constraint; `coeffs` must have num_vars entries.
+  void add_constraint(std::vector<double> coeffs, ConstraintSense sense, double rhs);
+
+  /// Adds a sparse constraint given (index, coeff) pairs.
+  void add_constraint_sparse(const std::vector<std::pair<std::size_t, double>>& terms,
+                             ConstraintSense sense, double rhs);
+
+  /// Convenience: adds x_j <= ub.
+  void add_upper_bound(std::size_t j, double ub);
+
+  const std::vector<LinearConstraint>& constraints() const { return constraints_; }
+
+ private:
+  std::vector<double> objective_;
+  std::vector<LinearConstraint> constraints_;
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  std::vector<double> x;
+  double objective = 0.0;
+  int iterations = 0;
+
+  bool optimal() const { return status == LpStatus::kOptimal; }
+};
+
+/// Solver options; defaults are adequate for every LP in this repository.
+struct SimplexOptions {
+  double eps = 1e-9;           // pivot / feasibility tolerance
+  int max_iterations = 50000;  // across both phases
+};
+
+/// Solves the LP with the two-phase tableau simplex method.
+LpSolution solve_lp(const LinearProgram& lp, const SimplexOptions& options = {});
+
+/// Human-readable status name (for logs and test failure messages).
+std::string to_string(LpStatus status);
+
+}  // namespace grefar

@@ -1,0 +1,24 @@
+// ConvexObjective: interface consumed by the first-order solvers.
+//
+// The per-slot GreFar objective (energy + queue terms + quadratic fairness
+// penalty) implements this; it must be convex and subdifferentiable on the
+// feasible set (the energy term is piecewise-linear, so `gradient` may return
+// any subgradient at kinks).
+#pragma once
+
+#include <vector>
+
+namespace grefar {
+
+class ConvexObjective {
+ public:
+  virtual ~ConvexObjective() = default;
+
+  /// Objective value at x.
+  virtual double value(const std::vector<double>& x) const = 0;
+
+  /// Writes a (sub)gradient at x into `out` (resized by the caller).
+  virtual void gradient(const std::vector<double>& x, std::vector<double>& out) const = 0;
+};
+
+}  // namespace grefar

@@ -1,0 +1,107 @@
+#include "solver/projected_gradient.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace grefar {
+
+PgdResult minimize_projected_gradient(const ConvexObjective& objective,
+                                      const CappedBoxPolytope& polytope,
+                                      std::vector<double> x0,
+                                      const PgdOptions& options) {
+  const std::size_t n = polytope.dim();
+  if (x0.empty()) x0.assign(n, 0.0);
+  GREFAR_CHECK(x0.size() == n);
+
+  PgdResult result;
+  std::vector<double> x = polytope.project(x0);
+  double fx = objective.value(x);
+  std::vector<double> best_x = x;
+  double best_f = fx;
+
+  std::vector<double> grad(n);
+  std::vector<double> candidate(n);
+  double step = options.initial_step;
+  int stall_count = 0;  // consecutive iterations without monotone descent
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    objective.gradient(x, grad);
+
+    // Backtracking over the projection arc: x(step) = proj(x - step*grad).
+    bool improved = false;
+    double trial_step = step;
+    for (int bt = 0; bt < options.max_backtracks; ++bt) {
+      for (std::size_t j = 0; j < n; ++j) candidate[j] = x[j] - trial_step * grad[j];
+      candidate = polytope.project(candidate);
+      double fc = objective.value(candidate);
+      if (fc < fx - 1e-15) {
+        // Accept; allow the step to grow again slowly.
+        double move = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          move += (candidate[j] - x[j]) * (candidate[j] - x[j]);
+        }
+        x.swap(candidate);
+        fx = fc;
+        if (fx < best_f) {
+          best_f = fx;
+          best_x = x;
+        }
+        step = trial_step * 1.5;
+        improved = true;
+        stall_count = 0;
+        if (std::sqrt(move) < options.tolerance) {
+          result.converged = true;
+          result.x = std::move(best_x);
+          result.objective = best_f;
+          return result;
+        }
+        break;
+      }
+      trial_step *= options.backtrack_factor;
+    }
+    if (!improved) {
+      // Stationarity check: if a small projected step barely moves the
+      // iterate, the projected gradient vanishes (smooth optimum at a
+      // boundary or interior) — stop instead of entering the fallback.
+      double probe_move = 0.0;
+      for (std::size_t j = 0; j < n; ++j) candidate[j] = x[j] - 1e-6 * grad[j];
+      candidate = polytope.project(candidate);
+      for (std::size_t j = 0; j < n; ++j) {
+        probe_move = std::max(probe_move, std::abs(candidate[j] - x[j]));
+      }
+      if (probe_move < 1e-9) {
+        result.converged = true;
+        break;
+      }
+      // Monotone descent failed — typically at a kink of a nonsmooth
+      // objective, where the current subgradient is not a descent direction.
+      // Fall back to the classic (non-monotone) projected subgradient step
+      // with a diminishing size; the best iterate is kept separately, which
+      // is exactly the convergence guarantee subgradient methods give.
+      ++stall_count;
+      if (stall_count > 25) {
+        result.converged = true;
+        break;
+      }
+      double sub_step =
+          options.initial_step / (1.0 + static_cast<double>(stall_count * stall_count));
+      for (std::size_t j = 0; j < n; ++j) candidate[j] = x[j] - sub_step * grad[j];
+      candidate = polytope.project(candidate);
+      x.swap(candidate);
+      fx = objective.value(x);
+      if (fx < best_f) {
+        best_f = fx;
+        best_x = x;
+        stall_count = 0;
+      }
+    }
+  }
+  result.x = std::move(best_x);
+  result.objective = best_f;
+  return result;
+}
+
+}  // namespace grefar

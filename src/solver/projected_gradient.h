@@ -1,0 +1,38 @@
+// Projected (sub)gradient descent over a CappedBoxPolytope.
+//
+// Uses a backtracking line search with projection-arc steps and a
+// best-iterate memory (required because the energy term is only piecewise
+// smooth). Adequate for the small per-slot problems GreFar solves every
+// scheduling quantum.
+#pragma once
+
+#include <vector>
+
+#include "solver/capped_box.h"
+#include "solver/objective.h"
+
+namespace grefar {
+
+struct PgdOptions {
+  int max_iterations = 400;
+  double initial_step = 1.0;
+  double backtrack_factor = 0.5;
+  int max_backtracks = 30;
+  double tolerance = 1e-8;  // stop when the iterate moves less than this
+};
+
+struct PgdResult {
+  std::vector<double> x;
+  double objective = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes `objective` over `polytope`, starting from the projection of
+/// `x0` (pass empty x0 to start from the origin projection).
+PgdResult minimize_projected_gradient(const ConvexObjective& objective,
+                                      const CappedBoxPolytope& polytope,
+                                      std::vector<double> x0 = {},
+                                      const PgdOptions& options = {});
+
+}  // namespace grefar

@@ -1,0 +1,78 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace grefar {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  GREFAR_CHECK_MSG(hi > lo, "histogram range must be non-empty");
+  GREFAR_CHECK_MSG(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  bin = std::min(bin, counts_.size() - 1);  // numeric edge at hi_
+  ++counts_[bin];
+}
+
+std::int64_t Histogram::bin_count(std::size_t bin) const {
+  GREFAR_CHECK(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  GREFAR_CHECK(bin < counts_.size());
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + width_; }
+
+double Histogram::quantile(double q) const {
+  GREFAR_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return 0.0;
+  double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    double next = cum + static_cast<double>(counts_[b]);
+    if (target <= next && counts_[b] > 0) {
+      double frac = (target - cum) / static_cast<double>(counts_[b]);
+      return bin_lo(b) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(int max_bar_width) const {
+  std::int64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    int bar = static_cast<int>(std::llround(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) * max_bar_width));
+    out += pad_left(format_fixed(bin_lo(b), 2), 10) + " .. " +
+           pad_left(format_fixed(bin_hi(b), 2), 10) + " | " +
+           std::string(static_cast<std::size_t>(bar), '#') + " " +
+           std::to_string(counts_[b]) + "\n";
+  }
+  if (underflow_ > 0) out += "  underflow: " + std::to_string(underflow_) + "\n";
+  if (overflow_ > 0) out += "  overflow: " + std::to_string(overflow_) + "\n";
+  return out;
+}
+
+}  // namespace grefar

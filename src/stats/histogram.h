@@ -1,0 +1,42 @@
+// Fixed-width-bin histogram with exact quantiles over the binned data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grefar {
+
+/// Histogram over [lo, hi) with `bins` equal-width buckets plus underflow and
+/// overflow counters. Quantiles are estimated by linear interpolation within
+/// the containing bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::int64_t count() const { return total_; }
+  std::int64_t underflow() const { return underflow_; }
+  std::int64_t overflow() const { return overflow_; }
+  std::int64_t bin_count(std::size_t bin) const;
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  std::size_t bins() const { return counts_.size(); }
+
+  /// q in [0,1]; returns the interpolated quantile of binned samples.
+  /// Underflow clamps to lo, overflow to hi. Returns 0 when empty.
+  double quantile(double q) const;
+
+  /// Renders a compact textual histogram (for benchmark reports).
+  std::string render(int max_bar_width = 40) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t underflow_ = 0;
+  std::int64_t overflow_ = 0;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace grefar

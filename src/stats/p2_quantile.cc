@@ -1,0 +1,107 @@
+#include "stats/p2_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace grefar {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  GREFAR_CHECK_MSG(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
+  desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+  increments_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  double np = positions_[i + 1];
+  double nm = positions_[i - 1];
+  double n = positions_[i];
+  return heights_[i] +
+         d / (np - nm) *
+             ((n - nm + d) * (heights_[i + 1] - heights_[i]) / (np - n) +
+              (np - n - d) * (heights_[i] - heights_[i - 1]) / (n - nm));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  int j = i + static_cast<int>(d);
+  return heights_[i] + d * (heights_[j] - heights_[i]) /
+                           (positions_[j] - positions_[i]);
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+    }
+    return;
+  }
+  ++count_;
+
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x < heights_[1]) {
+    k = 0;
+  } else if (x < heights_[2]) {
+    k = 1;
+  } else if (x < heights_[3]) {
+    k = 2;
+  } else if (x <= heights_[4]) {
+    k = 3;
+  } else {
+    heights_[4] = x;
+    k = 3;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  for (int i = 1; i <= 3; ++i) {
+    double d = desired_[i] - positions_[i];
+    if ((d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0) ||
+        (d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0)) {
+      double sign = d >= 0 ? 1.0 : -1.0;
+      double candidate = parabolic(i, sign);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        heights_[i] = linear(i, sign);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample quantile: sort a copy of observed values.
+    const auto n = static_cast<std::size_t>(std::min<std::int64_t>(count_, 5));
+    std::array<double, 5> sorted{};
+    std::copy_n(heights_.begin(), n, sorted.begin());
+    // Tiny insertion sort (std::sort on the partial array trips a GCC
+    // -Warray-bounds false positive when inlined).
+    for (std::size_t i = 1; i < n; ++i) {
+      double key = sorted[i];
+      std::size_t j = i;
+      while (j > 0 && sorted[j - 1] > key) {
+        sorted[j] = sorted[j - 1];
+        --j;
+      }
+      sorted[j] = key;
+    }
+    double idx = q_ * static_cast<double>(n - 1);
+    auto lo = static_cast<std::size_t>(idx);
+    auto hi = std::min<std::size_t>(lo + 1, n - 1);
+    double frac = idx - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+  return heights_[2];
+}
+
+}  // namespace grefar

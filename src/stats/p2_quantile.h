@@ -1,0 +1,36 @@
+// P² (piecewise-parabolic) streaming quantile estimator (Jain & Chlamtac,
+// CACM 1985). Estimates a single quantile in O(1) memory without storing
+// samples — used for delay-percentile reporting over long simulations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace grefar {
+
+class P2Quantile {
+ public:
+  /// q in (0, 1): the quantile to track (e.g. 0.99 for p99).
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  /// Current estimate. Exact while fewer than 5 samples have been seen;
+  /// 0 when empty.
+  double value() const;
+
+  std::int64_t count() const { return count_; }
+
+ private:
+  double q_;
+  std::int64_t count_ = 0;
+  std::array<double, 5> heights_{};     // marker heights
+  std::array<double, 5> positions_{};   // actual marker positions
+  std::array<double, 5> desired_{};     // desired marker positions
+  std::array<double, 5> increments_{};  // desired position increments
+
+  double parabolic(int i, double d) const;
+  double linear(int i, double d) const;
+};
+
+}  // namespace grefar

@@ -1,0 +1,51 @@
+// Streaming statistics: Welford mean/variance, min/max, and EWMA.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace grefar {
+
+/// Numerically-stable streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return count_; }
+  /// Mean of observed samples; 0 when empty.
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return count_ > 0 ? mean_ * static_cast<double>(count_) : 0.0; }
+
+  /// Merges another accumulator into this one (parallel-combinable).
+  void merge(const RunningStats& other);
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exponentially-weighted moving average with smoothing factor alpha in (0,1].
+class Ewma {
+ public:
+  explicit Ewma(double alpha);
+
+  void add(double x);
+  /// Current EWMA value; 0 before the first sample.
+  double value() const { return initialized_ ? value_ : 0.0; }
+  bool initialized() const { return initialized_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace grefar

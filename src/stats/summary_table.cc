@@ -1,0 +1,54 @@
+#include "stats/summary_table.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace grefar {
+
+SummaryTable::SummaryTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  GREFAR_CHECK(!headers_.empty());
+}
+
+void SummaryTable::add_row(std::vector<std::string> row) {
+  GREFAR_CHECK_MSG(row.size() == headers_.size(),
+                   "row has " << row.size() << " fields, expected "
+                              << headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void SummaryTable::add_row(const std::string& label,
+                           const std::vector<double>& values, int precision) {
+  std::vector<std::string> row{label};
+  for (double v : values) row.push_back(format_fixed(v, precision));
+  add_row(std::move(row));
+}
+
+std::string SummaryTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "  ";
+      // Left-align the first column (labels), right-align the rest (numbers).
+      line += c == 0 ? pad_right(row[c], widths[c]) : pad_left(row[c], widths[c]);
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c > 0 ? 2 : 0);
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace grefar

@@ -1,0 +1,32 @@
+// SummaryTable: aligned plain-text tables for benchmark/report output
+// (reproduces the paper's Table I formatting in the terminal).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace grefar {
+
+class SummaryTable {
+ public:
+  /// Column headers define the table width.
+  explicit SummaryTable(std::vector<std::string> headers);
+
+  /// Adds a row; must match the header count.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a header separator and column alignment.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace grefar

@@ -1,0 +1,85 @@
+#include "trace/job_trace.h"
+
+#include <sstream>
+
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace grefar {
+
+std::vector<std::vector<std::int64_t>> materialize_arrivals(
+    const ArrivalProcess& process, std::int64_t horizon) {
+  GREFAR_CHECK(horizon >= 0);
+  std::vector<std::vector<std::int64_t>> out;
+  out.reserve(static_cast<std::size_t>(horizon));
+  for (std::int64_t t = 0; t < horizon; ++t) out.push_back(process.arrivals(t));
+  return out;
+}
+
+std::string job_trace_to_csv(const std::vector<std::vector<std::int64_t>>& counts) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_row(std::vector<std::string>{"slot", "type", "count"});
+  for (std::size_t t = 0; t < counts.size(); ++t) {
+    for (std::size_t j = 0; j < counts[t].size(); ++j) {
+      if (counts[t][j] == 0) continue;  // sparse on disk
+      writer.write_row(std::vector<std::string>{
+          std::to_string(t), std::to_string(j), std::to_string(counts[t][j])});
+    }
+  }
+  return os.str();
+}
+
+Result<std::vector<std::vector<std::int64_t>>> job_trace_from_csv(
+    std::string_view csv, std::size_t num_types) {
+  CsvReader reader;
+  auto parsed = reader.parse(csv);
+  if (!parsed.ok()) return parsed.error();
+  const auto& rows = parsed.value();
+  if (rows.empty()) return Error::make("empty job trace");
+  if (rows.front() != std::vector<std::string>{"slot", "type", "count"}) {
+    return Error::make("job trace must start with header 'slot,type,count'");
+  }
+  std::vector<std::vector<std::int64_t>> table;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != 3) {
+      return Error::make("job trace row " + std::to_string(r) + " needs 3 fields");
+    }
+    auto slot = parse_int(row[0]);
+    auto type = parse_int(row[1]);
+    auto count = parse_int(row[2]);
+    if (!slot.ok() || !type.ok() || !count.ok()) {
+      return Error::make("job trace row " + std::to_string(r) + " is malformed");
+    }
+    if (slot.value() < 0 || count.value() < 0) {
+      return Error::make("job trace row " + std::to_string(r) + " has negative value");
+    }
+    if (type.value() < 0 || static_cast<std::size_t>(type.value()) >= num_types) {
+      return Error::make("job trace row " + std::to_string(r) +
+                         " has out-of-range type id");
+    }
+    auto s = static_cast<std::size_t>(slot.value());
+    if (table.size() <= s) {
+      table.resize(s + 1, std::vector<std::int64_t>(num_types, 0));
+    }
+    table[s][static_cast<std::size_t>(type.value())] += count.value();
+  }
+  if (table.empty()) return Error::make("job trace has no data rows");
+  return table;
+}
+
+Status write_job_trace(const std::string& path,
+                       const std::vector<std::vector<std::int64_t>>& counts) {
+  return write_file(path, job_trace_to_csv(counts));
+}
+
+Result<std::vector<std::vector<std::int64_t>>> read_job_trace(const std::string& path,
+                                                              std::size_t num_types) {
+  auto content = read_file(path);
+  if (!content.ok()) return content.error();
+  return job_trace_from_csv(content.value(), num_types);
+}
+
+}  // namespace grefar

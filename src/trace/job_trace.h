@@ -1,0 +1,42 @@
+// Job-trace CSV schema: persistence for arrival traces so experiments can be
+// driven by recorded (or externally supplied) workloads, exactly as the
+// paper drives its simulator with the Cosmos trace.
+//
+// Format (header required):
+//   slot,type,count
+//   0,0,3
+//   0,1,1
+//   ...
+// Slots/type pairs may be omitted (count 0) and appear in any order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "workload/arrival_process.h"
+
+namespace grefar {
+
+/// Materializes an arrival process over [0, horizon) into a dense count
+/// table (rows = slots, cols = job types).
+std::vector<std::vector<std::int64_t>> materialize_arrivals(
+    const ArrivalProcess& process, std::int64_t horizon);
+
+/// Serializes a dense count table to the trace CSV format.
+std::string job_trace_to_csv(const std::vector<std::vector<std::int64_t>>& counts);
+
+/// Parses the trace CSV format into a dense table with `num_types` columns.
+/// The table spans [0, max slot in file]. Fails on malformed rows or
+/// out-of-range type ids.
+Result<std::vector<std::vector<std::int64_t>>> job_trace_from_csv(
+    std::string_view csv, std::size_t num_types);
+
+/// Writes/reads a trace file on disk.
+Status write_job_trace(const std::string& path,
+                       const std::vector<std::vector<std::int64_t>>& counts);
+Result<std::vector<std::vector<std::int64_t>>> read_job_trace(const std::string& path,
+                                                              std::size_t num_types);
+
+}  // namespace grefar

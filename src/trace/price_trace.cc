@@ -1,0 +1,105 @@
+#include "trace/price_trace.h"
+
+#include <sstream>
+
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace grefar {
+
+std::vector<std::vector<double>> materialize_prices(const PriceModel& model,
+                                                    std::int64_t horizon) {
+  GREFAR_CHECK(horizon >= 0);
+  std::vector<std::vector<double>> out(model.num_data_centers());
+  for (std::size_t dc = 0; dc < out.size(); ++dc) {
+    out[dc].reserve(static_cast<std::size_t>(horizon));
+    for (std::int64_t t = 0; t < horizon; ++t) out[dc].push_back(model.price(dc, t));
+  }
+  return out;
+}
+
+std::string price_trace_to_csv(const std::vector<std::vector<double>>& series) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_row(std::vector<std::string>{"slot", "dc", "price"});
+  if (series.empty()) return os.str();
+  for (std::size_t t = 0; t < series.front().size(); ++t) {
+    for (std::size_t dc = 0; dc < series.size(); ++dc) {
+      writer.write_row(std::vector<std::string>{std::to_string(t), std::to_string(dc),
+                                                format_fixed(series[dc][t], 6)});
+    }
+  }
+  return os.str();
+}
+
+Result<std::vector<std::vector<double>>> price_trace_from_csv(std::string_view csv,
+                                                              std::size_t num_dcs) {
+  CsvReader reader;
+  auto parsed = reader.parse(csv);
+  if (!parsed.ok()) return parsed.error();
+  const auto& rows = parsed.value();
+  if (rows.empty()) return Error::make("empty price trace");
+  if (rows.front() != std::vector<std::string>{"slot", "dc", "price"}) {
+    return Error::make("price trace must start with header 'slot,dc,price'");
+  }
+  std::vector<std::vector<double>> series(num_dcs);
+  std::vector<std::vector<bool>> seen(num_dcs);
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != 3) {
+      return Error::make("price trace row " + std::to_string(r) + " needs 3 fields");
+    }
+    auto slot = parse_int(row[0]);
+    auto dc = parse_int(row[1]);
+    auto price = parse_double(row[2]);
+    if (!slot.ok() || !dc.ok() || !price.ok()) {
+      return Error::make("price trace row " + std::to_string(r) + " is malformed");
+    }
+    if (slot.value() < 0) {
+      return Error::make("price trace row " + std::to_string(r) + " has negative slot");
+    }
+    if (dc.value() < 0 || static_cast<std::size_t>(dc.value()) >= num_dcs) {
+      return Error::make("price trace row " + std::to_string(r) +
+                         " has out-of-range dc id");
+    }
+    if (price.value() <= 0.0) {
+      return Error::make("price trace row " + std::to_string(r) +
+                         " has non-positive price");
+    }
+    auto d = static_cast<std::size_t>(dc.value());
+    auto s = static_cast<std::size_t>(slot.value());
+    if (series[d].size() <= s) {
+      series[d].resize(s + 1, 0.0);
+      seen[d].resize(s + 1, false);
+    }
+    series[d][s] = price.value();
+    seen[d][s] = true;
+  }
+  for (std::size_t d = 0; d < num_dcs; ++d) {
+    if (series[d].empty()) {
+      return Error::make("price trace missing data for dc " + std::to_string(d));
+    }
+    for (std::size_t s = 0; s < seen[d].size(); ++s) {
+      if (!seen[d][s]) {
+        return Error::make("price trace has a gap at slot " + std::to_string(s) +
+                           " for dc " + std::to_string(d));
+      }
+    }
+  }
+  return series;
+}
+
+Status write_price_trace(const std::string& path,
+                         const std::vector<std::vector<double>>& series) {
+  return write_file(path, price_trace_to_csv(series));
+}
+
+Result<std::vector<std::vector<double>>> read_price_trace(const std::string& path,
+                                                          std::size_t num_dcs) {
+  auto content = read_file(path);
+  if (!content.ok()) return content.error();
+  return price_trace_from_csv(content.value(), num_dcs);
+}
+
+}  // namespace grefar

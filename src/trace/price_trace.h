@@ -1,0 +1,37 @@
+// Price-trace CSV schema: hourly prices per data center, as published by
+// markets like CAISO/FERC (paper refs [13][14]).
+//
+// Format (header required):
+//   slot,dc,price
+//   0,0,0.392
+//   ...
+// Every (slot, dc) must be present for slots [0, horizon).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "price/price_model.h"
+#include "util/result.h"
+
+namespace grefar {
+
+/// Materializes a price model over [0, horizon) into series[dc][t].
+std::vector<std::vector<double>> materialize_prices(const PriceModel& model,
+                                                    std::int64_t horizon);
+
+/// Serializes series[dc][t] to the price CSV format.
+std::string price_trace_to_csv(const std::vector<std::vector<double>>& series);
+
+/// Parses the price CSV format into series[dc][t] with `num_dcs` rows.
+/// Fails on malformed rows, out-of-range dc ids, gaps, or non-positive prices.
+Result<std::vector<std::vector<double>>> price_trace_from_csv(std::string_view csv,
+                                                              std::size_t num_dcs);
+
+Status write_price_trace(const std::string& path,
+                         const std::vector<std::vector<double>>& series);
+Result<std::vector<std::vector<double>>> read_price_trace(const std::string& path,
+                                                          std::size_t num_dcs);
+
+}  // namespace grefar

@@ -1,0 +1,129 @@
+#include "util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace grefar {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+
+/// Downsamples `values` to exactly `n` points by averaging buckets.
+std::vector<double> resample(const std::vector<double>& values, std::size_t n) {
+  if (values.empty() || n == 0) return {};
+  if (values.size() <= n) {
+    // Stretch by nearest-neighbour so short series still span the chart.
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t src = i * values.size() / n;
+      out[i] = values[src];
+    }
+    return out;
+  }
+  std::vector<double> out(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t lo = i * values.size() / n;
+    std::size_t hi = std::max(lo + 1, (i + 1) * values.size() / n);
+    double sum = 0.0;
+    for (std::size_t k = lo; k < hi; ++k) sum += values[k];
+    out[i] = sum / static_cast<double>(hi - lo);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string AsciiChart::render() const {
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  bool any_data = false;
+  for (const auto& s : series_) any_data = any_data || !s.values.empty();
+  if (series_.empty() || !any_data) {
+    out += "  (no data)\n";
+    return out;
+  }
+
+  // Global y-range across all series.
+  double ymin = std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series_) {
+    for (double v : s.values) {
+      if (std::isfinite(v)) {
+        ymin = std::min(ymin, v);
+        ymax = std::max(ymax, v);
+      }
+    }
+  }
+  if (!std::isfinite(ymin)) {
+    out += "  (no finite data)\n";
+    return out;
+  }
+  if (ymax == ymin) {
+    ymax = ymin + 1.0;  // flat series: give it a band
+  }
+  double pad = 0.05 * (ymax - ymin);
+  ymin -= pad;
+  ymax += pad;
+
+  const std::size_t w = static_cast<std::size_t>(width_);
+  const std::size_t h = static_cast<std::size_t>(height_);
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    std::vector<double> ys = resample(series_[si].values, w);
+    for (std::size_t x = 0; x < ys.size(); ++x) {
+      if (!std::isfinite(ys[x])) continue;
+      double frac = (ys[x] - ymin) / (ymax - ymin);
+      std::size_t row =
+          h - 1 - static_cast<std::size_t>(std::clamp(frac, 0.0, 1.0) * (h - 1) + 0.5);
+      grid[row][x] = glyph;
+    }
+  }
+
+  const int label_w = 10;
+  if (!y_label_.empty()) {
+    out += std::string(label_w + 2, ' ') + y_label_ + "\n";
+  }
+  for (std::size_t row = 0; row < h; ++row) {
+    double frac = 1.0 - static_cast<double>(row) / (h - 1);
+    double y = ymin + frac * (ymax - ymin);
+    bool labeled = row % 3 == 0 || row == h - 1;
+    std::string label = labeled ? format_fixed(y, 3) : "";
+    out += pad_left(label, label_w) + " |" + grid[row] + "\n";
+  }
+  out += std::string(label_w + 1, ' ') + '+' + std::string(w, '-') + "\n";
+  if (has_x_range_) {
+    std::string left = format_fixed(x0_, 0);
+    std::string right = format_fixed(x1_, 0);
+    std::string axis_row(label_w + 2 + w, ' ');
+    std::string center = x_label_;
+    for (std::size_t i = 0; i < left.size() && label_w + 2 + i < axis_row.size(); ++i)
+      axis_row[label_w + 2 + i] = left[i];
+    for (std::size_t i = 0; i < right.size(); ++i) {
+      std::size_t pos = label_w + 2 + w - right.size() + i;
+      if (pos < axis_row.size()) axis_row[pos] = right[i];
+    }
+    if (!center.empty() && center.size() < w) {
+      std::size_t start = label_w + 2 + (w - center.size()) / 2;
+      for (std::size_t i = 0; i < center.size(); ++i) axis_row[start + i] = center[i];
+    }
+    out += axis_row + "\n";
+  } else if (!x_label_.empty()) {
+    out += std::string(label_w + 2, ' ') + x_label_ + "\n";
+  }
+  out += "  legend:";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    out += "  ";
+    out += kGlyphs[si % sizeof(kGlyphs)];
+    out += " " + series_[si].label;
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace grefar

@@ -1,0 +1,55 @@
+// ASCII line-chart renderer. The benchmark harness uses it to print the
+// paper's figures directly into the terminal, next to the CSV data that a
+// plotting tool could consume.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace grefar {
+
+/// One plotted series: a label (for the legend) and y-values sampled at the
+/// shared x positions of the chart.
+struct ChartSeries {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Renders multiple series as an ASCII chart with y-axis labels and a legend.
+/// Each series gets a distinct glyph. Series are sampled/averaged down to the
+/// chart width when longer than `width`.
+class AsciiChart {
+ public:
+  AsciiChart(int width = 72, int height = 18) : width_(width), height_(height) {}
+
+  /// Chart title printed above the plot.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Axis labels, purely cosmetic.
+  void set_x_label(std::string label) { x_label_ = std::move(label); }
+  void set_y_label(std::string label) { y_label_ = std::move(label); }
+
+  /// x-range covered by the series (used only for tick labels).
+  void set_x_range(double x0, double x1) {
+    x0_ = x0;
+    x1_ = x1;
+    has_x_range_ = true;
+  }
+
+  void add_series(ChartSeries series) { series_.push_back(std::move(series)); }
+
+  /// Renders the chart; empty series produce an explanatory placeholder.
+  std::string render() const;
+
+ private:
+  int width_;
+  int height_;
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  double x0_ = 0.0, x1_ = 0.0;
+  bool has_x_range_ = false;
+  std::vector<ChartSeries> series_;
+};
+
+}  // namespace grefar

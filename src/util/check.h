@@ -1,0 +1,48 @@
+// Contract-checking macros.
+//
+// GREFAR_CHECK enforces preconditions and invariants that indicate programmer
+// error; violations throw grefar::ContractViolation so tests can assert on
+// them and applications fail loudly instead of corrupting state.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace grefar {
+
+/// Thrown when a GREFAR_CHECK contract is violated. Represents a programming
+/// error (bad arguments, broken invariant), never an expected runtime failure.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+[[noreturn]] inline void contract_fail(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violation: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace internal
+
+}  // namespace grefar
+
+/// Check a precondition/invariant; throws grefar::ContractViolation on failure.
+#define GREFAR_CHECK(cond)                                                \
+  do {                                                                    \
+    if (!(cond)) ::grefar::internal::contract_fail(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Like GREFAR_CHECK but with a streamed message: GREFAR_CHECK_MSG(x>0, "x=" << x).
+#define GREFAR_CHECK_MSG(cond, stream_expr)                                   \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream grefar_check_os_;                                    \
+      grefar_check_os_ << stream_expr;                                        \
+      ::grefar::internal::contract_fail(#cond, __FILE__, __LINE__,            \
+                                        grefar_check_os_.str());              \
+    }                                                                         \
+  } while (false)

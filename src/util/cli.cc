@@ -1,0 +1,117 @@
+#include "util/cli.h"
+
+#include <iostream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace grefar {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_option(const std::string& name, const std::string& default_value,
+                           const std::string& help) {
+  GREFAR_CHECK_MSG(find_option(name) == nullptr, "duplicate option --" << name);
+  options_.emplace_back(name, Option{default_value, help, /*is_flag=*/false});
+  values_[name] = default_value;
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  GREFAR_CHECK_MSG(find_option(name) == nullptr, "duplicate flag --" << name);
+  options_.emplace_back(name, Option{"", help, /*is_flag=*/true});
+  flags_[name] = false;
+}
+
+const CliParser::Option* CliParser::find_option(const std::string& name) const {
+  for (const auto& [n, opt] : options_) {
+    if (n == name) return &opt;
+  }
+  return nullptr;
+}
+
+Status CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      return Error::make("help");
+    }
+    if (!starts_with(arg, "--")) {
+      return Error::make("unexpected positional argument: " + arg);
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_inline_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline_value = true;
+    }
+    const Option* opt = find_option(name);
+    if (opt == nullptr) return Error::make("unknown option --" + name);
+    if (opt->is_flag) {
+      if (has_inline_value) return Error::make("flag --" + name + " takes no value");
+      flags_[name] = true;
+    } else {
+      if (!has_inline_value) {
+        if (i + 1 >= argc) return Error::make("option --" + name + " needs a value");
+        value = argv[++i];
+      }
+      values_[name] = value;
+    }
+  }
+  return {};
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  auto it = values_.find(name);
+  GREFAR_CHECK_MSG(it != values_.end(), "option --" << name << " not registered");
+  return it->second;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  auto parsed = parse_double(get_string(name));
+  GREFAR_CHECK_MSG(parsed.ok(), "--" << name << ": " << parsed.error().message);
+  return parsed.value();
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  auto parsed = parse_int(get_string(name));
+  GREFAR_CHECK_MSG(parsed.ok(), "--" << name << ": " << parsed.error().message);
+  return parsed.value();
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  auto it = flags_.find(name);
+  GREFAR_CHECK_MSG(it != flags_.end(), "flag --" << name << " not registered");
+  return it->second;
+}
+
+std::vector<double> CliParser::get_double_list(const std::string& name) const {
+  std::vector<double> out;
+  for (const auto& piece : split(get_string(name), ',')) {
+    auto parsed = parse_double(piece);
+    GREFAR_CHECK_MSG(parsed.ok(), "--" << name << ": " << parsed.error().message);
+    out.push_back(parsed.value());
+  }
+  return out;
+}
+
+std::string CliParser::usage() const {
+  std::string out = program_ + " — " + description_ + "\n\noptions:\n";
+  for (const auto& [name, opt] : options_) {
+    std::string left = "  --" + name;
+    if (!opt.is_flag) left += " <value>";
+    out += pad_right(left, 34) + opt.help;
+    if (!opt.is_flag && !opt.default_value.empty()) {
+      out += " (default: " + opt.default_value + ")";
+    }
+    out += '\n';
+  }
+  out += pad_right("  --help", 34);
+  out += "show this message\n";
+  return out;
+}
+
+}  // namespace grefar

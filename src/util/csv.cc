@@ -1,0 +1,128 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace grefar {
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << sep_;
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& fields, int precision) {
+  std::vector<std::string> text;
+  text.reserve(fields.size());
+  for (double f : fields) text.push_back(format_fixed(f, precision));
+  write_row(text);
+}
+
+std::string CsvWriter::escape(const std::string& field) const {
+  bool needs_quotes = field.find(sep_) != std::string::npos ||
+                      field.find('"') != std::string::npos ||
+                      field.find('\n') != std::string::npos ||
+                      field.find('\r') != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Result<std::vector<std::vector<std::string>>> CsvReader::parse(std::string_view text) const {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_dirty = false;  // current field consumed chars or was quoted
+  bool row_dirty = false;    // current row has any content (fields or seps)
+
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_dirty = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+    row_dirty = false;
+  };
+
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field += c;
+        ++i;
+      }
+      continue;
+    }
+    if (c == '"' && !field_dirty) {
+      in_quotes = true;
+      field_dirty = true;
+      row_dirty = true;
+      ++i;
+    } else if (c == sep_) {
+      end_field();
+      row_dirty = true;
+      ++i;
+    } else if (c == '\r') {
+      ++i;  // tolerate CRLF
+    } else if (c == '\n') {
+      end_row();
+      ++i;
+    } else {
+      field += c;
+      field_dirty = true;
+      row_dirty = true;
+      ++i;
+    }
+  }
+  if (in_quotes) return Error::make("unterminated quoted CSV field");
+  if (row_dirty || field_dirty || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+Result<std::vector<std::vector<std::string>>> CsvReader::parse_file(const std::string& path) const {
+  auto content = read_file(path);
+  if (!content.ok()) return content.error();
+  return parse(content.value());
+}
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error::make("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+Status write_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Error::make("cannot open file for writing: " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return Error::make("write failed: " + path);
+  return {};
+}
+
+}  // namespace grefar

@@ -1,0 +1,78 @@
+// Matrix<T>: a small dense row-major 2-D array used throughout the scheduler
+// for (data center x job type) decision variables and queue states.
+#pragma once
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace grefar {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, value-initialized (zeros for arithmetic T).
+  Matrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    GREFAR_CHECK_MSG(r < rows_ && c < cols_,
+                     "matrix index (" << r << "," << c << ") out of " << rows_
+                                      << "x" << cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    GREFAR_CHECK_MSG(r < rows_ && c < cols_,
+                     "matrix index (" << r << "," << c << ") out of " << rows_
+                                      << "x" << cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Sets every element to `value`.
+  void fill(T value) {
+    for (auto& x : data_) x = value;
+  }
+
+  /// Sum over all elements.
+  T sum() const {
+    T total{};
+    for (const auto& x : data_) total += x;
+    return total;
+  }
+
+  /// Sum over row r / column c.
+  T row_sum(std::size_t r) const {
+    GREFAR_CHECK(r < rows_);
+    T total{};
+    for (std::size_t c = 0; c < cols_; ++c) total += data_[r * cols_ + c];
+    return total;
+  }
+  T col_sum(std::size_t c) const {
+    GREFAR_CHECK(c < cols_);
+    T total{};
+    for (std::size_t r = 0; r < rows_; ++r) total += data_[r * cols_ + c];
+    return total;
+  }
+
+  const std::vector<T>& data() const { return data_; }
+  std::vector<T>& data() { return data_; }
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixD = Matrix<double>;
+
+}  // namespace grefar

@@ -1,0 +1,180 @@
+#include "util/svg_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace grefar {
+
+namespace {
+
+constexpr const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e",
+                                    "#9467bd", "#8c564b", "#17becf", "#7f7f7f"};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+constexpr std::size_t kMaxPoints = 1500;  // polyline points per series
+
+std::string escape_xml(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Chooses a "nice" tick step covering `span` with ~n ticks.
+double nice_step(double span, int n) {
+  double raw = span / std::max(n, 1);
+  double magnitude = std::pow(10.0, std::floor(std::log10(raw)));
+  double residual = raw / magnitude;
+  double nice = residual < 1.5 ? 1.0 : residual < 3.5 ? 2.0 : residual < 7.5 ? 5.0 : 10.0;
+  return nice * magnitude;
+}
+
+}  // namespace
+
+void SvgChart::set_x_range(double x0, double x1) {
+  GREFAR_CHECK(x1 >= x0);
+  x0_ = x0;
+  x1_ = x1;
+  has_x_range_ = true;
+}
+
+void SvgChart::add_series(std::string label, std::vector<double> values) {
+  series_.push_back({std::move(label), std::move(values)});
+}
+
+std::string SvgChart::render() const {
+  const double W = width_, H = height_;
+  std::string svg;
+  svg += "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+         std::to_string(width_) + "\" height=\"" + std::to_string(height_) +
+         "\" viewBox=\"0 0 " + std::to_string(width_) + " " +
+         std::to_string(height_) + "\" font-family=\"sans-serif\">\n";
+  svg += "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  std::size_t longest = 0;
+  double ymin = std::numeric_limits<double>::infinity();
+  double ymax = -ymin;
+  for (const auto& s : series_) {
+    longest = std::max(longest, s.values.size());
+    for (double v : s.values) {
+      if (std::isfinite(v)) {
+        ymin = std::min(ymin, v);
+        ymax = std::max(ymax, v);
+      }
+    }
+  }
+  if (series_.empty() || longest == 0 || !std::isfinite(ymin)) {
+    svg += "<text x=\"" + format_fixed(W / 2, 0) + "\" y=\"" + format_fixed(H / 2, 0) +
+           "\" text-anchor=\"middle\" fill=\"#888\">no data</text>\n</svg>\n";
+    return svg;
+  }
+  if (ymax == ymin) ymax = ymin + 1.0;
+  double pad = 0.06 * (ymax - ymin);
+  ymin -= pad;
+  ymax += pad;
+  const double gx0 = has_x_range_ ? x0_ : 0.0;
+  const double gx1 = has_x_range_ ? x1_ : static_cast<double>(longest - 1);
+
+  // Plot area.
+  const double left = 64, right = W - 16, top = 40, bottom = H - 48;
+  auto map_x = [&](double x) {
+    return gx1 > gx0 ? left + (x - gx0) / (gx1 - gx0) * (right - left) : left;
+  };
+  auto map_y = [&](double y) {
+    return bottom - (y - ymin) / (ymax - ymin) * (bottom - top);
+  };
+
+  if (!title_.empty()) {
+    svg += "<text x=\"" + format_fixed(W / 2, 0) +
+           "\" y=\"22\" text-anchor=\"middle\" font-size=\"15\" font-weight=\"bold\">" +
+           escape_xml(title_) + "</text>\n";
+  }
+
+  // Gridlines + y ticks.
+  double ystep = nice_step(ymax - ymin, 5);
+  double first_tick = std::ceil(ymin / ystep) * ystep;
+  for (double y = first_tick; y <= ymax + 1e-12; y += ystep) {
+    double py = map_y(y);
+    svg += "<line x1=\"" + format_fixed(left, 1) + "\" y1=\"" + format_fixed(py, 1) +
+           "\" x2=\"" + format_fixed(right, 1) + "\" y2=\"" + format_fixed(py, 1) +
+           "\" stroke=\"#e0e0e0\"/>\n";
+    svg += "<text x=\"" + format_fixed(left - 6, 1) + "\" y=\"" +
+           format_fixed(py + 4, 1) +
+           "\" text-anchor=\"end\" font-size=\"11\" fill=\"#444\">" +
+           format_fixed(y, std::abs(y) < 10 && ystep < 1 ? 2 : ystep < 10 ? 1 : 0) +
+           "</text>\n";
+  }
+  // x ticks.
+  double xstep = nice_step(gx1 - gx0, 6);
+  for (double x = std::ceil(gx0 / xstep) * xstep; x <= gx1 + 1e-12; x += xstep) {
+    double px = map_x(x);
+    svg += "<line x1=\"" + format_fixed(px, 1) + "\" y1=\"" + format_fixed(bottom, 1) +
+           "\" x2=\"" + format_fixed(px, 1) + "\" y2=\"" + format_fixed(bottom + 4, 1) +
+           "\" stroke=\"#444\"/>\n";
+    svg += "<text x=\"" + format_fixed(px, 1) + "\" y=\"" +
+           format_fixed(bottom + 17, 1) +
+           "\" text-anchor=\"middle\" font-size=\"11\" fill=\"#444\">" +
+           format_fixed(x, xstep < 1 ? 1 : 0) + "</text>\n";
+  }
+  // Axes.
+  svg += "<line x1=\"" + format_fixed(left, 1) + "\" y1=\"" + format_fixed(top, 1) +
+         "\" x2=\"" + format_fixed(left, 1) + "\" y2=\"" + format_fixed(bottom, 1) +
+         "\" stroke=\"#222\"/>\n";
+  svg += "<line x1=\"" + format_fixed(left, 1) + "\" y1=\"" + format_fixed(bottom, 1) +
+         "\" x2=\"" + format_fixed(right, 1) + "\" y2=\"" + format_fixed(bottom, 1) +
+         "\" stroke=\"#222\"/>\n";
+  if (!x_label_.empty()) {
+    svg += "<text x=\"" + format_fixed((left + right) / 2, 1) + "\" y=\"" +
+           format_fixed(H - 8, 1) +
+           "\" text-anchor=\"middle\" font-size=\"12\" fill=\"#222\">" +
+           escape_xml(x_label_) + "</text>\n";
+  }
+  if (!y_label_.empty()) {
+    svg += "<text x=\"14\" y=\"" + format_fixed((top + bottom) / 2, 1) +
+           "\" text-anchor=\"middle\" font-size=\"12\" fill=\"#222\" transform=\"rotate(-90 14 " +
+           format_fixed((top + bottom) / 2, 1) + ")\">" + escape_xml(y_label_) +
+           "</text>\n";
+  }
+
+  // Series polylines + legend.
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const auto& s = series_[si];
+    if (s.values.empty()) continue;
+    const std::size_t stride = std::max<std::size_t>(1, s.values.size() / kMaxPoints);
+    std::string points;
+    for (std::size_t idx = 0; idx < s.values.size(); idx += stride) {
+      double v = s.values[idx];
+      if (!std::isfinite(v)) continue;
+      double x = gx0 + (gx1 - gx0) *
+                           (s.values.size() > 1
+                                ? static_cast<double>(idx) /
+                                      static_cast<double>(s.values.size() - 1)
+                                : 0.0);
+      points += format_fixed(map_x(x), 1) + "," + format_fixed(map_y(v), 1) + " ";
+    }
+    const char* color = kPalette[si % kPaletteSize];
+    svg += "<polyline fill=\"none\" stroke=\"" + std::string(color) +
+           "\" stroke-width=\"1.8\" points=\"" + points + "\"/>\n";
+    double ly = top + 6 + 16.0 * static_cast<double>(si);
+    svg += "<rect x=\"" + format_fixed(left + 10, 1) + "\" y=\"" +
+           format_fixed(ly - 8, 1) + "\" width=\"14\" height=\"4\" fill=\"" + color +
+           "\"/>\n";
+    svg += "<text x=\"" + format_fixed(left + 30, 1) + "\" y=\"" + format_fixed(ly, 1) +
+           "\" font-size=\"11\" fill=\"#222\">" + escape_xml(s.label) + "</text>\n";
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+}  // namespace grefar

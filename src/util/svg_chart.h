@@ -1,0 +1,47 @@
+// SVG line-chart writer: publication-grade counterpart of AsciiChart.
+//
+// The bench binaries print ASCII charts for the terminal and, with
+// --svg-dir, also drop standalone .svg files rendered by this class —
+// axes, ticks, grid, legend, one colored polyline per series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace grefar {
+
+class SvgChart {
+ public:
+  SvgChart(int width = 720, int height = 400) : width_(width), height_(height) {}
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_x_label(std::string label) { x_label_ = std::move(label); }
+  void set_y_label(std::string label) { y_label_ = std::move(label); }
+
+  /// x-range covered by every series (used for the x axis ticks); defaults
+  /// to [0, longest series length).
+  void set_x_range(double x0, double x1);
+
+  /// Adds a series; values are sampled at equally-spaced x positions.
+  void add_series(std::string label, std::vector<double> values);
+
+  /// Renders a standalone SVG document. Empty charts render a placeholder.
+  std::string render() const;
+
+ private:
+  struct Series {
+    std::string label;
+    std::vector<double> values;
+  };
+
+  int width_;
+  int height_;
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  double x0_ = 0.0, x1_ = 0.0;
+  bool has_x_range_ = false;
+  std::vector<Series> series_;
+};
+
+}  // namespace grefar

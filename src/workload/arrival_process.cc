@@ -1,0 +1,80 @@
+#include "workload/arrival_process.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace grefar {
+
+ConstantArrivals::ConstantArrivals(std::vector<std::int64_t> counts)
+    : counts_(std::move(counts)) {
+  GREFAR_CHECK(!counts_.empty());
+  for (auto c : counts_) GREFAR_CHECK_MSG(c >= 0, "arrival counts must be >= 0");
+}
+
+std::vector<std::int64_t> ConstantArrivals::arrivals(std::int64_t t) const {
+  GREFAR_CHECK(t >= 0);
+  return counts_;
+}
+
+std::int64_t ConstantArrivals::max_arrivals(JobTypeId j) const {
+  GREFAR_CHECK(j < counts_.size());
+  return counts_[j];
+}
+
+PoissonArrivals::PoissonArrivals(std::vector<double> rates,
+                                 std::vector<std::int64_t> a_max, std::uint64_t seed)
+    : rates_(std::move(rates)), a_max_(std::move(a_max)), seed_(seed), rng_(seed) {
+  GREFAR_CHECK(!rates_.empty());
+  GREFAR_CHECK(rates_.size() == a_max_.size());
+  for (double r : rates_) GREFAR_CHECK_MSG(r >= 0.0, "rates must be >= 0");
+  for (auto m : a_max_) GREFAR_CHECK_MSG(m >= 0, "a_max must be >= 0");
+}
+
+void PoissonArrivals::extend(std::int64_t t) const {
+  while (static_cast<std::int64_t>(cache_.size()) <= t) {
+    std::vector<std::int64_t> row(rates_.size());
+    for (std::size_t j = 0; j < rates_.size(); ++j) {
+      row[j] = std::min(a_max_[j], rng_.poisson(rates_[j]));
+    }
+    cache_.push_back(std::move(row));
+  }
+}
+
+std::vector<std::int64_t> PoissonArrivals::arrivals(std::int64_t t) const {
+  GREFAR_CHECK(t >= 0);
+  extend(t);
+  return cache_[static_cast<std::size_t>(t)];
+}
+
+std::int64_t PoissonArrivals::max_arrivals(JobTypeId j) const {
+  GREFAR_CHECK(j < a_max_.size());
+  return a_max_[j];
+}
+
+TableArrivals::TableArrivals(std::vector<std::vector<std::int64_t>> counts)
+    : counts_(std::move(counts)) {
+  GREFAR_CHECK_MSG(!counts_.empty(), "trace must have at least one slot");
+  const std::size_t width = counts_.front().size();
+  GREFAR_CHECK_MSG(width > 0, "trace must have at least one job type");
+  for (const auto& row : counts_) {
+    GREFAR_CHECK_MSG(row.size() == width, "ragged arrival trace");
+    for (auto c : row) GREFAR_CHECK_MSG(c >= 0, "arrival counts must be >= 0");
+  }
+}
+
+std::vector<std::int64_t> TableArrivals::arrivals(std::int64_t t) const {
+  GREFAR_CHECK(t >= 0);
+  return counts_[static_cast<std::size_t>(t) % counts_.size()];
+}
+
+std::size_t TableArrivals::num_job_types() const { return counts_.front().size(); }
+
+std::int64_t TableArrivals::max_arrivals(JobTypeId j) const {
+  GREFAR_CHECK(j < num_job_types());
+  std::int64_t m = 0;
+  for (const auto& row : counts_) m = std::max(m, row[j]);
+  return m;
+}
+
+}  // namespace grefar

@@ -1,0 +1,82 @@
+// Arrival processes (paper §III-B).
+//
+// a_j(t): number of type-j jobs arriving during slot t. The paper makes no
+// distributional assumption beyond boundedness 0 <= a_j(t) <= a_j^max;
+// implementations here range from deterministic to the non-stationary
+// bursty generator that stands in for the Microsoft Cosmos trace.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/job.h"
+
+namespace grefar {
+
+/// Interface: per-slot arrival counts for every job type. Implementations
+/// must be deterministic functions of (parameters, t) so runs replay.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Arrival counts per job type during slot t (size == num_job_types()).
+  virtual std::vector<std::int64_t> arrivals(std::int64_t t) const = 0;
+
+  virtual std::size_t num_job_types() const = 0;
+
+  /// The boundedness constant a_j^max of eq. (1).
+  virtual std::int64_t max_arrivals(JobTypeId j) const = 0;
+};
+
+/// Fixed counts every slot (unit tests, slackness checks).
+class ConstantArrivals final : public ArrivalProcess {
+ public:
+  explicit ConstantArrivals(std::vector<std::int64_t> counts);
+
+  std::vector<std::int64_t> arrivals(std::int64_t t) const override;
+  std::size_t num_job_types() const override { return counts_.size(); }
+  std::int64_t max_arrivals(JobTypeId j) const override;
+
+ private:
+  std::vector<std::int64_t> counts_;
+};
+
+/// Independent Poisson arrivals per type, truncated at a_max (stationary
+/// baseline for tests and ablations).
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  PoissonArrivals(std::vector<double> rates, std::vector<std::int64_t> a_max,
+                  std::uint64_t seed);
+
+  std::vector<std::int64_t> arrivals(std::int64_t t) const override;
+  std::size_t num_job_types() const override { return rates_.size(); }
+  std::int64_t max_arrivals(JobTypeId j) const override;
+
+ private:
+  void extend(std::int64_t t) const;
+
+  std::vector<double> rates_;
+  std::vector<std::int64_t> a_max_;
+  std::uint64_t seed_;
+  mutable std::vector<std::vector<std::int64_t>> cache_;  // [t][j]
+  mutable Rng rng_;
+};
+
+/// Arrival counts replayed from memory (e.g. a CSV trace); slots beyond the
+/// trace wrap around.
+class TableArrivals final : public ArrivalProcess {
+ public:
+  /// counts[t][j]; all rows must have the same width.
+  explicit TableArrivals(std::vector<std::vector<std::int64_t>> counts);
+
+  std::vector<std::int64_t> arrivals(std::int64_t t) const override;
+  std::size_t num_job_types() const override;
+  std::int64_t max_arrivals(JobTypeId j) const override;
+
+ private:
+  std::vector<std::vector<std::int64_t>> counts_;
+};
+
+}  // namespace grefar

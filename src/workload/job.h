@@ -1,0 +1,73 @@
+// Job model (paper §III-B).
+//
+// A job is {d, D, rho}: service demand d > 0 (work units; the paper scales
+// "1" to 1000 hours on a speed-1 server), an eligible data-center set D
+// (where the job's input data lives), and an owning account rho. Jobs with
+// the same tuple form a *job type*; arrivals are counted per type per slot.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace grefar {
+
+using AccountId = std::size_t;
+using JobTypeId = std::size_t;
+using DataCenterId = std::size_t;
+
+/// Static description of one job type y_j = {d_j, D_j, rho_j}.
+struct JobType {
+  std::string name;
+  double work = 1.0;                        // d_j, in work units
+  std::vector<DataCenterId> eligible_dcs;   // D_j, sorted ascending
+  AccountId account = 0;                    // rho_j
+  /// Parallelism constraint (paper §III-B): the paper assumes jobs are fully
+  /// parallelizable but notes the model adapts by bounding how many servers
+  /// one job can occupy. max_rate is that bound expressed as work units one
+  /// job can absorb per slot; infinity (default) = fully parallelizable.
+  double max_rate = std::numeric_limits<double>::infinity();
+
+  bool eligible(DataCenterId dc) const {
+    for (DataCenterId d : eligible_dcs) {
+      if (d == dc) return true;
+    }
+    return false;
+  }
+};
+
+/// A concrete job instance inside a queue. `remaining` shrinks as the fluid
+/// FIFO service applies work; the job departs when it reaches 0.
+struct Job {
+  std::uint64_t id = 0;
+  JobTypeId type = 0;
+  std::int64_t arrival_slot = 0;   // slot during which the job arrived
+  std::int64_t dc_entry_slot = 0;  // slot during which it was routed to a DC
+  double remaining = 0.0;          // work units left
+};
+
+/// Validates a job-type table: positive work, non-empty eligible sets,
+/// account ids within [0, num_accounts).
+inline void validate_job_types(const std::vector<JobType>& types,
+                               std::size_t num_data_centers,
+                               std::size_t num_accounts) {
+  GREFAR_CHECK_MSG(!types.empty(), "need at least one job type");
+  for (const auto& jt : types) {
+    GREFAR_CHECK_MSG(jt.work > 0.0, "job type '" << jt.name << "' has work <= 0");
+    GREFAR_CHECK_MSG(!jt.eligible_dcs.empty(),
+                     "job type '" << jt.name << "' has empty eligible set");
+    for (DataCenterId dc : jt.eligible_dcs) {
+      GREFAR_CHECK_MSG(dc < num_data_centers,
+                       "job type '" << jt.name << "' references bad DC " << dc);
+    }
+    GREFAR_CHECK_MSG(jt.account < num_accounts,
+                     "job type '" << jt.name << "' references bad account");
+    GREFAR_CHECK_MSG(jt.max_rate > 0.0,
+                     "job type '" << jt.name << "' has max_rate <= 0");
+  }
+}
+
+}  // namespace grefar

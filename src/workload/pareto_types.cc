@@ -1,0 +1,62 @@
+#include "workload/pareto_types.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace grefar {
+
+double pareto_quantile(double x_m, double alpha, double q) {
+  GREFAR_CHECK(x_m > 0.0 && alpha > 0.0);
+  GREFAR_CHECK(q >= 0.0 && q < 1.0);
+  return x_m * std::pow(1.0 - q, -1.0 / alpha);
+}
+
+double pareto_band_mean(double x_m, double alpha, double q_lo, double q_hi) {
+  GREFAR_CHECK(x_m > 0.0 && alpha > 0.0 && alpha != 1.0);
+  GREFAR_CHECK(q_lo >= 0.0 && q_lo < q_hi && q_hi < 1.0);
+  double a = pareto_quantile(x_m, alpha, q_lo);
+  double b = pareto_quantile(x_m, alpha, q_hi);
+  // integral of x * f(x) over [a, b] with f(x) = alpha x_m^alpha x^{-alpha-1}:
+  double integral = alpha * std::pow(x_m, alpha) *
+                    (std::pow(b, 1.0 - alpha) - std::pow(a, 1.0 - alpha)) /
+                    (1.0 - alpha);
+  double mass = q_hi - q_lo;
+  return integral / mass;
+}
+
+std::vector<ParetoClass> build_pareto_classes(const ParetoWorkloadSpec& spec) {
+  GREFAR_CHECK_MSG(spec.classes >= 1, "need at least one size class");
+  GREFAR_CHECK_MSG(spec.alpha > 1.0, "alpha must exceed 1 (finite mean)");
+  GREFAR_CHECK_MSG(spec.x_m > 0.0, "x_m must be positive");
+  GREFAR_CHECK_MSG(spec.cap_quantile > 0.0 && spec.cap_quantile < 1.0,
+                   "cap_quantile must be in (0,1)");
+  GREFAR_CHECK_MSG(spec.mean_work_per_slot >= 0.0, "work budget must be >= 0");
+  GREFAR_CHECK_MSG(!spec.eligible_dcs.empty(), "eligible set must be non-empty");
+
+  const double band = spec.cap_quantile / static_cast<double>(spec.classes);
+  std::vector<ParetoClass> classes;
+  classes.reserve(spec.classes);
+  double mean_job_size = 0.0;  // per arriving job, conditional on <= cap
+  for (std::size_t g = 0; g < spec.classes; ++g) {
+    double q_lo = band * static_cast<double>(g);
+    double q_hi = band * static_cast<double>(g + 1);
+    ParetoClass cls;
+    cls.type.name = spec.name_prefix + "-c" + std::to_string(g);
+    cls.type.work = pareto_band_mean(spec.x_m, spec.alpha, q_lo, q_hi);
+    cls.type.eligible_dcs = spec.eligible_dcs;
+    cls.type.account = spec.account;
+    classes.push_back(std::move(cls));
+    mean_job_size += classes.back().type.work / static_cast<double>(spec.classes);
+  }
+  // Equal class probabilities: each class receives total_rate / classes jobs
+  // per slot, where total_rate * mean_job_size == the work budget.
+  double total_rate =
+      mean_job_size > 0.0 ? spec.mean_work_per_slot / mean_job_size : 0.0;
+  for (auto& cls : classes) {
+    cls.mean_jobs_per_slot = total_rate / static_cast<double>(spec.classes);
+  }
+  return classes;
+}
+
+}  // namespace grefar

@@ -1,0 +1,49 @@
+// Heavy-tailed job-size modelling.
+//
+// Batch/analytics job sizes are famously heavy-tailed (many small jobs, few
+// huge ones). The GreFar job model uses discrete job *types* with fixed work
+// d_j, so this builder discretizes a (truncated) Pareto(x_m, alpha) work
+// distribution into equal-probability size classes: each class becomes one
+// JobType whose work is the conditional mean of its quantile band, with an
+// arrival rate that reproduces the requested total work per slot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace grefar {
+
+struct ParetoWorkloadSpec {
+  std::string name_prefix = "job";       // class j named "<prefix>-c<j>"
+  AccountId account = 0;
+  std::vector<DataCenterId> eligible_dcs;
+  double x_m = 1.0;       // Pareto scale (minimum job size, work units)
+  double alpha = 1.8;     // Pareto shape (> 1 for finite mean)
+  std::size_t classes = 4;
+  double mean_work_per_slot = 20.0;  // total across all classes
+  double cap_quantile = 0.99;        // truncate the tail here (< 1)
+};
+
+/// One discretized size class: the JobType plus the Poisson arrival rate
+/// (jobs/slot) that realizes the spec's work budget.
+struct ParetoClass {
+  JobType type;
+  double mean_jobs_per_slot = 0.0;
+};
+
+/// Builds the size classes. Guarantees:
+///   * class works are strictly increasing,
+///   * sum of (work * rate) equals spec.mean_work_per_slot,
+///   * every class inherits the spec's account and eligible set.
+std::vector<ParetoClass> build_pareto_classes(const ParetoWorkloadSpec& spec);
+
+/// Quantile of Pareto(x_m, alpha): x(q) = x_m * (1 - q)^(-1/alpha).
+double pareto_quantile(double x_m, double alpha, double q);
+
+/// Mean of Pareto(x_m, alpha) conditional on the value lying in
+/// [quantile(q_lo), quantile(q_hi)] (0 <= q_lo < q_hi < 1, alpha != 1).
+double pareto_band_mean(double x_m, double alpha, double q_lo, double q_hi);
+
+}  // namespace grefar

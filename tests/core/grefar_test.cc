@@ -1,0 +1,204 @@
+#include "core/grefar.h"
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace grefar {
+namespace {
+
+ClusterConfig two_dc_config() {
+  ClusterConfig c;
+  c.server_types = {{"std", 1.0, 1.0}};
+  c.data_centers = {{"dc1", {10}}, {"dc2", {10}}};
+  c.accounts = {{"a", 1.0}};
+  c.job_types = {{"j", 1.0, {0, 1}, 0}};
+  return c;
+}
+
+SlotObservation obs_with(double Q, double q0, double q1, double price0 = 0.5,
+                         double price1 = 0.5) {
+  SlotObservation obs;
+  obs.slot = 0;
+  obs.prices = {price0, price1};
+  obs.availability = Matrix<std::int64_t>(2, 1);
+  obs.availability(0, 0) = 10;
+  obs.availability(1, 0) = 10;
+  obs.central_queue = {Q};
+  obs.dc_queue = MatrixD(2, 1);
+  obs.dc_queue(0, 0) = q0;
+  obs.dc_queue(1, 0) = q1;
+  return obs;
+}
+
+GreFarParams make_params(double V, double beta = 0.0) {
+  GreFarParams p;
+  p.V = V;
+  p.beta = beta;
+  p.r_max = 100.0;
+  p.h_max = 100.0;
+  return p;
+}
+
+TEST(GreFar, NameEncodesParameters) {
+  GreFarScheduler s(two_dc_config(), make_params(7.5, 100.0),
+                    PerSlotSolver::kFrankWolfe);
+  EXPECT_EQ(s.name(), "GreFar(V=7.50, beta=100.0)");
+}
+
+TEST(GreFar, RoutesToShorterQueuesOnly) {
+  GreFarScheduler s(two_dc_config(), make_params(1.0));
+  // Q = 5; q0 = 2 (< Q, beneficial), q1 = 9 (> Q, not beneficial).
+  auto action = s.decide(obs_with(5.0, 2.0, 9.0));
+  EXPECT_GT(action.route(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(action.route(1, 0), 0.0);
+}
+
+TEST(GreFar, RoutingClampsToCentralQueue) {
+  GreFarScheduler s(two_dc_config(), make_params(1.0));
+  auto action = s.decide(obs_with(5.0, 0.0, 0.0));
+  EXPECT_LE(action.route(0, 0) + action.route(1, 0), 5.0 + 1e-9);
+}
+
+TEST(GreFar, RoutingPrefersShortestDcQueue) {
+  GreFarParams p = make_params(1.0);
+  p.r_max = 3.0;  // forces spill-over to the second-best DC
+  GreFarScheduler s(two_dc_config(), p);
+  auto action = s.decide(obs_with(5.0, 1.0, 2.0));
+  EXPECT_DOUBLE_EQ(action.route(0, 0), 3.0);  // shortest queue first, r_max cap
+  EXPECT_DOUBLE_EQ(action.route(1, 0), 2.0);  // remainder
+}
+
+TEST(GreFar, NoRoutingWhenAllDcQueuesLonger) {
+  GreFarScheduler s(two_dc_config(), make_params(1.0));
+  auto action = s.decide(obs_with(1.0, 5.0, 7.0));
+  EXPECT_DOUBLE_EQ(action.route(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(action.route(1, 0), 0.0);
+}
+
+TEST(GreFar, LiteralModeSaturatesAllBeneficialDestinations) {
+  GreFarParams p = make_params(1.0);
+  p.clamp_to_queue = false;
+  p.r_max = 4.0;
+  GreFarScheduler s(two_dc_config(), p);
+  auto action = s.decide(obs_with(5.0, 1.0, 2.0));
+  EXPECT_DOUBLE_EQ(action.route(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(action.route(1, 0), 4.0);
+}
+
+TEST(GreFar, ProcessesWhenPriceLowRelativeToQueue) {
+  GreFarScheduler s(two_dc_config(), make_params(4.0));
+  // Threshold q > V * phi * (p/s) * d = 4 * 0.5 = 2.
+  auto low = s.decide(obs_with(0.0, 3.0, 0.0));
+  EXPECT_GT(low.process(0, 0), 0.0);
+  auto high = s.decide(obs_with(0.0, 1.0, 0.0));
+  EXPECT_DOUBLE_EQ(high.process(0, 0), 0.0);
+}
+
+TEST(GreFar, LargerVWaitsForCheaperPrices) {
+  // Same queue, same price: V = 1 processes, V = 100 defers.
+  GreFarScheduler eager(two_dc_config(), make_params(1.0));
+  GreFarScheduler patient(two_dc_config(), make_params(100.0));
+  auto obs = obs_with(0.0, 3.0, 0.0);
+  EXPECT_GT(eager.decide(obs).process(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(patient.decide(obs).process(0, 0), 0.0);
+}
+
+TEST(GreFar, PriceDropTriggersProcessing) {
+  GreFarScheduler s(two_dc_config(), make_params(10.0));
+  // Threshold price: q/d / (V * p/s) = 3 / 10 = 0.3.
+  EXPECT_DOUBLE_EQ(s.decide(obs_with(0.0, 3.0, 0.0, 0.45, 0.45)).process(0, 0), 0.0);
+  EXPECT_GT(s.decide(obs_with(0.0, 3.0, 0.0, 0.25, 0.45)).process(0, 0), 0.0);
+}
+
+TEST(GreFar, ProcessingNeverExceedsQueueWhenClamped) {
+  GreFarScheduler s(two_dc_config(), make_params(0.1));
+  auto action = s.decide(obs_with(0.0, 4.0, 2.0));
+  EXPECT_LE(action.process(0, 0), 4.0 + 1e-9);
+  EXPECT_LE(action.process(1, 0), 2.0 + 1e-9);
+}
+
+TEST(GreFar, HonorsHMax) {
+  GreFarParams p = make_params(0.0);
+  p.h_max = 1.5;
+  GreFarScheduler s(two_dc_config(), p);
+  auto action = s.decide(obs_with(0.0, 4.0, 0.0));
+  EXPECT_LE(action.process(0, 0), 1.5 + 1e-9);
+}
+
+TEST(GreFar, BetaRequiresConvexSolver) {
+  EXPECT_THROW(
+      GreFarScheduler(two_dc_config(), make_params(1.0, 10.0), PerSlotSolver::kGreedy),
+      ContractViolation);
+  EXPECT_THROW(
+      GreFarScheduler(two_dc_config(), make_params(1.0, 10.0), PerSlotSolver::kLp),
+      ContractViolation);
+  // Default constructor auto-selects a fairness-capable solver.
+  GreFarScheduler ok(two_dc_config(), make_params(1.0, 10.0));
+  EXPECT_EQ(ok.solver(), PerSlotSolver::kProjectedGradient);
+}
+
+TEST(GreFar, DefaultSolverIsGreedyWithoutFairness) {
+  GreFarScheduler s(two_dc_config(), make_params(1.0, 0.0));
+  EXPECT_EQ(s.solver(), PerSlotSolver::kGreedy);
+}
+
+TEST(GreFar, RejectsNegativeParameters) {
+  EXPECT_THROW(GreFarScheduler(two_dc_config(), make_params(-1.0)), ContractViolation);
+}
+
+TEST(GreFar, IneligibleDcNeverTouched) {
+  ClusterConfig c = two_dc_config();
+  c.job_types[0].eligible_dcs = {0};
+  GreFarScheduler s(c, make_params(0.1));
+  auto action = s.decide(obs_with(5.0, 1.0, 0.0));
+  EXPECT_DOUBLE_EQ(action.route(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(action.process(1, 0), 0.0);
+}
+
+TEST(GreFar, TiedQueuesSplitProportionallyToCapacity) {
+  // Both DC queues are 0 (tied): the batch splits by capacity share.
+  ClusterConfig c = two_dc_config();
+  c.data_centers[1].installed = {30};  // DC2 has 3x DC1's capacity
+  GreFarScheduler s(c, make_params(1.0));
+  SlotObservation obs = obs_with(40.0, 0.0, 0.0);
+  obs.availability(1, 0) = 30;
+  auto action = s.decide(obs);
+  EXPECT_NEAR(action.route(0, 0), 10.0, 1.0);  // ~25% of 40
+  EXPECT_NEAR(action.route(1, 0), 30.0, 1.0);  // ~75%
+  EXPECT_DOUBLE_EQ(action.route(0, 0) + action.route(1, 0), 40.0);
+}
+
+TEST(GreFar, StrictlyShorterQueueStillWinsOutright) {
+  GreFarScheduler s(two_dc_config(), make_params(1.0));
+  // q0 = 0 strictly below q1 = 3: no tie, everything goes to DC1 first.
+  auto action = s.decide(obs_with(5.0, 0.0, 3.0));
+  EXPECT_DOUBLE_EQ(action.route(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(action.route(1, 0), 0.0);
+}
+
+TEST(GreFar, PostRoutingProcessingCoversFreshlyRoutedJobs) {
+  // Queue empty at the DCs, 4 jobs central, low V: with the default
+  // (process_after_routing) h covers the routed jobs in the same decision.
+  GreFarScheduler with(two_dc_config(), make_params(0.1));
+  auto action = with.decide(obs_with(4.0, 0.0, 0.0));
+  EXPECT_NEAR(action.process(0, 0) + action.process(1, 0), 4.0, 1e-6);
+
+  // With the literal ordering h sees only the (empty) pre-routing queues.
+  GreFarParams literal = make_params(0.1);
+  literal.process_after_routing = false;
+  GreFarScheduler without(two_dc_config(), literal);
+  auto literal_action = without.decide(obs_with(4.0, 0.0, 0.0));
+  EXPECT_DOUBLE_EQ(literal_action.process(0, 0) + literal_action.process(1, 0), 0.0);
+}
+
+TEST(GreFar, RoutingIsIntegral) {
+  GreFarScheduler s(two_dc_config(), make_params(1.0));
+  auto action = s.decide(obs_with(5.7, 1.0, 2.0));
+  double r = action.route(0, 0) + action.route(1, 0);
+  EXPECT_DOUBLE_EQ(r, std::floor(r));
+}
+
+}  // namespace
+}  // namespace grefar

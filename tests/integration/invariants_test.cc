@@ -1,0 +1,143 @@
+// Property tests: invariants the simulator must uphold under *any*
+// feasible scheduler, checked by driving the engine with a randomized
+// (but valid) scheduler over many seeds.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "price/price_model.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+#include "workload/arrival_process.h"
+
+namespace grefar {
+namespace {
+
+/// A scheduler that makes random—but contract-respecting—decisions: routes a
+/// random share of each central queue to random eligible DCs and processes a
+/// random share of each DC queue, within capacity.
+class FuzzScheduler final : public Scheduler {
+ public:
+  FuzzScheduler(ClusterConfig config, std::uint64_t seed)
+      : config_(std::move(config)), rng_(seed) {}
+
+  SlotAction decide(const SlotObservation& obs) override {
+    const std::size_t N = config_.num_data_centers();
+    const std::size_t J = config_.num_job_types();
+    SlotAction action;
+    action.route = MatrixD(N, J);
+    action.process = MatrixD(N, J);
+    for (std::size_t j = 0; j < J; ++j) {
+      const auto& eligible = config_.job_types[j].eligible_dcs;
+      auto jobs = static_cast<std::int64_t>(obs.central_queue[j]);
+      if (jobs > 0 && rng_.bernoulli(0.8)) {
+        auto n = rng_.uniform_int(0, jobs);
+        auto pick = static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(eligible.size()) - 1));
+        action.route(eligible[pick], j) = static_cast<double>(n);
+      }
+    }
+    for (std::size_t i = 0; i < N; ++i) {
+      double capacity = 0.0;
+      for (std::size_t k = 0; k < config_.num_server_types(); ++k) {
+        capacity += static_cast<double>(obs.availability(i, k)) *
+                    config_.server_types[k].speed;
+      }
+      for (std::size_t j = 0; j < J; ++j) {
+        if (!config_.job_types[j].eligible(i)) continue;
+        double max_h = std::min(obs.dc_queue(i, j) + action.route(i, j),
+                                capacity / config_.job_types[j].work);
+        action.process(i, j) = rng_.uniform(0.0, std::max(max_h, 0.0));
+      }
+    }
+    return action;
+  }
+  std::string name() const override { return "Fuzz"; }
+
+ private:
+  ClusterConfig config_;
+  Rng rng_;
+};
+
+ClusterConfig fuzz_config() {
+  ClusterConfig c;
+  c.server_types = {{"fast", 1.0, 1.0}, {"eff", 0.5, 0.3}};
+  c.data_centers = {{"dc1", {8, 6}}, {"dc2", {4, 10}}};
+  c.accounts = {{"a", 0.5}, {"b", 0.5}};
+  c.job_types = {{"j0", 1.0, {0, 1}, 0}, {"j1", 2.5, {0}, 1}, {"j2", 0.5, {1}, 0}};
+  return c;
+}
+
+class EngineInvariantTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineInvariantTest, HoldUnderRandomScheduling) {
+  const std::uint64_t seed = GetParam();
+  auto config = fuzz_config();
+  auto prices = std::make_shared<ConstantPriceModel>(std::vector<double>{0.4, 0.6});
+  auto avail =
+      std::make_shared<RandomFractionAvailability>(config.data_centers, 0.5, seed);
+  auto arrivals = std::make_shared<PoissonArrivals>(
+      std::vector<double>{3.0, 1.0, 4.0}, std::vector<std::int64_t>{10, 5, 12},
+      seed ^ 0xF00DULL);
+  auto scheduler = std::make_shared<FuzzScheduler>(config, seed ^ 0xFEEDULL);
+  SimulationEngine engine(config, prices, avail, arrivals, scheduler);
+
+  const std::int64_t horizon = 300;
+  engine.run(horizon);
+  const auto& m = engine.metrics();
+
+  // 1. Work conservation: arrived == processed + still queued.
+  double arrived = m.arrived_work.sum();
+  double processed = 0.0;
+  for (std::size_t i = 0; i < config.num_data_centers(); ++i) {
+    processed += m.dc_work[i].sum();
+  }
+  double queued = 0.0;
+  for (std::size_t j = 0; j < config.num_job_types(); ++j) {
+    queued += engine.central_queue_length(j) * config.job_types[j].work;
+    for (std::size_t i = 0; i < config.num_data_centers(); ++i) {
+      queued += engine.dc_queue_length(i, j) * config.job_types[j].work;
+    }
+  }
+  EXPECT_NEAR(arrived, processed + queued, 1e-6 * std::max(arrived, 1.0));
+
+  // 2. Per-account work sums to total processed work.
+  double account_total = 0.0;
+  for (const auto& series : m.account_work) account_total += series.sum();
+  EXPECT_NEAR(account_total, processed, 1e-6 * std::max(processed, 1.0));
+
+  // 3. Energy cost is consistent with the cheapest-fill bound:
+  //    price * (cheapest energy-per-work) * work <= cost <= price * (max epw) * work.
+  for (std::size_t t = 0; t < m.slots(); ++t) {
+    for (std::size_t i = 0; i < config.num_data_centers(); ++i) {
+      double work = m.dc_work[i].at(t);
+      double cost = m.dc_energy_cost[i].at(t);
+      double price = m.dc_price[i].at(t);
+      EXPECT_GE(cost + 1e-9, price * 0.6 * work);  // eff servers: 0.3/0.5
+      EXPECT_LE(cost, price * 1.0 * work + 1e-9);  // fast servers: 1/1
+    }
+  }
+
+  // 4. Completions never exceed arrivals, delays are >= 1 slot.
+  double completed = 0.0;
+  for (std::size_t i = 0; i < config.num_data_centers(); ++i) {
+    completed += m.dc_completions[i].sum();
+  }
+  EXPECT_LE(completed, m.arrived_jobs.sum() + 1e-9);
+  if (m.delay_stats.count() > 0) {
+    EXPECT_GE(m.delay_stats.min(), 1.0);
+    EXPECT_LE(m.delay_p50(), m.delay_p99() + 1e-9);
+  }
+
+  // 5. Queue lengths are never negative and fairness is never positive.
+  for (std::size_t t = 0; t < m.slots(); ++t) {
+    EXPECT_GE(m.total_queue_jobs.at(t), -1e-9);
+    EXPECT_LE(m.fairness.at(t), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineInvariantTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace grefar

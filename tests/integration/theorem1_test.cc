@@ -1,0 +1,119 @@
+// Empirical validation of Theorem 1 on the literal queue dynamics:
+//  (a) queue lengths stay bounded, with the bound growing (at most) linearly
+//      in the cost-delay parameter V;
+//  (b) GreFar's time-average cost approaches the optimal T-step lookahead
+//      cost as V grows (O(1/V) gap).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/grefar.h"
+#include "lookahead/lookahead.h"
+#include "price/price_model.h"
+#include "sim/scalar_engine.h"
+#include "workload/arrival_process.h"
+
+namespace grefar {
+namespace {
+
+ClusterConfig theorem_config() {
+  ClusterConfig c;
+  c.server_types = {{"std", 1.0, 1.0}};
+  c.data_centers = {{"dc1", {12}}, {"dc2", {12}}};
+  c.accounts = {{"a", 1.0}};
+  c.job_types = {{"j", 1.0, {0, 1}, 0}};
+  return c;
+}
+
+/// Periodic prices with a pronounced trough, so deferring pays off.
+std::shared_ptr<TablePriceModel> theorem_prices() {
+  return std::make_shared<TablePriceModel>(std::vector<std::vector<double>>{
+      {0.9, 0.8, 0.7, 0.3, 0.2, 0.3, 0.8, 0.9},
+      {0.7, 0.7, 0.5, 0.4, 0.3, 0.4, 0.6, 0.7}});
+}
+
+struct RunOutcome {
+  double max_queue;
+  double avg_cost;
+};
+
+RunOutcome run_grefar(double V, std::int64_t horizon) {
+  auto config = theorem_config();
+  auto prices = theorem_prices();
+  auto avail = std::make_shared<FullAvailability>(config.data_centers);
+  auto arrivals = std::make_shared<ConstantArrivals>(std::vector<std::int64_t>{6});
+  GreFarParams params;
+  params.V = V;
+  params.beta = 0.0;
+  params.r_max = 50.0;
+  params.h_max = 50.0;
+  params.clamp_to_queue = true;
+  params.process_after_routing = false;  // literal eq. (13) ordering
+  auto scheduler = std::make_shared<GreFarScheduler>(config, params);
+  ScalarQueueSimulator sim(config, prices, avail, arrivals, scheduler);
+  sim.run(horizon);
+  return {sim.max_queue_observed(), sim.average_cost(0.0)};
+}
+
+double lookahead_cost(std::int64_t T, std::int64_t R) {
+  auto config = theorem_config();
+  auto prices = theorem_prices();
+  FullAvailability avail(config.data_centers);
+  ConstantArrivals arrivals({6});
+  LookaheadParams p;
+  p.T = T;
+  p.R = R;
+  p.r_max = 50.0;
+  p.h_max = 50.0;
+  return solve_lookahead(config, *prices, avail, arrivals, p).average_cost;
+}
+
+TEST(Theorem1, QueuesStayBoundedForEveryV) {
+  for (double V : {0.5, 2.0, 8.0, 32.0}) {
+    auto outcome = run_grefar(V, 1600);
+    // Arrivals are 6/slot; an unstable queue would reach ~6 * 1600.
+    EXPECT_LT(outcome.max_queue, 1000.0) << "V=" << V;
+  }
+}
+
+TEST(Theorem1, QueueBoundGrowsAtMostLinearlyInV) {
+  auto q32 = run_grefar(32.0, 1600).max_queue;
+  auto q128 = run_grefar(128.0, 1600).max_queue;
+  // O(V): quadrupling V should grow the peak queue by at most ~4x (+ slack).
+  EXPECT_LE(q128, 4.5 * q32 + 10.0);
+  // And a larger V really does queue more (the delay side of the tradeoff).
+  EXPECT_GE(q128, q32);
+}
+
+TEST(Theorem1, CostIsNonIncreasingInV) {
+  double prev = 1e300;
+  for (double V : {0.5, 2.0, 8.0, 32.0, 128.0}) {
+    double cost = run_grefar(V, 1600).avg_cost;
+    EXPECT_LE(cost, prev + 0.05) << "V=" << V;
+    prev = cost;
+  }
+}
+
+TEST(Theorem1, LargeVApproachesLookaheadCost) {
+  // t_end = 1600 = R*T with T = 8 (one price period per frame).
+  double optimal = lookahead_cost(8, 200);
+  double grefar_large_v = run_grefar(128.0, 1600).avg_cost;
+  double grefar_mid_v = run_grefar(32.0, 1600).avg_cost;
+  double grefar_small_v = run_grefar(0.5, 1600).avg_cost;
+  // The O(1/V) gap shrinks monotonically with V...
+  EXPECT_LT(grefar_mid_v - optimal, grefar_small_v - optimal);
+  EXPECT_LT(grefar_large_v - optimal, grefar_mid_v - optimal);
+  // ...and is small at large V (within 10% of the offline optimum).
+  EXPECT_LE(grefar_large_v, optimal * 1.10 + 0.05);
+}
+
+TEST(Theorem1, SmallVPaysNearOnlinePrices) {
+  // With V ~ 0 GreFar processes greedily; its cost should be close to the
+  // average-price cost of serving all work, well above the T-step optimum.
+  double optimal = lookahead_cost(8, 200);
+  double eager = run_grefar(0.01, 1600).avg_cost;
+  EXPECT_GT(eager, optimal * 1.05);
+}
+
+}  // namespace
+}  // namespace grefar

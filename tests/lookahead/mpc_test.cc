@@ -1,0 +1,165 @@
+#include "lookahead/mpc.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "core/grefar.h"
+#include "price/price_model.h"
+#include "sim/engine.h"
+#include "util/check.h"
+
+namespace grefar {
+namespace {
+
+ClusterConfig one_dc_config() {
+  ClusterConfig c;
+  c.server_types = {{"std", 1.0, 1.0}};
+  c.data_centers = {{"dc", {12}}};
+  c.accounts = {{"a", 1.0}};
+  c.job_types = {{"j", 1.0, {0}, 0}};
+  return c;
+}
+
+ClusterConfig two_dc_config() {
+  ClusterConfig c;
+  c.server_types = {{"std", 1.0, 1.0}};
+  c.data_centers = {{"dc1", {12}}, {"dc2", {12}}};
+  c.accounts = {{"a", 1.0}};
+  c.job_types = {{"j", 1.0, {0, 1}, 0}};
+  return c;
+}
+
+MpcParams mpc_params(std::int64_t window) {
+  MpcParams p;
+  p.window = window;
+  p.r_max = 50.0;
+  p.h_max = 50.0;
+  return p;
+}
+
+TEST(Mpc, RejectsBadConstruction) {
+  auto c = one_dc_config();
+  auto prices = std::make_shared<ConstantPriceModel>(std::vector<double>{0.5});
+  auto avail = std::make_shared<FullAvailability>(c.data_centers);
+  auto arr = std::make_shared<ConstantArrivals>(std::vector<std::int64_t>{2});
+  auto p = mpc_params(0);
+  EXPECT_THROW(MpcScheduler(c, prices, avail, arr, p), ContractViolation);
+  EXPECT_THROW(MpcScheduler(c, nullptr, avail, arr, mpc_params(4)),
+               ContractViolation);
+}
+
+TEST(Mpc, NameEncodesWindow) {
+  auto c = one_dc_config();
+  auto prices = std::make_shared<ConstantPriceModel>(std::vector<double>{0.5});
+  auto avail = std::make_shared<FullAvailability>(c.data_centers);
+  auto arr = std::make_shared<ConstantArrivals>(std::vector<std::int64_t>{2});
+  MpcScheduler s(c, prices, avail, arr, mpc_params(6));
+  EXPECT_EQ(s.name(), "MPC(W=6)");
+}
+
+TEST(Mpc, DefersToTheCheapSlotWithinWindow) {
+  // Price pattern 0.9, 0.9, 0.1 repeating; jobs should run on 0.1 slots.
+  auto c = one_dc_config();
+  auto prices = std::make_shared<TablePriceModel>(
+      std::vector<std::vector<double>>{{0.9, 0.9, 0.1}});
+  auto avail = std::make_shared<FullAvailability>(c.data_centers);
+  auto arr = std::make_shared<ConstantArrivals>(std::vector<std::int64_t>{3});
+  auto sched = std::make_shared<MpcScheduler>(c, prices, avail, arr, mpc_params(3));
+  SimulationEngine engine(c, prices, avail, arr, sched);
+  engine.run(30);
+  const auto& m = engine.metrics();
+  double cheap_work = 0.0, expensive_work = 0.0;
+  for (std::size_t t = 0; t < m.slots(); ++t) {
+    if (m.dc_price[0].at(t) < 0.5) cheap_work += m.dc_work[0].at(t);
+    else expensive_work += m.dc_work[0].at(t);
+  }
+  EXPECT_GT(cheap_work, 5.0 * std::max(expensive_work, 1.0));
+}
+
+TEST(Mpc, RoutesToTheCheaperDataCenter) {
+  auto c = two_dc_config();
+  auto prices = std::make_shared<TablePriceModel>(
+      std::vector<std::vector<double>>{{0.8}, {0.2}});
+  auto avail = std::make_shared<FullAvailability>(c.data_centers);
+  auto arr = std::make_shared<ConstantArrivals>(std::vector<std::int64_t>{5});
+  auto sched = std::make_shared<MpcScheduler>(c, prices, avail, arr, mpc_params(2));
+  SimulationEngine engine(c, prices, avail, arr, sched);
+  engine.run(20);
+  EXPECT_GT(engine.metrics().dc_work[1].sum(),
+            10.0 * std::max(engine.metrics().dc_work[0].sum(), 1.0));
+}
+
+TEST(Mpc, BeatsAlwaysOnVariablePrices) {
+  auto c = two_dc_config();
+  auto prices = std::make_shared<TablePriceModel>(std::vector<std::vector<double>>{
+      {0.9, 0.8, 0.7, 0.3, 0.2, 0.3, 0.8, 0.9},
+      {0.7, 0.7, 0.5, 0.4, 0.3, 0.4, 0.6, 0.7}});
+  auto avail = std::make_shared<FullAvailability>(c.data_centers);
+  auto arr = std::make_shared<ConstantArrivals>(std::vector<std::int64_t>{6});
+
+  auto run_with = [&](std::shared_ptr<Scheduler> scheduler) {
+    SimulationEngine engine(c, prices, avail, arr, std::move(scheduler));
+    engine.run(160);
+    return engine.metrics().final_average_energy_cost();
+  };
+  double mpc = run_with(std::make_shared<MpcScheduler>(c, prices, avail, arr,
+                                                       mpc_params(8)));
+  double always = run_with(std::make_shared<AlwaysScheduler>(c));
+  EXPECT_LT(mpc, 0.8 * always);
+}
+
+TEST(Mpc, OracleWindowUpperBoundsGreFar) {
+  // With the window spanning the full price period, oracle MPC should do at
+  // least as well as (converged) GreFar on the same instance.
+  auto c = two_dc_config();
+  auto prices = std::make_shared<TablePriceModel>(std::vector<std::vector<double>>{
+      {0.9, 0.8, 0.7, 0.3, 0.2, 0.3, 0.8, 0.9},
+      {0.7, 0.7, 0.5, 0.4, 0.3, 0.4, 0.6, 0.7}});
+  auto avail = std::make_shared<FullAvailability>(c.data_centers);
+  auto arr = std::make_shared<ConstantArrivals>(std::vector<std::int64_t>{6});
+
+  SimulationEngine mpc_engine(
+      c, prices, avail, arr,
+      std::make_shared<MpcScheduler>(c, prices, avail, arr, mpc_params(8)));
+  mpc_engine.run(160);
+
+  GreFarParams g;
+  g.V = 32.0;
+  g.r_max = 50.0;
+  g.h_max = 50.0;
+  SimulationEngine grefar_engine(c, prices, avail, arr,
+                                 std::make_shared<GreFarScheduler>(c, g));
+  grefar_engine.run(160);
+
+  EXPECT_LE(mpc_engine.metrics().final_average_energy_cost(),
+            grefar_engine.metrics().final_average_energy_cost() * 1.05);
+}
+
+TEST(Mpc, StableUnderLoad) {
+  auto c = one_dc_config();
+  auto prices = std::make_shared<TablePriceModel>(
+      std::vector<std::vector<double>>{{0.5, 0.6, 0.4, 0.7}});
+  auto avail = std::make_shared<FullAvailability>(c.data_centers);
+  auto arr = std::make_shared<ConstantArrivals>(std::vector<std::int64_t>{9});
+  auto sched = std::make_shared<MpcScheduler>(c, prices, avail, arr, mpc_params(4));
+  SimulationEngine engine(c, prices, avail, arr, sched);
+  engine.run(80);
+  // Arrivals 9 vs capacity 12: the queue must stay bounded.
+  EXPECT_LT(engine.metrics().total_queue_jobs.at(79), 80.0);
+}
+
+TEST(Mpc, WindowOneIsMyopic) {
+  // W = 1 cannot defer: it behaves like process-now whenever the terminal
+  // penalty exceeds the current price, giving ~Always-like delay.
+  auto c = one_dc_config();
+  auto prices = std::make_shared<ConstantPriceModel>(std::vector<double>{0.5});
+  auto avail = std::make_shared<FullAvailability>(c.data_centers);
+  auto arr = std::make_shared<ConstantArrivals>(std::vector<std::int64_t>{4});
+  auto sched = std::make_shared<MpcScheduler>(c, prices, avail, arr, mpc_params(1));
+  SimulationEngine engine(c, prices, avail, arr, sched);
+  engine.run(40);
+  EXPECT_NEAR(engine.metrics().mean_delay(), 1.0, 0.2);
+}
+
+}  // namespace
+}  // namespace grefar

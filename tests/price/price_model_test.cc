@@ -1,0 +1,159 @@
+#include "price/price_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace grefar {
+namespace {
+
+TEST(ConstantPrice, ReturnsConfiguredValues) {
+  ConstantPriceModel m({0.3, 0.5});
+  EXPECT_EQ(m.num_data_centers(), 2u);
+  EXPECT_DOUBLE_EQ(m.price(0, 0), 0.3);
+  EXPECT_DOUBLE_EQ(m.price(1, 999), 0.5);
+}
+
+TEST(ConstantPrice, RejectsBadInputs) {
+  EXPECT_THROW(ConstantPriceModel({}), ContractViolation);
+  EXPECT_THROW(ConstantPriceModel({0.0}), ContractViolation);
+  EXPECT_THROW(ConstantPriceModel({-1.0}), ContractViolation);
+  ConstantPriceModel m({0.3});
+  EXPECT_THROW(m.price(1, 0), ContractViolation);
+  EXPECT_THROW(m.price(0, -1), ContractViolation);
+}
+
+DiurnalOuParams test_params(double mean) {
+  DiurnalOuParams p;
+  p.mean = mean;
+  p.diurnal_amplitude = 0.1;
+  p.peak_hour = 16.0;
+  p.reversion = 0.3;
+  p.volatility = 0.02;
+  p.floor = 0.01;
+  return p;
+}
+
+TEST(DiurnalOuPrice, DeterministicPerSeed) {
+  DiurnalOuPriceModel a({test_params(0.4)}, 7);
+  DiurnalOuPriceModel b({test_params(0.4)}, 7);
+  for (std::int64_t t = 0; t < 200; ++t) EXPECT_DOUBLE_EQ(a.price(0, t), b.price(0, t));
+}
+
+TEST(DiurnalOuPrice, DifferentSeedsDiffer) {
+  DiurnalOuPriceModel a({test_params(0.4)}, 7);
+  DiurnalOuPriceModel b({test_params(0.4)}, 8);
+  int same = 0;
+  for (std::int64_t t = 0; t < 100; ++t) {
+    if (a.price(0, t) == b.price(0, t)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(DiurnalOuPrice, RandomAccessMatchesSequential) {
+  DiurnalOuPriceModel a({test_params(0.4)}, 9);
+  DiurnalOuPriceModel b({test_params(0.4)}, 9);
+  double late_a = a.price(0, 500);  // jump directly
+  for (std::int64_t t = 0; t < 500; ++t) b.price(0, t);
+  EXPECT_DOUBLE_EQ(late_a, b.price(0, 500));
+}
+
+TEST(DiurnalOuPrice, LongRunMeanMatchesParameter) {
+  DiurnalOuPriceModel m({test_params(0.45)}, 11);
+  EXPECT_NEAR(average_price(m, 0, 20000), 0.45, 0.01);
+}
+
+TEST(DiurnalOuPrice, PricesStayAboveFloor) {
+  auto p = test_params(0.1);
+  p.volatility = 0.2;  // aggressive noise
+  p.floor = 0.05;
+  DiurnalOuPriceModel m({p}, 13);
+  for (std::int64_t t = 0; t < 2000; ++t) EXPECT_GE(m.price(0, t), 0.05);
+}
+
+TEST(DiurnalOuPrice, DiurnalShapePeaksNearPeakHour) {
+  auto p = test_params(0.5);
+  p.volatility = 0.0;  // pure sinusoid
+  p.diurnal_amplitude = 0.2;
+  DiurnalOuPriceModel m({p}, 17);
+  EXPECT_GT(m.price(0, 16), m.price(0, 4));  // peak hour 16, trough hour 4
+  EXPECT_NEAR(m.price(0, 16), 0.6, 1e-9);
+  EXPECT_NEAR(m.price(0, 4), 0.4, 1e-9);
+}
+
+TEST(DiurnalOuPrice, IndependentPerDataCenter) {
+  DiurnalOuPriceModel m({test_params(0.4), test_params(0.4)}, 19);
+  int same = 0;
+  for (std::int64_t t = 0; t < 100; ++t) {
+    if (m.price(0, t) == m.price(1, t)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(SpikyPrice, MultiplierNeverBelowBase) {
+  auto base = std::make_shared<ConstantPriceModel>(std::vector<double>{0.4});
+  SpikyPriceModel m(base, 0.05, 3.0, 0.5, 23);
+  for (std::int64_t t = 0; t < 2000; ++t) EXPECT_GE(m.price(0, t), 0.4 - 1e-12);
+}
+
+TEST(SpikyPrice, SpikesOccur) {
+  auto base = std::make_shared<ConstantPriceModel>(std::vector<double>{0.4});
+  SpikyPriceModel m(base, 0.05, 3.0, 0.5, 23);
+  double max_seen = 0.0;
+  for (std::int64_t t = 0; t < 2000; ++t) max_seen = std::max(max_seen, m.price(0, t));
+  EXPECT_GT(max_seen, 0.4 * 2.5);
+}
+
+TEST(SpikyPrice, ZeroProbabilityMeansNoSpikes) {
+  auto base = std::make_shared<ConstantPriceModel>(std::vector<double>{0.4});
+  SpikyPriceModel m(base, 0.0, 3.0, 0.5, 29);
+  for (std::int64_t t = 0; t < 500; ++t) EXPECT_DOUBLE_EQ(m.price(0, t), 0.4);
+}
+
+TEST(SpikyPrice, RejectsBadParams) {
+  auto base = std::make_shared<ConstantPriceModel>(std::vector<double>{0.4});
+  EXPECT_THROW(SpikyPriceModel(nullptr, 0.1, 2.0, 0.5, 1), ContractViolation);
+  EXPECT_THROW(SpikyPriceModel(base, 1.5, 2.0, 0.5, 1), ContractViolation);
+  EXPECT_THROW(SpikyPriceModel(base, 0.1, 0.5, 0.5, 1), ContractViolation);
+  EXPECT_THROW(SpikyPriceModel(base, 0.1, 2.0, 1.0, 1), ContractViolation);
+}
+
+TEST(TablePrice, WrapsAround) {
+  TablePriceModel m({{0.1, 0.2, 0.3}});
+  EXPECT_DOUBLE_EQ(m.price(0, 0), 0.1);
+  EXPECT_DOUBLE_EQ(m.price(0, 3), 0.1);
+  EXPECT_DOUBLE_EQ(m.price(0, 5), 0.3);
+}
+
+TEST(TablePrice, RejectsBadSeries) {
+  EXPECT_THROW(TablePriceModel(std::vector<std::vector<double>>{}), ContractViolation);
+  EXPECT_THROW(TablePriceModel(std::vector<std::vector<double>>{{}}), ContractViolation);
+  EXPECT_THROW(TablePriceModel(std::vector<std::vector<double>>{{0.0}}), ContractViolation);
+}
+
+TEST(PaperPriceModel, AveragesMatchTableOne) {
+  auto m = make_paper_price_model(42);
+  ASSERT_EQ(m->num_data_centers(), 3u);
+  // Table I: 0.392 / 0.433 / 0.548.
+  EXPECT_NEAR(average_price(*m, 0, 20000), 0.392, 0.012);
+  EXPECT_NEAR(average_price(*m, 1, 20000), 0.433, 0.012);
+  EXPECT_NEAR(average_price(*m, 2, 20000), 0.548, 0.015);
+}
+
+TEST(PaperPriceModel, OrderingUsuallyHolds) {
+  auto m = make_paper_price_model(7);
+  int dc3_highest = 0;
+  const int horizon = 1000;
+  for (std::int64_t t = 0; t < horizon; ++t) {
+    if (m->price(2, t) > m->price(0, t)) ++dc3_highest;
+  }
+  EXPECT_GT(dc3_highest, horizon * 3 / 4);
+}
+
+TEST(AveragePrice, RequiresPositiveHorizon) {
+  ConstantPriceModel m({0.4});
+  EXPECT_THROW(average_price(m, 0, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace grefar

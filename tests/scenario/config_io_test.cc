@@ -1,0 +1,187 @@
+#include "scenario/config_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "scenario/paper_scenario.h"
+
+namespace grefar {
+namespace {
+
+const char* kMinimalConfig = R"({
+  "server_types": [{"name": "std", "speed": 1.0, "busy_power": 0.9}],
+  "data_centers": [{"name": "dc1", "installed": [10]},
+                   {"name": "dc2", "installed": [20]}],
+  "accounts": [{"name": "a", "gamma": 0.6}, {"name": "b", "gamma": 0.4}],
+  "job_types": [{"name": "j0", "work": 2.0, "eligible_dcs": [0, 1], "account": 0},
+                {"name": "j1", "work": 1.0, "eligible_dcs": [1], "account": 1}]
+})";
+
+TEST(ClusterConfigJson, ParsesMinimalConfig) {
+  auto parsed = cluster_config_from_json(parse_json(kMinimalConfig).value());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const auto& config = parsed.value();
+  EXPECT_EQ(config.num_server_types(), 1u);
+  EXPECT_EQ(config.num_data_centers(), 2u);
+  EXPECT_EQ(config.num_accounts(), 2u);
+  EXPECT_EQ(config.num_job_types(), 2u);
+  EXPECT_DOUBLE_EQ(config.server_types[0].busy_power, 0.9);
+  EXPECT_EQ(config.data_centers[1].installed[0], 20);
+  EXPECT_DOUBLE_EQ(config.accounts[0].gamma, 0.6);
+  EXPECT_EQ(config.job_types[0].eligible_dcs, (std::vector<DataCenterId>{0, 1}));
+  EXPECT_EQ(config.job_types[1].account, 1u);
+}
+
+TEST(ClusterConfigJson, RoundTripsPaperScenario) {
+  auto original = make_paper_scenario(1).config;
+  auto json = cluster_config_to_json(original);
+  auto parsed = cluster_config_from_json(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const auto& config = parsed.value();
+  ASSERT_EQ(config.num_job_types(), original.num_job_types());
+  for (std::size_t j = 0; j < config.num_job_types(); ++j) {
+    EXPECT_EQ(config.job_types[j].name, original.job_types[j].name);
+    EXPECT_DOUBLE_EQ(config.job_types[j].work, original.job_types[j].work);
+    EXPECT_EQ(config.job_types[j].eligible_dcs, original.job_types[j].eligible_dcs);
+    EXPECT_EQ(config.job_types[j].account, original.job_types[j].account);
+  }
+  for (std::size_t i = 0; i < config.num_data_centers(); ++i) {
+    EXPECT_EQ(config.data_centers[i].installed, original.data_centers[i].installed);
+  }
+}
+
+TEST(ClusterConfigJson, RoundTripSurvivesTextForm) {
+  auto original = make_paper_scenario(2).config;
+  auto text = cluster_config_to_json(original).dump(2);
+  auto parsed = cluster_config_from_json(parse_json(text).value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().num_job_types(), original.num_job_types());
+}
+
+TEST(ClusterConfigJson, RejectsUnknownFields) {
+  auto json = parse_json(kMinimalConfig).value();
+  json.as_object()["typo_field"] = 1;
+  auto parsed = cluster_config_from_json(json);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("typo_field"), std::string::npos);
+}
+
+TEST(ClusterConfigJson, RejectsUnknownNestedFields) {
+  auto json = parse_json(kMinimalConfig).value();
+  json.as_object()["server_types"].as_array()[0].as_object()["speeed"] = 1.0;
+  auto parsed = cluster_config_from_json(json);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("speeed"), std::string::npos);
+}
+
+TEST(ClusterConfigJson, RejectsMissingFields) {
+  auto json = parse_json(kMinimalConfig).value();
+  json.as_object()["accounts"].as_array()[0].as_object().erase("gamma");
+  EXPECT_FALSE(cluster_config_from_json(json).ok());
+}
+
+TEST(ClusterConfigJson, RejectsWrongTypes) {
+  auto json = parse_json(kMinimalConfig).value();
+  json.as_object()["server_types"].as_array()[0].as_object()["speed"] = "fast";
+  EXPECT_FALSE(cluster_config_from_json(json).ok());
+}
+
+TEST(ClusterConfigJson, RejectsSemanticallyInvalidConfig) {
+  auto json = parse_json(kMinimalConfig).value();
+  // Job type referencing a nonexistent DC fails validation.
+  json.as_object()["job_types"].as_array()[0].as_object()["eligible_dcs"] =
+      JsonArray{JsonValue(7)};
+  auto parsed = cluster_config_from_json(json);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("invalid cluster config"), std::string::npos);
+}
+
+TEST(ClusterConfigJson, RejectsNonObject) {
+  EXPECT_FALSE(cluster_config_from_json(JsonValue(JsonArray{})).ok());
+  EXPECT_FALSE(cluster_config_from_json(JsonValue(1.0)).ok());
+}
+
+TEST(GreFarParamsJson, DefaultsApplyWhenOmitted) {
+  auto parsed = grefar_params_from_json(parse_json("{}").value());
+  ASSERT_TRUE(parsed.ok());
+  GreFarParams defaults;
+  EXPECT_DOUBLE_EQ(parsed.value().V, defaults.V);
+  EXPECT_DOUBLE_EQ(parsed.value().beta, defaults.beta);
+  EXPECT_EQ(parsed.value().clamp_to_queue, defaults.clamp_to_queue);
+}
+
+TEST(GreFarParamsJson, ParsesAllFields) {
+  auto parsed = grefar_params_from_json(parse_json(
+      R"({"V": 7.5, "beta": 100, "r_max": 50, "h_max": 60,
+          "clamp_to_queue": false, "process_after_routing": false})")
+                                            .value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed.value().V, 7.5);
+  EXPECT_DOUBLE_EQ(parsed.value().beta, 100.0);
+  EXPECT_DOUBLE_EQ(parsed.value().r_max, 50.0);
+  EXPECT_DOUBLE_EQ(parsed.value().h_max, 60.0);
+  EXPECT_FALSE(parsed.value().clamp_to_queue);
+  EXPECT_FALSE(parsed.value().process_after_routing);
+}
+
+TEST(GreFarParamsJson, RejectsNegativeAndUnknown) {
+  EXPECT_FALSE(grefar_params_from_json(parse_json(R"({"V": -1})").value()).ok());
+  EXPECT_FALSE(grefar_params_from_json(parse_json(R"({"vee": 1})").value()).ok());
+}
+
+TEST(GreFarParamsJson, RoundTrips) {
+  GreFarParams params;
+  params.V = 2.5;
+  params.beta = 300.0;
+  params.clamp_to_queue = false;
+  auto parsed = grefar_params_from_json(grefar_params_to_json(params));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed.value().V, 2.5);
+  EXPECT_DOUBLE_EQ(parsed.value().beta, 300.0);
+  EXPECT_FALSE(parsed.value().clamp_to_queue);
+}
+
+TEST(ExperimentConfig, FileRoundTrip) {
+  ExperimentConfig config;
+  config.cluster = make_paper_scenario(3).config;
+  config.grefar = paper_grefar_params(7.5, 100.0);
+  std::string path = ::testing::TempDir() + "/grefar_experiment.json";
+  ASSERT_TRUE(save_experiment_config(path, config).ok());
+  auto loaded = load_experiment_config(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded.value().cluster.num_job_types(), config.cluster.num_job_types());
+  EXPECT_DOUBLE_EQ(loaded.value().grefar.V, 7.5);
+  EXPECT_DOUBLE_EQ(loaded.value().grefar.beta, 100.0);
+  std::remove(path.c_str());
+}
+
+TEST(ExperimentConfig, GrefarSectionIsOptional) {
+  std::string doc = std::string("{\"cluster\": ") + kMinimalConfig + "}";
+  auto parsed = experiment_config_from_json(parse_json(doc).value());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  GreFarParams defaults;
+  EXPECT_DOUBLE_EQ(parsed.value().grefar.V, defaults.V);
+}
+
+TEST(ExperimentConfig, MissingClusterFails) {
+  EXPECT_FALSE(experiment_config_from_json(parse_json("{}").value()).ok());
+}
+
+TEST(ExperimentConfig, MissingFileFails) {
+  EXPECT_FALSE(load_experiment_config("/no/such/config.json").ok());
+}
+
+TEST(ExperimentConfig, LoadedConfigDrivesScheduler) {
+  // The loaded config must be directly usable to build a scheduler.
+  auto json = parse_json(std::string("{\"cluster\": ") + kMinimalConfig +
+                         ", \"grefar\": {\"V\": 3.0}}")
+                  .value();
+  auto config = experiment_config_from_json(json);
+  ASSERT_TRUE(config.ok());
+  GreFarScheduler scheduler(config.value().cluster, config.value().grefar);
+  EXPECT_EQ(scheduler.name(), "GreFar(V=3.00, beta=0.0)");
+}
+
+}  // namespace
+}  // namespace grefar

@@ -1,0 +1,128 @@
+#include "sim/availability.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace grefar {
+namespace {
+
+std::vector<DataCenterConfig> two_dcs() {
+  return {{"a", {10, 20}}, {"b", {5, 0}}};
+}
+
+TEST(FullAvailability, AlwaysEverything) {
+  FullAvailability m(two_dcs());
+  EXPECT_EQ(m.num_data_centers(), 2u);
+  EXPECT_EQ(m.num_server_types(), 2u);
+  for (std::int64_t t : {0, 100, 99999}) {
+    auto a = m.availability(t);
+    EXPECT_EQ(a(0, 0), 10);
+    EXPECT_EQ(a(0, 1), 20);
+    EXPECT_EQ(a(1, 0), 5);
+    EXPECT_EQ(a(1, 1), 0);
+  }
+}
+
+TEST(FullAvailability, RejectsNegativeSlot) {
+  FullAvailability m(two_dcs());
+  EXPECT_THROW(m.availability(-1), ContractViolation);
+}
+
+TEST(RandomFraction, StaysWithinBounds) {
+  RandomFractionAvailability m(two_dcs(), 0.6, 42);
+  for (std::int64_t t = 0; t < 500; ++t) {
+    auto a = m.availability(t);
+    EXPECT_GE(a(0, 0), static_cast<std::int64_t>(0.6 * 10) - 1);
+    EXPECT_LE(a(0, 0), 10);
+    EXPECT_GE(a(0, 1), static_cast<std::int64_t>(0.6 * 20) - 1);
+    EXPECT_LE(a(0, 1), 20);
+    EXPECT_EQ(a(1, 1), 0);  // nothing installed stays nothing
+  }
+}
+
+TEST(RandomFraction, DeterministicPerSeed) {
+  RandomFractionAvailability a(two_dcs(), 0.5, 7);
+  RandomFractionAvailability b(two_dcs(), 0.5, 7);
+  for (std::int64_t t = 0; t < 100; ++t) {
+    EXPECT_TRUE(a.availability(t) == b.availability(t));
+  }
+}
+
+TEST(RandomFraction, RandomAccessMatchesSequential) {
+  RandomFractionAvailability a(two_dcs(), 0.5, 9);
+  RandomFractionAvailability b(two_dcs(), 0.5, 9);
+  auto late = a.availability(200);
+  for (std::int64_t t = 0; t < 200; ++t) b.availability(t);
+  EXPECT_TRUE(late == b.availability(200));
+}
+
+TEST(RandomFraction, ActuallyVaries) {
+  RandomFractionAvailability m(two_dcs(), 0.5, 11);
+  bool varied = false;
+  auto first = m.availability(0);
+  for (std::int64_t t = 1; t < 50 && !varied; ++t) {
+    varied = !(m.availability(t) == first);
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(RandomFraction, FractionOneIsFullAvailability) {
+  RandomFractionAvailability m(two_dcs(), 1.0, 13);
+  auto a = m.availability(0);
+  EXPECT_EQ(a(0, 0), 10);
+  EXPECT_EQ(a(0, 1), 20);
+}
+
+TEST(RandomFraction, RejectsBadFraction) {
+  EXPECT_THROW(RandomFractionAvailability(two_dcs(), -0.1, 1), ContractViolation);
+  EXPECT_THROW(RandomFractionAvailability(two_dcs(), 1.1, 1), ContractViolation);
+}
+
+TEST(Availability, RejectsRaggedFleets) {
+  std::vector<DataCenterConfig> ragged{{"a", {1, 2}}, {"b", {3}}};
+  EXPECT_THROW(FullAvailability{ragged}, ContractViolation);
+}
+
+Matrix<std::int64_t> snapshot(std::int64_t a, std::int64_t b) {
+  Matrix<std::int64_t> m(1, 2);
+  m(0, 0) = a;
+  m(0, 1) = b;
+  return m;
+}
+
+TEST(TableAvailability, ReplaysAndWraps) {
+  TableAvailability m({snapshot(5, 3), snapshot(2, 0)});
+  EXPECT_EQ(m.num_data_centers(), 1u);
+  EXPECT_EQ(m.num_server_types(), 2u);
+  EXPECT_EQ(m.availability(0)(0, 0), 5);
+  EXPECT_EQ(m.availability(1)(0, 1), 0);
+  EXPECT_EQ(m.availability(2)(0, 0), 5);  // wrap
+  EXPECT_EQ(m.availability(7)(0, 0), 2);
+}
+
+TEST(TableAvailability, RejectsBadTables) {
+  EXPECT_THROW(TableAvailability({}), ContractViolation);
+  Matrix<std::int64_t> wrong_shape(2, 2);
+  EXPECT_THROW(TableAvailability({snapshot(1, 1), wrong_shape}), ContractViolation);
+  Matrix<std::int64_t> negative(1, 2);
+  negative(0, 0) = -1;
+  EXPECT_THROW(TableAvailability({negative}), ContractViolation);
+  TableAvailability ok({snapshot(1, 1)});
+  EXPECT_THROW(ok.availability(-1), ContractViolation);
+}
+
+TEST(TableAvailability, DrivesFromMaterializedRandomModel) {
+  // Record a random model's availability, replay it, get identical values.
+  std::vector<DataCenterConfig> dcs{{"a", {10, 20}}, {"b", {5, 0}}};
+  RandomFractionAvailability original(dcs, 0.5, 77);
+  std::vector<Matrix<std::int64_t>> recorded;
+  for (std::int64_t t = 0; t < 50; ++t) recorded.push_back(original.availability(t));
+  TableAvailability replayed(recorded);
+  for (std::int64_t t = 0; t < 50; ++t) {
+    EXPECT_TRUE(replayed.availability(t) == original.availability(t));
+  }
+}
+
+}  // namespace
+}  // namespace grefar

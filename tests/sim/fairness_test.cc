@@ -1,0 +1,87 @@
+#include "sim/fairness.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace grefar {
+namespace {
+
+TEST(Fairness, PerfectAllocationScoresZero) {
+  FairnessFunction f({0.4, 0.3, 0.15, 0.15});
+  double R = 100.0;
+  EXPECT_DOUBLE_EQ(f.score({40.0, 30.0, 15.0, 15.0}, R), 0.0);
+}
+
+TEST(Fairness, ScoreIsNeverPositive) {
+  FairnessFunction f({0.5, 0.5});
+  EXPECT_LE(f.score({10.0, 0.0}, 10.0), 0.0);
+  EXPECT_LE(f.score({0.0, 0.0}, 10.0), 0.0);
+  EXPECT_LE(f.score({5.0, 5.0}, 10.0), -0.0);
+}
+
+TEST(Fairness, KnownValue) {
+  // r/R = (1, 0), gamma = (0.5, 0.5): penalty = 0.25 + 0.25 = 0.5.
+  FairnessFunction f({0.5, 0.5});
+  EXPECT_DOUBLE_EQ(f.score({10.0, 0.0}, 10.0), -0.5);
+}
+
+TEST(Fairness, IdleSystemIsPenalized) {
+  // The paper notes f encourages resource use: all-idle scores
+  // -sum gamma_m^2 < 0.
+  FairnessFunction f({0.4, 0.3, 0.15, 0.15});
+  double expected = -(0.16 + 0.09 + 0.0225 + 0.0225);
+  EXPECT_DOUBLE_EQ(f.score({0.0, 0.0, 0.0, 0.0}, 50.0), expected);
+}
+
+TEST(Fairness, MoreBalancedBeatsLessBalanced) {
+  FairnessFunction f({0.5, 0.5});
+  double balanced = f.score({5.0, 5.0}, 10.0);
+  double skewed = f.score({8.0, 2.0}, 10.0);
+  EXPECT_GT(balanced, skewed);
+}
+
+TEST(Fairness, ScoreGradientMatchesFiniteDifference) {
+  FairnessFunction f({0.4, 0.6});
+  double R = 50.0;
+  std::vector<double> r{12.0, 20.0};
+  const double eps = 1e-6;
+  for (std::size_t m = 0; m < 2; ++m) {
+    auto r_hi = r;
+    r_hi[m] += eps;
+    auto r_lo = r;
+    r_lo[m] -= eps;
+    double numeric = (f.score(r_hi, R) - f.score(r_lo, R)) / (2 * eps);
+    EXPECT_NEAR(f.score_gradient(r[m], m, R), numeric, 1e-6);
+  }
+}
+
+TEST(Fairness, GradientSignPushesTowardTarget) {
+  FairnessFunction f({0.5, 0.5});
+  double R = 10.0;
+  // Below target: increasing r_m improves the score (positive gradient).
+  EXPECT_GT(f.score_gradient(2.0, 0, R), 0.0);
+  // Above target: decreasing improves.
+  EXPECT_LT(f.score_gradient(8.0, 0, R), 0.0);
+  // At target: zero.
+  EXPECT_NEAR(f.score_gradient(5.0, 0, R), 0.0, 1e-12);
+}
+
+TEST(Fairness, RejectsBadInputs) {
+  EXPECT_THROW(FairnessFunction({}), ContractViolation);
+  EXPECT_THROW(FairnessFunction({0.5, -0.1}), ContractViolation);
+  FairnessFunction f({0.5, 0.5});
+  EXPECT_THROW(f.score({1.0}, 10.0), ContractViolation);
+  EXPECT_THROW(f.score({1.0, 2.0}, 0.0), ContractViolation);
+  EXPECT_THROW(f.score_gradient(1.0, 2, 10.0), ContractViolation);
+  EXPECT_THROW(f.score_gradient(1.0, 0, -1.0), ContractViolation);
+}
+
+TEST(Fairness, ExposesGamma) {
+  FairnessFunction f({0.4, 0.6});
+  EXPECT_EQ(f.num_accounts(), 2u);
+  EXPECT_DOUBLE_EQ(f.gamma()[1], 0.6);
+}
+
+}  // namespace
+}  // namespace grefar

@@ -1,0 +1,145 @@
+#include "sim/scalar_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "price/price_model.h"
+#include "util/check.h"
+
+namespace grefar {
+namespace {
+
+class LambdaScheduler final : public Scheduler {
+ public:
+  using Fn = std::function<SlotAction(const SlotObservation&)>;
+  explicit LambdaScheduler(Fn fn) : fn_(std::move(fn)) {}
+
+  SlotAction decide(const SlotObservation& obs) override { return fn_(obs); }
+  std::string name() const override { return "lambda"; }
+
+ private:
+  Fn fn_;
+};
+
+ClusterConfig simple_config() {
+  ClusterConfig c;
+  c.server_types = {{"std", 1.0, 1.0}};
+  c.data_centers = {{"dc1", {10}}, {"dc2", {10}}};
+  c.accounts = {{"acct", 1.0}};
+  c.job_types = {{"job", 1.0, {0, 1}, 0}};
+  return c;
+}
+
+SlotAction idle_action(const SlotObservation& obs) {
+  SlotAction a;
+  a.route = MatrixD(obs.dc_queue.rows(), obs.dc_queue.cols());
+  a.process = MatrixD(obs.dc_queue.rows(), obs.dc_queue.cols());
+  return a;
+}
+
+std::unique_ptr<ScalarQueueSimulator> make_sim(LambdaScheduler::Fn fn,
+                                               std::vector<std::int64_t> arrivals = {2},
+                                               ClusterConfig config = simple_config()) {
+  auto prices = std::make_shared<ConstantPriceModel>(
+      std::vector<double>(config.num_data_centers(), 0.5));
+  auto avail = std::make_shared<FullAvailability>(config.data_centers);
+  auto arr = std::make_shared<ConstantArrivals>(std::move(arrivals));
+  auto sched = std::make_shared<LambdaScheduler>(std::move(fn));
+  return std::make_unique<ScalarQueueSimulator>(std::move(config), prices, avail, arr,
+                                                std::move(sched));
+}
+
+TEST(ScalarEngine, LiteralCentralQueueUpdate) {
+  // Q(t+1) = max[Q - sum_i r, 0] + a: routing 5 from an empty queue is legal
+  // ("null jobs") and queues stay at the arrival level.
+  auto sim = make_sim([](const SlotObservation& obs) {
+    auto a = idle_action(obs);
+    a.route(0, 0) = 5.0;
+    return a;
+  });
+  sim->step();
+  EXPECT_DOUBLE_EQ(sim->central_queue(0), 2.0);  // max[0-5,0]+2
+  // But the DC queue received the full (phantom) routing per eq. (13).
+  EXPECT_DOUBLE_EQ(sim->dc_queue(0, 0), 5.0);
+  sim->step();
+  EXPECT_DOUBLE_EQ(sim->central_queue(0), 2.0);  // max[2-5,0]+2
+  EXPECT_DOUBLE_EQ(sim->dc_queue(0, 0), 10.0);
+}
+
+TEST(ScalarEngine, LiteralDcQueueUpdate) {
+  // q(t+1) = max[q - h, 0] + r with h applied to the pre-routing queue.
+  auto sim = make_sim([](const SlotObservation& obs) {
+    auto a = idle_action(obs);
+    a.route(0, 0) = 2.0;
+    a.process(0, 0) = 3.0;
+    return a;
+  });
+  sim->step();
+  EXPECT_DOUBLE_EQ(sim->dc_queue(0, 0), 2.0);  // max[0-3,0]+2
+  sim->step();
+  EXPECT_DOUBLE_EQ(sim->dc_queue(0, 0), 2.0);  // max[2-3,0]+2
+}
+
+TEST(ScalarEngine, EnergyChargedOnDecidedWork) {
+  auto sim = make_sim([](const SlotObservation& obs) {
+    auto a = idle_action(obs);
+    a.process(0, 0) = 4.0;  // 4 jobs of work 1 on speed-1/power-1 servers
+    return a;
+  });
+  sim->step();
+  // price 0.5 * energy 4 = 2, even though the queue was empty (phantom work
+  // costs energy under the literal dynamics).
+  EXPECT_DOUBLE_EQ(sim->energy_cost().at(0), 2.0);
+}
+
+TEST(ScalarEngine, CapacityViolationIsContractViolation) {
+  auto sim = make_sim([](const SlotObservation& obs) {
+    auto a = idle_action(obs);
+    a.process(0, 0) = 11.0;  // capacity is 10
+    return a;
+  });
+  EXPECT_THROW(sim->step(), ContractViolation);
+}
+
+TEST(ScalarEngine, MaxQueueObservedTracksPeak) {
+  auto sim = make_sim(idle_action);
+  sim->run(5);
+  EXPECT_DOUBLE_EQ(sim->max_queue_observed(), 10.0);  // 2 per slot, 5 slots
+}
+
+TEST(ScalarEngine, FairnessRecorded) {
+  auto sim = make_sim([](const SlotObservation& obs) {
+    auto a = idle_action(obs);
+    a.process(0, 0) = 20.0 * 1.0;  // exactly gamma * R... R=20, gamma=1
+    return a;
+  });
+  // 20 > capacity 10 of dc1 -> violates (11); use both DCs instead.
+  auto sim2 = make_sim([](const SlotObservation& obs) {
+    auto a = idle_action(obs);
+    a.process(0, 0) = 10.0;
+    a.process(1, 0) = 10.0;
+    return a;
+  });
+  sim2->step();
+  EXPECT_DOUBLE_EQ(sim2->fairness().at(0), 0.0);  // perfect share
+  (void)sim;
+}
+
+TEST(ScalarEngine, AverageCostCombinesEnergyAndFairness) {
+  auto sim = make_sim(idle_action);
+  sim->run(4);
+  // Idle: energy 0, fairness -(0/20 - 1)^2 = -1 every slot.
+  EXPECT_DOUBLE_EQ(sim->average_cost(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sim->average_cost(2.0), 2.0);
+}
+
+TEST(ScalarEngine, SlotCounterAdvances) {
+  auto sim = make_sim(idle_action);
+  EXPECT_EQ(sim->slot(), 0);
+  sim->run(3);
+  EXPECT_EQ(sim->slot(), 3);
+}
+
+}  // namespace
+}  // namespace grefar

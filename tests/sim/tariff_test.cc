@@ -1,0 +1,133 @@
+#include "sim/tariff.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace grefar {
+namespace {
+
+TieredTariff two_tier() {
+  return TieredTariff({{10.0, 1.0}, {std::numeric_limits<double>::infinity(), 2.0}});
+}
+
+TieredTariff three_tier() {
+  return TieredTariff({{5.0, 1.0},
+                       {20.0, 1.5},
+                       {std::numeric_limits<double>::infinity(), 3.0}});
+}
+
+TEST(Tariff, DefaultIsFlat) {
+  TieredTariff t;
+  EXPECT_TRUE(t.is_flat());
+  EXPECT_DOUBLE_EQ(t.cost(7.5), 7.5);
+  EXPECT_DOUBLE_EQ(t.marginal(123.0), 1.0);
+}
+
+TEST(Tariff, TieredCostPiecewise) {
+  auto t = two_tier();
+  EXPECT_FALSE(t.is_flat());
+  EXPECT_DOUBLE_EQ(t.cost(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.cost(4.0), 4.0);
+  EXPECT_DOUBLE_EQ(t.cost(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(t.cost(15.0), 10.0 + 5.0 * 2.0);
+}
+
+TEST(Tariff, ThreeTierCost) {
+  auto t = three_tier();
+  // 5*1 + 15*1.5 + 5*3 = 5 + 22.5 + 15 = 42.5.
+  EXPECT_DOUBLE_EQ(t.cost(25.0), 42.5);
+}
+
+TEST(Tariff, MarginalIsRightContinuous) {
+  auto t = two_tier();
+  EXPECT_DOUBLE_EQ(t.marginal(9.99), 1.0);
+  EXPECT_DOUBLE_EQ(t.marginal(10.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.marginal(100.0), 2.0);
+}
+
+TEST(Tariff, CostIsConvexAndIncreasing) {
+  auto t = three_tier();
+  double prev = -1.0;
+  double prev_slope = 0.0;
+  for (double e = 0.0; e <= 40.0; e += 0.5) {
+    double c = t.cost(e);
+    EXPECT_GT(c, prev);
+    if (e > 0.0) {
+      double slope = c - t.cost(e - 0.5);
+      EXPECT_GE(slope + 1e-12, prev_slope);
+      prev_slope = slope;
+    }
+    prev = c;
+  }
+}
+
+TEST(Tariff, SmoothedMatchesExactAwayFromBoundaries) {
+  auto t = three_tier();
+  for (double e : {1.0, 10.0, 30.0}) {
+    EXPECT_NEAR(t.smoothed_cost(e, 0.5), t.cost(e), 0.2);
+    EXPECT_DOUBLE_EQ(t.smoothed_marginal(e, 0.5), t.marginal(e));
+  }
+}
+
+TEST(Tariff, SmoothedMarginalIsContinuous) {
+  auto t = two_tier();
+  double band = 1.0;
+  double prev = t.smoothed_marginal(8.0, band);
+  for (double e = 8.0; e <= 12.0; e += 0.01) {
+    double m = t.smoothed_marginal(e, band);
+    EXPECT_LE(std::abs(m - prev), 0.02);  // no jumps
+    EXPECT_GE(m + 1e-12, prev);           // non-decreasing
+    prev = m;
+  }
+  EXPECT_NEAR(t.smoothed_marginal(9.0, band), 1.0, 1e-12);
+  EXPECT_NEAR(t.smoothed_marginal(10.0, band), 1.5, 1e-12);  // midpoint of blend
+  EXPECT_NEAR(t.smoothed_marginal(11.0, band), 2.0, 1e-12);
+}
+
+TEST(Tariff, SmoothedCostDerivativeMatchesSmoothedMarginal) {
+  auto t = three_tier();
+  const double band = 0.8;
+  const double eps = 1e-6;
+  for (double e = 0.5; e < 30.0; e += 0.7) {
+    double numeric =
+        (t.smoothed_cost(e + eps, band) - t.smoothed_cost(e - eps, band)) / (2 * eps);
+    EXPECT_NEAR(numeric, t.smoothed_marginal(e, band), 1e-4) << "e=" << e;
+  }
+}
+
+TEST(Tariff, ZeroBandSmoothedEqualsExact) {
+  auto t = three_tier();
+  for (double e = 0.0; e < 30.0; e += 1.3) {
+    EXPECT_NEAR(t.smoothed_cost(e, 0.0), t.cost(e), 1e-12);
+  }
+}
+
+TEST(Tariff, RejectsInvalidTiers) {
+  using Tier = TieredTariff::Tier;
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(TieredTariff(std::vector<Tier>{}), ContractViolation);
+  // Last tier must be infinite.
+  EXPECT_THROW(TieredTariff({Tier{10.0, 1.0}}), ContractViolation);
+  // Decreasing rates violate convexity.
+  EXPECT_THROW(TieredTariff({Tier{10.0, 2.0}, Tier{inf, 1.0}}), ContractViolation);
+  // Non-increasing boundaries.
+  EXPECT_THROW(TieredTariff({Tier{10.0, 1.0}, Tier{5.0, 2.0}, Tier{inf, 3.0}}),
+               ContractViolation);
+  // Non-positive rate.
+  EXPECT_THROW(TieredTariff({Tier{inf, 0.0}}), ContractViolation);
+  // Negative energy.
+  TieredTariff ok = two_tier();
+  EXPECT_THROW(ok.cost(-1.0), ContractViolation);
+  EXPECT_THROW(ok.marginal(-1.0), ContractViolation);
+}
+
+TEST(Tariff, EqualRatesActLikeScaledFlat) {
+  TieredTariff t({{10.0, 1.5}, {std::numeric_limits<double>::infinity(), 1.5}});
+  EXPECT_FALSE(t.is_flat());  // not rate-1
+  EXPECT_DOUBLE_EQ(t.cost(8.0), 12.0);
+  EXPECT_DOUBLE_EQ(t.cost(20.0), 30.0);
+}
+
+}  // namespace
+}  // namespace grefar

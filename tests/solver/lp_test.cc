@@ -1,0 +1,201 @@
+#include "solver/lp.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace grefar {
+namespace {
+
+TEST(Simplex, SolvesTextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  => x=2, y=6, obj=36.
+  LinearProgram lp(2);
+  lp.set_objective(0, -3.0);  // minimize the negation
+  lp.set_objective(1, -5.0);
+  lp.add_constraint({1.0, 0.0}, ConstraintSense::kLessEqual, 4.0);
+  lp.add_constraint({0.0, 2.0}, ConstraintSense::kLessEqual, 12.0);
+  lp.add_constraint({3.0, 2.0}, ConstraintSense::kLessEqual, 18.0);
+  auto sol = solve_lp(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-8);
+  EXPECT_NEAR(sol.x[1], 6.0, 1e-8);
+  EXPECT_NEAR(sol.objective, -36.0, 1e-8);
+}
+
+TEST(Simplex, SolvesMinimizationWithGreaterEqual) {
+  // min 2x + 3y s.t. x + y >= 10, x >= 2 => x=8? No: cost favors x (2<3),
+  // so x=10-y with y=0... but x >= 2 anyway. Optimum x=10, y=0, obj=20.
+  LinearProgram lp(2);
+  lp.set_objective(0, 2.0);
+  lp.set_objective(1, 3.0);
+  lp.add_constraint({1.0, 1.0}, ConstraintSense::kGreaterEqual, 10.0);
+  lp.add_constraint({1.0, 0.0}, ConstraintSense::kGreaterEqual, 2.0);
+  auto sol = solve_lp(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 20.0, 1e-8);
+  EXPECT_NEAR(sol.x[0], 10.0, 1e-8);
+}
+
+TEST(Simplex, HandlesEqualityConstraints) {
+  // min x + 2y s.t. x + y = 5, x <= 3 => x=3, y=2, obj=7.
+  LinearProgram lp(2);
+  lp.set_objective(0, 1.0);
+  lp.set_objective(1, 2.0);
+  lp.add_constraint({1.0, 1.0}, ConstraintSense::kEqual, 5.0);
+  lp.add_constraint({1.0, 0.0}, ConstraintSense::kLessEqual, 3.0);
+  auto sol = solve_lp(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-8);
+  EXPECT_NEAR(sol.x[1], 2.0, 1e-8);
+  EXPECT_NEAR(sol.objective, 7.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  LinearProgram lp(1);
+  lp.set_objective(0, 1.0);
+  lp.add_constraint({1.0}, ConstraintSense::kLessEqual, 1.0);
+  lp.add_constraint({1.0}, ConstraintSense::kGreaterEqual, 2.0);
+  auto sol = solve_lp(lp);
+  EXPECT_EQ(sol.status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  LinearProgram lp(1);
+  lp.set_objective(0, -1.0);  // minimize -x with x unbounded above
+  lp.add_constraint({1.0}, ConstraintSense::kGreaterEqual, 0.0);
+  auto sol = solve_lp(lp);
+  EXPECT_EQ(sol.status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, HandlesNegativeRhs) {
+  // min x s.t. -x <= -3  (i.e. x >= 3).
+  LinearProgram lp(1);
+  lp.set_objective(0, 1.0);
+  lp.add_constraint({-1.0}, ConstraintSense::kLessEqual, -3.0);
+  auto sol = solve_lp(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-8);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Klee-Minty-flavoured degeneracy: multiple constraints tight at optimum.
+  LinearProgram lp(2);
+  lp.set_objective(0, -1.0);
+  lp.set_objective(1, -1.0);
+  lp.add_constraint({1.0, 0.0}, ConstraintSense::kLessEqual, 1.0);
+  lp.add_constraint({0.0, 1.0}, ConstraintSense::kLessEqual, 1.0);
+  lp.add_constraint({1.0, 1.0}, ConstraintSense::kLessEqual, 2.0);
+  lp.add_constraint({1.0, -1.0}, ConstraintSense::kLessEqual, 0.0);
+  auto sol = solve_lp(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, -2.0, 1e-8);
+}
+
+TEST(Simplex, ZeroObjectiveReturnsFeasiblePoint) {
+  LinearProgram lp(2);
+  lp.add_constraint({1.0, 1.0}, ConstraintSense::kEqual, 4.0);
+  auto sol = solve_lp(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.x[0] + sol.x[1], 4.0, 1e-8);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  // x + y = 2 stated twice: phase 1 must drive artificials out or mark the
+  // duplicate row redundant.
+  LinearProgram lp(2);
+  lp.set_objective(0, 1.0);
+  lp.add_constraint({1.0, 1.0}, ConstraintSense::kEqual, 2.0);
+  lp.add_constraint({1.0, 1.0}, ConstraintSense::kEqual, 2.0);
+  auto sol = solve_lp(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 0.0, 1e-8);  // put all mass on y
+  EXPECT_NEAR(sol.x[1], 2.0, 1e-8);
+}
+
+TEST(Simplex, SparseConstraintBuilder) {
+  LinearProgram lp(4);
+  lp.set_objective(3, 1.0);
+  lp.add_constraint_sparse({{0, 1.0}, {3, 1.0}}, ConstraintSense::kGreaterEqual, 2.0);
+  lp.add_upper_bound(0, 1.5);
+  auto sol = solve_lp(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.x[3], 0.5, 1e-8);  // x0 maxes at 1.5, x3 covers the rest
+}
+
+TEST(Simplex, SparseBuilderAccumulatesDuplicateIndices) {
+  LinearProgram lp(1);
+  lp.set_objective(0, 1.0);
+  // 0.5x + 0.5x >= 3  => x >= 3.
+  lp.add_constraint_sparse({{0, 0.5}, {0, 0.5}}, ConstraintSense::kGreaterEqual, 3.0);
+  auto sol = solve_lp(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-8);
+}
+
+TEST(Simplex, ConstraintShapeIsChecked) {
+  LinearProgram lp(2);
+  EXPECT_THROW(lp.add_constraint({1.0}, ConstraintSense::kLessEqual, 1.0),
+               ContractViolation);
+  EXPECT_THROW(lp.set_objective(2, 1.0), ContractViolation);
+}
+
+TEST(Simplex, TransportationProblem) {
+  // 2 sources (supply 20, 30), 3 sinks (demand 10, 25, 15), known optimum.
+  // cost matrix: [8 6 10; 9 12 13]
+  LinearProgram lp(6);
+  const double cost[2][3] = {{8, 6, 10}, {9, 12, 13}};
+  for (std::size_t s = 0; s < 2; ++s) {
+    for (std::size_t d = 0; d < 3; ++d) lp.set_objective(s * 3 + d, cost[s][d]);
+  }
+  lp.add_constraint({1, 1, 1, 0, 0, 0}, ConstraintSense::kLessEqual, 20.0);
+  lp.add_constraint({0, 0, 0, 1, 1, 1}, ConstraintSense::kLessEqual, 30.0);
+  lp.add_constraint({1, 0, 0, 1, 0, 0}, ConstraintSense::kEqual, 10.0);
+  lp.add_constraint({0, 1, 0, 0, 1, 0}, ConstraintSense::kEqual, 25.0);
+  lp.add_constraint({0, 0, 1, 0, 0, 1}, ConstraintSense::kEqual, 15.0);
+  auto sol = solve_lp(lp);
+  ASSERT_TRUE(sol.optimal());
+  // Optimal: x12=20 (src0->sink1), rest from src1: x20=10, x21=5, x22=15.
+  // cost = 6*20 + 9*10 + 12*5 + 13*15 = 120+90+60+195 = 465.
+  EXPECT_NEAR(sol.objective, 465.0, 1e-6);
+}
+
+TEST(Simplex, RandomLpsMatchBruteForceOverVertices) {
+  // Random 2-var LPs with box + one coupling constraint; optimum must be at
+  // a vertex, so compare against scanning the candidate vertex set.
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    double c0 = rng.uniform(-2.0, 2.0);
+    double c1 = rng.uniform(-2.0, 2.0);
+    double ub0 = rng.uniform(0.5, 3.0);
+    double ub1 = rng.uniform(0.5, 3.0);
+    double cap = rng.uniform(0.5, ub0 + ub1);
+
+    LinearProgram lp(2);
+    lp.set_objective(0, c0);
+    lp.set_objective(1, c1);
+    lp.add_upper_bound(0, ub0);
+    lp.add_upper_bound(1, ub1);
+    lp.add_constraint({1.0, 1.0}, ConstraintSense::kLessEqual, cap);
+    auto sol = solve_lp(lp);
+    ASSERT_TRUE(sol.optimal());
+
+    double best = 0.0;  // origin is feasible
+    auto consider = [&](double x, double y) {
+      if (x < -1e-9 || y < -1e-9 || x > ub0 + 1e-9 || y > ub1 + 1e-9) return;
+      if (x + y > cap + 1e-9) return;
+      best = std::min(best, c0 * x + c1 * y);
+    };
+    consider(ub0, 0.0);
+    consider(0.0, ub1);
+    consider(ub0, ub1);
+    consider(std::min(ub0, cap), 0.0);
+    consider(0.0, std::min(ub1, cap));
+    consider(ub0, cap - ub0);
+    consider(cap - ub1, ub1);
+    EXPECT_NEAR(sol.objective, best, 1e-7) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace grefar

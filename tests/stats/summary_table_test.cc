@@ -1,0 +1,63 @@
+#include "stats/summary_table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace grefar {
+namespace {
+
+TEST(SummaryTable, RequiresHeaders) {
+  EXPECT_THROW(SummaryTable({}), ContractViolation);
+}
+
+TEST(SummaryTable, RejectsRaggedRows) {
+  SummaryTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(SummaryTable, RendersHeaderSeparatorAndRows) {
+  SummaryTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  auto out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("x"), std::string::npos);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(SummaryTable, NumericRowFormatting) {
+  SummaryTable t({"dc", "price", "cost"});
+  t.add_row("dc1", {0.392, 0.392}, 3);
+  auto out = t.render();
+  EXPECT_NE(out.find("0.392"), std::string::npos);
+}
+
+TEST(SummaryTable, ColumnsAlign) {
+  SummaryTable t({"n", "long-header"});
+  t.add_row({"very-long-label", "1"});
+  auto out = t.render();
+  // Each line must have the same length (aligned columns).
+  std::size_t prev = std::string::npos;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    auto end = out.find('\n', start);
+    if (end == std::string::npos) break;
+    std::size_t len = end - start;
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    start = end + 1;
+  }
+}
+
+TEST(SummaryTable, EmptyTableRendersHeaderOnly) {
+  SummaryTable t({"h1"});
+  auto out = t.render();
+  EXPECT_NE(out.find("h1"), std::string::npos);
+  EXPECT_EQ(t.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace grefar

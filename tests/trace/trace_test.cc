@@ -1,0 +1,129 @@
+#include "trace/job_trace.h"
+#include "trace/price_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "price/price_model.h"
+#include "workload/arrival_process.h"
+
+namespace grefar {
+namespace {
+
+TEST(JobTrace, MaterializeMatchesProcess) {
+  ConstantArrivals a({2, 3});
+  auto table = materialize_arrivals(a, 4);
+  ASSERT_EQ(table.size(), 4u);
+  EXPECT_EQ(table[2], (std::vector<std::int64_t>{2, 3}));
+}
+
+TEST(JobTrace, CsvRoundTrip) {
+  std::vector<std::vector<std::int64_t>> counts{{1, 0, 2}, {0, 0, 0}, {0, 5, 1}};
+  auto csv = job_trace_to_csv(counts);
+  auto parsed = job_trace_from_csv(csv, 3);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), counts);
+}
+
+TEST(JobTrace, SparseFormatOmitsZeros) {
+  auto csv = job_trace_to_csv({{0, 0}, {1, 0}});
+  // Only one data row expected.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+TEST(JobTrace, RejectsMissingHeader) {
+  EXPECT_FALSE(job_trace_from_csv("0,0,1\n", 2).ok());
+  EXPECT_FALSE(job_trace_from_csv("", 2).ok());
+}
+
+TEST(JobTrace, RejectsMalformedRows) {
+  EXPECT_FALSE(job_trace_from_csv("slot,type,count\n0,0\n", 2).ok());
+  EXPECT_FALSE(job_trace_from_csv("slot,type,count\nx,0,1\n", 2).ok());
+  EXPECT_FALSE(job_trace_from_csv("slot,type,count\n0,9,1\n", 2).ok());
+  EXPECT_FALSE(job_trace_from_csv("slot,type,count\n-1,0,1\n", 2).ok());
+  EXPECT_FALSE(job_trace_from_csv("slot,type,count\n0,0,-2\n", 2).ok());
+  EXPECT_FALSE(job_trace_from_csv("slot,type,count\n", 2).ok());
+}
+
+TEST(JobTrace, AccumulatesDuplicateEntries) {
+  auto parsed = job_trace_from_csv("slot,type,count\n0,0,1\n0,0,2\n", 1);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value()[0][0], 3);
+}
+
+TEST(JobTrace, RoundTripsThroughTableArrivals) {
+  ConstantArrivals original({4, 1});
+  auto table = materialize_arrivals(original, 8);
+  auto csv = job_trace_to_csv(table);
+  TableArrivals replayed(job_trace_from_csv(csv, 2).value());
+  for (std::int64_t t = 0; t < 8; ++t) {
+    EXPECT_EQ(replayed.arrivals(t), original.arrivals(t));
+  }
+}
+
+TEST(JobTrace, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/grefar_jobs.csv";
+  std::vector<std::vector<std::int64_t>> counts{{1, 2}, {3, 4}};
+  ASSERT_TRUE(write_job_trace(path, counts).ok());
+  auto parsed = read_job_trace(path, 2);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), counts);
+  std::remove(path.c_str());
+}
+
+TEST(PriceTrace, MaterializeAndRoundTrip) {
+  ConstantPriceModel m({0.4, 0.5});
+  auto series = materialize_prices(m, 3);
+  ASSERT_EQ(series.size(), 2u);
+  ASSERT_EQ(series[0].size(), 3u);
+  auto csv = price_trace_to_csv(series);
+  auto parsed = price_trace_from_csv(csv, 2);
+  ASSERT_TRUE(parsed.ok());
+  for (std::size_t dc = 0; dc < 2; ++dc) {
+    for (std::size_t t = 0; t < 3; ++t) {
+      EXPECT_NEAR(parsed.value()[dc][t], series[dc][t], 1e-6);
+    }
+  }
+}
+
+TEST(PriceTrace, RejectsGaps) {
+  // dc 0 has slots 0 and 2 but not 1.
+  EXPECT_FALSE(
+      price_trace_from_csv("slot,dc,price\n0,0,0.4\n2,0,0.5\n", 1).ok());
+}
+
+TEST(PriceTrace, RejectsMalformed) {
+  EXPECT_FALSE(price_trace_from_csv("", 1).ok());
+  EXPECT_FALSE(price_trace_from_csv("bad,header,x\n", 1).ok());
+  EXPECT_FALSE(price_trace_from_csv("slot,dc,price\n0,0\n", 1).ok());
+  EXPECT_FALSE(price_trace_from_csv("slot,dc,price\n0,5,0.4\n", 1).ok());
+  EXPECT_FALSE(price_trace_from_csv("slot,dc,price\n0,0,0\n", 1).ok());
+  EXPECT_FALSE(price_trace_from_csv("slot,dc,price\n0,0,-0.5\n", 1).ok());
+  EXPECT_FALSE(price_trace_from_csv("slot,dc,price\n", 1).ok());
+}
+
+TEST(PriceTrace, RoundTripsThroughTablePriceModel) {
+  auto m = make_paper_price_model(1);
+  auto series = materialize_prices(*m, 48);
+  auto csv = price_trace_to_csv(series);
+  TablePriceModel replayed(price_trace_from_csv(csv, 3).value());
+  for (std::size_t dc = 0; dc < 3; ++dc) {
+    for (std::int64_t t = 0; t < 48; ++t) {
+      EXPECT_NEAR(replayed.price(dc, t), m->price(dc, t), 1e-6);
+    }
+  }
+}
+
+TEST(PriceTrace, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/grefar_prices.csv";
+  std::vector<std::vector<double>> series{{0.4, 0.45}, {0.5, 0.55}};
+  ASSERT_TRUE(write_price_trace(path, series).ok());
+  auto parsed = read_price_trace(path, 2);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NEAR(parsed.value()[1][1], 0.55, 1e-9);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace grefar

@@ -1,0 +1,84 @@
+#include "util/ascii_chart.h"
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace grefar {
+namespace {
+
+TEST(AsciiChart, EmptyChartHasPlaceholder) {
+  AsciiChart chart;
+  EXPECT_NE(chart.render().find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiChart, SeriesWithNoValuesIsPlaceholder) {
+  AsciiChart chart;
+  chart.add_series({"empty", {}});
+  EXPECT_NE(chart.render().find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiChart, TitleAppears) {
+  AsciiChart chart;
+  chart.set_title("My Title");
+  chart.add_series({"s", {1.0, 2.0, 3.0}});
+  EXPECT_EQ(chart.render().rfind("My Title", 0), 0u);
+}
+
+TEST(AsciiChart, LegendListsSeries) {
+  AsciiChart chart;
+  chart.add_series({"alpha", {1.0, 2.0}});
+  chart.add_series({"beta", {2.0, 1.0}});
+  auto out = chart.render();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+}
+
+TEST(AsciiChart, GlyphsArePlotted) {
+  AsciiChart chart(40, 10);
+  chart.add_series({"s", {0.0, 1.0, 2.0, 3.0}});
+  auto out = chart.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, FlatSeriesDoesNotCrash) {
+  AsciiChart chart(40, 10);
+  chart.add_series({"flat", std::vector<double>(100, 5.0)});
+  auto out = chart.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, LongSeriesAreDownsampled) {
+  AsciiChart chart(30, 8);
+  std::vector<double> values(10000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i);
+  }
+  chart.add_series({"long", values});
+  // Rendering must stay bounded in size.
+  EXPECT_LT(chart.render().size(), 5000u);
+}
+
+TEST(AsciiChart, XRangeLabelsAppear) {
+  AsciiChart chart(40, 8);
+  chart.set_x_range(0, 2000);
+  chart.set_x_label("hours");
+  chart.add_series({"s", {1.0, 2.0}});
+  auto out = chart.render();
+  EXPECT_NE(out.find("2000"), std::string::npos);
+  EXPECT_NE(out.find("hours"), std::string::npos);
+}
+
+TEST(AsciiChart, NonFiniteValuesAreSkipped) {
+  AsciiChart chart(20, 6);
+  chart.add_series({"s", {1.0, std::nan(""), 3.0}});
+  EXPECT_NE(chart.render().find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, AllNanSeriesIsPlaceholder) {
+  AsciiChart chart(20, 6);
+  chart.add_series({"s", {std::nan(""), std::nan("")}});
+  EXPECT_NE(chart.render().find("(no finite data)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grefar

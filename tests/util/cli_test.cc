@@ -1,0 +1,126 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace grefar {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli("prog", "test program");
+  cli.add_option("horizon", "100", "slots to run");
+  cli.add_option("V", "7.5", "cost-delay parameter");
+  cli.add_option("name", "default", "a string");
+  cli.add_option("list", "1,2,3", "doubles");
+  cli.add_flag("verbose", "more output");
+  return cli;
+}
+
+Status parse(CliParser& cli, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return cli.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, DefaultsApply) {
+  auto cli = make_parser();
+  ASSERT_TRUE(parse(cli, {}).ok());
+  EXPECT_EQ(cli.get_int("horizon"), 100);
+  EXPECT_DOUBLE_EQ(cli.get_double("V"), 7.5);
+  EXPECT_EQ(cli.get_string("name"), "default");
+  EXPECT_FALSE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  auto cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--horizon", "250", "--name", "abc"}).ok());
+  EXPECT_EQ(cli.get_int("horizon"), 250);
+  EXPECT_EQ(cli.get_string("name"), "abc");
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  auto cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--V=2.5"}).ok());
+  EXPECT_DOUBLE_EQ(cli.get_double("V"), 2.5);
+}
+
+TEST(Cli, FlagsToggle) {
+  auto cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--verbose"}).ok());
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, FlagRejectsValue) {
+  auto cli = make_parser();
+  EXPECT_FALSE(parse(cli, {"--verbose=yes"}).ok());
+}
+
+TEST(Cli, UnknownOptionFails) {
+  auto cli = make_parser();
+  auto st = parse(cli, {"--bogus", "1"});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.error().message.find("bogus"), std::string::npos);
+}
+
+TEST(Cli, MissingValueFails) {
+  auto cli = make_parser();
+  EXPECT_FALSE(parse(cli, {"--horizon"}).ok());
+}
+
+TEST(Cli, PositionalArgumentFails) {
+  auto cli = make_parser();
+  EXPECT_FALSE(parse(cli, {"stray"}).ok());
+}
+
+TEST(Cli, DoubleList) {
+  auto cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--list", "0.1,2.5,7.5,20"}).ok());
+  auto values = cli.get_double_list("list");
+  ASSERT_EQ(values.size(), 4u);
+  EXPECT_DOUBLE_EQ(values[0], 0.1);
+  EXPECT_DOUBLE_EQ(values[3], 20.0);
+}
+
+TEST(Cli, HelpReturnsSentinelError) {
+  auto cli = make_parser();
+  auto st = parse(cli, {"--help"});
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().message, "help");
+}
+
+TEST(Cli, UsageMentionsOptionsAndDefaults) {
+  auto cli = make_parser();
+  auto usage = cli.usage();
+  EXPECT_NE(usage.find("--horizon"), std::string::npos);
+  EXPECT_NE(usage.find("default: 100"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+}
+
+TEST(Cli, UnregisteredGetterIsContractViolation) {
+  auto cli = make_parser();
+  ASSERT_TRUE(parse(cli, {}).ok());
+  EXPECT_THROW(cli.get_string("nope"), ContractViolation);
+  EXPECT_THROW(cli.get_flag("nope"), ContractViolation);
+}
+
+TEST(Cli, DuplicateRegistrationIsContractViolation) {
+  CliParser cli("p", "d");
+  cli.add_option("x", "1", "h");
+  EXPECT_THROW(cli.add_option("x", "2", "h"), ContractViolation);
+  EXPECT_THROW(cli.add_flag("x", "h"), ContractViolation);
+}
+
+TEST(Cli, MalformedNumericValueIsContractViolation) {
+  auto cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--horizon", "abc"}).ok());
+  EXPECT_THROW(cli.get_int("horizon"), ContractViolation);
+}
+
+TEST(Cli, LastValueWins) {
+  auto cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--horizon", "1", "--horizon", "2"}).ok());
+  EXPECT_EQ(cli.get_int("horizon"), 2);
+}
+
+}  // namespace
+}  // namespace grefar

@@ -1,0 +1,138 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace grefar {
+namespace {
+
+std::string write_rows(const std::vector<std::vector<std::string>>& rows) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  for (const auto& row : rows) writer.write_row(row);
+  return os.str();
+}
+
+TEST(CsvWriter, PlainFields) {
+  EXPECT_EQ(write_rows({{"a", "b"}, {"1", "2"}}), "a,b\n1,2\n");
+}
+
+TEST(CsvWriter, QuotesFieldsWithSeparator) {
+  EXPECT_EQ(write_rows({{"a,b", "c"}}), "\"a,b\",c\n");
+}
+
+TEST(CsvWriter, EscapesQuotes) {
+  EXPECT_EQ(write_rows({{"say \"hi\""}}), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, QuotesNewlines) {
+  EXPECT_EQ(write_rows({{"line1\nline2"}}), "\"line1\nline2\"\n");
+}
+
+TEST(CsvWriter, DoubleRow) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_row(std::vector<double>{1.5, 2.0}, 2);
+  EXPECT_EQ(os.str(), "1.50,2.00\n");
+}
+
+TEST(CsvReader, ParsesSimpleDocument) {
+  CsvReader reader;
+  auto rows = reader.parse("a,b\n1,2\n").value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvReader, HandlesMissingTrailingNewline) {
+  CsvReader reader;
+  auto rows = reader.parse("a,b\n1,2").value();
+  ASSERT_EQ(rows.size(), 2u);
+}
+
+TEST(CsvReader, QuotedFieldWithSeparator) {
+  CsvReader reader;
+  auto rows = reader.parse("\"a,b\",c\n").value();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(CsvReader, QuotedFieldWithEscapedQuote) {
+  CsvReader reader;
+  auto rows = reader.parse("\"say \"\"hi\"\"\"\n").value();
+  EXPECT_EQ(rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvReader, QuotedFieldWithNewline) {
+  CsvReader reader;
+  auto rows = reader.parse("\"l1\nl2\",x\n").value();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "l1\nl2");
+}
+
+TEST(CsvReader, ToleratesCrLf) {
+  CsvReader reader;
+  auto rows = reader.parse("a,b\r\n1,2\r\n").value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "2");
+}
+
+TEST(CsvReader, EmptyFields) {
+  CsvReader reader;
+  auto rows = reader.parse("a,,c\n").value();
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(CsvReader, FailsOnUnterminatedQuote) {
+  CsvReader reader;
+  EXPECT_FALSE(reader.parse("\"abc\n").ok());
+}
+
+TEST(CsvReader, EmptyDocumentHasNoRows) {
+  CsvReader reader;
+  EXPECT_TRUE(reader.parse("").value().empty());
+}
+
+TEST(CsvReader, CustomSeparator) {
+  CsvReader reader(';');
+  auto rows = reader.parse("a;b\n").value();
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvRoundTrip, WriterOutputParsesBack) {
+  std::vector<std::vector<std::string>> original{
+      {"plain", "with,comma", "with \"quote\"", "multi\nline"},
+      {"", "x", "", "y"}};
+  CsvReader reader;
+  auto parsed = reader.parse(write_rows(original)).value();
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(FileIo, WriteAndReadBack) {
+  std::string path = ::testing::TempDir() + "/grefar_csv_test.txt";
+  ASSERT_TRUE(write_file(path, "hello\nworld").ok());
+  auto content = read_file(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content.value(), "hello\nworld");
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, ReadMissingFileFails) {
+  auto content = read_file("/nonexistent/grefar/file.txt");
+  EXPECT_FALSE(content.ok());
+}
+
+TEST(FileIo, ParseFileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/grefar_csv_parse.csv";
+  ASSERT_TRUE(write_file(path, "h1,h2\n1,2\n").ok());
+  CsvReader reader;
+  auto rows = reader.parse_file(path);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace grefar

@@ -1,0 +1,82 @@
+#include "util/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace grefar {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  MatrixD m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, ConstructsZeroInitialized) {
+  MatrixD m(2, 3);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(Matrix, InitValue) {
+  Matrix<int> m(2, 2, 7);
+  EXPECT_EQ(m(1, 1), 7);
+}
+
+TEST(Matrix, ReadWrite) {
+  MatrixD m(2, 2);
+  m(0, 1) = 3.5;
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.5);
+  EXPECT_DOUBLE_EQ(m(1, 0), 0.0);
+}
+
+TEST(Matrix, OutOfBoundsIsContractViolation) {
+  MatrixD m(2, 3);
+  EXPECT_THROW(m(2, 0), ContractViolation);
+  EXPECT_THROW(m(0, 3), ContractViolation);
+}
+
+TEST(Matrix, Fill) {
+  MatrixD m(2, 2);
+  m.fill(1.5);
+  EXPECT_DOUBLE_EQ(m.sum(), 6.0);
+}
+
+TEST(Matrix, RowAndColSums) {
+  MatrixD m(2, 3);
+  // 1 2 3
+  // 4 5 6
+  double v = 1.0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = v++;
+  }
+  EXPECT_DOUBLE_EQ(m.row_sum(0), 6.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(1), 15.0);
+  EXPECT_DOUBLE_EQ(m.col_sum(0), 5.0);
+  EXPECT_DOUBLE_EQ(m.col_sum(2), 9.0);
+  EXPECT_DOUBLE_EQ(m.sum(), 21.0);
+  EXPECT_THROW(m.row_sum(2), ContractViolation);
+  EXPECT_THROW(m.col_sum(3), ContractViolation);
+}
+
+TEST(Matrix, Equality) {
+  MatrixD a(2, 2), b(2, 2), c(2, 3);
+  a(0, 0) = 1.0;
+  EXPECT_FALSE(a == b);
+  b(0, 0) = 1.0;
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Matrix, IntInstantiation) {
+  Matrix<std::int64_t> m(1, 2);
+  m(0, 0) = 5;
+  m(0, 1) = 7;
+  EXPECT_EQ(m.sum(), 12);
+}
+
+}  // namespace
+}  // namespace grefar

@@ -1,0 +1,94 @@
+#include "util/svg_chart.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace grefar {
+namespace {
+
+TEST(SvgChart, EmptyChartHasPlaceholder) {
+  SvgChart chart;
+  auto svg = chart.render();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("no data"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgChart, RendersOnePolylinePerSeries) {
+  SvgChart chart;
+  chart.add_series("a", {1.0, 2.0, 3.0});
+  chart.add_series("b", {3.0, 2.0, 1.0});
+  auto svg = chart.render();
+  std::size_t count = 0;
+  for (std::size_t pos = svg.find("<polyline"); pos != std::string::npos;
+       pos = svg.find("<polyline", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(SvgChart, LegendAndLabelsAppear) {
+  SvgChart chart;
+  chart.set_title("My Chart");
+  chart.set_x_label("time");
+  chart.set_y_label("cost");
+  chart.add_series("series-one", {1.0, 2.0});
+  auto svg = chart.render();
+  EXPECT_NE(svg.find("My Chart"), std::string::npos);
+  EXPECT_NE(svg.find("time"), std::string::npos);
+  EXPECT_NE(svg.find("cost"), std::string::npos);
+  EXPECT_NE(svg.find("series-one"), std::string::npos);
+}
+
+TEST(SvgChart, EscapesXmlInLabels) {
+  SvgChart chart;
+  chart.set_title("a < b & c > \"d\"");
+  chart.add_series("s<1>", {1.0, 2.0});
+  auto svg = chart.render();
+  EXPECT_EQ(svg.find("a < b"), std::string::npos);
+  EXPECT_NE(svg.find("a &lt; b &amp; c &gt;"), std::string::npos);
+  EXPECT_NE(svg.find("s&lt;1&gt;"), std::string::npos);
+}
+
+TEST(SvgChart, LongSeriesAreStrided) {
+  SvgChart chart;
+  std::vector<double> values(100000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = std::sin(static_cast<double>(i) * 0.01);
+  }
+  chart.add_series("long", std::move(values));
+  auto svg = chart.render();
+  EXPECT_LT(svg.size(), 60000u);  // bounded output
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+}
+
+TEST(SvgChart, FlatSeriesRenders) {
+  SvgChart chart;
+  chart.add_series("flat", std::vector<double>(50, 7.0));
+  EXPECT_NE(chart.render().find("<polyline"), std::string::npos);
+}
+
+TEST(SvgChart, NonFiniteValuesSkipped) {
+  SvgChart chart;
+  chart.add_series("s", {1.0, std::nan(""), 3.0});
+  auto svg = chart.render();
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+}
+
+TEST(SvgChart, XRangeRejectsInverted) {
+  SvgChart chart;
+  EXPECT_THROW(chart.set_x_range(10.0, 5.0), ContractViolation);
+}
+
+TEST(SvgChart, AllNanIsPlaceholder) {
+  SvgChart chart;
+  chart.add_series("s", {std::nan(""), std::nan("")});
+  EXPECT_NE(chart.render().find("no data"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grefar

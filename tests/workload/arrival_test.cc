@@ -1,0 +1,88 @@
+#include "workload/arrival_process.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace grefar {
+namespace {
+
+TEST(ConstantArrivals, SameEverySlot) {
+  ConstantArrivals a({2, 0, 5});
+  EXPECT_EQ(a.num_job_types(), 3u);
+  for (std::int64_t t = 0; t < 10; ++t) {
+    EXPECT_EQ(a.arrivals(t), (std::vector<std::int64_t>{2, 0, 5}));
+  }
+  EXPECT_EQ(a.max_arrivals(0), 2);
+  EXPECT_EQ(a.max_arrivals(2), 5);
+}
+
+TEST(ConstantArrivals, RejectsBadInputs) {
+  EXPECT_THROW(ConstantArrivals({}), ContractViolation);
+  EXPECT_THROW(ConstantArrivals({-1}), ContractViolation);
+  ConstantArrivals a({1});
+  EXPECT_THROW(a.arrivals(-1), ContractViolation);
+  EXPECT_THROW(a.max_arrivals(1), ContractViolation);
+}
+
+TEST(PoissonArrivals, DeterministicPerSeed) {
+  PoissonArrivals a({3.0, 1.0}, {100, 100}, 5);
+  PoissonArrivals b({3.0, 1.0}, {100, 100}, 5);
+  for (std::int64_t t = 0; t < 100; ++t) EXPECT_EQ(a.arrivals(t), b.arrivals(t));
+}
+
+TEST(PoissonArrivals, RandomAccessMatchesSequential) {
+  PoissonArrivals a({3.0}, {100}, 6);
+  PoissonArrivals b({3.0}, {100}, 6);
+  auto late = a.arrivals(50);
+  for (std::int64_t t = 0; t < 50; ++t) b.arrivals(t);
+  EXPECT_EQ(late, b.arrivals(50));
+}
+
+TEST(PoissonArrivals, MeanMatchesRate) {
+  PoissonArrivals a({4.0}, {1000}, 7);
+  double sum = 0.0;
+  const int n = 20000;
+  for (std::int64_t t = 0; t < n; ++t) sum += static_cast<double>(a.arrivals(t)[0]);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(PoissonArrivals, BoundednessEqOneHolds) {
+  PoissonArrivals a({50.0}, {10}, 8);
+  for (std::int64_t t = 0; t < 1000; ++t) {
+    EXPECT_LE(a.arrivals(t)[0], 10);
+    EXPECT_GE(a.arrivals(t)[0], 0);
+  }
+}
+
+TEST(PoissonArrivals, RejectsMismatchedShapes) {
+  EXPECT_THROW(PoissonArrivals({1.0}, {1, 2}, 1), ContractViolation);
+  EXPECT_THROW(PoissonArrivals({-1.0}, {1}, 1), ContractViolation);
+  EXPECT_THROW(PoissonArrivals({1.0}, {-1}, 1), ContractViolation);
+  EXPECT_THROW(PoissonArrivals({}, {}, 1), ContractViolation);
+}
+
+TEST(TableArrivals, ReplaysAndWraps) {
+  TableArrivals a({{1, 2}, {3, 4}});
+  EXPECT_EQ(a.arrivals(0), (std::vector<std::int64_t>{1, 2}));
+  EXPECT_EQ(a.arrivals(1), (std::vector<std::int64_t>{3, 4}));
+  EXPECT_EQ(a.arrivals(2), (std::vector<std::int64_t>{1, 2}));  // wrap
+  EXPECT_EQ(a.num_job_types(), 2u);
+}
+
+TEST(TableArrivals, MaxArrivalsScansTrace) {
+  TableArrivals a({{1, 9}, {3, 4}});
+  EXPECT_EQ(a.max_arrivals(0), 3);
+  EXPECT_EQ(a.max_arrivals(1), 9);
+  EXPECT_THROW(a.max_arrivals(2), ContractViolation);
+}
+
+TEST(TableArrivals, RejectsRaggedOrEmpty) {
+  EXPECT_THROW(TableArrivals(std::vector<std::vector<std::int64_t>>{}), ContractViolation);
+  EXPECT_THROW(TableArrivals(std::vector<std::vector<std::int64_t>>{{}}), ContractViolation);
+  EXPECT_THROW(TableArrivals({{1, 2}, {3}}), ContractViolation);
+  EXPECT_THROW(TableArrivals(std::vector<std::vector<std::int64_t>>{{-1}}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace grefar

@@ -1,0 +1,151 @@
+#include "workload/pareto_types.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace grefar {
+namespace {
+
+ParetoWorkloadSpec spec() {
+  ParetoWorkloadSpec s;
+  s.name_prefix = "etl";
+  s.account = 2;
+  s.eligible_dcs = {0, 1};
+  s.x_m = 1.0;
+  s.alpha = 2.0;
+  s.classes = 4;
+  s.mean_work_per_slot = 40.0;
+  s.cap_quantile = 0.95;
+  return s;
+}
+
+TEST(ParetoQuantile, MatchesClosedForm) {
+  // Pareto(1, 2): x(q) = (1-q)^(-1/2).
+  EXPECT_DOUBLE_EQ(pareto_quantile(1.0, 2.0, 0.0), 1.0);
+  EXPECT_NEAR(pareto_quantile(1.0, 2.0, 0.75), 2.0, 1e-12);
+  EXPECT_NEAR(pareto_quantile(2.0, 1.0, 0.5), 4.0, 1e-12);
+}
+
+TEST(ParetoQuantile, MatchesEmpiricalSampler) {
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 200000; ++i) samples.push_back(rng.pareto(1.5, 2.5));
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.25, 0.5, 0.9}) {
+    double empirical = samples[static_cast<std::size_t>(q * samples.size())];
+    EXPECT_NEAR(pareto_quantile(1.5, 2.5, q), empirical, 0.02 * empirical);
+  }
+}
+
+TEST(ParetoBandMean, FullRangeApproachesDistributionMean) {
+  // Mean of Pareto(1, 2) is alpha x_m/(alpha-1) = 2; the 0..0.999 band mean
+  // must be close (slightly below due to truncation).
+  double m = pareto_band_mean(1.0, 2.0, 0.0, 0.999);
+  EXPECT_NEAR(m, 2.0, 0.08);
+  EXPECT_LT(m, 2.0);
+}
+
+TEST(ParetoBandMean, LiesWithinBandEndpoints) {
+  for (double q = 0.0; q < 0.9; q += 0.3) {
+    double lo = pareto_quantile(1.0, 1.8, q);
+    double hi = pareto_quantile(1.0, 1.8, q + 0.1);
+    double mean = pareto_band_mean(1.0, 1.8, q, q + 0.1);
+    EXPECT_GT(mean, lo);
+    EXPECT_LT(mean, hi);
+  }
+}
+
+TEST(ParetoBandMean, MatchesMonteCarlo) {
+  Rng rng(9);
+  double sum = 0.0;
+  int count = 0;
+  double lo = pareto_quantile(1.0, 2.0, 0.5);
+  double hi = pareto_quantile(1.0, 2.0, 0.75);
+  for (int i = 0; i < 400000; ++i) {
+    double x = rng.pareto(1.0, 2.0);
+    if (x >= lo && x <= hi) {
+      sum += x;
+      ++count;
+    }
+  }
+  EXPECT_NEAR(pareto_band_mean(1.0, 2.0, 0.5, 0.75), sum / count, 0.01);
+}
+
+TEST(BuildParetoClasses, ShapesAndMetadata) {
+  auto classes = build_pareto_classes(spec());
+  ASSERT_EQ(classes.size(), 4u);
+  for (std::size_t g = 0; g < classes.size(); ++g) {
+    EXPECT_EQ(classes[g].type.name, "etl-c" + std::to_string(g));
+    EXPECT_EQ(classes[g].type.account, 2u);
+    EXPECT_EQ(classes[g].type.eligible_dcs, (std::vector<DataCenterId>{0, 1}));
+    EXPECT_GT(classes[g].mean_jobs_per_slot, 0.0);
+  }
+}
+
+TEST(BuildParetoClasses, SizesStrictlyIncrease) {
+  auto classes = build_pareto_classes(spec());
+  for (std::size_t g = 1; g < classes.size(); ++g) {
+    EXPECT_GT(classes[g].type.work, classes[g - 1].type.work);
+  }
+}
+
+TEST(BuildParetoClasses, WorkBudgetIsExact) {
+  auto classes = build_pareto_classes(spec());
+  double total = 0.0;
+  for (const auto& cls : classes) total += cls.type.work * cls.mean_jobs_per_slot;
+  EXPECT_NEAR(total, 40.0, 1e-9);
+}
+
+TEST(BuildParetoClasses, EqualClassProbabilities) {
+  auto classes = build_pareto_classes(spec());
+  for (std::size_t g = 1; g < classes.size(); ++g) {
+    EXPECT_NEAR(classes[g].mean_jobs_per_slot, classes[0].mean_jobs_per_slot, 1e-12);
+  }
+}
+
+TEST(BuildParetoClasses, HeavierTailMeansBiggerTopClass) {
+  auto light = spec();
+  light.alpha = 3.0;
+  auto heavy = spec();
+  heavy.alpha = 1.2;
+  EXPECT_GT(build_pareto_classes(heavy).back().type.work,
+            build_pareto_classes(light).back().type.work);
+}
+
+TEST(BuildParetoClasses, SingleClassCollapsesToTruncatedMean) {
+  auto s = spec();
+  s.classes = 1;
+  auto classes = build_pareto_classes(s);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_NEAR(classes[0].type.work, pareto_band_mean(1.0, 2.0, 0.0, 0.95), 1e-12);
+}
+
+TEST(BuildParetoClasses, TypesPassValidation) {
+  auto classes = build_pareto_classes(spec());
+  std::vector<JobType> types;
+  for (const auto& cls : classes) types.push_back(cls.type);
+  validate_job_types(types, /*num_data_centers=*/2, /*num_accounts=*/3);
+}
+
+TEST(BuildParetoClasses, RejectsBadSpecs) {
+  auto s = spec();
+  s.classes = 0;
+  EXPECT_THROW(build_pareto_classes(s), ContractViolation);
+  s = spec();
+  s.alpha = 1.0;
+  EXPECT_THROW(build_pareto_classes(s), ContractViolation);
+  s = spec();
+  s.cap_quantile = 1.0;
+  EXPECT_THROW(build_pareto_classes(s), ContractViolation);
+  s = spec();
+  s.eligible_dcs.clear();
+  EXPECT_THROW(build_pareto_classes(s), ContractViolation);
+  s = spec();
+  s.x_m = 0.0;
+  EXPECT_THROW(build_pareto_classes(s), ContractViolation);
+}
+
+}  // namespace
+}  // namespace grefar
