@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_prices.cc" "bench-build/CMakeFiles/ablation_prices.dir/ablation_prices.cc.o" "gcc" "bench-build/CMakeFiles/ablation_prices.dir/ablation_prices.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/grefar_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/grefar_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/lookahead/CMakeFiles/grefar_lookahead.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/grefar_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/grefar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/grefar_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/grefar_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/grefar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/grefar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/price/CMakeFiles/grefar_price.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/grefar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/grefar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

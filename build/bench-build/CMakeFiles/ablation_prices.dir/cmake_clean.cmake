@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_prices"
+  "../bench/ablation_prices.pdb"
+  "CMakeFiles/ablation_prices.dir/ablation_prices.cc.o"
+  "CMakeFiles/ablation_prices.dir/ablation_prices.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tariffs"
+  "../bench/ablation_tariffs.pdb"
+  "CMakeFiles/ablation_tariffs.dir/ablation_tariffs.cc.o"
+  "CMakeFiles/ablation_tariffs.dir/ablation_tariffs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tariffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_fairness"
+  "../bench/fig3_fairness.pdb"
+  "CMakeFiles/fig3_fairness.dir/fig3_fairness.cc.o"
+  "CMakeFiles/fig3_fairness.dir/fig3_fairness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

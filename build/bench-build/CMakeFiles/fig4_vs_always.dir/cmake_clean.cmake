@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_vs_always"
+  "../bench/fig4_vs_always.pdb"
+  "CMakeFiles/fig4_vs_always.dir/fig4_vs_always.cc.o"
+  "CMakeFiles/fig4_vs_always.dir/fig4_vs_always.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_vs_always.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

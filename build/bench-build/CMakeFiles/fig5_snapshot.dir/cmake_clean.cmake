@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_snapshot"
+  "../bench/fig5_snapshot.pdb"
+  "CMakeFiles/fig5_snapshot.dir/fig5_snapshot.cc.o"
+  "CMakeFiles/fig5_snapshot.dir/fig5_snapshot.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

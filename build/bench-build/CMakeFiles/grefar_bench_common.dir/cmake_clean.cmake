@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grefar_bench_common.dir/common/experiment.cc.o"
+  "CMakeFiles/grefar_bench_common.dir/common/experiment.cc.o.d"
+  "libgrefar_bench_common.a"
+  "libgrefar_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grefar_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

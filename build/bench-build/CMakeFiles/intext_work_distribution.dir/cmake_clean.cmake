@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/intext_work_distribution"
+  "../bench/intext_work_distribution.pdb"
+  "CMakeFiles/intext_work_distribution.dir/intext_work_distribution.cc.o"
+  "CMakeFiles/intext_work_distribution.dir/intext_work_distribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intext_work_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_scheduler"
+  "../bench/perf_scheduler.pdb"
+  "CMakeFiles/perf_scheduler.dir/perf_scheduler.cc.o"
+  "CMakeFiles/perf_scheduler.dir/perf_scheduler.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scheduler_landscape"
+  "../bench/scheduler_landscape.pdb"
+  "CMakeFiles/scheduler_landscape.dir/scheduler_landscape.cc.o"
+  "CMakeFiles/scheduler_landscape.dir/scheduler_landscape.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/theorem1_bounds"
+  "../bench/theorem1_bounds.pdb"
+  "CMakeFiles/theorem1_bounds.dir/theorem1_bounds.cc.o"
+  "CMakeFiles/theorem1_bounds.dir/theorem1_bounds.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem1_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_arbitrage.dir/geo_arbitrage.cpp.o"
+  "CMakeFiles/geo_arbitrage.dir/geo_arbitrage.cpp.o.d"
+  "geo_arbitrage"
+  "geo_arbitrage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_arbitrage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grefar_baselines.dir/baselines.cc.o"
+  "CMakeFiles/grefar_baselines.dir/baselines.cc.o.d"
+  "libgrefar_baselines.a"
+  "libgrefar_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grefar_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

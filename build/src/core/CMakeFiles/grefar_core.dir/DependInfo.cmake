@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/drift_penalty.cc" "src/core/CMakeFiles/grefar_core.dir/drift_penalty.cc.o" "gcc" "src/core/CMakeFiles/grefar_core.dir/drift_penalty.cc.o.d"
+  "/root/repo/src/core/grefar.cc" "src/core/CMakeFiles/grefar_core.dir/grefar.cc.o" "gcc" "src/core/CMakeFiles/grefar_core.dir/grefar.cc.o.d"
+  "/root/repo/src/core/per_slot_solvers.cc" "src/core/CMakeFiles/grefar_core.dir/per_slot_solvers.cc.o" "gcc" "src/core/CMakeFiles/grefar_core.dir/per_slot_solvers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/grefar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/grefar_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/grefar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/grefar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/price/CMakeFiles/grefar_price.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/grefar_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

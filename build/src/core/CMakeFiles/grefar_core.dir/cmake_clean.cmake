@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grefar_core.dir/drift_penalty.cc.o"
+  "CMakeFiles/grefar_core.dir/drift_penalty.cc.o.d"
+  "CMakeFiles/grefar_core.dir/grefar.cc.o"
+  "CMakeFiles/grefar_core.dir/grefar.cc.o.d"
+  "CMakeFiles/grefar_core.dir/per_slot_solvers.cc.o"
+  "CMakeFiles/grefar_core.dir/per_slot_solvers.cc.o.d"
+  "libgrefar_core.a"
+  "libgrefar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grefar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

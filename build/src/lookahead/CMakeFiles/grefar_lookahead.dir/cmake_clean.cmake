@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grefar_lookahead.dir/lookahead.cc.o"
+  "CMakeFiles/grefar_lookahead.dir/lookahead.cc.o.d"
+  "CMakeFiles/grefar_lookahead.dir/mpc.cc.o"
+  "CMakeFiles/grefar_lookahead.dir/mpc.cc.o.d"
+  "libgrefar_lookahead.a"
+  "libgrefar_lookahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grefar_lookahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

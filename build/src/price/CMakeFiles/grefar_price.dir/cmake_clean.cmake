@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grefar_price.dir/price_model.cc.o"
+  "CMakeFiles/grefar_price.dir/price_model.cc.o.d"
+  "libgrefar_price.a"
+  "libgrefar_price.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grefar_price.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grefar_scenario.dir/config_io.cc.o"
+  "CMakeFiles/grefar_scenario.dir/config_io.cc.o.d"
+  "CMakeFiles/grefar_scenario.dir/paper_scenario.cc.o"
+  "CMakeFiles/grefar_scenario.dir/paper_scenario.cc.o.d"
+  "libgrefar_scenario.a"
+  "libgrefar_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grefar_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/availability.cc" "src/sim/CMakeFiles/grefar_sim.dir/availability.cc.o" "gcc" "src/sim/CMakeFiles/grefar_sim.dir/availability.cc.o.d"
+  "/root/repo/src/sim/energy.cc" "src/sim/CMakeFiles/grefar_sim.dir/energy.cc.o" "gcc" "src/sim/CMakeFiles/grefar_sim.dir/energy.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/sim/CMakeFiles/grefar_sim.dir/engine.cc.o" "gcc" "src/sim/CMakeFiles/grefar_sim.dir/engine.cc.o.d"
+  "/root/repo/src/sim/fairness.cc" "src/sim/CMakeFiles/grefar_sim.dir/fairness.cc.o" "gcc" "src/sim/CMakeFiles/grefar_sim.dir/fairness.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/sim/CMakeFiles/grefar_sim.dir/metrics.cc.o" "gcc" "src/sim/CMakeFiles/grefar_sim.dir/metrics.cc.o.d"
+  "/root/repo/src/sim/queue.cc" "src/sim/CMakeFiles/grefar_sim.dir/queue.cc.o" "gcc" "src/sim/CMakeFiles/grefar_sim.dir/queue.cc.o.d"
+  "/root/repo/src/sim/scalar_engine.cc" "src/sim/CMakeFiles/grefar_sim.dir/scalar_engine.cc.o" "gcc" "src/sim/CMakeFiles/grefar_sim.dir/scalar_engine.cc.o.d"
+  "/root/repo/src/sim/tariff.cc" "src/sim/CMakeFiles/grefar_sim.dir/tariff.cc.o" "gcc" "src/sim/CMakeFiles/grefar_sim.dir/tariff.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/grefar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/grefar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/price/CMakeFiles/grefar_price.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/grefar_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grefar_sim.dir/availability.cc.o"
+  "CMakeFiles/grefar_sim.dir/availability.cc.o.d"
+  "CMakeFiles/grefar_sim.dir/energy.cc.o"
+  "CMakeFiles/grefar_sim.dir/energy.cc.o.d"
+  "CMakeFiles/grefar_sim.dir/engine.cc.o"
+  "CMakeFiles/grefar_sim.dir/engine.cc.o.d"
+  "CMakeFiles/grefar_sim.dir/fairness.cc.o"
+  "CMakeFiles/grefar_sim.dir/fairness.cc.o.d"
+  "CMakeFiles/grefar_sim.dir/metrics.cc.o"
+  "CMakeFiles/grefar_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/grefar_sim.dir/queue.cc.o"
+  "CMakeFiles/grefar_sim.dir/queue.cc.o.d"
+  "CMakeFiles/grefar_sim.dir/scalar_engine.cc.o"
+  "CMakeFiles/grefar_sim.dir/scalar_engine.cc.o.d"
+  "CMakeFiles/grefar_sim.dir/tariff.cc.o"
+  "CMakeFiles/grefar_sim.dir/tariff.cc.o.d"
+  "libgrefar_sim.a"
+  "libgrefar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grefar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgrefar_sim.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/brute_force.cc" "src/solver/CMakeFiles/grefar_solver.dir/brute_force.cc.o" "gcc" "src/solver/CMakeFiles/grefar_solver.dir/brute_force.cc.o.d"
+  "/root/repo/src/solver/capped_box.cc" "src/solver/CMakeFiles/grefar_solver.dir/capped_box.cc.o" "gcc" "src/solver/CMakeFiles/grefar_solver.dir/capped_box.cc.o.d"
+  "/root/repo/src/solver/frank_wolfe.cc" "src/solver/CMakeFiles/grefar_solver.dir/frank_wolfe.cc.o" "gcc" "src/solver/CMakeFiles/grefar_solver.dir/frank_wolfe.cc.o.d"
+  "/root/repo/src/solver/lp.cc" "src/solver/CMakeFiles/grefar_solver.dir/lp.cc.o" "gcc" "src/solver/CMakeFiles/grefar_solver.dir/lp.cc.o.d"
+  "/root/repo/src/solver/projected_gradient.cc" "src/solver/CMakeFiles/grefar_solver.dir/projected_gradient.cc.o" "gcc" "src/solver/CMakeFiles/grefar_solver.dir/projected_gradient.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/grefar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grefar_solver.dir/brute_force.cc.o"
+  "CMakeFiles/grefar_solver.dir/brute_force.cc.o.d"
+  "CMakeFiles/grefar_solver.dir/capped_box.cc.o"
+  "CMakeFiles/grefar_solver.dir/capped_box.cc.o.d"
+  "CMakeFiles/grefar_solver.dir/frank_wolfe.cc.o"
+  "CMakeFiles/grefar_solver.dir/frank_wolfe.cc.o.d"
+  "CMakeFiles/grefar_solver.dir/lp.cc.o"
+  "CMakeFiles/grefar_solver.dir/lp.cc.o.d"
+  "CMakeFiles/grefar_solver.dir/projected_gradient.cc.o"
+  "CMakeFiles/grefar_solver.dir/projected_gradient.cc.o.d"
+  "libgrefar_solver.a"
+  "libgrefar_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grefar_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grefar_stats.dir/histogram.cc.o"
+  "CMakeFiles/grefar_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/grefar_stats.dir/p2_quantile.cc.o"
+  "CMakeFiles/grefar_stats.dir/p2_quantile.cc.o.d"
+  "CMakeFiles/grefar_stats.dir/running_stats.cc.o"
+  "CMakeFiles/grefar_stats.dir/running_stats.cc.o.d"
+  "CMakeFiles/grefar_stats.dir/summary_table.cc.o"
+  "CMakeFiles/grefar_stats.dir/summary_table.cc.o.d"
+  "CMakeFiles/grefar_stats.dir/time_series.cc.o"
+  "CMakeFiles/grefar_stats.dir/time_series.cc.o.d"
+  "libgrefar_stats.a"
+  "libgrefar_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grefar_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

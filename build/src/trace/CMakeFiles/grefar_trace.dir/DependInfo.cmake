@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/job_trace.cc" "src/trace/CMakeFiles/grefar_trace.dir/job_trace.cc.o" "gcc" "src/trace/CMakeFiles/grefar_trace.dir/job_trace.cc.o.d"
+  "/root/repo/src/trace/price_trace.cc" "src/trace/CMakeFiles/grefar_trace.dir/price_trace.cc.o" "gcc" "src/trace/CMakeFiles/grefar_trace.dir/price_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/grefar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/grefar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/price/CMakeFiles/grefar_price.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grefar_trace.dir/job_trace.cc.o"
+  "CMakeFiles/grefar_trace.dir/job_trace.cc.o.d"
+  "CMakeFiles/grefar_trace.dir/price_trace.cc.o"
+  "CMakeFiles/grefar_trace.dir/price_trace.cc.o.d"
+  "libgrefar_trace.a"
+  "libgrefar_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grefar_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grefar_util.dir/ascii_chart.cc.o"
+  "CMakeFiles/grefar_util.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/grefar_util.dir/cli.cc.o"
+  "CMakeFiles/grefar_util.dir/cli.cc.o.d"
+  "CMakeFiles/grefar_util.dir/csv.cc.o"
+  "CMakeFiles/grefar_util.dir/csv.cc.o.d"
+  "CMakeFiles/grefar_util.dir/json.cc.o"
+  "CMakeFiles/grefar_util.dir/json.cc.o.d"
+  "CMakeFiles/grefar_util.dir/rng.cc.o"
+  "CMakeFiles/grefar_util.dir/rng.cc.o.d"
+  "CMakeFiles/grefar_util.dir/strings.cc.o"
+  "CMakeFiles/grefar_util.dir/strings.cc.o.d"
+  "CMakeFiles/grefar_util.dir/svg_chart.cc.o"
+  "CMakeFiles/grefar_util.dir/svg_chart.cc.o.d"
+  "libgrefar_util.a"
+  "libgrefar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grefar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

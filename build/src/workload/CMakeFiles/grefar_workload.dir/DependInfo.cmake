@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrival_process.cc" "src/workload/CMakeFiles/grefar_workload.dir/arrival_process.cc.o" "gcc" "src/workload/CMakeFiles/grefar_workload.dir/arrival_process.cc.o.d"
+  "/root/repo/src/workload/cosmos_like.cc" "src/workload/CMakeFiles/grefar_workload.dir/cosmos_like.cc.o" "gcc" "src/workload/CMakeFiles/grefar_workload.dir/cosmos_like.cc.o.d"
+  "/root/repo/src/workload/pareto_types.cc" "src/workload/CMakeFiles/grefar_workload.dir/pareto_types.cc.o" "gcc" "src/workload/CMakeFiles/grefar_workload.dir/pareto_types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/grefar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grefar_workload.dir/arrival_process.cc.o"
+  "CMakeFiles/grefar_workload.dir/arrival_process.cc.o.d"
+  "CMakeFiles/grefar_workload.dir/cosmos_like.cc.o"
+  "CMakeFiles/grefar_workload.dir/cosmos_like.cc.o.d"
+  "CMakeFiles/grefar_workload.dir/pareto_types.cc.o"
+  "CMakeFiles/grefar_workload.dir/pareto_types.cc.o.d"
+  "libgrefar_workload.a"
+  "libgrefar_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grefar_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capped_box_test.dir/solver/capped_box_test.cc.o"
+  "CMakeFiles/capped_box_test.dir/solver/capped_box_test.cc.o.d"
+  "capped_box_test"
+  "capped_box_test.pdb"
+  "capped_box_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capped_box_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

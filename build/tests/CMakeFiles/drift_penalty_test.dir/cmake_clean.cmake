@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_penalty_test.dir/core/drift_penalty_test.cc.o"
+  "CMakeFiles/drift_penalty_test.dir/core/drift_penalty_test.cc.o.d"
+  "drift_penalty_test"
+  "drift_penalty_test.pdb"
+  "drift_penalty_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_penalty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

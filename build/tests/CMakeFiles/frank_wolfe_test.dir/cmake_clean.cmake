@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frank_wolfe_test.dir/solver/frank_wolfe_test.cc.o"
+  "CMakeFiles/frank_wolfe_test.dir/solver/frank_wolfe_test.cc.o.d"
+  "frank_wolfe_test"
+  "frank_wolfe_test.pdb"
+  "frank_wolfe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frank_wolfe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grefar_test.dir/core/grefar_test.cc.o"
+  "CMakeFiles/grefar_test.dir/core/grefar_test.cc.o.d"
+  "grefar_test"
+  "grefar_test.pdb"
+  "grefar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grefar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/per_slot_solver_test.dir/core/per_slot_solver_test.cc.o"
+  "CMakeFiles/per_slot_solver_test.dir/core/per_slot_solver_test.cc.o.d"
+  "per_slot_solver_test"
+  "per_slot_solver_test.pdb"
+  "per_slot_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/per_slot_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

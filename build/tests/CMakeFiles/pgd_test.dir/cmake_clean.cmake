@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgd_test.dir/solver/pgd_test.cc.o"
+  "CMakeFiles/pgd_test.dir/solver/pgd_test.cc.o.d"
+  "pgd_test"
+  "pgd_test.pdb"
+  "pgd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalar_engine_test.dir/sim/scalar_engine_test.cc.o"
+  "CMakeFiles/scalar_engine_test.dir/sim/scalar_engine_test.cc.o.d"
+  "scalar_engine_test"
+  "scalar_engine_test.pdb"
+  "scalar_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalar_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

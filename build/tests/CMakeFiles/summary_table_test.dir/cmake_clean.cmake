@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_table_test.dir/stats/summary_table_test.cc.o"
+  "CMakeFiles/summary_table_test.dir/stats/summary_table_test.cc.o.d"
+  "summary_table_test"
+  "summary_table_test.pdb"
+  "summary_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tariff_solver_test.dir/core/tariff_solver_test.cc.o"
+  "CMakeFiles/tariff_solver_test.dir/core/tariff_solver_test.cc.o.d"
+  "tariff_solver_test"
+  "tariff_solver_test.pdb"
+  "tariff_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tariff_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

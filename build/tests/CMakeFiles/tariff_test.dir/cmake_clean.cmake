@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tariff_test.dir/sim/tariff_test.cc.o"
+  "CMakeFiles/tariff_test.dir/sim/tariff_test.cc.o.d"
+  "tariff_test"
+  "tariff_test.pdb"
+  "tariff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tariff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
