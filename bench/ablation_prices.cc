@@ -5,6 +5,8 @@
 // remains); under spikier prices it should widen.
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "baselines/baselines.h"
 #include "common/experiment.h"
@@ -22,23 +24,28 @@ int main(int argc, char** argv) {
   parse_or_exit(cli, argc, argv);
   const auto horizon = cli.get_int("horizon");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto jobs = jobs_from_cli(cli);
 
   print_header("Ablation: price model vs GreFar's advantage",
                "DESIGN.md section 5 (design-choice ablation)", seed, horizon);
 
-  PaperScenario base = make_paper_scenario(seed);
-  struct Variant {
-    std::string name;
-    std::shared_ptr<const PriceModel> prices;
+  const std::vector<std::string> variant_names = {
+      "constant (Table I means)", "diurnal+OU (paper)", "diurnal+OU with spikes"};
+  // Price model for a variant, built on top of a leg's own base scenario
+  // (SpikyPriceModel keeps a mutable RNG and cache, so it cannot be shared).
+  auto variant_prices = [seed](std::size_t variant, const PaperScenario& base)
+      -> std::shared_ptr<const PriceModel> {
+    switch (variant) {
+      case 0:
+        return std::make_shared<ConstantPriceModel>(
+            std::vector<double>{0.392, 0.433, 0.548});
+      case 1:
+        return base.prices;
+      default:
+        return std::make_shared<SpikyPriceModel>(base.prices, 0.02, 2.5, 0.5,
+                                                 seed ^ 0x5111ULL);
+    }
   };
-  std::vector<Variant> variants;
-  variants.push_back({"constant (Table I means)",
-                      std::make_shared<ConstantPriceModel>(
-                          std::vector<double>{0.392, 0.433, 0.548})});
-  variants.push_back({"diurnal+OU (paper)", base.prices});
-  variants.push_back({"diurnal+OU with spikes",
-                      std::make_shared<SpikyPriceModel>(base.prices, 0.02, 2.5, 0.5,
-                                                        seed ^ 0x5111ULL)});
 
   // GreFar's saving decomposes into a *spatial* part (concentrating work on
   // low cost-per-work servers, which works even under constant prices) and a
@@ -60,23 +67,32 @@ int main(int argc, char** argv) {
     return reference > 0.0 ? paid / reference : 1.0;
   };
 
+  const double V = 20.0;  // strong deferral to make the temporal effect visible
+  // Two legs per variant: 2v = GreFar, 2v+1 = Always, each on its own scenario.
+  auto sweep = run_sweep(variant_names.size() * 2, horizon, jobs,
+                         [&](std::size_t leg) {
+    PaperScenario scenario = make_paper_scenario(seed);
+    scenario.prices = variant_prices(leg / 2, scenario);
+    std::shared_ptr<Scheduler> scheduler;
+    if (leg % 2 == 0) {
+      scheduler = std::make_shared<GreFarScheduler>(scenario.config,
+                                                    paper_grefar_params(V, 0.0));
+    } else {
+      scheduler = std::make_shared<AlwaysScheduler>(scenario.config);
+    }
+    return make_scenario_engine(scenario, std::move(scheduler));
+  });
+
   SummaryTable table({"price model", "Always cost", "GreFar cost", "saving %",
                       "Always capture", "GreFar capture"});
-  const double V = 20.0;  // strong deferral to make the temporal effect visible
-  for (const auto& variant : variants) {
-    PaperScenario scenario = base;
-    scenario.prices = variant.prices;
-    auto grefar = run_scenario(scenario,
-                               std::make_shared<GreFarScheduler>(
-                                   scenario.config, paper_grefar_params(V, 0.0)),
-                               horizon);
-    auto always = run_scenario(
-        scenario, std::make_shared<AlwaysScheduler>(scenario.config), horizon);
+  for (std::size_t v = 0; v < variant_names.size(); ++v) {
+    const auto& grefar = sweep.engines[v * 2];
+    const auto& always = sweep.engines[v * 2 + 1];
     double eg = grefar->metrics().final_average_energy_cost();
     double ea = always->metrics().final_average_energy_cost();
-    table.add_row(variant.name, {ea, eg, 100.0 * (ea - eg) / ea,
-                                 price_capture(always->metrics()),
-                                 price_capture(grefar->metrics())});
+    table.add_row(variant_names[v], {ea, eg, 100.0 * (ea - eg) / ea,
+                                     price_capture(always->metrics()),
+                                     price_capture(grefar->metrics())});
   }
   std::cout << table.render()
             << "\nexpected: price capture is exactly 1 for everyone under constant\n"

@@ -4,9 +4,9 @@
 // compares achieved cost/fairness/delay plus wall-clock time. Greedy and LP
 // are exact for beta = 0 and must agree; Frank-Wolfe and PGD handle the
 // fairness term and should agree with each other.
-#include <chrono>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "common/experiment.h"
 #include "core/grefar.h"
@@ -23,45 +23,49 @@ int main(int argc, char** argv) {
   const auto horizon = cli.get_int("horizon");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const double V = cli.get_double("V");
+  const auto jobs = jobs_from_cli(cli);
 
   print_header("Ablation: per-slot solver choice",
                "DESIGN.md section 5 (design-choice ablation)", seed, horizon);
 
-  PaperScenario scenario = make_paper_scenario(seed);
-
-  auto run_with = [&](PerSlotSolver solver, double beta) {
-    auto scheduler = std::make_shared<GreFarScheduler>(
-        scenario.config, paper_grefar_params(V, beta), solver);
-    auto start = std::chrono::steady_clock::now();
-    auto engine = run_scenario(scenario, scheduler, horizon);
-    auto elapsed = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
-    return std::make_pair(std::move(engine), elapsed);
+  // One leg per (solver, beta) pair; each builds its own scenario. The
+  // ms/1000 slots column is the leg's wall-clock — under --jobs > 1 legs
+  // contend for cores, so compare timings from a --jobs 1 run.
+  struct Leg {
+    PerSlotSolver solver;
+    double beta;
   };
+  const std::vector<Leg> legs = {
+      {PerSlotSolver::kGreedy, 0.0},     {PerSlotSolver::kLp, 0.0},
+      {PerSlotSolver::kFrankWolfe, 0.0}, {PerSlotSolver::kProjectedGradient, 0.0},
+      {PerSlotSolver::kFrankWolfe, 100.0},
+      {PerSlotSolver::kProjectedGradient, 100.0},
+  };
+  auto sweep = run_sweep(legs.size(), horizon, jobs, [&](std::size_t leg) {
+    PaperScenario scenario = make_paper_scenario(seed);
+    auto scheduler = std::make_shared<GreFarScheduler>(
+        scenario.config, paper_grefar_params(V, legs[leg].beta), legs[leg].solver);
+    return make_scenario_engine(scenario, std::move(scheduler));
+  });
 
   std::cout << "-- beta = 0 (greedy/LP exact; FW/PGD approximate) --\n";
   SummaryTable t0({"solver", "avg energy cost", "overall delay", "ms/1000 slots"});
-  for (auto solver : {PerSlotSolver::kGreedy, PerSlotSolver::kLp,
-                      PerSlotSolver::kFrankWolfe, PerSlotSolver::kProjectedGradient}) {
-    auto [engine, ms] = run_with(solver, 0.0);
-    const auto& m = engine->metrics();
-    t0.add_row(to_string(solver),
+  for (std::size_t leg = 0; leg < 4; ++leg) {
+    const auto& m = sweep.engines[leg]->metrics();
+    t0.add_row(to_string(legs[leg].solver),
                {m.final_average_energy_cost(), m.mean_delay(),
-                ms * 1000.0 / static_cast<double>(horizon)});
+                sweep.leg_ms[leg] * 1000.0 / static_cast<double>(horizon)});
   }
   std::cout << t0.render() << "\n";
 
   std::cout << "-- beta = 100 (convex solvers only) --\n";
   SummaryTable t1({"solver", "avg energy cost", "avg fairness", "overall delay",
                    "ms/1000 slots"});
-  for (auto solver :
-       {PerSlotSolver::kFrankWolfe, PerSlotSolver::kProjectedGradient}) {
-    auto [engine, ms] = run_with(solver, 100.0);
-    const auto& m = engine->metrics();
-    t1.add_row(to_string(solver),
+  for (std::size_t leg = 4; leg < legs.size(); ++leg) {
+    const auto& m = sweep.engines[leg]->metrics();
+    t1.add_row(to_string(legs[leg].solver),
                {m.final_average_energy_cost(), m.final_average_fairness(),
-                m.mean_delay(), ms * 1000.0 / static_cast<double>(horizon)});
+                m.mean_delay(), sweep.leg_ms[leg] * 1000.0 / static_cast<double>(horizon)});
   }
   std::cout << t1.render()
             << "\nexpected: all solvers land on (nearly) the same cost; greedy is\n"

@@ -9,7 +9,10 @@
 // The aware scheduler should spread work to stay inside cheap tiers and pay
 // the least.
 #include <iostream>
+#include <limits>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "baselines/baselines.h"
 #include "common/experiment.h"
@@ -33,47 +36,46 @@ int main(int argc, char** argv) {
   const double V = cli.get_double("V");
   const double tier_start = cli.get_double("tier-start");
   const double tier_rate = cli.get_double("tier-rate");
+  const auto jobs = jobs_from_cli(cli);
 
   print_header("Ablation: tiered (convex) electricity billing",
                "Ren, He, Xu (ICDCS'12), Sec. III-A2 extension", seed, horizon);
 
-  PaperScenario scenario = make_paper_scenario(seed);
-  ClusterConfig tariffed = scenario.config;
-  const double inf = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < tariffed.num_data_centers(); ++i) {
-    tariffed.tariffs.emplace_back(
-        std::vector<TieredTariff::Tier>{{tier_start, 1.0}, {inf, tier_rate}});
-  }
-
   // All runs are *billed* under the tariffed cluster; only the scheduler's
-  // belief about billing differs.
-  auto run_billed = [&](std::shared_ptr<Scheduler> scheduler) {
-    SimulationEngine engine(tariffed, scenario.prices, scenario.availability,
-                            scenario.arrivals, std::move(scheduler));
-    engine.run(horizon);
-    return engine;
-  };
+  // belief about billing differs. Each leg builds its own scenario.
+  const std::vector<std::string> labels = {
+      "Always (tariff-blind)", "GreFar (tariff-blind)", "GreFar (tariff-aware)"};
+  auto sweep = run_sweep(labels.size(), horizon, jobs, [&](std::size_t leg) {
+    PaperScenario scenario = make_paper_scenario(seed);
+    ClusterConfig tariffed = scenario.config;
+    const double inf = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < tariffed.num_data_centers(); ++i) {
+      tariffed.tariffs.emplace_back(
+          std::vector<TieredTariff::Tier>{{tier_start, 1.0}, {inf, tier_rate}});
+    }
+    std::shared_ptr<Scheduler> scheduler;
+    switch (leg) {
+      case 0:
+        scheduler = std::make_shared<AlwaysScheduler>(scenario.config);
+        break;
+      case 1:  // linear-billing belief
+        scheduler = std::make_shared<GreFarScheduler>(scenario.config,
+                                                      paper_grefar_params(V, 0.0));
+        break;
+      default:
+        scheduler = std::make_shared<GreFarScheduler>(tariffed,
+                                                      paper_grefar_params(V, 0.0));
+    }
+    return std::make_unique<SimulationEngine>(tariffed, scenario.prices,
+                                              scenario.availability,
+                                              scenario.arrivals, std::move(scheduler));
+  });
 
   SummaryTable table({"scheduler", "avg energy cost", "overall delay", "p95 delay"});
-  {
-    auto engine = run_billed(std::make_shared<AlwaysScheduler>(scenario.config));
-    table.add_row("Always (tariff-blind)",
-                  {engine.metrics().final_average_energy_cost(),
-                   engine.metrics().mean_delay(), engine.metrics().delay_p95()});
-  }
-  {
-    auto engine = run_billed(std::make_shared<GreFarScheduler>(
-        scenario.config, paper_grefar_params(V, 0.0)));  // linear-billing belief
-    table.add_row("GreFar (tariff-blind)",
-                  {engine.metrics().final_average_energy_cost(),
-                   engine.metrics().mean_delay(), engine.metrics().delay_p95()});
-  }
-  {
-    auto engine = run_billed(
-        std::make_shared<GreFarScheduler>(tariffed, paper_grefar_params(V, 0.0)));
-    table.add_row("GreFar (tariff-aware)",
-                  {engine.metrics().final_average_energy_cost(),
-                   engine.metrics().mean_delay(), engine.metrics().delay_p95()});
+  for (std::size_t leg = 0; leg < labels.size(); ++leg) {
+    const auto& m = sweep.engines[leg]->metrics();
+    table.add_row(labels[leg],
+                  {m.final_average_energy_cost(), m.mean_delay(), m.delay_p95()});
   }
   std::cout << table.render()
             << "\nexpected: the tariff penalizes the deep drain bursts that plain\n"

@@ -1,8 +1,10 @@
 #include "common/experiment.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 
+#include "parallel/sim_runner.h"
 #include "util/ascii_chart.h"
 #include "util/csv.h"
 #include "util/svg_chart.h"
@@ -15,6 +17,36 @@ void add_common_options(CliParser& cli, const std::string& default_horizon) {
   cli.add_option("csv-dir", "", "directory to drop raw series CSVs into");
   cli.add_option("svg-dir", "", "directory to drop SVG renderings into");
   cli.add_option("chart-width", "72", "ASCII chart width in columns");
+  cli.add_option("jobs", "0",
+                 "parallel simulation runs (0 = all hardware threads, 1 = serial)");
+}
+
+std::size_t jobs_from_cli(const CliParser& cli) {
+  int jobs = cli.get_int("jobs");
+  return jobs <= 0 ? 0 : static_cast<std::size_t>(jobs);
+}
+
+SweepResult run_sweep(
+    std::size_t count, std::int64_t horizon, std::size_t jobs,
+    const std::function<std::unique_ptr<SimulationEngine>(std::size_t)>& make_engine) {
+  SweepResult result;
+  result.engines.resize(count);
+  result.leg_ms.resize(count, 0.0);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(count);
+  for (std::size_t leg = 0; leg < count; ++leg) {
+    tasks.push_back([&result, &make_engine, horizon, leg] {
+      auto start = std::chrono::steady_clock::now();
+      result.engines[leg] = make_engine(leg);
+      result.engines[leg]->run(horizon);
+      result.leg_ms[leg] = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    });
+  }
+  SimRunner runner(jobs);
+  runner.run(tasks);
+  return result;
 }
 
 void parse_or_exit(CliParser& cli, int argc, char** argv) {

@@ -6,18 +6,49 @@
 // external plotting.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "scenario/paper_scenario.h"
+#include "sim/engine.h"
 #include "stats/time_series.h"
 #include "util/cli.h"
 
 namespace grefar::bench {
 
-/// Registers the options shared by all experiment binaries.
+/// Registers the options shared by all experiment binaries (including
+/// --jobs for the sweep binaries; see run_sweep).
 void add_common_options(CliParser& cli, const std::string& default_horizon = "2000");
+
+/// Parses --jobs: 0 (the default) means all hardware threads, 1 forces the
+/// serial path, N caps the worker count at N.
+std::size_t jobs_from_cli(const CliParser& cli);
+
+/// What run_sweep hands back: one engine (metrics inside) and one wall-clock
+/// measurement per leg, both in leg order.
+struct SweepResult {
+  std::vector<std::unique_ptr<SimulationEngine>> engines;
+  std::vector<double> leg_ms;  // build + run wall-clock per leg
+};
+
+/// Runs `count` independent simulation legs for `horizon` slots each,
+/// fanned across `jobs` worker threads (`jobs` == 1 runs inline, serially,
+/// in leg order — the historical behaviour, bit-for-bit).
+///
+/// `make_engine(leg)` is called on a worker thread and must build the leg's
+/// *entire* stack — scenario, scheduler, engine. Legs must not share model
+/// instances: the stochastic models (prices, availability, arrivals) carry
+/// lazily extended mutable caches, so a shared instance is a data race.
+/// Rebuilding a scenario from the same seed per leg is deterministic and
+/// costs microseconds, and it makes the sweep output independent of the
+/// worker count: results land in per-leg slots and are aggregated in leg
+/// order after every leg finished.
+SweepResult run_sweep(
+    std::size_t count, std::int64_t horizon, std::size_t jobs,
+    const std::function<std::unique_ptr<SimulationEngine>(std::size_t)>& make_engine);
 
 /// Parses argv; exits the process on --help (status 0) or bad flags (1).
 void parse_or_exit(CliParser& cli, int argc, char** argv);

@@ -27,21 +27,26 @@ int main(int argc, char** argv) {
   const auto csv_dir = cli.get_string("csv-dir");
   const auto svg_dir = cli.get_string("svg-dir");
   const auto v_values = cli.get_double_list("V");
+  const auto jobs = jobs_from_cli(cli);
 
   print_header("Fig. 2: energy cost and delay vs V (beta = 0)",
                "Ren, He, Xu (ICDCS'12), Fig. 2(a)-(c)", seed, horizon);
 
-  PaperScenario scenario = make_paper_scenario(seed);
+  // One leg per V; each builds its own scenario (same seed => same traces).
+  auto sweep = run_sweep(v_values.size(), horizon, jobs, [&](std::size_t leg) {
+    PaperScenario scenario = make_paper_scenario(seed);
+    auto scheduler = std::make_shared<GreFarScheduler>(
+        scenario.config, paper_grefar_params(v_values[leg], 0.0));
+    return make_scenario_engine(scenario, std::move(scheduler));
+  });
+
   std::vector<TimeSeries> energy, delay_dc1, delay_dc2, delay_dc3;
   SummaryTable summary({"V", "avg energy cost", "avg delay DC1", "avg delay DC2",
                         "avg delay DC3", "overall delay"});
 
-  for (double V : v_values) {
-    auto scheduler = std::make_shared<GreFarScheduler>(scenario.config,
-                                                       paper_grefar_params(V, 0.0));
-    auto engine = run_scenario(scenario, scheduler, horizon);
-    const auto& m = engine->metrics();
-    std::string label = "V=" + format_fixed(V, 1);
+  for (std::size_t leg = 0; leg < v_values.size(); ++leg) {
+    const auto& m = sweep.engines[leg]->metrics();
+    std::string label = "V=" + format_fixed(v_values[leg], 1);
     energy.push_back(named(m.average_energy_cost(), label));
     delay_dc1.push_back(named(m.average_dc_delay(0), label));
     delay_dc2.push_back(named(m.average_dc_delay(1), label));

@@ -30,21 +30,26 @@ int main(int argc, char** argv) {
   const auto svg_dir = cli.get_string("svg-dir");
   const double V = cli.get_double("V");
   const auto betas = cli.get_double_list("beta");
+  const auto jobs = jobs_from_cli(cli);
 
   print_header("Fig. 3: impact of the energy-fairness parameter beta",
                "Ren, He, Xu (ICDCS'12), Fig. 3(a)-(c)", seed, horizon);
 
-  PaperScenario scenario = make_paper_scenario(seed);
+  // One leg per beta; each builds its own scenario (same seed => same traces).
+  auto sweep = run_sweep(betas.size(), horizon, jobs, [&](std::size_t leg) {
+    PaperScenario scenario = make_paper_scenario(seed);
+    auto scheduler = std::make_shared<GreFarScheduler>(
+        scenario.config, paper_grefar_params(V, betas[leg]));
+    return make_scenario_engine(scenario, std::move(scheduler));
+  });
+
   std::vector<TimeSeries> energy, fairness, delay_dc1;
   SummaryTable summary(
       {"beta", "avg energy cost", "avg fairness", "avg delay DC1", "overall delay"});
 
-  for (double beta : betas) {
-    auto scheduler = std::make_shared<GreFarScheduler>(scenario.config,
-                                                       paper_grefar_params(V, beta));
-    auto engine = run_scenario(scenario, scheduler, horizon);
-    const auto& m = engine->metrics();
-    std::string label = "beta=" + format_fixed(beta, 0);
+  for (std::size_t leg = 0; leg < betas.size(); ++leg) {
+    const auto& m = sweep.engines[leg]->metrics();
+    std::string label = "beta=" + format_fixed(betas[leg], 0);
     energy.push_back(named(m.average_energy_cost(), label));
     fairness.push_back(named(m.average_fairness(), label));
     delay_dc1.push_back(named(m.average_dc_delay(0), label));

@@ -29,28 +29,35 @@ int main(int argc, char** argv) {
   const auto svg_dir = cli.get_string("svg-dir");
   const double V = cli.get_double("V");
   const double beta = cli.get_double("beta");
+  const auto jobs = jobs_from_cli(cli);
 
   print_header("Fig. 4: GreFar versus Always",
                "Ren, He, Xu (ICDCS'12), Fig. 4(a)-(c)", seed, horizon);
 
-  PaperScenario scenario = make_paper_scenario(seed);
-  std::vector<std::shared_ptr<Scheduler>> schedulers = {
-      std::make_shared<GreFarScheduler>(scenario.config,
-                                        paper_grefar_params(V, beta)),
-      std::make_shared<AlwaysScheduler>(scenario.config),
-  };
+  // Leg 0 = GreFar, leg 1 = Always; each leg builds its own scenario.
+  auto sweep = run_sweep(2, horizon, jobs, [&](std::size_t leg) {
+    PaperScenario scenario = make_paper_scenario(seed);
+    std::shared_ptr<Scheduler> scheduler;
+    if (leg == 0) {
+      scheduler = std::make_shared<GreFarScheduler>(scenario.config,
+                                                    paper_grefar_params(V, beta));
+    } else {
+      scheduler = std::make_shared<AlwaysScheduler>(scenario.config);
+    }
+    return make_scenario_engine(scenario, std::move(scheduler));
+  });
 
   std::vector<TimeSeries> energy, fairness, delay_dc1;
   SummaryTable summary({"scheduler", "avg energy cost", "avg fairness",
                         "avg delay DC1", "overall delay"});
-  for (auto& scheduler : schedulers) {
-    auto engine = run_scenario(scenario, scheduler, horizon);
+  for (const auto& engine : sweep.engines) {
     const auto& m = engine->metrics();
-    std::string label = scheduler->name() == "Always" ? "Always" : "GreFar";
+    std::string name = engine->scheduler().name();
+    std::string label = name == "Always" ? "Always" : "GreFar";
     energy.push_back(named(m.average_energy_cost(), label));
     fairness.push_back(named(m.average_fairness(), label));
     delay_dc1.push_back(named(m.average_dc_delay(0), label));
-    summary.add_row(scheduler->name(),
+    summary.add_row(name,
                     {m.final_average_energy_cost(), m.final_average_fairness(),
                      m.final_average_dc_delay(0), m.mean_delay()});
   }

@@ -29,21 +29,33 @@ int main(int argc, char** argv) {
   const auto num_seeds = cli.get_int("num-seeds");
   const double V = cli.get_double("V");
   const double beta = cli.get_double("beta");
+  const auto jobs = jobs_from_cli(cli);
 
   print_header("Robustness: GreFar vs Always across seeds",
                "Ren, He, Xu (ICDCS'12), Fig. 4 (multi-seed)", base_seed, horizon);
+
+  // Two legs per seed: 2s = GreFar, 2s+1 = Always, each on its own scenario
+  // rebuilt from the leg's seed.
+  const auto legs = static_cast<std::size_t>(num_seeds) * 2;
+  auto sweep = run_sweep(legs, horizon, jobs, [&](std::size_t leg) {
+    PaperScenario scenario =
+        make_paper_scenario(base_seed + static_cast<std::uint64_t>(leg / 2));
+    std::shared_ptr<Scheduler> scheduler;
+    if (leg % 2 == 0) {
+      scheduler = std::make_shared<GreFarScheduler>(scenario.config,
+                                                    paper_grefar_params(V, beta));
+    } else {
+      scheduler = std::make_shared<AlwaysScheduler>(scenario.config);
+    }
+    return make_scenario_engine(scenario, std::move(scheduler));
+  });
 
   RunningStats saving_pct, grefar_cost, always_cost, grefar_delay, always_delay,
       fairness_delta;
   int grefar_wins = 0;
   for (std::int64_t s = 0; s < num_seeds; ++s) {
-    PaperScenario scenario = make_paper_scenario(base_seed + static_cast<std::uint64_t>(s));
-    auto grefar = run_scenario(scenario,
-                               std::make_shared<GreFarScheduler>(
-                                   scenario.config, paper_grefar_params(V, beta)),
-                               horizon);
-    auto always = run_scenario(
-        scenario, std::make_shared<AlwaysScheduler>(scenario.config), horizon);
+    const auto& grefar = sweep.engines[static_cast<std::size_t>(s) * 2];
+    const auto& always = sweep.engines[static_cast<std::size_t>(s) * 2 + 1];
     double eg = grefar->metrics().final_average_energy_cost();
     double ea = always->metrics().final_average_energy_cost();
     grefar_cost.add(eg);

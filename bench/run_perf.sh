@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Runs the two microbenchmark binaries and writes google-benchmark JSON next
+# to this script's repo root. Compare a fresh run against the checked-in
+# BENCH_baseline.json to catch hot-path regressions:
+#
+#   ./bench/run_perf.sh out.json
+#   # then eyeball, or use benchmark's tools/compare.py if available:
+#   #   compare.py benchmarks BENCH_baseline.json out.json
+#
+# The baseline was captured with:
+#   cmake -B build -S . && cmake --build build -j
+#   ./bench/run_perf.sh BENCH_baseline.json
+# on an otherwise idle machine. Wall-clock numbers move between machines;
+# what matters is the *relative* change on the same box.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+out="${1:-$repo_root/perf_run.json}"
+min_time="${BENCHMARK_MIN_TIME:-0.2}"
+
+for bin in perf_scheduler perf_substrate; do
+  if [[ ! -x "$build_dir/bench/$bin" ]]; then
+    echo "error: $build_dir/bench/$bin not built (cmake --build $build_dir)" >&2
+    exit 1
+  fi
+done
+
+tmp_sched="$(mktemp)"
+tmp_sub="$(mktemp)"
+trap 'rm -f "$tmp_sched" "$tmp_sub"' EXIT
+
+"$build_dir/bench/perf_scheduler" \
+  --benchmark_min_time="$min_time" \
+  --benchmark_out="$tmp_sched" --benchmark_out_format=json
+"$build_dir/bench/perf_substrate" \
+  --benchmark_min_time="$min_time" \
+  --benchmark_out="$tmp_sub" --benchmark_out_format=json
+
+# Merge the two reports into one file (context from the first, benchmarks
+# concatenated) so a single JSON holds the whole perf surface.
+python3 - "$tmp_sched" "$tmp_sub" "$out" <<'PY'
+import json, sys
+sched, sub, out = sys.argv[1:4]
+with open(sched) as f:
+    merged = json.load(f)
+with open(sub) as f:
+    merged["benchmarks"].extend(json.load(f)["benchmarks"])
+with open(out, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+PY
+echo "wrote $out"

@@ -43,56 +43,82 @@ int main(int argc, char** argv) {
   parse_or_exit(cli, argc, argv);
   const auto horizon = cli.get_int("horizon");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto jobs = jobs_from_cli(cli);
 
   print_header("Scheduler landscape (2-DC periodic-price instance)",
                "synthesis bench (not a paper figure)", seed, horizon);
 
-  auto config = landscape_config();
-  auto prices = std::make_shared<TablePriceModel>(std::vector<std::vector<double>>{
-      {0.9, 0.8, 0.7, 0.3, 0.2, 0.3, 0.8, 0.9},
-      {0.7, 0.7, 0.5, 0.4, 0.3, 0.4, 0.6, 0.7}});
-  auto avail = std::make_shared<FullAvailability>(config.data_centers);
-  auto arrivals = std::make_shared<PoissonArrivals>(
-      std::vector<double>{6.0}, std::vector<std::int64_t>{18}, seed);
-
-  SummaryTable table({"scheduler", "avg energy cost", "avg delay", "p95 delay"});
-  auto run = [&](std::shared_ptr<Scheduler> scheduler) {
-    SimulationEngine engine(config, prices, avail, arrivals, std::move(scheduler));
-    engine.run(horizon);
-    const auto& m = engine.metrics();
-    table.add_row(engine.scheduler().name(),
-                  {m.final_average_energy_cost(), m.mean_delay(), m.delay_p95()});
+  // Everything a leg needs, built fresh per leg (PoissonArrivals carries a
+  // lazily extended cache, so instances must not cross threads).
+  struct Instance {
+    grefar::ClusterConfig config;
+    std::shared_ptr<TablePriceModel> prices;
+    std::shared_ptr<FullAvailability> avail;
+    std::shared_ptr<PoissonArrivals> arrivals;
+  };
+  auto make_instance = [seed] {
+    Instance inst;
+    inst.config = landscape_config();
+    inst.prices = std::make_shared<TablePriceModel>(std::vector<std::vector<double>>{
+        {0.9, 0.8, 0.7, 0.3, 0.2, 0.3, 0.8, 0.9},
+        {0.7, 0.7, 0.5, 0.4, 0.3, 0.4, 0.6, 0.7}});
+    inst.avail = std::make_shared<FullAvailability>(inst.config.data_centers);
+    inst.arrivals = std::make_shared<PoissonArrivals>(
+        std::vector<double>{6.0}, std::vector<std::int64_t>{18}, seed);
+    return inst;
   };
 
-  run(std::make_shared<RandomScheduler>(config, seed ^ 1));
-  run(std::make_shared<LocalOnlyScheduler>(config));
-  run(std::make_shared<AlwaysScheduler>(config));
-  run(std::make_shared<CheapestFirstScheduler>(config));
-  run(std::make_shared<PriceThresholdScheduler>(config, 0.45));
-  for (double V : {2.0, 8.0, 32.0}) {
-    GreFarParams p;
-    p.V = V;
-    p.r_max = 50.0;
-    p.h_max = 50.0;
-    run(std::make_shared<GreFarScheduler>(config, p));
-  }
-  for (std::int64_t W : {2, 8}) {
-    MpcParams p;
-    p.window = W;
-    p.r_max = 50.0;
-    p.h_max = 50.0;
-    run(std::make_shared<MpcScheduler>(config, prices, avail, arrivals, p));
+  const std::vector<double> grefar_vs = {2.0, 8.0, 32.0};
+  const std::vector<std::int64_t> mpc_windows = {2, 8};
+  const std::size_t num_legs = 5 + grefar_vs.size() + mpc_windows.size();
+  auto sweep = run_sweep(num_legs, horizon, jobs, [&](std::size_t leg) {
+    Instance inst = make_instance();
+    std::shared_ptr<Scheduler> scheduler;
+    switch (leg) {
+      case 0: scheduler = std::make_shared<RandomScheduler>(inst.config, seed ^ 1); break;
+      case 1: scheduler = std::make_shared<LocalOnlyScheduler>(inst.config); break;
+      case 2: scheduler = std::make_shared<AlwaysScheduler>(inst.config); break;
+      case 3: scheduler = std::make_shared<CheapestFirstScheduler>(inst.config); break;
+      case 4: scheduler = std::make_shared<PriceThresholdScheduler>(inst.config, 0.45); break;
+      default:
+        if (leg < 5 + grefar_vs.size()) {
+          GreFarParams p;
+          p.V = grefar_vs[leg - 5];
+          p.r_max = 50.0;
+          p.h_max = 50.0;
+          scheduler = std::make_shared<GreFarScheduler>(inst.config, p);
+        } else {
+          MpcParams p;
+          p.window = mpc_windows[leg - 5 - grefar_vs.size()];
+          p.r_max = 50.0;
+          p.h_max = 50.0;
+          scheduler = std::make_shared<MpcScheduler>(inst.config, inst.prices,
+                                                     inst.avail, inst.arrivals, p);
+        }
+    }
+    return std::make_unique<SimulationEngine>(inst.config, inst.prices, inst.avail,
+                                              inst.arrivals, std::move(scheduler));
+  });
+
+  SummaryTable table({"scheduler", "avg energy cost", "avg delay", "p95 delay"});
+  for (const auto& engine : sweep.engines) {
+    const auto& m = engine->metrics();
+    table.add_row(engine->scheduler().name(),
+                  {m.final_average_energy_cost(), m.mean_delay(), m.delay_p95()});
   }
 
   std::cout << table.render() << "\n";
 
-  // The offline bound for context.
+  // The offline bound for context (serial; one LP solve).
+  Instance inst = make_instance();
   LookaheadParams lp;
   lp.T = 8;
   lp.R = horizon / lp.T;
   lp.r_max = 50.0;
   lp.h_max = 50.0;
-  double bound = solve_lookahead(config, *prices, *avail, *arrivals, lp).average_cost;
+  double bound =
+      solve_lookahead(inst.config, *inst.prices, *inst.avail, *inst.arrivals, lp)
+          .average_cost;
   std::cout << "T=8 lookahead LP bound (eq. 19): " << format_fixed(bound, 3)
             << "\n\nreading: oracle MPC(W=8) nearly attains the offline bound;\n"
                "GreFar at large V closes most of that gap with *no* prediction.\n"

@@ -9,6 +9,24 @@ namespace grefar {
 
 namespace {
 
+/// Work upper bound for one (i, j) pair: h_max (optionally clamped to the
+/// queue) in work units, capped by the per-job parallelism constraint.
+double work_upper_bound(const ClusterConfig& config, const SlotObservation& obs,
+                        const GreFarParams& params, std::size_t i, std::size_t j) {
+  if (!config.job_types[j].eligible(i)) return 0.0;
+  double d = config.job_types[j].work;
+  double h_cap = params.h_max;
+  if (params.clamp_to_queue) h_cap = std::min(h_cap, obs.dc_queue(i, j));
+  double work_ub = std::max(h_cap, 0.0) * d;
+  // Parallelism constraint: each of the (whole) queued jobs can absorb
+  // at most max_rate work per slot.
+  if (std::isfinite(config.job_types[j].max_rate)) {
+    work_ub = std::min(work_ub, config.job_types[j].max_rate *
+                                    std::ceil(obs.dc_queue(i, j)));
+  }
+  return work_ub;
+}
+
 CappedBoxPolytope build_polytope(const ClusterConfig& config,
                                  const SlotObservation& obs,
                                  const GreFarParams& params,
@@ -18,18 +36,7 @@ CappedBoxPolytope build_polytope(const ClusterConfig& config,
   std::vector<double> ub(N * J, 0.0);
   for (std::size_t i = 0; i < N; ++i) {
     for (std::size_t j = 0; j < J; ++j) {
-      if (!config.job_types[j].eligible(i)) continue;  // stays 0
-      double d = config.job_types[j].work;
-      double h_cap = params.h_max;
-      if (params.clamp_to_queue) h_cap = std::min(h_cap, obs.dc_queue(i, j));
-      double work_ub = std::max(h_cap, 0.0) * d;
-      // Parallelism constraint: each of the (whole) queued jobs can absorb
-      // at most max_rate work per slot.
-      if (std::isfinite(config.job_types[j].max_rate)) {
-        work_ub = std::min(work_ub, config.job_types[j].max_rate *
-                                        std::ceil(obs.dc_queue(i, j)));
-      }
-      ub[i * J + j] = work_ub;
+      ub[i * J + j] = work_upper_bound(config, obs, params, i, j);
     }
   }
   CappedBoxPolytope polytope(std::move(ub));
@@ -87,6 +94,36 @@ PerSlotProblem::PerSlotProblem(const ClusterConfig& config, const SlotObservatio
       queue_value_[index(i, j)] = obs.dc_queue(i, j) / config.job_types[j].work;
     }
   }
+  avail_scratch_.resize(config.num_server_types());
+  account_scratch_.resize(config.num_accounts());
+  marginal_scratch_.resize(num_dcs_);
+}
+
+void PerSlotProblem::reset(const SlotObservation& obs) {
+  const ClusterConfig& config = *config_;
+  GREFAR_CHECK(obs.availability.rows() == num_dcs_ &&
+               obs.availability.cols() == config.num_server_types());
+  GREFAR_CHECK(obs.dc_queue.rows() == num_dcs_ && obs.dc_queue.cols() == num_types_);
+  obs_ = &obs;
+  total_resource_ = 0.0;
+  for (std::size_t i = 0; i < num_dcs_; ++i) {
+    for (std::size_t k = 0; k < avail_scratch_.size(); ++k) {
+      avail_scratch_[k] = obs.availability(i, k);
+    }
+    curves_[i].rebuild(config.server_types, avail_scratch_);
+    double cap = curves_[i].capacity();
+    total_resource_ += cap;
+    smoothing_band_[i] = 1e-3 * cap;
+    energy_band_[i] = 1e-3 * curves_[i].energy_for_work(cap);
+    polytope_.set_group_cap(i, cap);
+    for (std::size_t j = 0; j < num_types_; ++j) {
+      polytope_.set_upper_bound(index(i, j), work_upper_bound(config, obs, params_, i, j));
+      queue_value_[index(i, j)] =
+          config.job_types[j].eligible(i)
+              ? obs.dc_queue(i, j) / config.job_types[j].work
+              : 0.0;
+    }
+  }
 }
 
 double PerSlotProblem::queue_value(DataCenterId i, JobTypeId j) const {
@@ -97,7 +134,8 @@ double PerSlotProblem::queue_value(DataCenterId i, JobTypeId j) const {
 double PerSlotProblem::value(const std::vector<double>& x) const {
   GREFAR_CHECK(x.size() == num_vars());
   double total = 0.0;
-  std::vector<double> account_work(config_->num_accounts(), 0.0);
+  std::vector<double>& account_work = account_scratch_;
+  account_work.assign(config_->num_accounts(), 0.0);
   for (std::size_t i = 0; i < num_dcs_; ++i) {
     double dc_work = 0.0;
     for (std::size_t j = 0; j < num_types_; ++j) {
@@ -121,8 +159,10 @@ void PerSlotProblem::gradient(const std::vector<double>& x,
                               std::vector<double>& out) const {
   GREFAR_CHECK(x.size() == num_vars());
   out.assign(num_vars(), 0.0);
-  std::vector<double> account_work(config_->num_accounts(), 0.0);
-  std::vector<double> dc_marginal(num_dcs_, 0.0);
+  std::vector<double>& account_work = account_scratch_;
+  account_work.assign(config_->num_accounts(), 0.0);
+  std::vector<double>& dc_marginal = marginal_scratch_;
+  dc_marginal.assign(num_dcs_, 0.0);
   for (std::size_t i = 0; i < num_dcs_; ++i) {
     double dc_work = 0.0;
     for (std::size_t j = 0; j < num_types_; ++j) {

@@ -51,10 +51,21 @@ struct GreFarParams {
 };
 
 /// The per-slot convex program in work units u (flattened N*J vector).
+///
+/// Hot-path note: a long-lived scheduler constructs one PerSlotProblem on
+/// its first slot and calls reset() on every later slot — curves, polytope,
+/// and all internal vectors are then updated in place, so steady-state
+/// problem construction is allocation-free. An instance is single-threaded;
+/// concurrent runs each own their problem.
 class PerSlotProblem final : public ConvexObjective {
  public:
   PerSlotProblem(const ClusterConfig& config, const SlotObservation& obs,
                  const GreFarParams& params);
+
+  /// Re-targets the problem at a new observation of the *same* cluster and
+  /// params, reusing all internal storage. `obs` must outlive the problem's
+  /// next use (the problem keeps a pointer, not a copy).
+  void reset(const SlotObservation& obs);
 
   std::size_t num_vars() const { return num_dcs_ * num_types_; }
   std::size_t index(DataCenterId i, JobTypeId j) const { return i * num_types_ + j; }
@@ -92,6 +103,12 @@ class PerSlotProblem final : public ConvexObjective {
   FairnessFunction fairness_;
   CappedBoxPolytope polytope_;
   std::vector<double> queue_value_;  // q_{i,j}/d_j, flattened
+
+  // Reused scratch: value()/gradient() run every solver iteration and must
+  // not touch the heap.
+  std::vector<std::int64_t> avail_scratch_;        // one DC's availability row
+  mutable std::vector<double> account_scratch_;    // per-account work
+  mutable std::vector<double> marginal_scratch_;   // per-DC marginal cost
 };
 
 }  // namespace grefar

@@ -31,20 +31,42 @@ std::string GreFarScheduler::name() const {
 }
 
 SlotAction GreFarScheduler::decide(const SlotObservation& obs) {
+  SlotAction action;
+  decide_into(obs, action);
+  return action;
+}
+
+void GreFarScheduler::decide_into(const SlotObservation& obs, SlotAction& action) {
   const std::size_t N = config_.num_data_centers();
   const std::size_t J = config_.num_job_types();
   GREFAR_CHECK(obs.prices.size() == N);
   GREFAR_CHECK(obs.central_queue.size() == J);
   GREFAR_CHECK(obs.dc_queue.rows() == N && obs.dc_queue.cols() == J);
 
-  SlotAction action;
-  action.route = MatrixD(N, J);
-  action.process = MatrixD(N, J);
+  if (action.route.rows() != N || action.route.cols() != J) {
+    action.route = MatrixD(N, J);
+    action.process = MatrixD(N, J);
+  } else {
+    action.route.fill(0.0);
+    action.process.fill(0.0);
+  }
+
+  // Per-DC total capacity sum_k n_{i,k} s_k for this slot, computed once up
+  // front (the routing tie-break below used to recompute it per tie group
+  // per job type).
+  dc_capacity_.assign(N, 0.0);
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t k = 0; k < config_.num_server_types(); ++k) {
+      dc_capacity_[i] += static_cast<double>(obs.availability(i, k)) *
+                         config_.server_types[k].speed;
+    }
+  }
 
   // -- Routing: minimize sum (q_{i,j} - Q_j) r_{i,j} ------------------------
   for (std::size_t j = 0; j < J; ++j) {
     const double Q = obs.central_queue[j];
-    std::vector<std::size_t> beneficial;
+    std::vector<std::size_t>& beneficial = beneficial_;
+    beneficial.clear();
     for (DataCenterId i : config_.job_types[j].eligible_dcs) {
       if (obs.dc_queue(i, j) < Q) beneficial.push_back(i);
     }
@@ -69,19 +91,13 @@ SlotAction GreFarScheduler::decide(const SlotObservation& obs) {
         }
         // Capacity weights of the tie group.
         double total_cap = 0.0;
-        std::vector<double> cap(g_end - g, 0.0);
-        for (std::size_t s = g; s < g_end; ++s) {
-          for (std::size_t k = 0; k < config_.num_server_types(); ++k) {
-            cap[s - g] += static_cast<double>(obs.availability(beneficial[s], k)) *
-                          config_.server_types[k].speed;
-          }
-          total_cap += cap[s - g];
-        }
+        for (std::size_t s = g; s < g_end; ++s) total_cap += dc_capacity_[beneficial[s]];
         double group_jobs = available;
         for (std::size_t s = g; s < g_end && available > 0.0; ++s) {
-          double share = total_cap > 0.0
-                             ? std::ceil(group_jobs * cap[s - g] / total_cap)
-                             : group_jobs;
+          double share =
+              total_cap > 0.0
+                  ? std::ceil(group_jobs * dc_capacity_[beneficial[s]] / total_cap)
+                  : group_jobs;
           double r = std::floor(std::min({params_.r_max, share, available}));
           action.route(beneficial[s], j) = r;
           available -= r;
@@ -101,26 +117,28 @@ SlotAction GreFarScheduler::decide(const SlotObservation& obs) {
   // only the pre-routing queue) is recovered with process_after_routing =
   // false; both are valid drift-minimizing policies, the default just avoids
   // a structural one-slot service lag.
-  SlotObservation routed_obs;
   const SlotObservation* problem_obs = &obs;
   if (params_.process_after_routing) {
-    routed_obs = obs;
+    routed_obs_ = obs;
     for (std::size_t j = 0; j < J; ++j) {
       for (std::size_t i = 0; i < N; ++i) {
-        routed_obs.dc_queue(i, j) += action.route(i, j);
+        routed_obs_.dc_queue(i, j) += action.route(i, j);
       }
     }
-    problem_obs = &routed_obs;
+    problem_obs = &routed_obs_;
   }
-  PerSlotProblem problem(config_, *problem_obs, params_);
-  std::vector<double> u = solve_per_slot(problem, solver_);
+  if (problem_.has_value()) {
+    problem_->reset(*problem_obs);
+  } else {
+    problem_.emplace(config_, *problem_obs, params_);
+  }
+  solve_per_slot_into(*problem_, solver_, u_, &solver_scratch_);
   for (std::size_t i = 0; i < N; ++i) {
     for (std::size_t j = 0; j < J; ++j) {
-      double h = u[problem.index(i, j)] / config_.job_types[j].work;
+      double h = u_[problem_->index(i, j)] / config_.job_types[j].work;
       action.process(i, j) = std::min(h, params_.h_max);
     }
   }
-  return action;
 }
 
 }  // namespace grefar

@@ -18,7 +18,9 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/drift_penalty.h"
 #include "core/per_slot_solvers.h"
@@ -34,6 +36,10 @@ class GreFarScheduler final : public Scheduler {
   GreFarScheduler(ClusterConfig config, GreFarParams params, PerSlotSolver solver);
 
   SlotAction decide(const SlotObservation& obs) override;
+  /// The hot path: after the first slot every per-slot structure (the
+  /// convex problem, solver scratch, routing work lists, action matrices)
+  /// is reused in place, so steady-state decisions are allocation-free.
+  void decide_into(const SlotObservation& obs, SlotAction& out) override;
   std::string name() const override;
 
   const GreFarParams& params() const { return params_; }
@@ -43,6 +49,15 @@ class GreFarScheduler final : public Scheduler {
   ClusterConfig config_;
   GreFarParams params_;
   PerSlotSolver solver_;
+
+  // Per-slot scratch, constructed lazily on the first decide and reused
+  // thereafter. A scheduler instance is single-threaded (one simulation).
+  std::optional<PerSlotProblem> problem_;
+  PerSlotSolverScratch solver_scratch_;
+  SlotObservation routed_obs_;           // obs with routing applied to dc_queue
+  std::vector<double> u_;                // per-slot solver result (work units)
+  std::vector<double> dc_capacity_;      // sum_k n_{i,k} s_k, per DC per slot
+  std::vector<std::size_t> beneficial_;  // routing candidates for one job type
 };
 
 }  // namespace grefar

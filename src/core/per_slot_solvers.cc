@@ -17,74 +17,113 @@ std::string to_string(PerSlotSolver solver) {
   return "unknown";
 }
 
+namespace {
+
+/// Rebuilds the sorted energy-cost piece list for DC `i` if (and only if)
+/// its availability row changed since the pieces were last built. Pieces
+/// store the price-free base cost, so price movement never invalidates.
+void refresh_pieces(const PerSlotProblem& problem, std::size_t i,
+                    PerSlotSolverScratch& scratch) {
+  const auto& config = problem.config();
+  const auto& obs = problem.observation();
+  const std::size_t K = config.num_server_types();
+  auto& cached = scratch.cached_avail[i];
+  bool fresh = cached.size() == K;
+  if (fresh) {
+    for (std::size_t k = 0; k < K; ++k) {
+      if (cached[k] != obs.availability(i, k)) {
+        fresh = false;
+        break;
+      }
+    }
+  }
+  if (fresh) return;
+  cached.resize(K);
+  for (std::size_t k = 0; k < K; ++k) cached[k] = obs.availability(i, k);
+
+  // Filling cheapest energy-per-work servers first minimizes E(W), hence
+  // also tariff(E(W)) (tariff increasing); subdividing each curve segment at
+  // the tariff's tier boundaries yields pieces whose unit cost —
+  // V*phi * rate(E) * energy_per_work — is non-decreasing in fill order, so
+  // the two-list greedy stays exact. V*phi > 0 scales all of a DC's pieces
+  // equally, which is why the cache can store price-free base costs.
+  const TieredTariff& tariff = config.tariff(i);
+  auto& pieces = scratch.pieces[i];
+  pieces.clear();
+  double cum_energy = 0.0;
+  for (const auto& seg : problem.curve(i).segments()) {
+    double seg_work_left = seg.capacity;
+    while (seg_work_left > 1e-12) {
+      double rate = tariff.marginal(cum_energy);
+      // Work until the next tier boundary (or the segment end).
+      double work_to_boundary = seg_work_left;
+      for (const auto& tier : tariff.tiers()) {
+        if (cum_energy < tier.upto) {
+          double energy_left = tier.upto - cum_energy;
+          if (std::isfinite(energy_left)) {
+            work_to_boundary =
+                std::min(work_to_boundary, energy_left / seg.energy_per_work);
+          }
+          break;
+        }
+      }
+      // Guard against zero-progress when sitting exactly on a boundary.
+      work_to_boundary = std::max(work_to_boundary, 1e-12);
+      work_to_boundary = std::min(work_to_boundary, seg_work_left);
+      pieces.push_back({work_to_boundary, rate * seg.energy_per_work});
+      cum_energy += work_to_boundary * seg.energy_per_work;
+      seg_work_left -= work_to_boundary;
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<double> solve_per_slot_greedy(const PerSlotProblem& problem) {
+  std::vector<double> u;
+  solve_per_slot_greedy_into(problem, u, nullptr);
+  return u;
+}
+
+void solve_per_slot_greedy_into(const PerSlotProblem& problem, std::vector<double>& u,
+                                PerSlotSolverScratch* scratch) {
   const auto& config = problem.config();
   const auto& obs = problem.observation();
   const std::size_t N = config.num_data_centers();
   const std::size_t J = config.num_job_types();
   const double V = problem.params().V;
 
-  std::vector<double> u(problem.num_vars(), 0.0);
+  PerSlotSolverScratch local;
+  PerSlotSolverScratch& ws = scratch ? *scratch : local;
+  ws.pieces.resize(N);
+  ws.cached_avail.resize(N);
+
+  u.assign(problem.num_vars(), 0.0);
   for (std::size_t i = 0; i < N; ++i) {
     // Job demands with positive queue value, most valuable first.
-    struct Demand {
-      std::size_t j;
-      double value;      // q_{i,j} / d_j
-      double remaining;  // ub on work units
-    };
-    std::vector<Demand> demands;
+    auto& demands = ws.demands;
+    demands.clear();
     for (std::size_t j = 0; j < J; ++j) {
       double ub = problem.polytope().upper_bounds()[problem.index(i, j)];
       double v = problem.queue_value(i, j);
       if (ub > 0.0 && v > 0.0) demands.push_back({j, v, ub});
     }
     std::sort(demands.begin(), demands.end(),
-              [](const Demand& a, const Demand& b) { return a.value > b.value; });
+              [](const PerSlotSolverScratch::Demand& a,
+                 const PerSlotSolverScratch::Demand& b) { return a.value > b.value; });
 
-    // Server pieces, cheapest marginal-cost-per-work first. Filling cheapest
-    // energy-per-work servers first minimizes E(W), hence also tariff(E(W))
-    // (tariff increasing); subdividing each curve segment at the tariff's
-    // tier boundaries yields pieces whose unit cost — V*phi * rate(E) * c —
-    // is non-decreasing in fill order, so the two-list greedy stays exact.
-    struct Piece {
-      double capacity;   // work units
-      double unit_cost;  // V * phi * rate * energy_per_work
-    };
-    const TieredTariff& tariff = config.tariff(i);
-    std::vector<Piece> pieces;
-    double cum_energy = 0.0;
-    for (const auto& seg : problem.curve(i).segments()) {
-      double seg_work_left = seg.capacity;
-      while (seg_work_left > 1e-12) {
-        double rate = tariff.marginal(cum_energy);
-        // Work until the next tier boundary (or the segment end).
-        double work_to_boundary = seg_work_left;
-        for (const auto& tier : tariff.tiers()) {
-          if (cum_energy < tier.upto) {
-            double energy_left = tier.upto - cum_energy;
-            if (std::isfinite(energy_left)) {
-              work_to_boundary =
-                  std::min(work_to_boundary, energy_left / seg.energy_per_work);
-            }
-            break;
-          }
-        }
-        // Guard against zero-progress when sitting exactly on a boundary.
-        work_to_boundary = std::max(work_to_boundary, 1e-12);
-        work_to_boundary = std::min(work_to_boundary, seg_work_left);
-        pieces.push_back(
-            {work_to_boundary, V * obs.prices[i] * rate * seg.energy_per_work});
-        cum_energy += work_to_boundary * seg.energy_per_work;
-        seg_work_left -= work_to_boundary;
-      }
-    }
+    // Server pieces, cheapest marginal-cost-per-work first (cached across
+    // slots; see refresh_pieces).
+    refresh_pieces(problem, i, ws);
+    const double price_scale = V * obs.prices[i];
 
     std::size_t d_idx = 0;
-    for (const auto& piece : pieces) {
+    for (const auto& piece : ws.pieces[i]) {
       double piece_remaining = piece.capacity;
+      double unit_cost = price_scale * piece.base_cost;
       while (piece_remaining > 1e-12 && d_idx < demands.size()) {
-        Demand& d = demands[d_idx];
-        if (d.value <= piece.unit_cost) {
+        PerSlotSolverScratch::Demand& d = demands[d_idx];
+        if (d.value <= unit_cost) {
           // Demands are sorted descending and pieces are non-decreasing in
           // cost, so no remaining pair is profitable.
           d_idx = demands.size();
@@ -99,7 +138,6 @@ std::vector<double> solve_per_slot_greedy(const PerSlotProblem& problem) {
       if (d_idx >= demands.size()) break;
     }
   }
-  return u;
 }
 
 std::vector<double> solve_per_slot_frank_wolfe(const PerSlotProblem& problem,
@@ -165,14 +203,36 @@ std::vector<double> solve_per_slot_lp(const PerSlotProblem& problem) {
 }
 
 std::vector<double> solve_per_slot(const PerSlotProblem& problem, PerSlotSolver solver) {
+  std::vector<double> u;
+  solve_per_slot_into(problem, solver, u, nullptr);
+  return u;
+}
+
+void solve_per_slot_into(const PerSlotProblem& problem, PerSlotSolver solver,
+                         std::vector<double>& u, PerSlotSolverScratch* scratch) {
   switch (solver) {
-    case PerSlotSolver::kGreedy: return solve_per_slot_greedy(problem);
-    case PerSlotSolver::kFrankWolfe: return solve_per_slot_frank_wolfe(problem);
-    case PerSlotSolver::kProjectedGradient: return solve_per_slot_pgd(problem);
-    case PerSlotSolver::kLp: return solve_per_slot_lp(problem);
+    case PerSlotSolver::kGreedy:
+      solve_per_slot_greedy_into(problem, u, scratch);
+      return;
+    case PerSlotSolver::kFrankWolfe: {
+      std::vector<double>& warm = scratch ? scratch->warm : u;
+      solve_per_slot_greedy_into(problem, warm, scratch);
+      auto result = minimize_frank_wolfe(problem, problem.polytope(), warm);
+      u = std::move(result.x);
+      return;
+    }
+    case PerSlotSolver::kProjectedGradient: {
+      std::vector<double>& warm = scratch ? scratch->warm : u;
+      solve_per_slot_greedy_into(problem, warm, scratch);
+      auto result = minimize_projected_gradient(problem, problem.polytope(), warm);
+      u = std::move(result.x);
+      return;
+    }
+    case PerSlotSolver::kLp:
+      u = solve_per_slot_lp(problem);
+      return;
   }
   GREFAR_CHECK_MSG(false, "unreachable per-slot solver");
-  return {};
 }
 
 }  // namespace grefar

@@ -28,9 +28,38 @@ enum class PerSlotSolver {
 
 std::string to_string(PerSlotSolver solver);
 
+/// Reusable scratch for the per-slot solvers. A long-lived scheduler keeps
+/// one instance and passes it to every solve: the greedy's demand list and
+/// its per-DC sorted energy-cost piece lists are then reused across slots.
+/// Pieces store `base_cost = tariff_rate * energy_per_work` with the
+/// (positive) V * phi price factor divided out, so a DC's piece list only
+/// has to be rebuilt when its *availability row* changes — price moves
+/// rescale every piece equally and cannot reorder them. An instance is tied
+/// to one cluster config (server types + tariffs) and is single-threaded.
+struct PerSlotSolverScratch {
+  struct Piece {
+    double capacity;   // work units
+    double base_cost;  // tariff_rate * energy_per_work (x V*phi at use site)
+  };
+  struct Demand {
+    std::size_t j;
+    double value;      // q_{i,j} / d_j
+    double remaining;  // ub on work units
+  };
+  std::vector<Demand> demands;
+  std::vector<std::vector<Piece>> pieces;               // [dc], sorted by cost
+  std::vector<std::vector<std::int64_t>> cached_avail;  // [dc] row pieces were built for
+  std::vector<double> warm;                             // FW/PGD warm start
+};
+
 /// Exact greedy for beta = 0 (the fairness term, if any, is ignored).
 /// Returns the flattened u vector (work units per (i,j)).
 std::vector<double> solve_per_slot_greedy(const PerSlotProblem& problem);
+
+/// Allocation-free greedy: writes into `u`, reuses `scratch` (pass nullptr
+/// to use transient local scratch).
+void solve_per_slot_greedy_into(const PerSlotProblem& problem, std::vector<double>& u,
+                                PerSlotSolverScratch* scratch);
 
 /// Frank-Wolfe on the full convex objective. Warm-started from the greedy.
 std::vector<double> solve_per_slot_frank_wolfe(const PerSlotProblem& problem,
@@ -51,5 +80,10 @@ std::vector<double> solve_per_slot_lp(const PerSlotProblem& problem);
 
 /// Dispatches on `solver`.
 std::vector<double> solve_per_slot(const PerSlotProblem& problem, PerSlotSolver solver);
+
+/// Dispatching solve into a caller-owned result buffer with reusable
+/// scratch — the hot path GreFarScheduler uses every slot.
+void solve_per_slot_into(const PerSlotProblem& problem, PerSlotSolver solver,
+                         std::vector<double>& u, PerSlotSolverScratch* scratch);
 
 }  // namespace grefar

@@ -1,0 +1,48 @@
+#include "parallel/sim_runner.h"
+
+#include <algorithm>
+
+#include "parallel/thread_pool.h"
+
+namespace grefar {
+
+SimRunner::SimRunner(std::size_t jobs)
+    : jobs_(jobs == 0 ? ThreadPool::default_concurrency() : jobs) {}
+
+void SimRunner::run(std::vector<std::function<void()>>& tasks) const {
+  if (tasks.empty()) return;
+  std::vector<std::exception_ptr> errors(tasks.size());
+  if (jobs_ <= 1 || tasks.size() == 1) {
+    // Serial path: inline, in order, no pool — the historical behaviour.
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      try {
+        tasks[i]();
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  } else {
+    ThreadPool pool(std::min(jobs_, tasks.size()));
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      pool.submit([&tasks, &errors, i] {
+        try {
+          tasks[i]();
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+std::vector<std::unique_ptr<SimulationEngine>> SimRunner::run_engines(
+    std::vector<std::function<std::unique_ptr<SimulationEngine>()>> makers) const {
+  return map<std::unique_ptr<SimulationEngine>>(
+      makers.size(), [&makers](std::size_t i) { return makers[i](); });
+}
+
+}  // namespace grefar

@@ -1,0 +1,66 @@
+// SimRunner: fans independent simulation runs across a ThreadPool with
+// deterministic, submission-ordered results.
+//
+// The repo's stochastic models (prices, availability, arrivals) carry lazily
+// extended mutable caches, so model *instances* must never be shared between
+// concurrent runs. The contract here makes that structural: each leg of a
+// sweep is a closure that builds its own scenario (deterministic per seed,
+// i.e. its own RNG streams), its own scheduler and its own engine/SimMetrics,
+// and returns whatever the caller wants to aggregate. Results land in a slot
+// per leg, so aggregation in leg order is bit-for-bit identical no matter how
+// many workers ran the legs — `jobs = 1` executes inline with no pool at all
+// and reproduces the historical serial behaviour exactly. Per-leg metric
+// accumulators (RunningStats and friends) merge cleanly afterwards because
+// they are parallel-combinable by design.
+//
+// A task that throws poisons only its own slot; run()/map() rethrow the
+// first failure in leg order after every leg has finished.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace grefar {
+
+class SimRunner {
+ public:
+  /// `jobs` = worker count; 0 picks ThreadPool::default_concurrency().
+  explicit SimRunner(std::size_t jobs = 0);
+
+  std::size_t jobs() const { return jobs_; }
+
+  /// Runs every task (in parallel for jobs > 1, inline in order for
+  /// jobs == 1). Returns once all tasks finished; rethrows the first
+  /// task exception in index order.
+  void run(std::vector<std::function<void()>>& tasks) const;
+
+  /// Parallel map with ordered results: results[i] = fn(i).
+  template <typename Result>
+  std::vector<Result> map(std::size_t count,
+                          std::function<Result(std::size_t)> fn) const {
+    std::vector<Result> results(count);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      tasks.push_back([&results, &fn, i] { results[i] = fn(i); });
+    }
+    run(tasks);
+    return results;
+  }
+
+  /// Domain shorthand: each maker builds *and runs* one engine on a worker;
+  /// engines (with their SimMetrics) come back in maker order.
+  std::vector<std::unique_ptr<SimulationEngine>> run_engines(
+      std::vector<std::function<std::unique_ptr<SimulationEngine>()>> makers) const;
+
+ private:
+  std::size_t jobs_;
+};
+
+}  // namespace grefar

@@ -1,0 +1,73 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace grefar {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  num_threads = std::max<std::size_t>(num_threads, 1);
+  workers_.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  // Workers only exit once the queue is empty (see worker_loop), so every
+  // task submitted before destruction still runs.
+  task_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  GREFAR_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    GREFAR_CHECK_MSG(!stopping_, "submit() on a stopping ThreadPool");
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+std::size_t ThreadPool::completed_tasks() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+std::size_t ThreadPool::default_concurrency() {
+  return std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --running_;
+      ++completed_;
+      if (queue_.empty() && running_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace grefar

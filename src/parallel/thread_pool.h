@@ -1,0 +1,66 @@
+// ThreadPool: a fixed-size worker pool for embarrassingly parallel sweeps.
+//
+// Deliberately work-stealing-free: tasks are pulled from a single FIFO queue
+// under one mutex, which is ample for the coarse-grained jobs this repo fans
+// out (whole simulation runs taking milliseconds to seconds each) and keeps
+// the execution model easy to reason about. Determinism is achieved one
+// level up — submitters write results into pre-assigned slots and aggregate
+// in submission order — so the pool itself never has to order anything.
+//
+// Lifecycle guarantees:
+//   * every submitted task runs exactly once (none lost, none duplicated);
+//   * the destructor drains the queue — it blocks until all tasks, including
+//     ones still queued, have finished, then joins the workers;
+//   * wait_idle() blocks until the queue is empty and no task is running,
+//     without shutting the pool down.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace grefar {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains all remaining tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; runs on some worker in FIFO pop order.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void wait_idle();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Total tasks that have finished running (for tests / introspection).
+  std::size_t completed_tasks() const;
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static std::size_t default_concurrency();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable task_ready_;   // signals workers
+  std::condition_variable all_done_;     // signals wait_idle / destructor
+  std::deque<std::function<void()>> queue_;
+  std::size_t running_ = 0;    // tasks currently executing
+  std::size_t completed_ = 0;  // tasks finished since construction
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace grefar

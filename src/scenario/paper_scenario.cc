@@ -129,13 +129,19 @@ PaperScenario make_small_scenario(std::uint64_t seed) {
   return s;
 }
 
+std::unique_ptr<SimulationEngine> make_scenario_engine(
+    const PaperScenario& scenario, std::shared_ptr<Scheduler> scheduler,
+    EngineOptions options) {
+  return std::make_unique<SimulationEngine>(
+      scenario.config, scenario.prices, scenario.availability, scenario.arrivals,
+      std::move(scheduler), options);
+}
+
 std::unique_ptr<SimulationEngine> run_scenario(const PaperScenario& scenario,
                                                std::shared_ptr<Scheduler> scheduler,
                                                std::int64_t horizon,
                                                EngineOptions options) {
-  auto engine = std::make_unique<SimulationEngine>(
-      scenario.config, scenario.prices, scenario.availability, scenario.arrivals,
-      std::move(scheduler), options);
+  auto engine = make_scenario_engine(scenario, std::move(scheduler), options);
   engine->run(horizon);
   return engine;
 }

@@ -44,6 +44,12 @@ GreFarParams paper_grefar_params(double V, double beta);
 /// load — cheap enough for property tests and the Theorem-1 LP comparison.
 PaperScenario make_small_scenario(std::uint64_t seed);
 
+/// Builds (but does not run) a job-level engine for `scenario` + `scheduler`
+/// — the form the parallel sweep runner wants (it drives run() itself).
+std::unique_ptr<SimulationEngine> make_scenario_engine(
+    const PaperScenario& scenario, std::shared_ptr<Scheduler> scheduler,
+    EngineOptions options = {});
+
 /// Runs `scheduler` on `scenario` for `horizon` slots on the job-level
 /// engine and returns the engine (metrics inside).
 std::unique_ptr<SimulationEngine> run_scenario(const PaperScenario& scenario,

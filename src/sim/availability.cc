@@ -31,6 +31,12 @@ Matrix<std::int64_t> FullAvailability::availability(std::int64_t t) const {
   return full_;
 }
 
+void FullAvailability::availability_into(std::int64_t t,
+                                         Matrix<std::int64_t>& out) const {
+  GREFAR_CHECK(t >= 0);
+  out = full_;  // copy-assign reuses out's storage when shapes match
+}
+
 TableAvailability::TableAvailability(std::vector<Matrix<std::int64_t>> snapshots)
     : snapshots_(std::move(snapshots)) {
   GREFAR_CHECK_MSG(!snapshots_.empty(), "availability table needs >= 1 snapshot");
@@ -47,6 +53,12 @@ TableAvailability::TableAvailability(std::vector<Matrix<std::int64_t>> snapshots
 Matrix<std::int64_t> TableAvailability::availability(std::int64_t t) const {
   GREFAR_CHECK(t >= 0);
   return snapshots_[static_cast<std::size_t>(t) % snapshots_.size()];
+}
+
+void TableAvailability::availability_into(std::int64_t t,
+                                          Matrix<std::int64_t>& out) const {
+  GREFAR_CHECK(t >= 0);
+  out = snapshots_[static_cast<std::size_t>(t) % snapshots_.size()];
 }
 
 RandomFractionAvailability::RandomFractionAvailability(
@@ -74,6 +86,13 @@ Matrix<std::int64_t> RandomFractionAvailability::availability(std::int64_t t) co
   GREFAR_CHECK(t >= 0);
   extend(t);
   return cache_[static_cast<std::size_t>(t)];
+}
+
+void RandomFractionAvailability::availability_into(std::int64_t t,
+                                                   Matrix<std::int64_t>& out) const {
+  GREFAR_CHECK(t >= 0);
+  extend(t);
+  out = cache_[static_cast<std::size_t>(t)];
 }
 
 }  // namespace grefar

@@ -24,6 +24,14 @@ class AvailabilityModel {
   /// Full (N x K) availability matrix for slot t.
   virtual Matrix<std::int64_t> availability(std::int64_t t) const = 0;
 
+  /// Writes the slot-t matrix into `out`, reusing its storage. The default
+  /// delegates to availability(); concrete models override to copy straight
+  /// from their internal table, keeping the simulator's per-slot loop free
+  /// of heap traffic.
+  virtual void availability_into(std::int64_t t, Matrix<std::int64_t>& out) const {
+    out = availability(t);
+  }
+
   virtual std::size_t num_data_centers() const = 0;
   virtual std::size_t num_server_types() const = 0;
 };
@@ -34,6 +42,7 @@ class FullAvailability final : public AvailabilityModel {
   explicit FullAvailability(std::vector<DataCenterConfig> dcs);
 
   Matrix<std::int64_t> availability(std::int64_t t) const override;
+  void availability_into(std::int64_t t, Matrix<std::int64_t>& out) const override;
   std::size_t num_data_centers() const override { return full_.rows(); }
   std::size_t num_server_types() const override { return full_.cols(); }
 
@@ -49,6 +58,7 @@ class TableAvailability final : public AvailabilityModel {
   explicit TableAvailability(std::vector<Matrix<std::int64_t>> snapshots);
 
   Matrix<std::int64_t> availability(std::int64_t t) const override;
+  void availability_into(std::int64_t t, Matrix<std::int64_t>& out) const override;
   std::size_t num_data_centers() const override { return snapshots_.front().rows(); }
   std::size_t num_server_types() const override { return snapshots_.front().cols(); }
 
@@ -66,6 +76,7 @@ class RandomFractionAvailability final : public AvailabilityModel {
                              std::uint64_t seed);
 
   Matrix<std::int64_t> availability(std::int64_t t) const override;
+  void availability_into(std::int64_t t, Matrix<std::int64_t>& out) const override;
   std::size_t num_data_centers() const override { return full_.rows(); }
   std::size_t num_server_types() const override { return full_.cols(); }
 

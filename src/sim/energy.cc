@@ -9,10 +9,17 @@
 namespace grefar {
 
 EnergyCostCurve::EnergyCostCurve(const std::vector<ServerType>& server_types,
-                                 const std::vector<std::int64_t>& available)
-    : num_types_(server_types.size()) {
+                                 const std::vector<std::int64_t>& available) {
+  rebuild(server_types, available);
+}
+
+void EnergyCostCurve::rebuild(const std::vector<ServerType>& server_types,
+                              const std::vector<std::int64_t>& available) {
   GREFAR_CHECK(!server_types.empty());
   GREFAR_CHECK(available.size() == server_types.size());
+  num_types_ = server_types.size();
+  segments_.clear();
+  capacity_ = 0.0;
   for (std::size_t k = 0; k < server_types.size(); ++k) {
     GREFAR_CHECK(available[k] >= 0);
     if (available[k] == 0) continue;
@@ -52,15 +59,6 @@ double EnergyCostCurve::marginal_energy(double work) const {
   return segments_.back().energy_per_work;
 }
 
-namespace {
-
-/// One piece of the smoothed slope function: linear slope from s0 at w0 to
-/// s1 at w1 (s0 == s1 for segment interiors).
-struct SlopePiece {
-  double w0, w1, s0, s1;
-};
-
-}  // namespace
 
 double EnergyCostCurve::smoothed_marginal(double work, double band) const {
   GREFAR_CHECK(work >= -1e-9);
@@ -89,39 +87,44 @@ double EnergyCostCurve::smoothed_energy(double work, double band) const {
   if (segments_.empty()) return 0.0;
   const double w = std::max(work, 0.0);
 
-  // Build the slope pieces: segment interiors and blend zones.
-  std::vector<SlopePiece> pieces;
+  // Integrate the smoothed slope piece by piece (segment interiors and
+  // blend zones), generating pieces on the fly: this runs inside every
+  // solver value/gradient evaluation, so it must not touch the heap.
+  double energy = 0.0;
+  bool past_w = false;
+  auto accumulate = [&](double w0, double w1, double s0, double s1) {
+    if (w <= w0) {
+      past_w = true;
+      return;
+    }
+    double hi = std::min(w, w1);
+    double len = hi - w0;
+    if (len <= 0.0) return;
+    double full = w1 - w0;
+    double s_hi = full > 0.0 && std::isfinite(full)
+                      ? s0 + (s1 - s0) * (len / full)
+                      : s0;
+    energy += 0.5 * (s0 + s_hi) * len;  // trapezoid
+  };
   double boundary = 0.0;
   double piece_start = 0.0;
-  for (std::size_t m = 0; m < segments_.size(); ++m) {
+  for (std::size_t m = 0; m < segments_.size() && !past_w; ++m) {
     boundary += segments_[m].capacity;
     double slope = segments_[m].energy_per_work;
     if (m + 1 < segments_.size()) {
       double next = segments_[m + 1].energy_per_work;
       double delta = std::min({band, 0.5 * segments_[m].capacity,
                                0.5 * segments_[m + 1].capacity});
-      pieces.push_back({piece_start, boundary - delta, slope, slope});
-      pieces.push_back({boundary - delta, boundary + delta, slope, next});
+      accumulate(piece_start, boundary - delta, slope, slope);
+      if (!past_w) accumulate(boundary - delta, boundary + delta, slope, next);
       piece_start = boundary + delta;
     } else {
-      pieces.push_back({piece_start, boundary, slope, slope});
+      accumulate(piece_start, boundary, slope, slope);
       // Linear extension beyond capacity (the feasible set caps W anyway).
-      pieces.push_back({boundary, std::numeric_limits<double>::infinity(), slope,
-                        slope});
+      if (!past_w) {
+        accumulate(boundary, std::numeric_limits<double>::infinity(), slope, slope);
+      }
     }
-  }
-
-  double energy = 0.0;
-  for (const auto& p : pieces) {
-    if (w <= p.w0) break;
-    double hi = std::min(w, p.w1);
-    double len = hi - p.w0;
-    if (len <= 0.0) continue;
-    double full = p.w1 - p.w0;
-    double s_hi = full > 0.0 && std::isfinite(full)
-                      ? p.s0 + (p.s1 - p.s0) * (len / full)
-                      : p.s0;
-    energy += 0.5 * (p.s0 + s_hi) * len;  // trapezoid
   }
   return energy;
 }

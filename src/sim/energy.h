@@ -26,6 +26,15 @@ class EnergyCostCurve {
   EnergyCostCurve(const std::vector<ServerType>& server_types,
                   const std::vector<std::int64_t>& available);
 
+  /// An empty curve (capacity 0); rebuild() before use. Lets per-slot hot
+  /// paths keep a persistent curve per DC instead of reconstructing.
+  EnergyCostCurve() = default;
+
+  /// Recomputes the curve for a new availability row, reusing the segment
+  /// storage (no heap traffic once warmed up).
+  void rebuild(const std::vector<ServerType>& server_types,
+               const std::vector<std::int64_t>& available);
+
   /// Total processing capacity: sum_k n_k * s_k (work units this slot).
   double capacity() const { return capacity_; }
 
@@ -62,7 +71,7 @@ class EnergyCostCurve {
 
  private:
 
-  std::size_t num_types_;
+  std::size_t num_types_ = 0;
   std::vector<Segment> segments_;  // ascending energy_per_work
   double capacity_ = 0.0;
 };

@@ -58,23 +58,27 @@ double SimulationEngine::dc_queue_length(DataCenterId i, JobTypeId j) const {
 
 SlotObservation SimulationEngine::observe() const {
   SlotObservation obs;
-  obs.slot = slot_;
-  obs.prices.reserve(config_.num_data_centers());
-  for (std::size_t i = 0; i < config_.num_data_centers(); ++i) {
-    obs.prices.push_back(prices_->price(i, slot_));
+  observe_into(obs);
+  return obs;
+}
+
+void SimulationEngine::observe_into(SlotObservation& out) const {
+  const std::size_t N = config_.num_data_centers();
+  const std::size_t J = config_.num_job_types();
+  out.slot = slot_;
+  out.prices.resize(N);
+  for (std::size_t i = 0; i < N; ++i) out.prices[i] = prices_->price(i, slot_);
+  availability_->availability_into(slot_, out.availability);
+  out.central_queue.resize(J);
+  for (std::size_t j = 0; j < J; ++j) out.central_queue[j] = central_[j].length_jobs();
+  if (out.dc_queue.rows() != N || out.dc_queue.cols() != J) {
+    out.dc_queue = MatrixD(N, J);
   }
-  obs.availability = availability_->availability(slot_);
-  obs.central_queue.reserve(config_.num_job_types());
-  for (const auto& q : central_) {
-    obs.central_queue.push_back(q.length_jobs());
-  }
-  obs.dc_queue = MatrixD(config_.num_data_centers(), config_.num_job_types());
   for (std::size_t i = 0; i < dc_.size(); ++i) {
     for (std::size_t j = 0; j < dc_[i].size(); ++j) {
-      obs.dc_queue(i, j) = dc_[i][j].length_jobs();
+      out.dc_queue(i, j) = dc_[i][j].length_jobs();
     }
   }
-  return obs;
 }
 
 void SimulationEngine::run(std::int64_t slots) {
@@ -83,8 +87,10 @@ void SimulationEngine::run(std::int64_t slots) {
 }
 
 void SimulationEngine::step() {
-  SlotObservation obs = observe();
-  SlotAction action = scheduler_->decide(obs);
+  observe_into(obs_scratch_);
+  const SlotObservation& obs = obs_scratch_;
+  scheduler_->decide_into(obs, action_scratch_);
+  const SlotAction& action = action_scratch_;
 
   const std::size_t N = config_.num_data_centers();
   const std::size_t J = config_.num_job_types();
@@ -113,12 +119,13 @@ void SimulationEngine::step() {
 void SimulationEngine::route(const SlotObservation& obs, const SlotAction& action) {
   const std::size_t N = config_.num_data_centers();
   const std::size_t J = config_.num_job_types();
-  std::vector<double> routed_per_dc(N, 0.0);
+  routed_per_dc_.assign(N, 0.0);
 
   for (std::size_t j = 0; j < J; ++j) {
     // Serve the most beneficial destinations first: ascending DC queue
     // length, which is the order the drift term q_{i,j} - Q_j rewards.
-    std::vector<std::size_t> order;
+    std::vector<std::size_t>& order = route_order_;
+    order.clear();
     for (std::size_t i = 0; i < N; ++i) {
       if (action.route(i, j) > 1e-9) order.push_back(i);
     }
@@ -132,11 +139,11 @@ void SimulationEngine::route(const SlotObservation& obs, const SlotAction& actio
         Job job = central_[j].pop_front();
         job.dc_entry_slot = slot_;
         dc_[i][j].push(std::move(job));
-        routed_per_dc[i] += 1.0;
+        routed_per_dc_[i] += 1.0;
       }
     }
   }
-  for (std::size_t i = 0; i < N; ++i) metrics_.dc_routed_jobs[i].add(routed_per_dc[i]);
+  for (std::size_t i = 0; i < N; ++i) metrics_.dc_routed_jobs[i].add(routed_per_dc_[i]);
 }
 
 void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& action) {
@@ -145,19 +152,22 @@ void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& actio
 
   double total_energy = 0.0;
   double total_resource = 0.0;
-  std::vector<double> account_work(config_.num_accounts(), 0.0);
-  std::vector<EnergyCostCurve> curves;
-  curves.reserve(N);
+  account_work_.assign(config_.num_accounts(), 0.0);
+  std::vector<double>& account_work = account_work_;
+  curves_.resize(N);
+  avail_row_.resize(config_.num_server_types());
   for (std::size_t i = 0; i < N; ++i) {
-    std::vector<std::int64_t> avail(config_.num_server_types());
-    for (std::size_t k = 0; k < avail.size(); ++k) avail[k] = obs.availability(i, k);
-    curves.emplace_back(config_.server_types, avail);
-    total_resource += curves.back().capacity();
+    for (std::size_t k = 0; k < avail_row_.size(); ++k) {
+      avail_row_[k] = obs.availability(i, k);
+    }
+    curves_[i].rebuild(config_.server_types, avail_row_);
+    total_resource += curves_[i].capacity();
   }
 
   for (std::size_t i = 0; i < N; ++i) {
     // Desired work per type; clamp the total to capacity proportionally.
-    std::vector<double> want(J, 0.0);
+    want_.assign(J, 0.0);
+    std::vector<double>& want = want_;
     double total_want = 0.0;
     for (std::size_t j = 0; j < J; ++j) {
       double h = action.process(i, j);
@@ -165,7 +175,7 @@ void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& actio
       want[j] = std::max(h, 0.0) * config_.job_types[j].work;
       total_want += want[j];
     }
-    double capacity = curves[i].capacity();
+    double capacity = curves_[i].capacity();
     if (total_want > capacity && total_want > 0.0) {
       double scale = capacity / total_want;
       for (auto& w : want) w *= scale;
@@ -183,18 +193,19 @@ void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& actio
         servable = std::min(servable, obs.dc_queue(i, j) * config_.job_types[j].work);
       }
       double consumed = 0.0;
-      auto completions = dc_[i][j].serve(servable, slot_, &consumed,
-                                         config_.job_types[j].max_rate);
+      completions_.clear();
+      dc_[i][j].serve_into(servable, slot_, &consumed, completions_,
+                           config_.job_types[j].max_rate);
       dc_work += consumed;
       account_work[config_.job_types[j].account] += consumed;
-      for (const auto& c : completions) {
+      for (const auto& c : completions_) {
         dc_delay_sum += static_cast<double>(c.total_delay());
         dc_completions += 1.0;
         metrics_.record_completion_delay(static_cast<double>(c.total_delay()));
       }
     }
     double energy = obs.prices[i] *
-                    config_.tariff(i).cost(curves[i].energy_for_work(dc_work));
+                    config_.tariff(i).cost(curves_[i].energy_for_work(dc_work));
     total_energy += energy;
 
     metrics_.dc_energy_cost[i].add(energy);
@@ -229,7 +240,8 @@ void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& actio
 }
 
 void SimulationEngine::admit_arrivals() {
-  auto counts = arrivals_->arrivals(slot_);
+  arrivals_->arrivals_into(slot_, arrival_counts_);
+  const std::vector<std::int64_t>& counts = arrival_counts_;
   GREFAR_CHECK(counts.size() == config_.num_job_types());
   double jobs = 0.0, work = 0.0;
   for (std::size_t j = 0; j < counts.size(); ++j) {

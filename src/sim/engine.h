@@ -68,6 +68,10 @@ class SimulationEngine {
   /// Builds the observation for the current slot (exposed for tests).
   SlotObservation observe() const;
 
+  /// Writes the current-slot observation into `out`, reusing its storage
+  /// (the engine's own step() path; steady-state allocation-free).
+  void observe_into(SlotObservation& out) const;
+
  private:
   void route(const SlotObservation& obs, const SlotAction& action);
   void serve(const SlotObservation& obs, const SlotAction& action);
@@ -87,15 +91,19 @@ class SimulationEngine {
   FairnessFunction fairness_fn_;
   SimMetrics metrics_;
 
-  // Per-slot scratch recorded into metrics_ at the end of each step.
-  struct SlotScratch {
-    std::vector<double> dc_energy;
-    std::vector<double> dc_work;
-    std::vector<double> dc_routed;
-    std::vector<double> dc_delay_sum;
-    std::vector<double> dc_completions;
-    std::vector<double> account_work;
-  };
+  // Per-step buffers reused across slots so the steady-state step() makes
+  // no heap allocations of its own (an engine instance is single-threaded;
+  // concurrent simulations each own an engine — see src/parallel/).
+  SlotObservation obs_scratch_;
+  SlotAction action_scratch_;
+  std::vector<EnergyCostCurve> curves_;          // per DC, rebuilt per slot
+  std::vector<std::int64_t> avail_row_;          // one DC's availability row
+  std::vector<double> want_;                     // per-type desired work
+  std::vector<double> account_work_;             // per-account served work
+  std::vector<double> routed_per_dc_;            // per-DC routed jobs
+  std::vector<std::size_t> route_order_;         // routing destinations, sorted
+  std::vector<Completion> completions_;          // one queue's completions
+  std::vector<std::int64_t> arrival_counts_;     // per-type arrivals
 };
 
 }  // namespace grefar

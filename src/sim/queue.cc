@@ -27,6 +27,14 @@ Job FifoJobQueue::pop_front() {
 
 std::vector<Completion> FifoJobQueue::serve(double work, std::int64_t slot,
                                             double* consumed, double per_job_cap) {
+  std::vector<Completion> completions;
+  serve_into(work, slot, consumed, completions, per_job_cap);
+  return completions;
+}
+
+void FifoJobQueue::serve_into(double work, std::int64_t slot, double* consumed,
+                              std::vector<Completion>& completions,
+                              double per_job_cap) {
   GREFAR_CHECK_MSG(work >= -1e-12, "negative service work " << work);
   GREFAR_CHECK_MSG(per_job_cap > 0.0, "per-job cap must be positive");
   double budget = std::max(work, 0.0);
@@ -40,7 +48,6 @@ std::vector<Completion> FifoJobQueue::serve(double work, std::int64_t slot,
   }
   // Collect and remove finished jobs in FIFO order (a capped head can leave
   // later, smaller jobs finishing first).
-  std::vector<Completion> completions;
   for (auto it = jobs_.begin(); it != jobs_.end();) {
     if (it->remaining <= 1e-12) {
       Completion c{*it, slot};
@@ -53,7 +60,6 @@ std::vector<Completion> FifoJobQueue::serve(double work, std::int64_t slot,
   }
   if (remaining_work_ < 0.0) remaining_work_ = 0.0;
   if (consumed != nullptr) *consumed = used;
-  return completions;
 }
 
 }  // namespace grefar

@@ -51,6 +51,12 @@ class FifoJobQueue {
       double work, std::int64_t slot, double* consumed,
       double per_job_cap = std::numeric_limits<double>::infinity());
 
+  /// Like serve(), but *appends* completions to a caller-owned buffer so the
+  /// simulator can reuse one vector across queues and slots.
+  void serve_into(double work, std::int64_t slot, double* consumed,
+                  std::vector<Completion>& completions,
+                  double per_job_cap = std::numeric_limits<double>::infinity());
+
   bool empty() const { return jobs_.empty(); }
   std::size_t job_count() const { return jobs_.size(); }
 

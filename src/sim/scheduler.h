@@ -41,6 +41,14 @@ class Scheduler {
   /// increasing slot order.
   virtual SlotAction decide(const SlotObservation& obs) = 0;
 
+  /// Like decide(), but writes into a caller-owned action so hot loops can
+  /// reuse the matrices across slots. The default delegates to decide();
+  /// schedulers with per-slot state (GreFar) override both to share one
+  /// allocation-free implementation.
+  virtual void decide_into(const SlotObservation& obs, SlotAction& out) {
+    out = decide(obs);
+  }
+
   /// Display name for reports ("GreFar(V=7.5, beta=100)", "Always", ...).
   virtual std::string name() const = 0;
 };

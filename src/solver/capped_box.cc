@@ -23,6 +23,18 @@ void CappedBoxPolytope::add_group(std::vector<std::size_t> indices, double cap) 
   groups_.push_back({std::move(indices), cap});
 }
 
+void CappedBoxPolytope::set_upper_bound(std::size_t j, double ub) {
+  GREFAR_CHECK(j < ub_.size());
+  GREFAR_CHECK_MSG(ub >= 0.0, "upper bound must be >= 0");
+  ub_[j] = ub;
+}
+
+void CappedBoxPolytope::set_group_cap(std::size_t g, double cap) {
+  GREFAR_CHECK(g < groups_.size());
+  GREFAR_CHECK_MSG(cap >= 0.0, "group cap must be >= 0");
+  groups_[g].cap = cap;
+}
+
 bool CappedBoxPolytope::contains(const std::vector<double>& x, double tol) const {
   GREFAR_CHECK(x.size() == ub_.size());
   for (std::size_t j = 0; j < x.size(); ++j) {
@@ -40,7 +52,8 @@ void CappedBoxPolytope::project_group(const Group& g, std::vector<double>& x) co
   // KKT: the projection is clamp(y - lambda, 0, ub) for the smallest
   // lambda >= 0 satisfying the cap. Keep the *original* y values for the
   // bisection — clamping first would change the solution for y_j > ub_j.
-  std::vector<double> y;
+  std::vector<double>& y = group_y_;
+  y.clear();
   y.reserve(g.indices.size());
   for (std::size_t j : g.indices) y.push_back(x[j]);
 
@@ -73,37 +86,51 @@ void CappedBoxPolytope::project_group(const Group& g, std::vector<double>& x) co
 }
 
 std::vector<double> CappedBoxPolytope::project(const std::vector<double>& y) const {
-  GREFAR_CHECK(y.size() == ub_.size());
-  std::vector<double> x = y;
-  // Box-only variables.
-  for (std::size_t j = 0; j < x.size(); ++j) {
-    if (!grouped_[j]) x[j] = std::clamp(x[j], 0.0, ub_[j]);
-  }
-  for (const auto& g : groups_) project_group(g, x);
+  std::vector<double> x;
+  project_into(y, x);
   return x;
 }
 
+void CappedBoxPolytope::project_into(const std::vector<double>& y,
+                                     std::vector<double>& out) const {
+  GREFAR_CHECK(y.size() == ub_.size());
+  GREFAR_CHECK_MSG(&y != &out, "project_into aliasing y and out");
+  out.assign(y.begin(), y.end());
+  // Box-only variables.
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    if (!grouped_[j]) out[j] = std::clamp(out[j], 0.0, ub_[j]);
+  }
+  for (const auto& g : groups_) project_group(g, out);
+}
+
 std::vector<double> CappedBoxPolytope::minimize_linear(const std::vector<double>& c) const {
+  std::vector<double> x;
+  minimize_linear_into(c, x);
+  return x;
+}
+
+void CappedBoxPolytope::minimize_linear_into(const std::vector<double>& c,
+                                             std::vector<double>& out) const {
   GREFAR_CHECK(c.size() == ub_.size());
-  std::vector<double> x(ub_.size(), 0.0);
+  out.assign(ub_.size(), 0.0);
   // Box-only variables: saturate those with negative cost.
-  for (std::size_t j = 0; j < x.size(); ++j) {
-    if (!grouped_[j] && c[j] < 0.0) x[j] = ub_[j];
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    if (!grouped_[j] && c[j] < 0.0) out[j] = ub_[j];
   }
   for (const auto& g : groups_) {
     // Fractional greedy: fill by ascending cost while cost < 0 and cap remains.
-    std::vector<std::size_t> order(g.indices);
+    std::vector<std::size_t>& order = lmo_order_;
+    order.assign(g.indices.begin(), g.indices.end());
     std::sort(order.begin(), order.end(),
               [&](std::size_t a, std::size_t b) { return c[a] < c[b]; });
     double remaining = g.cap;
     for (std::size_t j : order) {
       if (c[j] >= 0.0 || remaining <= 0.0) break;
       double take = std::min(ub_[j], remaining);
-      x[j] = take;
+      out[j] = take;
       remaining -= take;
     }
   }
-  return x;
 }
 
 }  // namespace grefar

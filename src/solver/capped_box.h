@@ -24,6 +24,13 @@ class CappedBoxPolytope {
 
   std::size_t dim() const { return ub_.size(); }
   const std::vector<double>& upper_bounds() const { return ub_; }
+  std::size_t num_groups() const { return groups_.size(); }
+
+  /// In-place updates for callers that rebuild the same-shaped polytope
+  /// every slot (the per-slot GreFar problem): bounds and caps change with
+  /// the observation, the group structure does not.
+  void set_upper_bound(std::size_t j, double ub);
+  void set_group_cap(std::size_t g, double cap);
 
   /// True if x satisfies all bounds and caps within `tol`.
   bool contains(const std::vector<double>& x, double tol = 1e-9) const;
@@ -33,10 +40,18 @@ class CappedBoxPolytope {
   /// of sum(clamp(y - lambda)) = cap.
   std::vector<double> project(const std::vector<double>& y) const;
 
+  /// Allocation-free projection into a caller-owned buffer (resized once;
+  /// first-order solvers call this every iteration). `out` must not alias y.
+  void project_into(const std::vector<double>& y, std::vector<double>& out) const;
+
   /// Linear minimization oracle: argmin_{x in polytope} c . x.
   /// Within each group, fills variables by ascending (most negative) cost
   /// until the cap binds; variables with c >= 0 stay at 0.
   std::vector<double> minimize_linear(const std::vector<double>& c) const;
+
+  /// Allocation-free LMO into a caller-owned buffer.
+  void minimize_linear_into(const std::vector<double>& c,
+                            std::vector<double>& out) const;
 
  private:
   struct Group {
@@ -49,6 +64,12 @@ class CappedBoxPolytope {
   std::vector<double> ub_;
   std::vector<Group> groups_;
   std::vector<bool> grouped_;  // membership marker for disjointness checks
+
+  // Scratch reused by the oracles (hot path: every solver iteration). Makes
+  // a polytope instance single-threaded, like the rest of the repo's
+  // lazily-caching objects; concurrent runs each own their instances.
+  mutable std::vector<double> group_y_;        // project_group working copy
+  mutable std::vector<std::size_t> lmo_order_; // minimize_linear sort order
 };
 
 }  // namespace grefar

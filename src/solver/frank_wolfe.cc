@@ -16,11 +16,12 @@ FrankWolfeResult minimize_frank_wolfe(const ConvexObjective& objective,
   std::vector<double> x = polytope.project(x0);
   std::vector<double> grad(n);
   std::vector<double> trial(n);
+  std::vector<double> s(n);  // LMO vertex, reused across iterations
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++result.iterations;
     objective.gradient(x, grad);
-    std::vector<double> s = polytope.minimize_linear(grad);
+    polytope.minimize_linear_into(grad, s);
 
     double gap = 0.0;
     for (std::size_t j = 0; j < n; ++j) gap += grad[j] * (x[j] - s[j]);

@@ -23,6 +23,7 @@ PgdResult minimize_projected_gradient(const ConvexObjective& objective,
 
   std::vector<double> grad(n);
   std::vector<double> candidate(n);
+  std::vector<double> projected(n);  // project_into target, reused
   double step = options.initial_step;
   int stall_count = 0;  // consecutive iterations without monotone descent
 
@@ -34,8 +35,8 @@ PgdResult minimize_projected_gradient(const ConvexObjective& objective,
     bool improved = false;
     double trial_step = step;
     for (int bt = 0; bt < options.max_backtracks; ++bt) {
-      for (std::size_t j = 0; j < n; ++j) candidate[j] = x[j] - trial_step * grad[j];
-      candidate = polytope.project(candidate);
+      for (std::size_t j = 0; j < n; ++j) projected[j] = x[j] - trial_step * grad[j];
+      polytope.project_into(projected, candidate);
       double fc = objective.value(candidate);
       if (fc < fx - 1e-15) {
         // Accept; allow the step to grow again slowly.
@@ -67,8 +68,8 @@ PgdResult minimize_projected_gradient(const ConvexObjective& objective,
       // iterate, the projected gradient vanishes (smooth optimum at a
       // boundary or interior) — stop instead of entering the fallback.
       double probe_move = 0.0;
-      for (std::size_t j = 0; j < n; ++j) candidate[j] = x[j] - 1e-6 * grad[j];
-      candidate = polytope.project(candidate);
+      for (std::size_t j = 0; j < n; ++j) projected[j] = x[j] - 1e-6 * grad[j];
+      polytope.project_into(projected, candidate);
       for (std::size_t j = 0; j < n; ++j) {
         probe_move = std::max(probe_move, std::abs(candidate[j] - x[j]));
       }
@@ -88,8 +89,8 @@ PgdResult minimize_projected_gradient(const ConvexObjective& objective,
       }
       double sub_step =
           options.initial_step / (1.0 + static_cast<double>(stall_count * stall_count));
-      for (std::size_t j = 0; j < n; ++j) candidate[j] = x[j] - sub_step * grad[j];
-      candidate = polytope.project(candidate);
+      for (std::size_t j = 0; j < n; ++j) projected[j] = x[j] - sub_step * grad[j];
+      polytope.project_into(projected, candidate);
       x.swap(candidate);
       fx = objective.value(x);
       if (fx < best_f) {

@@ -17,6 +17,12 @@ std::vector<std::int64_t> ConstantArrivals::arrivals(std::int64_t t) const {
   return counts_;
 }
 
+void ConstantArrivals::arrivals_into(std::int64_t t,
+                                     std::vector<std::int64_t>& out) const {
+  GREFAR_CHECK(t >= 0);
+  out.assign(counts_.begin(), counts_.end());
+}
+
 std::int64_t ConstantArrivals::max_arrivals(JobTypeId j) const {
   GREFAR_CHECK(j < counts_.size());
   return counts_[j];
@@ -47,6 +53,14 @@ std::vector<std::int64_t> PoissonArrivals::arrivals(std::int64_t t) const {
   return cache_[static_cast<std::size_t>(t)];
 }
 
+void PoissonArrivals::arrivals_into(std::int64_t t,
+                                    std::vector<std::int64_t>& out) const {
+  GREFAR_CHECK(t >= 0);
+  extend(t);
+  const auto& row = cache_[static_cast<std::size_t>(t)];
+  out.assign(row.begin(), row.end());
+}
+
 std::int64_t PoissonArrivals::max_arrivals(JobTypeId j) const {
   GREFAR_CHECK(j < a_max_.size());
   return a_max_[j];
@@ -66,6 +80,13 @@ TableArrivals::TableArrivals(std::vector<std::vector<std::int64_t>> counts)
 std::vector<std::int64_t> TableArrivals::arrivals(std::int64_t t) const {
   GREFAR_CHECK(t >= 0);
   return counts_[static_cast<std::size_t>(t) % counts_.size()];
+}
+
+void TableArrivals::arrivals_into(std::int64_t t,
+                                  std::vector<std::int64_t>& out) const {
+  GREFAR_CHECK(t >= 0);
+  const auto& row = counts_[static_cast<std::size_t>(t) % counts_.size()];
+  out.assign(row.begin(), row.end());
 }
 
 std::size_t TableArrivals::num_job_types() const { return counts_.front().size(); }

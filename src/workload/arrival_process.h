@@ -24,6 +24,14 @@ class ArrivalProcess {
   /// Arrival counts per job type during slot t (size == num_job_types()).
   virtual std::vector<std::int64_t> arrivals(std::int64_t t) const = 0;
 
+  /// Writes the slot-t counts into `out`, reusing its storage. The default
+  /// delegates to arrivals(); concrete processes override to copy straight
+  /// from their internal table/cache so the simulator's per-slot loop stays
+  /// free of heap traffic.
+  virtual void arrivals_into(std::int64_t t, std::vector<std::int64_t>& out) const {
+    out = arrivals(t);
+  }
+
   virtual std::size_t num_job_types() const = 0;
 
   /// The boundedness constant a_j^max of eq. (1).
@@ -36,6 +44,7 @@ class ConstantArrivals final : public ArrivalProcess {
   explicit ConstantArrivals(std::vector<std::int64_t> counts);
 
   std::vector<std::int64_t> arrivals(std::int64_t t) const override;
+  void arrivals_into(std::int64_t t, std::vector<std::int64_t>& out) const override;
   std::size_t num_job_types() const override { return counts_.size(); }
   std::int64_t max_arrivals(JobTypeId j) const override;
 
@@ -51,6 +60,7 @@ class PoissonArrivals final : public ArrivalProcess {
                   std::uint64_t seed);
 
   std::vector<std::int64_t> arrivals(std::int64_t t) const override;
+  void arrivals_into(std::int64_t t, std::vector<std::int64_t>& out) const override;
   std::size_t num_job_types() const override { return rates_.size(); }
   std::int64_t max_arrivals(JobTypeId j) const override;
 
@@ -72,6 +82,7 @@ class TableArrivals final : public ArrivalProcess {
   explicit TableArrivals(std::vector<std::vector<std::int64_t>> counts);
 
   std::vector<std::int64_t> arrivals(std::int64_t t) const override;
+  void arrivals_into(std::int64_t t, std::vector<std::int64_t>& out) const override;
   std::size_t num_job_types() const override;
   std::int64_t max_arrivals(JobTypeId j) const override;
 

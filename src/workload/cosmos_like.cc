@@ -64,6 +64,14 @@ std::vector<std::int64_t> CosmosLikeArrivals::arrivals(std::int64_t t) const {
   return count_cache_[static_cast<std::size_t>(t)];
 }
 
+void CosmosLikeArrivals::arrivals_into(std::int64_t t,
+                                       std::vector<std::int64_t>& out) const {
+  GREFAR_CHECK(t >= 0);
+  extend(t);
+  const auto& row = count_cache_[static_cast<std::size_t>(t)];
+  out.assign(row.begin(), row.end());
+}
+
 std::int64_t CosmosLikeArrivals::max_arrivals(JobTypeId j) const {
   GREFAR_CHECK(j < params_.size());
   return params_[j].a_max;

@@ -37,6 +37,7 @@ class CosmosLikeArrivals final : public ArrivalProcess {
   CosmosLikeArrivals(std::vector<CosmosTypeParams> params, std::uint64_t seed);
 
   std::vector<std::int64_t> arrivals(std::int64_t t) const override;
+  void arrivals_into(std::int64_t t, std::vector<std::int64_t>& out) const override;
   std::size_t num_job_types() const override { return params_.size(); }
   std::int64_t max_arrivals(JobTypeId j) const override;
 

@@ -1,0 +1,149 @@
+// Tests for the parallel sweep subsystem: ThreadPool lifecycle guarantees
+// and SimRunner's determinism contract (jobs = 1 and jobs = N must produce
+// bit-identical metrics, because every leg owns its models end to end).
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "core/grefar.h"
+#include "parallel/sim_runner.h"
+#include "parallel/thread_pool.h"
+#include "scenario/paper_scenario.h"
+#include "sim/engine.h"
+
+namespace grefar {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTaskExactlyOnce) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(4);
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_EQ(pool.completed_tasks(), 100u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        counter.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // No wait_idle(): the destructor must block until all 32 ran.
+  }
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPoolTest, WaitIdleReturnsWithEmptyQueue) {
+  ThreadPool pool(3);
+  pool.wait_idle();  // no tasks submitted: must not hang
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(SimRunnerTest, MapReturnsResultsInIndexOrder) {
+  SimRunner runner(4);
+  auto results = runner.map<std::size_t>(
+      50, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(results.size(), 50u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], i * i);
+  }
+}
+
+TEST(SimRunnerTest, RethrowsFirstFailureInLegOrder) {
+  SimRunner runner(4);
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] {});
+  tasks.push_back([] { throw std::runtime_error("leg 1 failed"); });
+  tasks.push_back([] { throw std::runtime_error("leg 2 failed"); });
+  try {
+    runner.run(tasks);
+    FAIL() << "expected runner.run to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "leg 1 failed");
+  }
+}
+
+// The headline contract: fanning legs over 4 workers yields metrics
+// bit-identical to the serial run, because each leg rebuilds its scenario
+// (and thus its RNG streams) from the same seed.
+TEST(SimRunnerTest, ParallelRunMatchesSerialBitForBit) {
+  constexpr std::int64_t kHorizon = 60;
+  constexpr std::uint64_t kSeed = 42;
+  const std::vector<double> v_values = {2.0, 7.5, 30.0};
+
+  auto run_with_jobs = [&](std::size_t jobs) {
+    SimRunner runner(jobs);
+    std::vector<std::unique_ptr<SimulationEngine>> engines(v_values.size());
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t leg = 0; leg < v_values.size(); ++leg) {
+      tasks.push_back([&, leg] {
+        PaperScenario scenario = make_paper_scenario(kSeed);
+        auto scheduler = std::make_shared<GreFarScheduler>(
+            scenario.config, paper_grefar_params(v_values[leg], 100.0));
+        auto engine = make_scenario_engine(scenario, std::move(scheduler));
+        engine->run(kHorizon);
+        engines[leg] = std::move(engine);
+      });
+    }
+    runner.run(tasks);
+    return engines;
+  };
+
+  auto serial = run_with_jobs(1);
+  auto parallel = run_with_jobs(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t leg = 0; leg < serial.size(); ++leg) {
+    const auto& ms = serial[leg]->metrics();
+    const auto& mp = parallel[leg]->metrics();
+    EXPECT_EQ(ms.final_average_energy_cost(), mp.final_average_energy_cost())
+        << "leg " << leg;
+    EXPECT_EQ(ms.final_average_fairness(), mp.final_average_fairness())
+        << "leg " << leg;
+    EXPECT_EQ(ms.mean_delay(), mp.mean_delay()) << "leg " << leg;
+    EXPECT_EQ(ms.delay_p95(), mp.delay_p95()) << "leg " << leg;
+  }
+}
+
+TEST(SimRunnerTest, RunEnginesPreservesMakerOrder) {
+  constexpr std::int64_t kHorizon = 40;
+  std::vector<std::function<std::unique_ptr<SimulationEngine>()>> makers;
+  for (int leg = 0; leg < 2; ++leg) {
+    makers.push_back([leg] {
+      PaperScenario scenario = make_paper_scenario(7);
+      std::shared_ptr<Scheduler> scheduler;
+      if (leg == 0) {
+        scheduler = std::make_shared<GreFarScheduler>(scenario.config,
+                                                      paper_grefar_params(7.5, 0.0));
+      } else {
+        scheduler = std::make_shared<AlwaysScheduler>(scenario.config);
+      }
+      auto engine = make_scenario_engine(scenario, std::move(scheduler));
+      engine->run(kHorizon);
+      return engine;
+    });
+  }
+  SimRunner runner(2);
+  auto engines = runner.run_engines(std::move(makers));
+  ASSERT_EQ(engines.size(), 2u);
+  EXPECT_EQ(engines[0]->scheduler().name().rfind("GreFar", 0), 0u);
+  EXPECT_EQ(engines[1]->scheduler().name(), "Always");
+}
+
+}  // namespace
+}  // namespace grefar
