@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   const auto horizon = cli.get_int("horizon");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const auto jobs = jobs_from_cli(cli);
+  const auto audit = audit_from_cli(cli);
 
   print_header("Ablation: price model vs GreFar's advantage",
                "DESIGN.md section 5 (design-choice ablation)", seed, horizon);
@@ -80,7 +81,7 @@ int main(int argc, char** argv) {
     } else {
       scheduler = std::make_shared<AlwaysScheduler>(scenario.config);
     }
-    return make_scenario_engine(scenario, std::move(scheduler));
+    return make_scenario_engine(scenario, std::move(scheduler), {}, audit);
   });
 
   SummaryTable table({"price model", "Always cost", "GreFar cost", "saving %",

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const double V = cli.get_double("V");
   const auto jobs = jobs_from_cli(cli);
+  const auto audit = audit_from_cli(cli);
 
   print_header("Ablation: per-slot solver choice",
                "DESIGN.md section 5 (design-choice ablation)", seed, horizon);
@@ -45,7 +46,7 @@ int main(int argc, char** argv) {
     PaperScenario scenario = make_paper_scenario(seed);
     auto scheduler = std::make_shared<GreFarScheduler>(
         scenario.config, paper_grefar_params(V, legs[leg].beta), legs[leg].solver);
-    return make_scenario_engine(scenario, std::move(scheduler));
+    return make_scenario_engine(scenario, std::move(scheduler), {}, audit);
   });
 
   std::cout << "-- beta = 0 (greedy/LP exact; FW/PGD approximate) --\n";

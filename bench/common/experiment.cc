@@ -19,11 +19,26 @@ void add_common_options(CliParser& cli, const std::string& default_horizon) {
   cli.add_option("chart-width", "72", "ASCII chart width in columns");
   cli.add_option("jobs", "0",
                  "parallel simulation runs (0 = all hardware threads, 1 = serial)");
+  cli.add_option("audit", "auto",
+                 "per-slot invariant auditing: auto|off|throw|record "
+                 "(auto = throw in Debug builds, off in Release)");
 }
 
 std::size_t jobs_from_cli(const CliParser& cli) {
   int jobs = cli.get_int("jobs");
   return jobs <= 0 ? 0 : static_cast<std::size_t>(jobs);
+}
+
+AuditMode audit_from_cli(const CliParser& cli) {
+  const std::string mode = cli.get_string("audit");
+  if (mode == "auto") return AuditMode::kAuto;
+  if (mode == "off") return AuditMode::kOff;
+  if (mode == "throw") return AuditMode::kThrow;
+  if (mode == "record") return AuditMode::kRecord;
+  std::cerr << "error: --audit must be auto|off|throw|record, got '" << mode
+            << "'\n\n"
+            << cli.usage();
+  std::exit(1);
 }
 
 SweepResult run_sweep(

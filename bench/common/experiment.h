@@ -27,6 +27,12 @@ void add_common_options(CliParser& cli, const std::string& default_horizon = "20
 /// serial path, N caps the worker count at N.
 std::size_t jobs_from_cli(const CliParser& cli);
 
+/// Parses --audit into the scenario AuditMode ("auto" | "off" | "throw" |
+/// "record"); exits with a usage error on anything else. "auto" keeps the
+/// build-type default: every-slot invariant auditing in Debug, none in
+/// Release (see AuditMode in scenario/paper_scenario.h).
+AuditMode audit_from_cli(const CliParser& cli);
+
 /// What run_sweep hands back: one engine (metrics inside) and one wall-clock
 /// measurement per leg, both in leg order.
 struct SweepResult {

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   const auto svg_dir = cli.get_string("svg-dir");
   const auto v_values = cli.get_double_list("V");
   const auto jobs = jobs_from_cli(cli);
+  const auto audit = audit_from_cli(cli);
 
   print_header("Fig. 2: energy cost and delay vs V (beta = 0)",
                "Ren, He, Xu (ICDCS'12), Fig. 2(a)-(c)", seed, horizon);
@@ -37,7 +38,7 @@ int main(int argc, char** argv) {
     PaperScenario scenario = make_paper_scenario(seed);
     auto scheduler = std::make_shared<GreFarScheduler>(
         scenario.config, paper_grefar_params(v_values[leg], 0.0));
-    return make_scenario_engine(scenario, std::move(scheduler));
+    return make_scenario_engine(scenario, std::move(scheduler), {}, audit);
   });
 
   std::vector<TimeSeries> energy, delay_dc1, delay_dc2, delay_dc3;

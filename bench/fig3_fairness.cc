@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   const double V = cli.get_double("V");
   const auto betas = cli.get_double_list("beta");
   const auto jobs = jobs_from_cli(cli);
+  const auto audit = audit_from_cli(cli);
 
   print_header("Fig. 3: impact of the energy-fairness parameter beta",
                "Ren, He, Xu (ICDCS'12), Fig. 3(a)-(c)", seed, horizon);
@@ -40,7 +41,7 @@ int main(int argc, char** argv) {
     PaperScenario scenario = make_paper_scenario(seed);
     auto scheduler = std::make_shared<GreFarScheduler>(
         scenario.config, paper_grefar_params(V, betas[leg]));
-    return make_scenario_engine(scenario, std::move(scheduler));
+    return make_scenario_engine(scenario, std::move(scheduler), {}, audit);
   });
 
   std::vector<TimeSeries> energy, fairness, delay_dc1;

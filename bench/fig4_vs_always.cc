@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   const double V = cli.get_double("V");
   const double beta = cli.get_double("beta");
   const auto jobs = jobs_from_cli(cli);
+  const auto audit = audit_from_cli(cli);
 
   print_header("Fig. 4: GreFar versus Always",
                "Ren, He, Xu (ICDCS'12), Fig. 4(a)-(c)", seed, horizon);
@@ -44,7 +45,7 @@ int main(int argc, char** argv) {
     } else {
       scheduler = std::make_shared<AlwaysScheduler>(scenario.config);
     }
-    return make_scenario_engine(scenario, std::move(scheduler));
+    return make_scenario_engine(scenario, std::move(scheduler), {}, audit);
   });
 
   std::vector<TimeSeries> energy, fairness, delay_dc1;

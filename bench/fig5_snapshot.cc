@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   const double V = cli.get_double("V");
   const auto start = cli.get_int("day-start");
   const auto window = cli.get_int("window");
+  const auto audit = audit_from_cli(cli);
 
   print_header("Fig. 5: scheduled work vs price (one-day snapshot, DC #1)",
                "Ren, He, Xu (ICDCS'12), Fig. 5", seed, horizon);
@@ -44,14 +45,14 @@ int main(int argc, char** argv) {
   auto grefar = run_scenario(
       scenario,
       std::make_shared<GreFarScheduler>(scenario.config, paper_grefar_params(V, 0.0)),
-      run_slots);
+      run_slots, {}, audit);
   auto grefar_strong = run_scenario(
       scenario,
       std::make_shared<GreFarScheduler>(scenario.config,
                                         paper_grefar_params(V_strong, 0.0)),
-      run_slots);
+      run_slots, {}, audit);
   auto always = run_scenario(scenario, std::make_shared<AlwaysScheduler>(scenario.config),
-                             run_slots);
+                             run_slots, {}, audit);
 
   TimeSeries price("Price in DC #1");
   TimeSeries g_work("GreFar V=" + format_fixed(V, 1));

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   const double V = cli.get_double("V");
   const double beta = cli.get_double("beta");
   const auto jobs = jobs_from_cli(cli);
+  const auto audit = audit_from_cli(cli);
 
   print_header("Robustness: GreFar vs Always across seeds",
                "Ren, He, Xu (ICDCS'12), Fig. 4 (multi-seed)", base_seed, horizon);
@@ -38,8 +39,7 @@ int main(int argc, char** argv) {
   // rebuilt from the leg's seed.
   const auto legs = static_cast<std::size_t>(num_seeds) * 2;
   auto sweep = run_sweep(legs, horizon, jobs, [&](std::size_t leg) {
-    PaperScenario scenario =
-        make_paper_scenario(base_seed + static_cast<std::uint64_t>(leg / 2));
+    PaperScenario scenario = make_paper_scenario(base_seed + leg / 2);
     std::shared_ptr<Scheduler> scheduler;
     if (leg % 2 == 0) {
       scheduler = std::make_shared<GreFarScheduler>(scenario.config,
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
     } else {
       scheduler = std::make_shared<AlwaysScheduler>(scenario.config);
     }
-    return make_scenario_engine(scenario, std::move(scheduler));
+    return make_scenario_engine(scenario, std::move(scheduler), {}, audit);
   });
 
   RunningStats saving_pct, grefar_cost, always_cost, grefar_delay, always_delay,

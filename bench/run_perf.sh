@@ -38,14 +38,22 @@ trap 'rm -f "$tmp_sched" "$tmp_sub"' EXIT
   --benchmark_out="$tmp_sub" --benchmark_out_format=json
 
 # Merge the two reports into one file (context from the first, benchmarks
-# concatenated) so a single JSON holds the whole perf surface.
-python3 - "$tmp_sched" "$tmp_sub" "$out" <<'PY'
-import json, sys
-sched, sub, out = sys.argv[1:4]
+# concatenated) so a single JSON holds the whole perf surface. The
+# allocs_per_slot section is owned by tests/check/alloc_regression_test.cc,
+# not google-benchmark — carry it over from the previous baseline so a
+# re-baseline of the timing numbers does not drop the allocation guard.
+python3 - "$tmp_sched" "$tmp_sub" "$out" "$repo_root/BENCH_baseline.json" <<'PY'
+import json, os, sys
+sched, sub, out, baseline = sys.argv[1:5]
 with open(sched) as f:
     merged = json.load(f)
 with open(sub) as f:
     merged["benchmarks"].extend(json.load(f)["benchmarks"])
+if os.path.exists(baseline):
+    with open(baseline) as f:
+        prev = json.load(f)
+    if "allocs_per_slot" in prev:
+        merged["allocs_per_slot"] = prev["allocs_per_slot"]
 with open(out, "w") as f:
     json.dump(merged, f, indent=1)
     f.write("\n")

@@ -32,7 +32,10 @@ int main(int argc, char** argv) {
     const auto& st = scenario.config.server_types[dc];
     double avg_price = average_price(*scenario.prices, dc, horizon);
     double cost_per_work = avg_price * st.busy_power / st.speed;
-    table.add_row({"#" + std::to_string(dc + 1), format_fixed(st.speed, 2),
+    // Built in two steps: GCC 12's -Wrestrict misfires on `"#" + temporary`.
+    std::string label = "#";
+    label += std::to_string(dc + 1);
+    table.add_row({label, format_fixed(st.speed, 2),
                    format_fixed(st.busy_power, 2), format_fixed(avg_price, 3),
                    format_fixed(cost_per_work, 3), format_fixed(paper_cost[dc], 3)});
   }

@@ -70,7 +70,10 @@ int inspect(const PaperScenario& scenario, const std::string& jobs_path,
   for (std::size_t dc = 0; dc < series.value().size(); ++dc) {
     RunningStats stats;
     for (double p : series.value()[dc]) stats.add(p);
-    prices.add_row("#" + std::to_string(dc + 1), {stats.mean(), stats.min(), stats.max()});
+    // Built in two steps: GCC 12's -Wrestrict misfires on `"#" + temporary`.
+    std::string label = "#";
+    label += std::to_string(dc + 1);
+    prices.add_row(label, {stats.mean(), stats.min(), stats.max()});
   }
   std::cout << prices.render();
   return 0;

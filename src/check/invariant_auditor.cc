@@ -1,0 +1,367 @@
+#include "check/invariant_auditor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace grefar {
+
+std::string to_string(InvariantKind kind) {
+  switch (kind) {
+    case InvariantKind::kActionShape: return "action-shape";
+    case InvariantKind::kNonFinite: return "non-finite";
+    case InvariantKind::kNegativeDecision: return "negative-decision";
+    case InvariantKind::kEligibility: return "eligibility";
+    case InvariantKind::kRoutingBound: return "routing-bound";
+    case InvariantKind::kCapacityChain: return "capacity-chain";
+    case InvariantKind::kQueueRecurrence: return "queue-recurrence";
+    case InvariantKind::kNegativeQueue: return "negative-queue";
+    case InvariantKind::kWorkConservation: return "work-conservation";
+    case InvariantKind::kEnergyAccounting: return "energy-accounting";
+    case InvariantKind::kFairnessAccounting: return "fairness-accounting";
+    case InvariantKind::kSchedulerContract: return "scheduler-contract";
+    case InvariantKind::kSolverOptimality: return "solver-optimality";
+  }
+  return "unknown";
+}
+
+std::string InvariantViolation::to_string() const {
+  std::ostringstream os;
+  os << "slot " << slot << " [" << grefar::to_string(kind) << "]";
+  if (dc != kNoIndex) os << " dc=" << dc;
+  if (job_type != kNoIndex) os << " job=" << job_type;
+  os << ": observed " << observed << " vs bound " << bound;
+  if (!detail.empty()) os << " — " << detail;
+  return os.str();
+}
+
+InvariantAuditor::InvariantAuditor(ClusterConfig config, InvariantAuditorOptions options)
+    : config_(std::move(config)), options_(options), fairness_fn_(config_.gammas()) {
+  config_.validate();
+  GREFAR_CHECK_MSG(options_.tolerance >= 0.0, "auditor tolerance must be >= 0");
+}
+
+bool InvariantAuditor::leq(double a, double b) const {
+  return a <= b + options_.tolerance * std::max(1.0, std::abs(b));
+}
+
+bool InvariantAuditor::near(double a, double b) const {
+  return std::abs(a - b) <= options_.tolerance * std::max(1.0, std::abs(b));
+}
+
+void InvariantAuditor::add(InvariantKind kind, std::int64_t slot, std::size_t dc,
+                           std::size_t job_type, double observed, double bound,
+                           std::string detail) {
+  InvariantViolation v;
+  v.kind = kind;
+  v.slot = slot;
+  v.dc = dc;
+  v.job_type = job_type;
+  v.observed = observed;
+  v.bound = bound;
+  v.detail = std::move(detail);
+  ++total_violations_;
+  if (options_.throw_on_violation) {
+    throw ContractViolation("invariant violation: " + v.to_string());
+  }
+  if (violations_.size() < options_.max_violations) violations_.push_back(std::move(v));
+}
+
+void InvariantAuditor::reset() {
+  violations_.clear();
+  total_violations_ = 0;
+  slots_audited_ = 0;
+  ledger_initialized_ = false;
+  initial_queued_work_ = 0.0;
+  arrived_work_ = 0.0;
+  served_work_ = 0.0;
+}
+
+std::string InvariantAuditor::report() const {
+  std::ostringstream os;
+  os << "InvariantAuditor: audited " << slots_audited_ << " slots: ";
+  if (ok()) {
+    os << "clean";
+    return os.str();
+  }
+  os << total_violations_ << " violation(s)";
+  const std::size_t show = std::min<std::size_t>(violations_.size(), 8);
+  for (std::size_t v = 0; v < show; ++v) os << "\n  " << violations_[v].to_string();
+  if (total_violations_ > show) {
+    os << "\n  ... and " << (total_violations_ - show) << " more";
+  }
+  return os.str();
+}
+
+void InvariantAuditor::inspect(const SlotRecord& record) {
+  const std::size_t N = config_.num_data_centers();
+  const std::size_t J = config_.num_job_types();
+  const std::size_t K = config_.num_server_types();
+  const std::int64_t t = record.slot;
+  constexpr std::size_t kNone = InvariantViolation::kNoIndex;
+
+  GREFAR_CHECK_MSG(record.obs != nullptr && record.action != nullptr &&
+                       record.routed != nullptr && record.served_work != nullptr &&
+                       record.dc_capacity != nullptr && record.dc_energy_cost != nullptr &&
+                       record.account_work != nullptr && record.arrivals != nullptr &&
+                       record.central_after != nullptr && record.dc_after != nullptr,
+                   "SlotRecord is missing fields");
+  const SlotObservation& obs = *record.obs;
+  const SlotAction& action = *record.action;
+  const MatrixD& routed = *record.routed;
+  const MatrixD& served = *record.served_work;
+
+  ++slots_audited_;
+
+  // -- A. shapes ------------------------------------------------------------
+  if (action.route.rows() != N || action.route.cols() != J ||
+      action.process.rows() != N || action.process.cols() != J ||
+      routed.rows() != N || routed.cols() != J || served.rows() != N ||
+      served.cols() != J || obs.central_queue.size() != J ||
+      obs.dc_queue.rows() != N || obs.dc_queue.cols() != J ||
+      record.central_after->size() != J || record.dc_after->rows() != N ||
+      record.dc_after->cols() != J || record.dc_capacity->size() != N ||
+      record.dc_energy_cost->size() != N ||
+      record.account_work->size() != config_.num_accounts() ||
+      record.arrivals->size() != J) {
+    add(InvariantKind::kActionShape, t, kNone, kNone, 0.0, 0.0,
+        "record matrices/vectors do not match the cluster's N x J x M shape");
+    return;  // nothing else is index-safe
+  }
+
+  // -- A. finiteness, negativity, eligibility -------------------------------
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t j = 0; j < J; ++j) {
+      const double r_ask = action.route(i, j);
+      const double h_ask = action.process(i, j);
+      const double r_got = routed(i, j);
+      const double w_got = served(i, j);
+      if (!std::isfinite(r_ask) || !std::isfinite(h_ask)) {
+        add(InvariantKind::kNonFinite, t, i, j, std::isfinite(r_ask) ? h_ask : r_ask,
+            0.0, "scheduler action contains NaN/Inf");
+        continue;
+      }
+      if (!std::isfinite(r_got) || !std::isfinite(w_got)) {
+        add(InvariantKind::kNonFinite, t, i, j, std::isfinite(r_got) ? w_got : r_got,
+            0.0, "engine routed/served value is NaN/Inf");
+        continue;
+      }
+      if (r_ask < -options_.tolerance || h_ask < -options_.tolerance ||
+          r_got < -options_.tolerance || w_got < -options_.tolerance) {
+        add(InvariantKind::kNegativeDecision, t, i, j,
+            std::min(std::min(r_ask, h_ask), std::min(r_got, w_got)), 0.0,
+            "negative routing/processing value");
+      }
+      if (!config_.job_types[j].eligible(i)) {
+        const double worst = std::max(std::max(r_ask, h_ask), std::max(r_got, w_got));
+        if (worst > options_.tolerance) {
+          add(InvariantKind::kEligibility, t, i, j, worst, 0.0,
+              "work assigned to a DC outside D_j for job type '" +
+                  config_.job_types[j].name + "'");
+        }
+      }
+    }
+  }
+
+  // -- B. routing bounds ----------------------------------------------------
+  for (std::size_t j = 0; j < J; ++j) {
+    const double central = obs.central_queue[j];
+    double moved = 0.0;
+    for (std::size_t i = 0; i < N; ++i) {
+      const double r = routed(i, j);
+      moved += r;
+      if (std::abs(r - std::round(r)) > options_.tolerance) {
+        add(InvariantKind::kRoutingBound, t, i, j, r, std::round(r),
+            "routed job count is not integral");
+      }
+      if (!leq(r, central)) {
+        add(InvariantKind::kRoutingBound, t, i, j, r, central,
+            "routed_{i,j} exceeds the central queue Q_j");
+      }
+      // llround of the ask is the engine's cap on jobs actually moved.
+      if (r > std::round(action.route(i, j)) + options_.tolerance) {
+        add(InvariantKind::kRoutingBound, t, i, j, r, std::round(action.route(i, j)),
+            "engine moved more jobs than the scheduler asked for");
+      }
+    }
+    if (!leq(moved, central)) {
+      add(InvariantKind::kRoutingBound, t, kNone, j, moved, central,
+          "sum_i routed_{i,j} exceeds the central queue Q_j");
+    }
+  }
+
+  // -- C. capacity chain ----------------------------------------------------
+  avail_scratch_.resize(K);
+  for (std::size_t i = 0; i < N; ++i) {
+    double installed_capacity = 0.0;  // sum_k n_{i,k} s_k
+    for (std::size_t k = 0; k < K; ++k) {
+      avail_scratch_[k] = obs.availability(i, k);
+      installed_capacity +=
+          static_cast<double>(obs.availability(i, k)) * config_.server_types[k].speed;
+    }
+    if (!near((*record.dc_capacity)[i], installed_capacity)) {
+      add(InvariantKind::kCapacityChain, t, i, kNone, (*record.dc_capacity)[i],
+          installed_capacity, "recorded DC capacity != sum_k n_{i,k} s_k");
+    }
+    const double dc_served = served.row_sum(i);
+    if (!leq(dc_served, installed_capacity)) {
+      add(InvariantKind::kCapacityChain, t, i, kNone, dc_served, installed_capacity,
+          "served work exceeds available capacity sum_k n_{i,k} s_k");
+    }
+    // Re-derive the busy-server allocation b_{i,k} from the minimum-energy
+    // curve and check sum_j h d <= sum_k b s <= sum_k n s with b_k <= n_k.
+    curve_scratch_.rebuild(config_.server_types, avail_scratch_);
+    busy_scratch_.assign(K, 0.0);
+    double left = std::min(dc_served, curve_scratch_.capacity());
+    double busy_capacity = 0.0;  // sum_k b_{i,k} s_k
+    for (const auto& segment : curve_scratch_.segments()) {
+      const double fill = std::min(left, segment.capacity);
+      if (fill <= 0.0) break;
+      busy_scratch_[segment.type] += fill / segment.speed;  // servers busy
+      busy_capacity += fill;
+      left -= fill;
+    }
+    for (std::size_t k = 0; k < K; ++k) {
+      if (!leq(busy_scratch_[k], static_cast<double>(obs.availability(i, k)))) {
+        add(InvariantKind::kCapacityChain, t, i, kNone, busy_scratch_[k],
+            static_cast<double>(obs.availability(i, k)),
+            "busy servers b_{i,k} exceed availability n_{i,k} for type '" +
+                config_.server_types[k].name + "'");
+      }
+    }
+    if (!leq(dc_served, busy_capacity)) {
+      add(InvariantKind::kCapacityChain, t, i, kNone, dc_served, busy_capacity,
+          "served work sum_j h_{i,j} d_j exceeds busy-server capacity "
+          "sum_k b_{i,k} s_k");
+    }
+    if (!leq(busy_capacity, installed_capacity)) {
+      add(InvariantKind::kCapacityChain, t, i, kNone, busy_capacity, installed_capacity,
+          "busy-server capacity exceeds installed capacity");
+    }
+
+    // -- F. energy accounting ----------------------------------------------
+    const double billed = (*record.dc_energy_cost)[i];
+    const double expected =
+        obs.prices[i] * config_.tariff(i).cost(curve_scratch_.energy_for_work(dc_served));
+    if (!near(billed, expected)) {
+      add(InvariantKind::kEnergyAccounting, t, i, kNone, billed, expected,
+          "billed energy != price * tariff(curve(served work))");
+    }
+  }
+
+  // -- D. queue recurrence + non-negativity ---------------------------------
+  for (std::size_t j = 0; j < J; ++j) {
+    const double expected =
+        std::max(obs.central_queue[j] - routed.col_sum(j), 0.0) +
+        static_cast<double>((*record.arrivals)[j]);
+    const double got = (*record.central_after)[j];
+    if (!near(got, expected)) {
+      add(InvariantKind::kQueueRecurrence, t, kNone, j, got, expected,
+          "Q_j(t+1) != max[Q_j - sum_i routed, 0] + a_j");
+    }
+    if (got < -options_.tolerance) {
+      add(InvariantKind::kNegativeQueue, t, kNone, j, got, 0.0,
+          "central queue went negative");
+    }
+    for (std::size_t i = 0; i < N; ++i) {
+      const double d = config_.job_types[j].work;
+      const double expected_dc =
+          std::max(obs.dc_queue(i, j) + routed(i, j) - served(i, j) / d, 0.0);
+      const double got_dc = (*record.dc_after)(i, j);
+      if (!near(got_dc, expected_dc)) {
+        add(InvariantKind::kQueueRecurrence, t, i, j, got_dc, expected_dc,
+            "q_{i,j}(t+1) != max[q + routed - served/d_j, 0]");
+      }
+      if (got_dc < -options_.tolerance) {
+        add(InvariantKind::kNegativeQueue, t, i, j, got_dc, 0.0,
+            "DC queue went negative");
+      }
+    }
+  }
+
+  // -- E. work conservation -------------------------------------------------
+  double slot_served = 0.0;
+  for (std::size_t i = 0; i < N; ++i) slot_served += served.row_sum(i);
+  double account_total = 0.0;
+  for (double w : *record.account_work) account_total += w;
+  if (!near(account_total, slot_served)) {
+    add(InvariantKind::kWorkConservation, t, kNone, kNone, account_total, slot_served,
+        "per-account served work does not sum to total served work");
+  }
+  if (!ledger_initialized_) {
+    // Queued work at the start of the first audited slot, from the pre-action
+    // observation (jobs x d_j).
+    initial_queued_work_ = 0.0;
+    for (std::size_t j = 0; j < J; ++j) {
+      initial_queued_work_ += obs.central_queue[j] * config_.job_types[j].work;
+      for (std::size_t i = 0; i < N; ++i) {
+        initial_queued_work_ += obs.dc_queue(i, j) * config_.job_types[j].work;
+      }
+    }
+    ledger_initialized_ = true;
+  }
+  for (std::size_t j = 0; j < J; ++j) {
+    arrived_work_ +=
+        static_cast<double>((*record.arrivals)[j]) * config_.job_types[j].work;
+  }
+  served_work_ += slot_served;
+  double queued_now = 0.0;
+  for (std::size_t j = 0; j < J; ++j) {
+    queued_now += (*record.central_after)[j] * config_.job_types[j].work;
+    for (std::size_t i = 0; i < N; ++i) {
+      queued_now += (*record.dc_after)(i, j) * config_.job_types[j].work;
+    }
+  }
+  const double inflow = initial_queued_work_ + arrived_work_;
+  const double outflow = served_work_ + queued_now;
+  if (!near(inflow, outflow)) {
+    add(InvariantKind::kWorkConservation, t, kNone, kNone, outflow, inflow,
+        "cumulative arrived work != served + still-queued work");
+  }
+
+  // -- F. fairness accounting -----------------------------------------------
+  double total_resource = 0.0;
+  for (double c : *record.dc_capacity) total_resource += c;
+  const double expected_f =
+      total_resource > 0.0 ? fairness_fn_.score(*record.account_work, total_resource)
+                           : 0.0;
+  if (!near(record.fairness, expected_f)) {
+    add(InvariantKind::kFairnessAccounting, t, kNone, kNone, record.fairness,
+        expected_f, "recorded fairness != eq. (3) recomputed from account work");
+  }
+
+  // -- strict scheduler-contract checks (opt-in) ----------------------------
+  const bool has_r_max = std::isfinite(options_.r_max);
+  const bool has_h_max = std::isfinite(options_.h_max);
+  if (has_r_max || has_h_max || options_.expect_queue_bounded_ask) {
+    for (std::size_t j = 0; j < J; ++j) {
+      double ask_total = 0.0;
+      for (std::size_t i = 0; i < N; ++i) {
+        const double r_ask = action.route(i, j);
+        const double h_ask = action.process(i, j);
+        ask_total += r_ask;
+        if (has_r_max && !leq(r_ask, options_.r_max)) {
+          add(InvariantKind::kSchedulerContract, t, i, j, r_ask, options_.r_max,
+              "routing ask exceeds r_max");
+        }
+        if (has_h_max && !leq(h_ask, options_.h_max)) {
+          add(InvariantKind::kSchedulerContract, t, i, j, h_ask, options_.h_max,
+              "processing ask exceeds h_max");
+        }
+        if (options_.expect_queue_bounded_ask &&
+            !leq(h_ask, obs.dc_queue(i, j) + r_ask)) {
+          add(InvariantKind::kSchedulerContract, t, i, j, h_ask,
+              obs.dc_queue(i, j) + r_ask,
+              "processing ask exceeds post-routing queue q_{i,j} + r_{i,j}");
+        }
+      }
+      if (options_.expect_queue_bounded_ask && !leq(ask_total, obs.central_queue[j])) {
+        add(InvariantKind::kSchedulerContract, t, kNone, j, ask_total,
+            obs.central_queue[j], "routing ask exceeds the central queue Q_j");
+      }
+    }
+  }
+}
+
+}  // namespace grefar

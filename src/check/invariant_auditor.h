@@ -1,0 +1,147 @@
+// InvariantAuditor: machine-checked per-slot feasibility for every scheduler.
+//
+// GreFar's guarantees (Theorem 1) only hold if each per-slot decision is
+// feasible; a solver or engine bug that quietly violates a queue bound or the
+// capacity chain corrupts every figure the harness regenerates. The auditor
+// attaches to the SimulationEngine as a SlotInspector and re-derives, from
+// first principles, for every slot:
+//
+//   A. action sanity     — finite values, correct shapes, no negatives,
+//                          nothing assigned to ineligible (i,j) pairs;
+//   B. routing bounds    — routed jobs are integral, routed_{i,j} <= Q_j(t),
+//                          sum_i routed_{i,j} <= Q_j(t), routed never exceeds
+//                          the scheduler's ask;
+//   C. capacity chain    — per DC, served work sum_j h_{i,j} d_j fits the
+//                          busy-server allocation: sum_j h d <= sum_k b_{i,k}
+//                          s_k <= sum_k n_{i,k}(t) s_k, with b re-derived
+//                          from the minimum-energy curve and b_k <= n_k;
+//   D. queue recurrence  — the exact Lyapunov updates
+//                          Q_j(t+1) = max[Q_j - sum_i routed, 0] + a_j and
+//                          q_{i,j}(t+1) = max[q + routed - served/d_j, 0],
+//                          plus non-negativity of every post-slot queue;
+//   E. conservation      — per-account served work sums to total served
+//                          work, and cumulatively arrived work equals served
+//                          plus still-queued work;
+//   F. accounting        — the billed energy equals price x tariff(curve(W))
+//                          recomputed independently, and the fairness score
+//                          matches eq. (3) on the per-account work.
+//
+// Optional strict "scheduler contract" checks validate the *ask* (not just
+// the clamped outcome) against r_max / h_max / queue bounds — for schedulers
+// that promise clamped decisions (GreFar with clamp_to_queue).
+//
+// Violations are reported as structured InvariantViolation records (kind,
+// slot, indices, observed vs bound, rendered detail) instead of silent
+// drift; in kThrow mode the first violation aborts the simulation with a
+// ContractViolation carrying the same description.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/energy.h"
+#include "sim/fairness.h"
+#include "sim/slot_inspector.h"
+
+namespace grefar {
+
+/// Which invariant family a violation belongs to.
+enum class InvariantKind {
+  kActionShape,        // action/record matrices have wrong dimensions
+  kNonFinite,          // NaN/Inf in a decision or derived quantity
+  kNegativeDecision,   // negative route/process/served value
+  kEligibility,        // work assigned to a DC outside D_j
+  kRoutingBound,       // routed jobs exceed Q_j, the ask, or integrality
+  kCapacityChain,      // served work does not fit the busy-server allocation
+  kQueueRecurrence,    // post-slot queue deviates from the exact update
+  kNegativeQueue,      // a queue length went negative
+  kWorkConservation,   // account/work flow bookkeeping disagrees
+  kEnergyAccounting,   // billed energy != price * tariff(curve(work))
+  kFairnessAccounting, // recorded fairness != eq. (3) recomputed
+  kSchedulerContract,  // strict-mode ask violates r_max/h_max/queue bounds
+  kSolverOptimality,   // solver output beat by the brute-force oracle
+};
+
+std::string to_string(InvariantKind kind);
+
+/// One structured violation record.
+struct InvariantViolation {
+  static constexpr std::size_t kNoIndex = std::numeric_limits<std::size_t>::max();
+
+  InvariantKind kind = InvariantKind::kActionShape;
+  std::int64_t slot = 0;
+  std::size_t dc = kNoIndex;        // data center index, if applicable
+  std::size_t job_type = kNoIndex;  // job type index, if applicable
+  double observed = 0.0;            // the offending value
+  double bound = 0.0;               // the bound it broke
+  std::string detail;               // human-readable description
+
+  /// "slot 17 [capacity-chain] dc=2: served 12.5 exceeds capacity 10.0 — ..."
+  std::string to_string() const;
+};
+
+struct InvariantAuditorOptions {
+  /// Comparison slack: a <= b passes when a <= b + tolerance * max(1, |b|).
+  double tolerance = 1e-6;
+  /// Throw ContractViolation on the first violation (Debug/CI mode) instead
+  /// of recording and continuing.
+  bool throw_on_violation = false;
+  /// Stop *recording* (never checking) beyond this many violations.
+  std::size_t max_violations = 64;
+  /// Strict scheduler-contract bounds on the raw ask; +infinity disables.
+  double r_max = std::numeric_limits<double>::infinity();
+  double h_max = std::numeric_limits<double>::infinity();
+  /// When true, also require the ask itself to respect queue contents
+  /// (GreFar's clamp_to_queue contract): sum_i route_{i,j} <= Q_j and
+  /// process_{i,j} <= q_{i,j} + route_{i,j}.
+  bool expect_queue_bounded_ask = false;
+};
+
+class InvariantAuditor final : public SlotInspector {
+ public:
+  explicit InvariantAuditor(ClusterConfig config, InvariantAuditorOptions options = {});
+
+  /// Checks every invariant against `record`; records/throws on violations.
+  void inspect(const SlotRecord& record) override;
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<InvariantViolation>& violations() const { return violations_; }
+  std::int64_t slots_audited() const { return slots_audited_; }
+  std::size_t total_violations() const { return total_violations_; }
+
+  /// Human summary: "audited 2000 slots: clean" or the first few violations.
+  std::string report() const;
+
+  /// Clears violations and the cumulative conservation ledger.
+  void reset();
+
+ private:
+  void add(InvariantKind kind, std::int64_t slot, std::size_t dc, std::size_t job_type,
+           double observed, double bound, std::string detail);
+  bool leq(double a, double b) const;   // a <= b within tolerance
+  bool near(double a, double b) const;  // |a - b| within tolerance
+
+  ClusterConfig config_;
+  InvariantAuditorOptions options_;
+  FairnessFunction fairness_fn_;
+
+  std::vector<InvariantViolation> violations_;
+  std::size_t total_violations_ = 0;
+  std::int64_t slots_audited_ = 0;
+
+  // Cumulative work ledger for invariant E (work units).
+  bool ledger_initialized_ = false;
+  double initial_queued_work_ = 0.0;
+  double arrived_work_ = 0.0;
+  double served_work_ = 0.0;
+
+  // Reused scratch (one auditor serves one engine; single-threaded).
+  EnergyCostCurve curve_scratch_;
+  std::vector<std::int64_t> avail_scratch_;
+  std::vector<double> busy_scratch_;
+};
+
+}  // namespace grefar

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "check/invariant_auditor.h"
 #include "util/check.h"
 
 namespace grefar {
@@ -131,17 +132,31 @@ PaperScenario make_small_scenario(std::uint64_t seed) {
 
 std::unique_ptr<SimulationEngine> make_scenario_engine(
     const PaperScenario& scenario, std::shared_ptr<Scheduler> scheduler,
-    EngineOptions options) {
-  return std::make_unique<SimulationEngine>(
+    EngineOptions options, AuditMode audit) {
+  auto engine = std::make_unique<SimulationEngine>(
       scenario.config, scenario.prices, scenario.availability, scenario.arrivals,
       std::move(scheduler), options);
+  if (audit == AuditMode::kAuto) {
+#ifdef NDEBUG
+    audit = AuditMode::kOff;
+#else
+    audit = AuditMode::kThrow;
+#endif
+  }
+  if (audit != AuditMode::kOff) {
+    InvariantAuditorOptions auditor_options;
+    auditor_options.throw_on_violation = audit == AuditMode::kThrow;
+    engine->set_inspector(
+        std::make_shared<InvariantAuditor>(scenario.config, auditor_options));
+  }
+  return engine;
 }
 
 std::unique_ptr<SimulationEngine> run_scenario(const PaperScenario& scenario,
                                                std::shared_ptr<Scheduler> scheduler,
                                                std::int64_t horizon,
-                                               EngineOptions options) {
-  auto engine = make_scenario_engine(scenario, std::move(scheduler), options);
+                                               EngineOptions options, AuditMode audit) {
+  auto engine = make_scenario_engine(scenario, std::move(scheduler), options, audit);
   engine->run(horizon);
   return engine;
 }

@@ -44,17 +44,29 @@ GreFarParams paper_grefar_params(double V, double beta);
 /// load — cheap enough for property tests and the Theorem-1 LP comparison.
 PaperScenario make_small_scenario(std::uint64_t seed);
 
+/// Whether scenario engines carry the per-slot InvariantAuditor
+/// (check/invariant_auditor.h).
+///   * kAuto  — kThrow in Debug builds (NDEBUG undefined), kOff otherwise:
+///              every Debug/CI simulation is machine-checked for free while
+///              Release benches keep the bare hot path;
+///   * kOff   — no auditing;
+///   * kThrow — audit every slot, abort on the first violation;
+///   * kRecord— audit every slot, accumulate violation records (retrieve the
+///              auditor via SimulationEngine::inspector()).
+enum class AuditMode { kAuto, kOff, kThrow, kRecord };
+
 /// Builds (but does not run) a job-level engine for `scenario` + `scheduler`
 /// — the form the parallel sweep runner wants (it drives run() itself).
 std::unique_ptr<SimulationEngine> make_scenario_engine(
     const PaperScenario& scenario, std::shared_ptr<Scheduler> scheduler,
-    EngineOptions options = {});
+    EngineOptions options = {}, AuditMode audit = AuditMode::kAuto);
 
 /// Runs `scheduler` on `scenario` for `horizon` slots on the job-level
 /// engine and returns the engine (metrics inside).
 std::unique_ptr<SimulationEngine> run_scenario(const PaperScenario& scenario,
                                                std::shared_ptr<Scheduler> scheduler,
                                                std::int64_t horizon,
-                                               EngineOptions options = {});
+                                               EngineOptions options = {},
+                                               AuditMode audit = AuditMode::kAuto);
 
 }  // namespace grefar

@@ -86,6 +86,10 @@ void SimulationEngine::run(std::int64_t slots) {
   for (std::int64_t s = 0; s < slots; ++s) step();
 }
 
+void SimulationEngine::set_inspector(std::shared_ptr<SlotInspector> inspector) {
+  inspector_ = std::move(inspector);
+}
+
 void SimulationEngine::step() {
   observe_into(obs_scratch_);
   const SlotObservation& obs = obs_scratch_;
@@ -94,6 +98,14 @@ void SimulationEngine::step() {
 
   const std::size_t N = config_.num_data_centers();
   const std::size_t J = config_.num_job_types();
+  if (inspector_ != nullptr) {
+    if (routed_mat_.rows() != N || routed_mat_.cols() != J) {
+      routed_mat_ = MatrixD(N, J);
+      served_mat_ = MatrixD(N, J);
+    }
+    routed_mat_.fill(0.0);
+    served_mat_.fill(0.0);
+  }
   GREFAR_CHECK_MSG(action.route.rows() == N && action.route.cols() == J,
                    "action.route has wrong shape");
   GREFAR_CHECK_MSG(action.process.rows() == N && action.process.cols() == J,
@@ -113,6 +125,29 @@ void SimulationEngine::step() {
   route(obs, action);
   serve(obs, action);
   admit_arrivals();
+
+  if (inspector_ != nullptr) {
+    central_after_.resize(J);
+    for (std::size_t j = 0; j < J; ++j) central_after_[j] = central_[j].length_jobs();
+    if (dc_after_.rows() != N || dc_after_.cols() != J) dc_after_ = MatrixD(N, J);
+    for (std::size_t i = 0; i < N; ++i) {
+      for (std::size_t j = 0; j < J; ++j) dc_after_(i, j) = dc_[i][j].length_jobs();
+    }
+    SlotRecord record;
+    record.slot = slot_;
+    record.obs = &obs;
+    record.action = &action;
+    record.routed = &routed_mat_;
+    record.served_work = &served_mat_;
+    record.dc_capacity = &dc_capacity_record_;
+    record.dc_energy_cost = &dc_energy_record_;
+    record.account_work = &account_work_;
+    record.fairness = fairness_record_;
+    record.arrivals = &arrival_counts_;
+    record.central_after = &central_after_;
+    record.dc_after = &dc_after_;
+    inspector_->inspect(record);
+  }
   ++slot_;
 }
 
@@ -140,6 +175,7 @@ void SimulationEngine::route(const SlotObservation& obs, const SlotAction& actio
         job.dc_entry_slot = slot_;
         dc_[i][j].push(std::move(job));
         routed_per_dc_[i] += 1.0;
+        if (inspector_ != nullptr) routed_mat_(i, j) += 1.0;
       }
     }
   }
@@ -196,6 +232,7 @@ void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& actio
       completions_.clear();
       dc_[i][j].serve_into(servable, slot_, &consumed, completions_,
                            config_.job_types[j].max_rate);
+      if (inspector_ != nullptr) served_mat_(i, j) = consumed;
       dc_work += consumed;
       account_work[config_.job_types[j].account] += consumed;
       for (const auto& c : completions_) {
@@ -207,6 +244,12 @@ void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& actio
     double energy = obs.prices[i] *
                     config_.tariff(i).cost(curves_[i].energy_for_work(dc_work));
     total_energy += energy;
+    if (inspector_ != nullptr) {
+      dc_capacity_record_.resize(N);
+      dc_energy_record_.resize(N);
+      dc_capacity_record_[i] = curves_[i].capacity();
+      dc_energy_record_[i] = energy;
+    }
 
     metrics_.dc_energy_cost[i].add(energy);
     metrics_.dc_work[i].add(dc_work);
@@ -218,6 +261,7 @@ void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& actio
   metrics_.energy_cost.add(total_energy);
   double f = total_resource > 0.0 ? fairness_fn_.score(account_work, total_resource)
                                   : 0.0;
+  fairness_record_ = f;
   metrics_.fairness.add(f);
   for (std::size_t m = 0; m < account_work.size(); ++m) {
     metrics_.account_work[m].add(account_work[m]);

@@ -32,6 +32,7 @@
 #include "sim/metrics.h"
 #include "sim/queue.h"
 #include "sim/scheduler.h"
+#include "sim/slot_inspector.h"
 #include "workload/arrival_process.h"
 
 namespace grefar {
@@ -72,6 +73,13 @@ class SimulationEngine {
   /// (the engine's own step() path; steady-state allocation-free).
   void observe_into(SlotObservation& out) const;
 
+  /// Attaches a per-slot inspector (nullptr detaches). While attached, the
+  /// engine additionally tracks per-(i,j) routed jobs and served work and
+  /// hands a SlotRecord to the inspector at the end of every step(); the
+  /// extra bookkeeping is skipped entirely when no inspector is set.
+  void set_inspector(std::shared_ptr<SlotInspector> inspector);
+  SlotInspector* inspector() const { return inspector_.get(); }
+
  private:
   void route(const SlotObservation& obs, const SlotAction& action);
   void serve(const SlotObservation& obs, const SlotAction& action);
@@ -104,6 +112,17 @@ class SimulationEngine {
   std::vector<std::size_t> route_order_;         // routing destinations, sorted
   std::vector<Completion> completions_;          // one queue's completions
   std::vector<std::int64_t> arrival_counts_;     // per-type arrivals
+
+  // Inspector support: extra per-slot bookkeeping (same reuse discipline as
+  // the scratch above), maintained only while inspector_ is attached.
+  std::shared_ptr<SlotInspector> inspector_;
+  MatrixD routed_mat_;                           // jobs moved per (i,j)
+  MatrixD served_mat_;                           // work served per (i,j)
+  std::vector<double> dc_capacity_record_;       // per-DC capacity
+  std::vector<double> dc_energy_record_;         // per-DC billed cost
+  double fairness_record_ = 0.0;
+  std::vector<double> central_after_;            // Q_j(t+1)
+  MatrixD dc_after_;                             // q_{i,j}(t+1)
 };
 
 }  // namespace grefar

@@ -1,0 +1,52 @@
+// SlotRecord / SlotInspector: the engine's per-slot observation hook.
+//
+// When an inspector is attached (SimulationEngine::set_inspector) the engine
+// assembles, for every slot, a SlotRecord tying together what the scheduler
+// saw (the pre-action observation), what it asked for (the action), and what
+// the engine actually did (jobs moved, work served, energy billed, the
+// post-slot queues). The record is handed to the inspector at the end of
+// step(), after arrivals were admitted, so the post-slot queues follow the
+// paper's update recurrence exactly:
+//
+//   Q_j(t+1)     = max[Q_j(t) - sum_i routed_{i,j}(t), 0] + a_j(t)
+//   q_{i,j}(t+1) = max[q_{i,j}(t) + routed_{i,j}(t) - served_{i,j}(t)/d_j, 0]
+//
+// All pointers reference engine-owned scratch that is valid only for the
+// duration of the inspect() call; inspectors must copy anything they keep.
+// The canonical inspector is check/invariant_auditor.h, which turns these
+// records into machine-checked feasibility invariants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "util/matrix.h"
+
+namespace grefar {
+
+/// Everything that happened during one engine slot.
+struct SlotRecord {
+  std::int64_t slot = 0;
+  const SlotObservation* obs = nullptr;  // state the scheduler decided on
+  const SlotAction* action = nullptr;    // the scheduler's (unclamped) ask
+  const MatrixD* routed = nullptr;       // whole jobs moved central -> DC, N x J
+  const MatrixD* served_work = nullptr;  // work units actually served, N x J
+  const std::vector<double>* dc_capacity = nullptr;     // sum_k n_{i,k} s_k, per DC
+  const std::vector<double>* dc_energy_cost = nullptr;  // billed cost per DC
+  const std::vector<double>* account_work = nullptr;    // served work per account
+  double fairness = 0.0;                                // f(t) as recorded
+  const std::vector<std::int64_t>* arrivals = nullptr;  // a_j(t) admitted, per type
+  const std::vector<double>* central_after = nullptr;   // Q_j(t+1), jobs
+  const MatrixD* dc_after = nullptr;                    // q_{i,j}(t+1), jobs
+};
+
+/// Per-slot hook. Implementations must not mutate engine state; throwing
+/// aborts the simulation (the auditor's strict mode does exactly that).
+class SlotInspector {
+ public:
+  virtual ~SlotInspector() = default;
+  virtual void inspect(const SlotRecord& record) = 0;
+};
+
+}  // namespace grefar

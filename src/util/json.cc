@@ -130,7 +130,7 @@ void JsonValue::dump_to(std::string& out, int indent, int depth) const {
     }
     out += '[';
     for (std::size_t i = 0; i < arr.size(); ++i) {
-      if (i > 0) out += indent < 0 ? "," : ",";
+      if (i > 0) out += ',';
       append_newline_indent(out, indent, depth + 1);
       arr[i].dump_to(out, indent, depth + 1);
     }

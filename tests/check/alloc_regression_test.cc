@@ -1,0 +1,114 @@
+// Allocation-regression guard for the simulation hot path.
+//
+// PR "per-slot hot-path allocation elimination" brought the steady-state
+// cost of one engine step down to a handful of allocations (amortized
+// vector growth in the lazily extended price/arrival caches); this test
+// locks those numbers in. It overrides global operator new with a counting
+// hook, runs the paper scenario past its warm-up transient, measures
+// allocations per slot over a long window, and fails if the measurement
+// exceeds the checked-in baseline (BENCH_baseline.json, "allocs_per_slot")
+// by more than 10%. The run is deterministic per seed, so the measured
+// value is bit-stable — a failure means a real hot-path regression.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "core/grefar.h"
+#include "scenario/paper_scenario.h"
+#include "util/json.h"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+// Throwing forms only: the default nothrow/aligned forms forward here, and
+// nothing in the measured path uses over-aligned types.
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace grefar {
+namespace {
+
+constexpr std::int64_t kWarmupSlots = 300;
+constexpr std::int64_t kMeasuredSlots = 500;
+
+/// Steady-state allocations per engine slot for a GreFar run on the paper
+/// scenario. The auditor is explicitly off: it exists for Debug/CI
+/// correctness runs and pays for its bookkeeping; this test guards the
+/// bare Release hot path.
+double measure_allocs_per_slot(PerSlotSolver solver, double beta) {
+  PaperScenario scenario = make_paper_scenario(/*seed=*/42);
+  auto scheduler = std::make_shared<GreFarScheduler>(
+      scenario.config, paper_grefar_params(/*V=*/7.5, beta), solver);
+  auto engine =
+      make_scenario_engine(scenario, std::move(scheduler), {}, AuditMode::kOff);
+  engine->run(kWarmupSlots);
+  g_allocations.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  engine->run(kMeasuredSlots);
+  g_counting.store(false, std::memory_order_relaxed);
+  return static_cast<double>(g_allocations.load(std::memory_order_relaxed)) /
+         static_cast<double>(kMeasuredSlots);
+}
+
+double baseline(const char* key) {
+  auto doc = parse_json_file(GREFAR_BENCH_BASELINE);
+  if (!doc.ok()) {
+    ADD_FAILURE() << "cannot read " << GREFAR_BENCH_BASELINE << ": "
+                  << doc.error().message;
+    return 0.0;
+  }
+  const JsonValue* section = doc.value().find("allocs_per_slot");
+  if (section == nullptr) {
+    ADD_FAILURE() << "BENCH_baseline.json has no allocs_per_slot section";
+    return 0.0;
+  }
+  const JsonValue* entry = section->find(key);
+  if (entry == nullptr || !entry->is_number()) {
+    ADD_FAILURE() << "allocs_per_slot has no numeric entry '" << key << "'";
+    return 0.0;
+  }
+  return entry->as_number();
+}
+
+TEST(AllocRegression, GreedySteadyStateStaysWithinBaseline) {
+  const double limit = baseline("grefar_greedy") * 1.1;
+  ASSERT_GT(limit, 0.0);
+  const double measured = measure_allocs_per_slot(PerSlotSolver::kGreedy, 0.0);
+  EXPECT_LE(measured, limit)
+      << "greedy hot path now allocates " << measured
+      << " times per slot (baseline allows " << limit
+      << "); find the new allocation or re-baseline BENCH_baseline.json";
+}
+
+TEST(AllocRegression, PgdSteadyStateStaysWithinBaseline) {
+  const double limit = baseline("grefar_pgd") * 1.1;
+  ASSERT_GT(limit, 0.0);
+  const double measured =
+      measure_allocs_per_slot(PerSlotSolver::kProjectedGradient, 100.0);
+  EXPECT_LE(measured, limit)
+      << "PGD hot path now allocates " << measured
+      << " times per slot (baseline allows " << limit
+      << "); find the new allocation or re-baseline BENCH_baseline.json";
+}
+
+}  // namespace
+}  // namespace grefar

@@ -172,6 +172,80 @@ TEST(ExperimentConfig, MissingFileFails) {
   EXPECT_FALSE(load_experiment_config("/no/such/config.json").ok());
 }
 
+// Every malformed-file case must come back as a clean Result error — never
+// an exception, crash, or partially populated config.
+class ExperimentConfigBadFile : public ::testing::Test {
+ protected:
+  std::string write_config(const std::string& name, const std::string& content) {
+    std::string path = ::testing::TempDir() + "/" + name;
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    EXPECT_NE(f, nullptr);
+    if (!content.empty()) {
+      EXPECT_EQ(std::fwrite(content.data(), 1, content.size(), f), content.size());
+    }
+    std::fclose(f);
+    paths_.push_back(path);
+    return path;
+  }
+
+  void TearDown() override {
+    for (const auto& p : paths_) std::remove(p.c_str());
+  }
+
+  std::vector<std::string> paths_;
+};
+
+TEST_F(ExperimentConfigBadFile, EmptyFileFails) {
+  auto loaded = load_experiment_config(write_config("empty.json", ""));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_FALSE(loaded.error().message.empty());
+}
+
+TEST_F(ExperimentConfigBadFile, TruncatedDocumentFails) {
+  // A valid document cut off mid-stream, as a partial download or an
+  // interrupted save would leave it.
+  std::string full = cluster_config_to_json(make_paper_scenario(4).config).dump(2);
+  std::string doc = std::string("{\"cluster\": ") + full + "}";
+  for (std::size_t cut : {doc.size() / 4, doc.size() / 2, doc.size() - 2}) {
+    auto path = write_config("truncated.json", doc.substr(0, cut));
+    auto loaded = load_experiment_config(path);
+    ASSERT_FALSE(loaded.ok()) << "cut at " << cut << " parsed successfully";
+    EXPECT_FALSE(loaded.error().message.empty());
+  }
+}
+
+TEST_F(ExperimentConfigBadFile, BinaryGarbageFails) {
+  std::string garbage = "\x00\xff\x13\x37PK\x03\x04 not json at all";
+  garbage[0] = '\0';
+  auto loaded = load_experiment_config(write_config("garbage.json", garbage));
+  ASSERT_FALSE(loaded.ok());
+}
+
+TEST_F(ExperimentConfigBadFile, UnterminatedStringFails) {
+  auto loaded = load_experiment_config(
+      write_config("unterminated.json", R"({"cluster": {"server_types": ["oops})"));
+  ASSERT_FALSE(loaded.ok());
+}
+
+TEST_F(ExperimentConfigBadFile, WrongRootTypeFails) {
+  EXPECT_FALSE(load_experiment_config(write_config("array.json", "[1, 2, 3]")).ok());
+  EXPECT_FALSE(load_experiment_config(write_config("scalar.json", "42")).ok());
+}
+
+TEST_F(ExperimentConfigBadFile, WrongSectionTypeFails) {
+  auto loaded = load_experiment_config(
+      write_config("bad_section.json", R"({"cluster": "not an object"})"));
+  ASSERT_FALSE(loaded.ok());
+  auto loaded2 = load_experiment_config(write_config(
+      "bad_grefar.json",
+      std::string("{\"cluster\": ") + kMinimalConfig + ", \"grefar\": [1]}"));
+  ASSERT_FALSE(loaded2.ok());
+}
+
+TEST_F(ExperimentConfigBadFile, DirectoryPathFails) {
+  EXPECT_FALSE(load_experiment_config(::testing::TempDir()).ok());
+}
+
 TEST(ExperimentConfig, LoadedConfigDrivesScheduler) {
   // The loaded config must be directly usable to build a scheduler.
   auto json = parse_json(std::string("{\"cluster\": ") + kMinimalConfig +
