@@ -10,7 +10,12 @@
 #include "baselines/baselines.h"
 #include "core/grefar.h"
 #include "core/per_slot_solvers.h"
+#include "lookahead/lookahead.h"
+#include "lookahead/mpc.h"
+#include "price/price_model.h"
+#include "sim/availability.h"
 #include "util/rng.h"
+#include "workload/arrival_process.h"
 
 namespace grefar {
 namespace {
@@ -131,6 +136,74 @@ void BM_GreFarDecideLp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GreFarDecideLp)->Args({3, 8})->Args({10, 16});
+
+void BM_LookaheadFrame(benchmark::State& state) {
+  // One T-slot frame LP, built and solved from scratch (the unit of work
+  // the parallel frame fan-out distributes).
+  ClusterConfig c;
+  c.server_types = {{"fast", 1.0, 1.0}, {"eff", 0.5, 0.4}};
+  for (int i = 0; i < 4; ++i) {
+    c.data_centers.push_back({"dc" + std::to_string(i), {30, 20}});
+  }
+  c.accounts = {{"a", 0.5}, {"b", 0.5}};
+  c.job_types = {{"j0", 1.0, {0, 1, 2, 3}, 0},
+                 {"j1", 2.0, {0, 1, 2, 3}, 1},
+                 {"j2", 1.5, {0, 1, 2, 3}, 0},
+                 {"j3", 0.5, {0, 1, 2, 3}, 1}};
+  Rng rng(6);
+  std::vector<std::vector<double>> price_rows(4);
+  for (auto& row : price_rows) {
+    for (int t = 0; t < 24; ++t) row.push_back(rng.uniform(0.2, 0.9));
+  }
+  TablePriceModel prices(price_rows);
+  FullAvailability avail(c.data_centers);
+  ConstantArrivals arrivals({2, 1, 2, 1});
+  LookaheadParams p;
+  p.T = state.range(0);
+  p.R = 1;
+  p.r_max = 1e6;
+  p.h_max = 1e6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_lookahead(c, prices, avail, arrivals, p));
+  }
+}
+BENCHMARK(BM_LookaheadFrame)->Arg(8)->Arg(24);
+
+void BM_MpcStep(benchmark::State& state) {
+  // Steady-state MPC slot: same window structure each call, warm-started
+  // from the previous optimal basis (the cold first solve is untimed).
+  ClusterConfig c;
+  c.server_types = {{"std", 1.0, 1.0}};
+  c.data_centers = {{"dc0", {12}}, {"dc1", {12}}};
+  c.accounts = {{"a", 0.5}, {"b", 0.5}};
+  c.job_types = {{"ja", 1.0, {0, 1}, 0}, {"jb", 2.0, {0, 1}, 1}};
+  auto prices = std::make_shared<TablePriceModel>(std::vector<std::vector<double>>{
+      {0.9, 0.8, 0.7, 0.3, 0.2, 0.3, 0.8, 0.9},
+      {0.7, 0.7, 0.5, 0.4, 0.3, 0.4, 0.6, 0.7}});
+  auto avail = std::make_shared<FullAvailability>(c.data_centers);
+  auto arr = std::make_shared<ConstantArrivals>(std::vector<std::int64_t>{3, 2});
+  MpcParams p;
+  p.window = state.range(0);
+  p.r_max = 50.0;
+  p.h_max = 50.0;
+  MpcScheduler scheduler(c, prices, avail, arr, p);
+
+  SlotObservation obs;
+  obs.slot = 0;
+  obs.prices = {0.9, 0.7};
+  obs.availability = Matrix<std::int64_t>(2, 1);
+  obs.availability(0, 0) = 12;
+  obs.availability(1, 0) = 12;
+  obs.central_queue = {4.0, 2.0};
+  obs.dc_queue = MatrixD(2, 2);
+  obs.dc_queue(0, 0) = 2.0;
+  obs.dc_queue(1, 1) = 1.0;
+  scheduler.decide(obs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.decide(obs));
+  }
+}
+BENCHMARK(BM_MpcStep)->Arg(8);
 
 void BM_AlwaysDecide(benchmark::State& state) {
   auto inst = make_instance(static_cast<std::size_t>(state.range(0)),

@@ -38,6 +38,78 @@ void BM_SimplexSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_SimplexSolve)->Args({10, 5})->Args({30, 15})->Args({80, 40});
 
+/// The warm-start benchmark LP: random_lp plus a handful of >= rows, so a
+/// cold solve cannot start from the slack basis and must drive artificials
+/// out in phase 1 (the frame/window LPs have this shape — their queue
+/// dynamics rows are equalities).
+LinearProgram warm_bench_lp(std::size_t vars, std::size_t rows) {
+  auto lp = random_lp(vars, rows, 11);
+  Rng rng(23);
+  for (std::size_t r = 0; r < 8; ++r) {
+    std::vector<double> coeffs(vars);
+    for (auto& c : coeffs) c = rng.uniform(0.0, 1.0);
+    lp.add_constraint(std::move(coeffs), ConstraintSense::kGreaterEqual,
+                      rng.uniform(0.5, 1.5));
+  }
+  return lp;
+}
+
+void BM_SimplexWarmStart(benchmark::State& state) {
+  // The FW/LMO pattern: fixed polytope, new objective every call, each solve
+  // re-entering phase 2 from the previous optimal basis. Cycle a pool of
+  // pre-generated objectives so the solver never sees the same one twice in
+  // a row. Compare against BM_SimplexColdRecost, which runs the identical
+  // loop without the basis.
+  auto lp = warm_bench_lp(static_cast<std::size_t>(state.range(0)),
+                          static_cast<std::size_t>(state.range(1)));
+  Rng rng(17);
+  std::vector<double> base(lp.num_vars());
+  for (std::size_t j = 0; j < base.size(); ++j) base[j] = rng.uniform(-1.0, 1.0);
+  std::vector<std::vector<double>> objectives(16);
+  for (auto& c : objectives) {
+    c.resize(lp.num_vars());
+    for (std::size_t j = 0; j < c.size(); ++j) {
+      c[j] = base[j] + rng.uniform(-0.05, 0.05);
+    }
+  }
+  SimplexBasis basis = solve_lp(lp).basis;
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    const auto& c = objectives[cursor];
+    cursor = (cursor + 1) % objectives.size();
+    for (std::size_t j = 0; j < c.size(); ++j) lp.set_objective(j, c[j]);
+    LpSolution sol = solve_lp(lp, basis);
+    basis = std::move(sol.basis);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+}
+BENCHMARK(BM_SimplexWarmStart)->Args({80, 40});
+
+void BM_SimplexColdRecost(benchmark::State& state) {
+  // Control for BM_SimplexWarmStart: the same objective-cycling loop on the
+  // same LP, but every solve is from scratch.
+  auto lp = warm_bench_lp(static_cast<std::size_t>(state.range(0)),
+                          static_cast<std::size_t>(state.range(1)));
+  Rng rng(17);
+  std::vector<double> base(lp.num_vars());
+  for (std::size_t j = 0; j < base.size(); ++j) base[j] = rng.uniform(-1.0, 1.0);
+  std::vector<std::vector<double>> objectives(16);
+  for (auto& c : objectives) {
+    c.resize(lp.num_vars());
+    for (std::size_t j = 0; j < c.size(); ++j) {
+      c[j] = base[j] + rng.uniform(-0.05, 0.05);
+    }
+  }
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    const auto& c = objectives[cursor];
+    cursor = (cursor + 1) % objectives.size();
+    for (std::size_t j = 0; j < c.size(); ++j) lp.set_objective(j, c[j]);
+    benchmark::DoNotOptimize(solve_lp(lp));
+  }
+}
+BENCHMARK(BM_SimplexColdRecost)->Args({80, 40});
+
 void BM_CappedBoxProject(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(3);

@@ -77,6 +77,22 @@ void refresh_pieces(const PerSlotProblem& problem, std::size_t i,
   }
 }
 
+/// Chooses the x0 for an iterative (FW/PGD) solve: the previous slot's
+/// solution when cross-slot warm starting is on and one is available
+/// (the solvers project it onto the current capacity box themselves),
+/// otherwise the greedy point. Steady state allocates nothing — both the
+/// scratch copy and the projection reuse existing capacity.
+void prepare_iterative_warm_start(const PerSlotProblem& problem,
+                                  std::vector<double>& warm,
+                                  PerSlotSolverScratch* scratch) {
+  if (problem.params().warm_start_across_slots && scratch != nullptr &&
+      scratch->prev.size() == problem.num_vars()) {
+    warm = scratch->prev;
+    return;
+  }
+  solve_per_slot_greedy_into(problem, warm, scratch);
+}
+
 }  // namespace
 
 std::vector<double> solve_per_slot_greedy(const PerSlotProblem& problem) {
@@ -216,16 +232,18 @@ void solve_per_slot_into(const PerSlotProblem& problem, PerSlotSolver solver,
       return;
     case PerSlotSolver::kFrankWolfe: {
       std::vector<double>& warm = scratch ? scratch->warm : u;
-      solve_per_slot_greedy_into(problem, warm, scratch);
+      prepare_iterative_warm_start(problem, warm, scratch);
       auto result = minimize_frank_wolfe(problem, problem.polytope(), warm);
       u = std::move(result.x);
+      if (scratch != nullptr) scratch->prev = u;
       return;
     }
     case PerSlotSolver::kProjectedGradient: {
       std::vector<double>& warm = scratch ? scratch->warm : u;
-      solve_per_slot_greedy_into(problem, warm, scratch);
+      prepare_iterative_warm_start(problem, warm, scratch);
       auto result = minimize_projected_gradient(problem, problem.polytope(), warm);
       u = std::move(result.x);
+      if (scratch != nullptr) scratch->prev = u;
       return;
     }
     case PerSlotSolver::kLp:

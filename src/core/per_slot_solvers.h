@@ -50,6 +50,11 @@ struct PerSlotSolverScratch {
   std::vector<std::vector<Piece>> pieces;               // [dc], sorted by cost
   std::vector<std::vector<std::int64_t>> cached_avail;  // [dc] row pieces were built for
   std::vector<double> warm;                             // FW/PGD warm start
+  /// Previous slot's FW/PGD solution; with params.warm_start_across_slots
+  /// the next solve starts here (the solvers project it onto the current
+  /// capacity box) instead of re-running the greedy. Empty until the first
+  /// iterative solve.
+  std::vector<double> prev;
 };
 
 /// Exact greedy for beta = 0 (the fairness term, if any, is ignored).

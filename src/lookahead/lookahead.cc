@@ -2,21 +2,58 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <utility>
 
+#include "parallel/sim_runner.h"
 #include "sim/fairness.h"
 #include "util/check.h"
 
 namespace grefar {
 
-LinearProgram build_frame_lp(const ClusterConfig& config, const PriceModel& prices,
-                             const AvailabilityModel& availability,
-                             const ArrivalProcess& arrivals, std::int64_t frame_start,
-                             const LookaheadParams& params) {
+namespace {
+
+/// One frame's worth of model data, pre-materialized serially so frame
+/// solves can run on worker threads without touching the price /
+/// availability / arrival models (whose implementations carry lazily
+/// extended mutable caches and are not safe to share across threads).
+struct FrameData {
+  std::int64_t frame_start = 0;
+  std::vector<std::vector<double>> prices;           // [t][i]
+  std::vector<Matrix<std::int64_t>> avail;           // [t]
+  std::vector<std::vector<std::int64_t>> arrivals;   // [t][j]
+};
+
+FrameData gather_frame(const ClusterConfig& config, const PriceModel& prices,
+                       const AvailabilityModel& availability,
+                       const ArrivalProcess& arrivals, std::int64_t frame_start,
+                       std::int64_t T) {
+  const std::size_t N = config.num_data_centers();
+  const auto F = static_cast<std::size_t>(T);
+  FrameData data;
+  data.frame_start = frame_start;
+  data.prices.resize(F);
+  data.avail.reserve(F);
+  data.arrivals.reserve(F);
+  for (std::size_t t = 0; t < F; ++t) {
+    const std::int64_t slot = frame_start + static_cast<std::int64_t>(t);
+    data.prices[t].reserve(N);
+    for (std::size_t i = 0; i < N; ++i) {
+      data.prices[t].push_back(prices.price(i, slot));
+    }
+    data.avail.push_back(availability.availability(slot));
+    data.arrivals.push_back(arrivals.arrivals(slot));
+  }
+  return data;
+}
+
+LinearProgram build_frame_lp_from_data(const ClusterConfig& config,
+                                       const FrameData& data,
+                                       const LookaheadParams& params) {
   const std::size_t N = config.num_data_centers();
   const std::size_t J = config.num_job_types();
   const std::size_t K = config.num_server_types();
   const auto F = static_cast<std::size_t>(params.T);
-  GREFAR_CHECK(params.T > 0);
 
   const std::size_t r_block = N * J * F;
   const std::size_t u_block = N * J * F;
@@ -33,9 +70,8 @@ LinearProgram build_frame_lp(const ClusterConfig& config, const PriceModel& pric
 
   // Objective: total energy over the frame (beta = 0 => g = e).
   for (std::size_t t = 0; t < F; ++t) {
-    std::int64_t slot = frame_start + static_cast<std::int64_t>(t);
     for (std::size_t i = 0; i < N; ++i) {
-      double phi = prices.price(i, slot);
+      double phi = data.prices[t][i];
       for (std::size_t k = 0; k < K; ++k) {
         const auto& st = config.server_types[k];
         lp.set_objective(w_idx(t, i, k), phi * st.busy_power / st.speed);
@@ -48,8 +84,7 @@ LinearProgram build_frame_lp(const ClusterConfig& config, const PriceModel& pric
     double total_arrivals = 0.0;
     std::vector<std::pair<std::size_t, double>> terms;
     for (std::size_t t = 0; t < F; ++t) {
-      std::int64_t slot = frame_start + static_cast<std::int64_t>(t);
-      total_arrivals += static_cast<double>(arrivals.arrivals(slot)[j]);
+      total_arrivals += static_cast<double>(data.arrivals[t][j]);
       for (DataCenterId i : config.job_types[j].eligible_dcs) {
         terms.emplace_back(r_idx(t, i, j), 1.0);
       }
@@ -72,8 +107,7 @@ LinearProgram build_frame_lp(const ClusterConfig& config, const PriceModel& pric
 
   // (18) + per-variable bounds, per slot.
   for (std::size_t t = 0; t < F; ++t) {
-    std::int64_t slot = frame_start + static_cast<std::int64_t>(t);
-    auto avail = availability.availability(slot);
+    const auto& avail = data.avail[t];
     for (std::size_t i = 0; i < N; ++i) {
       std::vector<std::pair<std::size_t, double>> balance;
       for (std::size_t j = 0; j < J; ++j) {
@@ -94,6 +128,19 @@ LinearProgram build_frame_lp(const ClusterConfig& config, const PriceModel& pric
   return lp;
 }
 
+}  // namespace
+
+LinearProgram build_frame_lp(const ClusterConfig& config, const PriceModel& prices,
+                             const AvailabilityModel& availability,
+                             const ArrivalProcess& arrivals, std::int64_t frame_start,
+                             const LookaheadParams& params) {
+  GREFAR_CHECK(params.T > 0);
+  return build_frame_lp_from_data(
+      config, gather_frame(config, prices, availability, arrivals, frame_start,
+                           params.T),
+      params);
+}
+
 LookaheadResult solve_lookahead(const ClusterConfig& config, const PriceModel& prices,
                                 const AvailabilityModel& availability,
                                 const ArrivalProcess& arrivals,
@@ -102,16 +149,32 @@ LookaheadResult solve_lookahead(const ClusterConfig& config, const PriceModel& p
   GREFAR_CHECK(params.T > 0 && params.R > 0);
   GREFAR_CHECK_MSG(!config.has_nonlinear_billing(),
                    "the lookahead frame LP models linear billing only");
-  LookaheadResult result;
-  result.frame_costs.reserve(static_cast<std::size_t>(params.R));
-  for (std::int64_t r = 0; r < params.R; ++r) {
-    LinearProgram lp = build_frame_lp(config, prices, availability, arrivals,
-                                      r * params.T, params);
-    LpSolution sol = solve_lp(lp);
-    GREFAR_CHECK_MSG(sol.optimal(), "frame " << r << " LP " << to_string(sol.status)
-                                             << " — slackness (20)-(22) violated?");
-    result.frame_costs.push_back(sol.objective / static_cast<double>(params.T));
+  const auto R = static_cast<std::size_t>(params.R);
+  // Serial prefetch of every frame's model data (see FrameData), then the
+  // independent frame LPs fan out over the pool. Each worker performs the
+  // exact same floating-point work regardless of job count and results land
+  // in per-frame slots, so the reduction is bit-identical at any --jobs.
+  std::vector<FrameData> frames;
+  frames.reserve(R);
+  for (std::size_t r = 0; r < R; ++r) {
+    frames.push_back(gather_frame(config, prices, availability, arrivals,
+                                  static_cast<std::int64_t>(r) * params.T,
+                                  params.T));
   }
+  LookaheadResult result;
+  result.frame_costs.assign(R, 0.0);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(R);
+  for (std::size_t r = 0; r < R; ++r) {
+    tasks.push_back([&config, &params, &frames, &result, r] {
+      LinearProgram lp = build_frame_lp_from_data(config, frames[r], params);
+      LpSolution sol = solve_lp(lp);
+      GREFAR_CHECK_MSG(sol.optimal(), "frame " << r << " LP " << to_string(sol.status)
+                                               << " — slackness (20)-(22) violated?");
+      result.frame_costs[r] = sol.objective / static_cast<double>(params.T);
+    });
+  }
+  SimRunner(params.jobs).run(tasks);
   double sum = 0.0;
   for (double c : result.frame_costs) sum += c;
   result.average_cost = sum / static_cast<double>(params.R);
@@ -121,14 +184,14 @@ LookaheadResult solve_lookahead(const ClusterConfig& config, const PriceModel& p
 namespace {
 
 /// Objective pieces for the fairness-aware frame problem, in the variable
-/// layout of build_frame_lp.
+/// layout of build_frame_lp. Reads only pre-materialized frame data (total
+/// slot resource), so it is safe to evaluate on a worker thread.
 struct FrameObjective {
   const ClusterConfig* config;
-  const AvailabilityModel* availability;
-  std::int64_t frame_start;
   std::size_t T;
   double beta;
   std::vector<double> energy_cost;  // linear coefficients (w block only)
+  std::vector<double> resource;     // per-slot total resource, [t]
   FairnessFunction fairness;
 
   std::size_t u_offset() const {
@@ -137,17 +200,6 @@ struct FrameObjective {
   std::size_t u_index(std::size_t t, std::size_t i, std::size_t j) const {
     return u_offset() +
            (t * config->num_data_centers() + i) * config->num_job_types() + j;
-  }
-
-  double total_resource(std::size_t t) const {
-    auto avail = availability->availability(frame_start + static_cast<std::int64_t>(t));
-    double total = 0.0;
-    for (std::size_t i = 0; i < config->num_data_centers(); ++i) {
-      for (std::size_t k = 0; k < config->num_server_types(); ++k) {
-        total += static_cast<double>(avail(i, k)) * config->server_types[k].speed;
-      }
-    }
-    return total;
   }
 
   /// Per-account work in slot t.
@@ -167,9 +219,8 @@ struct FrameObjective {
     for (std::size_t v = 0; v < x.size(); ++v) total += energy_cost[v] * x[v];
     if (beta > 0.0) {
       for (std::size_t t = 0; t < T; ++t) {
-        double resource = total_resource(t);
-        if (resource <= 0.0) continue;
-        total -= beta * fairness.score(account_work(x, t), resource);
+        if (resource[t] <= 0.0) continue;
+        total -= beta * fairness.score(account_work(x, t), resource[t]);
       }
     }
     return total;
@@ -179,14 +230,13 @@ struct FrameObjective {
     std::vector<double> g = energy_cost;
     if (beta > 0.0) {
       for (std::size_t t = 0; t < T; ++t) {
-        double resource = total_resource(t);
-        if (resource <= 0.0) continue;
+        if (resource[t] <= 0.0) continue;
         auto r_m = account_work(x, t);
         for (std::size_t i = 0; i < config->num_data_centers(); ++i) {
           for (std::size_t j = 0; j < config->num_job_types(); ++j) {
             AccountId m = config->job_types[j].account;
             g[u_index(t, i, j)] -=
-                beta * fairness.score_gradient(r_m[m], m, resource);
+                beta * fairness.score_gradient(r_m[m], m, resource[t]);
           }
         }
       }
@@ -209,65 +259,92 @@ LookaheadResult solve_lookahead_fair(const ClusterConfig& config,
   GREFAR_CHECK_MSG(!config.has_nonlinear_billing(),
                    "the lookahead frame LP models linear billing only");
 
-  LookaheadResult result;
-  result.frame_costs.reserve(static_cast<std::size_t>(params.base.R));
-  for (std::int64_t r = 0; r < params.base.R; ++r) {
-    const std::int64_t frame_start = r * params.base.T;
-    LinearProgram lp = build_frame_lp(config, prices, availability, arrivals,
-                                      frame_start, params.base);
-
-    FrameObjective objective{&config,
-                             &availability,
-                             frame_start,
-                             static_cast<std::size_t>(params.base.T),
-                             params.beta,
-                             lp.objective(),  // energy coefficients
-                             FairnessFunction(config.gammas())};
-
-    // Start from the energy-only optimum (also a feasibility certificate).
-    LpSolution start = solve_lp(lp);
-    GREFAR_CHECK_MSG(start.optimal(), "frame " << r << " LP " << to_string(start.status)
-                                               << " — slackness violated?");
-    std::vector<double> x = start.x;
-
-    // Frank-Wolfe with the frame LP as the LMO.
-    for (int iter = 0; iter < params.fw_iterations; ++iter) {
-      auto grad = objective.gradient(x);
-      LinearProgram lmo = lp;  // same constraints, linearized objective
-      for (std::size_t v = 0; v < grad.size(); ++v) lmo.set_objective(v, grad[v]);
-      LpSolution vertex = solve_lp(lmo);
-      GREFAR_CHECK_MSG(vertex.optimal(), "frame LMO " << to_string(vertex.status));
-
-      double gap = 0.0;
-      for (std::size_t v = 0; v < grad.size(); ++v) {
-        gap += grad[v] * (x[v] - vertex.x[v]);
-      }
-      if (gap <= 1e-7) break;
-
-      // Ternary line search along the segment (objective convex).
-      auto value_at = [&](double step) {
-        std::vector<double> trial(x.size());
-        for (std::size_t v = 0; v < x.size(); ++v) {
-          trial[v] = x[v] + step * (vertex.x[v] - x[v]);
-        }
-        return objective.value(trial);
-      };
-      double lo = 0.0, hi = 1.0;
-      for (int ls = 0; ls < 40; ++ls) {
-        double m1 = lo + (hi - lo) / 3.0;
-        double m2 = hi - (hi - lo) / 3.0;
-        if (value_at(m1) <= value_at(m2)) hi = m2;
-        else lo = m1;
-      }
-      double step = 0.5 * (lo + hi);
-      if (step < 1e-12) step = 2.0 / (iter + 2.0);
-      for (std::size_t v = 0; v < x.size(); ++v) {
-        x[v] += step * (vertex.x[v] - x[v]);
-      }
-    }
-    result.frame_costs.push_back(objective.value(x) /
-                                 static_cast<double>(params.base.T));
+  const auto R = static_cast<std::size_t>(params.base.R);
+  const auto F = static_cast<std::size_t>(params.base.T);
+  std::vector<FrameData> frames;
+  frames.reserve(R);
+  for (std::size_t r = 0; r < R; ++r) {
+    frames.push_back(gather_frame(config, prices, availability, arrivals,
+                                  static_cast<std::int64_t>(r) * params.base.T,
+                                  params.base.T));
   }
+
+  LookaheadResult result;
+  result.frame_costs.assign(R, 0.0);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(R);
+  for (std::size_t r = 0; r < R; ++r) {
+    tasks.push_back([&config, &params, &frames, &result, F, r] {
+      const FrameData& data = frames[r];
+      LinearProgram lp = build_frame_lp_from_data(config, data, params.base);
+
+      FrameObjective objective{&config,
+                               F,
+                               params.beta,
+                               lp.objective(),  // energy coefficients
+                               std::vector<double>(F, 0.0),
+                               FairnessFunction(config.gammas())};
+      for (std::size_t t = 0; t < F; ++t) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < config.num_data_centers(); ++i) {
+          for (std::size_t k = 0; k < config.num_server_types(); ++k) {
+            total += static_cast<double>(data.avail[t](i, k)) *
+                     config.server_types[k].speed;
+          }
+        }
+        objective.resource[t] = total;
+      }
+
+      // Start from the energy-only optimum (also a feasibility certificate).
+      LpSolution start = solve_lp(lp);
+      GREFAR_CHECK_MSG(start.optimal(), "frame " << r << " LP "
+                                                 << to_string(start.status)
+                                                 << " — slackness violated?");
+      std::vector<double> x = std::move(start.x);
+      SimplexBasis basis = std::move(start.basis);
+
+      // Frank-Wolfe with the frame LP as the LMO. The polytope is fixed
+      // within the frame: only the objective changes per iteration, so the
+      // previous vertex's basis stays primal feasible and every LMO call
+      // re-enters phase 2 warm instead of re-solving from scratch.
+      for (int iter = 0; iter < params.fw_iterations; ++iter) {
+        auto grad = objective.gradient(x);
+        for (std::size_t v = 0; v < grad.size(); ++v) lp.set_objective(v, grad[v]);
+        LpSolution vertex = solve_lp(lp, basis);
+        GREFAR_CHECK_MSG(vertex.optimal(), "frame LMO " << to_string(vertex.status));
+        basis = std::move(vertex.basis);
+
+        double gap = 0.0;
+        for (std::size_t v = 0; v < grad.size(); ++v) {
+          gap += grad[v] * (x[v] - vertex.x[v]);
+        }
+        if (gap <= 1e-7) break;
+
+        // Ternary line search along the segment (objective convex).
+        auto value_at = [&](double step) {
+          std::vector<double> trial(x.size());
+          for (std::size_t v = 0; v < x.size(); ++v) {
+            trial[v] = x[v] + step * (vertex.x[v] - x[v]);
+          }
+          return objective.value(trial);
+        };
+        double lo = 0.0, hi = 1.0;
+        for (int ls = 0; ls < 40; ++ls) {
+          double m1 = lo + (hi - lo) / 3.0;
+          double m2 = hi - (hi - lo) / 3.0;
+          if (value_at(m1) <= value_at(m2)) hi = m2;
+          else lo = m1;
+        }
+        double step = 0.5 * (lo + hi);
+        if (step < 1e-12) step = 2.0 / (iter + 2.0);
+        for (std::size_t v = 0; v < x.size(); ++v) {
+          x[v] += step * (vertex.x[v] - x[v]);
+        }
+      }
+      result.frame_costs[r] = objective.value(x) / static_cast<double>(F);
+    });
+  }
+  SimRunner(params.base.jobs).run(tasks);
   double sum = 0.0;
   for (double c : result.frame_costs) sum += c;
   result.average_cost = sum / static_cast<double>(params.base.R);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "solver/lp.h"
 #include "util/check.h"
@@ -156,8 +157,15 @@ SlotAction MpcScheduler::decide(const SlotObservation& obs) {
     }
   }
 
-  LpSolution sol = solve_lp(lp);
+  // The window LP has identical structure every slot (only prices, arrivals
+  // and queue levels shift), so the previous slot's basis usually re-enters
+  // phase 2 directly; solve_lp falls back to a cold solve on its own when
+  // the shifted data breaks primal feasibility.
+  LpSolution sol = params_.warm_start && warm_basis_.valid()
+                       ? solve_lp(lp, warm_basis_)
+                       : solve_lp(lp);
   GREFAR_CHECK_MSG(sol.optimal(), "MPC window LP " << to_string(sol.status));
+  if (params_.warm_start) warm_basis_ = std::move(sol.basis);
 
   SlotAction action;
   action.route = MatrixD(N, J);

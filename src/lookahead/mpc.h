@@ -19,13 +19,18 @@
 // window W can do — the natural yardstick for GreFar, which uses *no*
 // prediction at all.
 //
-// Cost: one dense simplex solve per slot (O(W * N * J) variables); intended
-// for small instances and ablations, not the 2000-hour paper scenario.
+// Cost: one simplex solve per slot (O(W * N * J) variables). The window LP
+// has the same structure every slot with shifted data, so each solve
+// warm-starts from the previous slot's optimal basis (phase-2 re-entry;
+// automatic cold fallback when the shifted data makes the basis infeasible).
+// Intended for small instances and ablations, not the 2000-hour scenario.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
+
+#include "solver/lp.h"
 
 #include "price/price_model.h"
 #include "sim/availability.h"
@@ -42,6 +47,11 @@ struct MpcParams {
   /// Terminal penalty per unit of work still queued at the window end;
   /// <= 0 selects the automatic choice (worst in-window unit energy cost).
   double terminal_penalty = -1.0;
+  /// Re-enter the window LP from the previous slot's optimal basis. Off
+  /// reproduces a cold simplex solve every slot (A/B lever; the realized
+  /// schedule may pick a different vertex among alternate optima, but every
+  /// per-slot optimum is identical).
+  bool warm_start = true;
 };
 
 class MpcScheduler final : public Scheduler {
@@ -59,6 +69,7 @@ class MpcScheduler final : public Scheduler {
   std::shared_ptr<const AvailabilityModel> availability_;
   std::shared_ptr<const ArrivalProcess> arrivals_;
   MpcParams params_;
+  SimplexBasis warm_basis_;  // previous slot's optimal basis (empty = cold)
 };
 
 }  // namespace grefar

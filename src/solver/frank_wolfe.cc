@@ -1,5 +1,7 @@
 #include "solver/frank_wolfe.h"
 
+#include <cmath>
+
 #include "util/check.h"
 
 namespace grefar {
@@ -18,6 +20,8 @@ FrankWolfeResult minimize_frank_wolfe(const ConvexObjective& objective,
   std::vector<double> trial(n);
   std::vector<double> s(n);  // LMO vertex, reused across iterations
 
+  double f_prev = objective.value(x);
+  int stall = 0;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++result.iterations;
     objective.gradient(x, grad);
@@ -48,6 +52,20 @@ FrankWolfeResult minimize_frank_wolfe(const ConvexObjective& objective,
     // Guard against a stalled step: fall back to the classic 2/(k+2) rate.
     if (t < 1e-12) t = 2.0 / (iter + 2.0);
     for (std::size_t j = 0; j < n; ++j) x[j] += t * (s[j] - x[j]);
+
+    // Stall stop (see FrankWolfeOptions): the line search is exact, so the
+    // objective is non-increasing and a run of negligible-progress
+    // iterations means the remaining zig-zag only polishes the certificate.
+    if (options.stall_iterations > 0) {
+      double f = objective.value(x);
+      double min_progress = options.progress_tolerance * (1.0 + std::abs(f));
+      stall = f_prev - f < min_progress ? stall + 1 : 0;
+      f_prev = f;
+      if (stall >= options.stall_iterations) {
+        result.converged = true;
+        break;
+      }
+    }
   }
 
   result.objective = objective.value(x);

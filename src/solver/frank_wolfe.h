@@ -19,6 +19,16 @@ struct FrankWolfeOptions {
   int max_iterations = 500;
   double gap_tolerance = 1e-7;  // stop when the FW gap certificate is below
   int line_search_iters = 48;   // ternary-search refinements per step
+  /// Stall stop: also finish after `stall_iterations` consecutive iterations
+  /// that each improve the objective by less than
+  /// progress_tolerance * (1 + |f|). Near a face the FW gap zig-zags around
+  /// a loose plateau long after the objective has stopped moving (two-vertex
+  /// crawl with step sizes ~1e-6), so the certificate alone never fires; the
+  /// stall rule is what lets a warm-started solve (x0 near the optimum)
+  /// return in a few iterations instead of burning the whole budget.
+  /// Set stall_iterations <= 0 to disable and rely on the gap alone.
+  double progress_tolerance = 1e-11;
+  int stall_iterations = 8;
 };
 
 struct FrankWolfeResult {

@@ -241,6 +241,60 @@ TEST(PerSlotDispatch, AllSolversRun) {
   }
 }
 
+TEST(CrossSlotWarmStart, OffReproducesTheColdTrajectory) {
+  // With warm_start_across_slots off, a scratch-carrying solve must be
+  // bitwise identical to the historical scratch-free cold solve, slot by
+  // slot — the A/B lever has to be a true control.
+  auto config = test_config();
+  Rng rng(21);
+  GreFarParams p = params(2.0, 50.0);
+  p.warm_start_across_slots = false;
+
+  std::vector<SlotObservation> slots;
+  for (int t = 0; t < 5; ++t) slots.push_back(random_obs(config, rng));
+  PerSlotProblem problem(config, slots[0], p);
+  PerSlotSolverScratch scratch;
+  std::vector<double> u;
+  for (const auto& obs : slots) {
+    problem.reset(obs);
+    solve_per_slot_into(problem, PerSlotSolver::kFrankWolfe, u, &scratch);
+    auto cold = solve_per_slot_frank_wolfe(problem);
+    ASSERT_EQ(u.size(), cold.size());
+    for (std::size_t v = 0; v < u.size(); ++v) EXPECT_EQ(u[v], cold[v]);
+  }
+}
+
+TEST(CrossSlotWarmStart, OnMatchesTheColdObjective) {
+  // Warm-started slots may stop at a (very slightly) different point, but
+  // the objective must match the cold solve to solver tolerance for both
+  // iterative solvers, across a drifting observation sequence.
+  auto config = test_config();
+  Rng rng(22);
+  GreFarParams p = params(2.0, 50.0);
+  ASSERT_TRUE(p.warm_start_across_slots);  // on by default
+
+  std::vector<SlotObservation> slots;
+  for (int t = 0; t < 6; ++t) slots.push_back(random_obs(config, rng));
+  for (auto solver :
+       {PerSlotSolver::kFrankWolfe, PerSlotSolver::kProjectedGradient}) {
+    PerSlotProblem problem(config, slots[0], p);
+    PerSlotSolverScratch scratch;
+    std::vector<double> u;
+    for (std::size_t t = 0; t < slots.size(); ++t) {
+      problem.reset(slots[t]);
+      solve_per_slot_into(problem, solver, u, &scratch);
+      EXPECT_TRUE(problem.polytope().contains(u, 1e-6))
+          << to_string(solver) << " slot " << t;
+      auto cold = solve_per_slot(problem, solver);
+      // Either start can stall marginally earlier; in practice the warm one
+      // often lands *lower*. Allow the solvers' own accuracy band.
+      double scale = std::max(1.0, std::abs(problem.value(cold)));
+      EXPECT_NEAR(problem.value(u), problem.value(cold), 5e-3 * scale)
+          << to_string(solver) << " slot " << t;
+    }
+  }
+}
+
 TEST(PerSlotSolverNames, AreStable) {
   EXPECT_EQ(to_string(PerSlotSolver::kGreedy), "greedy");
   EXPECT_EQ(to_string(PerSlotSolver::kFrankWolfe), "frank-wolfe");

@@ -148,6 +148,69 @@ TEST(Mpc, StableUnderLoad) {
   EXPECT_LT(engine.metrics().total_queue_jobs.at(79), 80.0);
 }
 
+TEST(Mpc, WarmStartReentersAtTheColdOptimum) {
+  // decide() twice on the same observation: the second call re-enters phase 2
+  // at the previous optimal basis, finds no improving column, and must return
+  // exactly the action a cold scheduler computes.
+  auto c = two_dc_config();
+  auto prices = std::make_shared<TablePriceModel>(
+      std::vector<std::vector<double>>{{0.8, 0.4}, {0.2, 0.6}});
+  auto avail = std::make_shared<FullAvailability>(c.data_centers);
+  auto arr = std::make_shared<ConstantArrivals>(std::vector<std::int64_t>{5});
+
+  SlotObservation obs;
+  obs.slot = 0;
+  obs.prices = {0.8, 0.2};
+  obs.availability = Matrix<std::int64_t>(2, 1);
+  obs.availability(0, 0) = 12;
+  obs.availability(1, 0) = 12;
+  obs.central_queue = {7.0};
+  obs.dc_queue = MatrixD(2, 1);
+  obs.dc_queue(0, 0) = 3.0;
+  obs.dc_queue(1, 0) = 1.0;
+
+  MpcScheduler warm(c, prices, avail, arr, mpc_params(4));
+  auto first = warm.decide(obs);   // cold (no basis yet)
+  auto second = warm.decide(obs);  // warm re-entry at the optimum
+
+  auto cold_params = mpc_params(4);
+  cold_params.warm_start = false;
+  MpcScheduler cold(c, prices, avail, arr, cold_params);
+  auto reference = cold.decide(obs);
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(first.route(i, 0), reference.route(i, 0)) << "dc " << i;
+    EXPECT_EQ(first.process(i, 0), reference.process(i, 0)) << "dc " << i;
+    EXPECT_EQ(second.route(i, 0), reference.route(i, 0)) << "dc " << i;
+    EXPECT_EQ(second.process(i, 0), reference.process(i, 0)) << "dc " << i;
+  }
+}
+
+TEST(Mpc, WarmStartMatchesColdScheduleCost) {
+  // Rolling a full horizon: every slot's window LP *optimum* is identical
+  // warm or cold, but under exact price ties the two may execute different
+  // optimal vertices, deferring different amounts of work past the end of
+  // the run — so realized costs agree only to a few percent, not exactly.
+  auto c = two_dc_config();
+  auto prices = std::make_shared<TablePriceModel>(std::vector<std::vector<double>>{
+      {0.9, 0.8, 0.7, 0.3, 0.2, 0.3, 0.8, 0.9},
+      {0.7, 0.7, 0.5, 0.4, 0.3, 0.4, 0.6, 0.7}});
+  auto avail = std::make_shared<FullAvailability>(c.data_centers);
+  auto arr = std::make_shared<ConstantArrivals>(std::vector<std::int64_t>{6});
+
+  auto run_with = [&](bool warm_start) {
+    auto p = mpc_params(8);
+    p.warm_start = warm_start;
+    SimulationEngine engine(c, prices, avail, arr,
+                            std::make_shared<MpcScheduler>(c, prices, avail, arr, p));
+    engine.run(120);
+    return engine.metrics().final_average_energy_cost();
+  };
+  double warm = run_with(true);
+  double cold = run_with(false);
+  EXPECT_NEAR(warm, cold, 0.1 * std::max(1.0, std::abs(cold)));
+}
+
 TEST(Mpc, WindowOneIsMyopic) {
   // W = 1 cannot defer: it behaves like process-now whenever the terminal
   // penalty exceeds the current price, giving ~Always-like delay.
