@@ -27,6 +27,8 @@ int main(int argc, char** argv) {
   const auto jobs = jobs_from_cli(cli);
   const auto audit = audit_from_cli(cli);
 
+  ObsSession obs(cli);
+
   print_header("Ablation: price model vs GreFar's advantage",
                "DESIGN.md section 5 (design-choice ablation)", seed, horizon);
 
@@ -82,7 +84,7 @@ int main(int argc, char** argv) {
       scheduler = std::make_shared<AlwaysScheduler>(scenario.config);
     }
     return make_scenario_engine(scenario, std::move(scheduler), {}, audit);
-  });
+  }, &obs);
 
   SummaryTable table({"price model", "Always cost", "GreFar cost", "saving %",
                       "Always capture", "GreFar capture"});
@@ -102,5 +104,6 @@ int main(int argc, char** argv) {
                "which peak with prices) while GreFar holds capture at or below 1 —\n"
                "the temporal arbitrage. The constant-price saving that remains is\n"
                "purely spatial.\n";
+  obs.finish();
   return 0;
 }

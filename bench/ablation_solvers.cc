@@ -26,6 +26,8 @@ int main(int argc, char** argv) {
   const auto jobs = jobs_from_cli(cli);
   const auto audit = audit_from_cli(cli);
 
+  ObsSession obs(cli);
+
   print_header("Ablation: per-slot solver choice",
                "DESIGN.md section 5 (design-choice ablation)", seed, horizon);
 
@@ -47,7 +49,7 @@ int main(int argc, char** argv) {
     auto scheduler = std::make_shared<GreFarScheduler>(
         scenario.config, paper_grefar_params(V, legs[leg].beta), legs[leg].solver);
     return make_scenario_engine(scenario, std::move(scheduler), {}, audit);
-  });
+  }, &obs);
 
   std::cout << "-- beta = 0 (greedy/LP exact; FW/PGD approximate) --\n";
   SummaryTable t0({"solver", "avg energy cost", "overall delay", "ms/1000 slots"});
@@ -72,5 +74,6 @@ int main(int argc, char** argv) {
             << "\nexpected: all solvers land on (nearly) the same cost; greedy is\n"
                "several times faster than the simplex LP at identical decisions, which\n"
                "is why it is the production path for beta = 0.\n";
+  obs.finish();
   return 0;
 }

@@ -38,6 +38,8 @@ int main(int argc, char** argv) {
   const double tier_rate = cli.get_double("tier-rate");
   const auto jobs = jobs_from_cli(cli);
 
+  ObsSession obs(cli);
+
   print_header("Ablation: tiered (convex) electricity billing",
                "Ren, He, Xu (ICDCS'12), Sec. III-A2 extension", seed, horizon);
 
@@ -69,7 +71,7 @@ int main(int argc, char** argv) {
     return std::make_unique<SimulationEngine>(tariffed, scenario.prices,
                                               scenario.availability,
                                               scenario.arrivals, std::move(scheduler));
-  });
+  }, &obs);
 
   SummaryTable table({"scheduler", "avg energy cost", "overall delay", "p95 delay"});
   for (std::size_t leg = 0; leg < labels.size(); ++leg) {
@@ -81,5 +83,6 @@ int main(int argc, char** argv) {
             << "\nexpected: the tariff penalizes the deep drain bursts that plain\n"
                "GreFar uses at price troughs; the tariff-aware variant flattens its\n"
                "draw to stay inside the cheap tier and pays the least.\n";
+  obs.finish();
   return 0;
 }

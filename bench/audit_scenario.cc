@@ -39,6 +39,8 @@ int main(int argc, char** argv) {
   AuditMode audit = audit_from_cli(cli);
   if (audit != AuditMode::kThrow) audit = AuditMode::kRecord;
 
+  ObsSession obs(cli);
+
   print_header("Invariant audit: all schedulers, paper scenario",
                "correctness gate (not a paper figure)", seed, horizon);
 
@@ -85,7 +87,7 @@ int main(int argc, char** argv) {
   auto sweep = run_sweep(legs.size(), horizon, jobs, [&](std::size_t leg) {
     PaperScenario scenario = make_paper_scenario(seed);
     return make_scenario_engine(scenario, legs[leg].make(scenario), {}, audit);
-  });
+  }, &obs);
 
   SummaryTable table({"scheduler", "slots audited", "violations", "leg ms"});
   bool clean = true;
@@ -113,5 +115,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "audit clean: every slot of every scheduler satisfied all "
                "invariants\n";
+  obs.finish();
   return 0;
 }

@@ -3,7 +3,9 @@
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <utility>
 
+#include "obs/tracing_inspector.h"
 #include "parallel/sim_runner.h"
 #include "util/ascii_chart.h"
 #include "util/csv.h"
@@ -22,6 +24,64 @@ void add_common_options(CliParser& cli, const std::string& default_horizon) {
   cli.add_option("audit", "auto",
                  "per-slot invariant auditing: auto|off|throw|record "
                  "(auto = throw in Debug builds, off in Release)");
+  cli.add_option("trace", "",
+                 "write structured per-slot JSONL records to this path "
+                 "(traces leg 0 of a sweep)");
+  cli.add_flag("counters", "collect solver/engine counters; print JSON at exit");
+  cli.add_flag("profile", "collect per-phase wall times; print table at exit");
+}
+
+ObsSession::ObsSession(const CliParser& cli) {
+  const std::string trace_path = cli.get_string("trace");
+  if (!trace_path.empty()) {
+    obs::TraceSink::Options options;
+    options.path = trace_path;
+    sink_ = std::make_shared<obs::TraceSink>(std::move(options));
+  }
+  if (cli.get_flag("counters")) {
+    counters_ = std::make_unique<obs::CounterRegistry>();
+    counters_scope_.emplace(counters_.get());
+  }
+  if (cli.get_flag("profile")) {
+    profile_ = std::make_unique<obs::ProfileRegistry>();
+    profile_scope_.emplace(profile_.get());
+  }
+}
+
+ObsSession::~ObsSession() { finish(); }
+
+void ObsSession::attach_tracer(SimulationEngine& engine) const {
+  if (sink_ == nullptr) return;
+  auto tracer = std::make_shared<obs::TracingInspector>(sink_);
+  if (engine.inspector() != nullptr) {
+    // Keep the already-attached inspector (the invariant auditor) running;
+    // it sees each record before the tracer does.
+    engine.set_inspector(std::make_shared<obs::TeeInspector>(
+        std::vector<std::shared_ptr<SlotInspector>>{engine.shared_inspector(),
+                                                    std::move(tracer)}));
+  } else {
+    engine.set_inspector(std::move(tracer));
+  }
+}
+
+void ObsSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+  // Deactivate before printing so the reports never observe themselves.
+  counters_scope_.reset();
+  profile_scope_.reset();
+  if (counters_ != nullptr) {
+    std::cout << "\n-- counters (--counters) --\n"
+              << counters_->dump().dump(2) << "\n";
+  }
+  if (profile_ != nullptr) {
+    std::cout << "\n-- profile (--profile) --\n" << profile_->summary_table();
+  }
+  if (sink_ != nullptr) {
+    sink_->flush();
+    std::cout << "\ntrace: wrote " << sink_->records_written()
+              << " slot records to " << sink_->path() << "\n";
+  }
 }
 
 std::size_t jobs_from_cli(const CliParser& cli) {
@@ -43,16 +103,18 @@ AuditMode audit_from_cli(const CliParser& cli) {
 
 SweepResult run_sweep(
     std::size_t count, std::int64_t horizon, std::size_t jobs,
-    const std::function<std::unique_ptr<SimulationEngine>(std::size_t)>& make_engine) {
+    const std::function<std::unique_ptr<SimulationEngine>(std::size_t)>& make_engine,
+    const ObsSession* obs) {
   SweepResult result;
   result.engines.resize(count);
   result.leg_ms.resize(count, 0.0);
   std::vector<std::function<void()>> tasks;
   tasks.reserve(count);
   for (std::size_t leg = 0; leg < count; ++leg) {
-    tasks.push_back([&result, &make_engine, horizon, leg] {
+    tasks.push_back([&result, &make_engine, obs, horizon, leg] {
       auto start = std::chrono::steady_clock::now();
       result.engines[leg] = make_engine(leg);
+      if (leg == 0 && obs != nullptr) obs->attach_tracer(*result.engines[leg]);
       result.engines[leg]->run(horizon);
       result.leg_ms[leg] = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - start)

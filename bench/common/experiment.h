@@ -9,9 +9,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/counters.h"
+#include "obs/profile.h"
+#include "obs/trace_sink.h"
 #include "scenario/paper_scenario.h"
 #include "sim/engine.h"
 #include "stats/time_series.h"
@@ -20,8 +24,58 @@
 namespace grefar::bench {
 
 /// Registers the options shared by all experiment binaries (including
-/// --jobs for the sweep binaries; see run_sweep).
+/// --jobs for the sweep binaries; see run_sweep, and the observability
+/// flags --trace/--counters/--profile; see ObsSession).
 void add_common_options(CliParser& cli, const std::string& default_horizon = "2000");
+
+/// One binary's observability session, driven by the common flags:
+///
+///   --trace=<path>  write one JSONL slot record per simulated slot (the
+///                   tracer attaches to leg 0 of a sweep / the reference
+///                   engine of a comparison run),
+///   --counters      collect solver/engine counters and print them as a
+///                   JSON block at exit,
+///   --profile       collect per-phase wall times and print the breakdown
+///                   table at exit.
+///
+/// Constructing the session installs the counter/profile registries on the
+/// calling thread (the parallel runner forwards them to worker threads and
+/// merges at join, so counter totals are identical at any --jobs value).
+/// With none of the flags given every member stays null and the run is
+/// untouched. finish() prints the requested reports; the destructor calls
+/// it as a fallback.
+class ObsSession {
+ public:
+  explicit ObsSession(const CliParser& cli);
+  ~ObsSession();
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  bool tracing() const { return sink_ != nullptr; }
+  bool counting() const { return counters_ != nullptr; }
+  bool profiling() const { return profile_ != nullptr; }
+  bool any() const { return tracing() || counting() || profiling(); }
+
+  /// Attaches a TracingInspector to `engine`, tee-ing with any inspector
+  /// already attached (the invariant auditor). No-op when --trace is off.
+  void attach_tracer(SimulationEngine& engine) const;
+
+  /// Prints the --counters JSON block and the --profile table, flushes and
+  /// reports the trace file. Idempotent; deactivates the registries first
+  /// so the reporting itself is never measured.
+  void finish();
+
+  const obs::CounterRegistry* counters() const { return counters_.get(); }
+  const obs::TraceSink* sink() const { return sink_.get(); }
+
+ private:
+  std::shared_ptr<obs::TraceSink> sink_;
+  std::unique_ptr<obs::CounterRegistry> counters_;
+  std::unique_ptr<obs::ProfileRegistry> profile_;
+  std::optional<obs::CountersScope> counters_scope_;
+  std::optional<obs::ProfileScope> profile_scope_;
+  bool finished_ = false;
+};
 
 /// Parses --jobs: 0 (the default) means all hardware threads, 1 forces the
 /// serial path, N caps the worker count at N.
@@ -52,9 +106,14 @@ struct SweepResult {
 /// costs microseconds, and it makes the sweep output independent of the
 /// worker count: results land in per-leg slots and are aggregated in leg
 /// order after every leg finished.
+///
+/// When `obs` is given and tracing is on, leg 0 gets the TracingInspector
+/// attached before it runs (one traced reference leg keeps trace files a
+/// bounded size regardless of sweep width).
 SweepResult run_sweep(
     std::size_t count, std::int64_t horizon, std::size_t jobs,
-    const std::function<std::unique_ptr<SimulationEngine>(std::size_t)>& make_engine);
+    const std::function<std::unique_ptr<SimulationEngine>(std::size_t)>& make_engine,
+    const ObsSession* obs = nullptr);
 
 /// Parses argv; exits the process on --help (status 0) or bad flags (1).
 void parse_or_exit(CliParser& cli, int argc, char** argv);

@@ -6,8 +6,10 @@
 // showing the diurnal, bursty, non-stationary pattern of the Cosmos-like
 // generator (work roughly in the paper's 0-100 range).
 #include <iostream>
+#include <memory>
 
 #include "common/experiment.h"
+#include "core/grefar.h"
 #include "util/strings.h"
 
 int main(int argc, char** argv) {
@@ -21,6 +23,9 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const auto csv_dir = cli.get_string("csv-dir");
   const auto svg_dir = cli.get_string("svg-dir");
+  const auto audit = audit_from_cli(cli);
+
+  ObsSession obs(cli);
 
   print_header("Fig. 1: three-day trace", "Ren, He, Xu (ICDCS'12), Fig. 1", seed,
                horizon);
@@ -66,5 +71,21 @@ int main(int argc, char** argv) {
   maybe_write_svg(svg_dir, "fig1_prices", "Electricity price", "price", prices, horizon);
   maybe_write_svg(svg_dir, "fig1_work", "Total work of arrived jobs", "work", work,
                   horizon);
+
+  // Fig. 1 itself only samples the input models; with any observability flag
+  // set, additionally run the paper's GreFar reference configuration over the
+  // same horizon so --trace/--counters/--profile have a simulation to watch.
+  if (obs.any()) {
+    std::cout << "\nrunning traced GreFar reference simulation (" << horizon
+              << " slots)...\n";
+    auto engine = make_scenario_engine(
+        scenario,
+        std::make_shared<GreFarScheduler>(scenario.config,
+                                          paper_grefar_params(7.5, 0.0)),
+        {}, audit);
+    obs.attach_tracer(*engine);
+    engine->run(horizon);
+  }
+  obs.finish();
   return 0;
 }

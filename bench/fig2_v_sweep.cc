@@ -30,6 +30,8 @@ int main(int argc, char** argv) {
   const auto jobs = jobs_from_cli(cli);
   const auto audit = audit_from_cli(cli);
 
+  ObsSession obs(cli);
+
   print_header("Fig. 2: energy cost and delay vs V (beta = 0)",
                "Ren, He, Xu (ICDCS'12), Fig. 2(a)-(c)", seed, horizon);
 
@@ -39,7 +41,7 @@ int main(int argc, char** argv) {
     auto scheduler = std::make_shared<GreFarScheduler>(
         scenario.config, paper_grefar_params(v_values[leg], 0.0));
     return make_scenario_engine(scenario, std::move(scheduler), {}, audit);
-  });
+  }, &obs);
 
   std::vector<TimeSeries> energy, delay_dc1, delay_dc2, delay_dc3;
   SummaryTable summary({"V", "avg energy cost", "avg delay DC1", "avg delay DC2",
@@ -78,5 +80,6 @@ int main(int argc, char** argv) {
                   delay_dc1, horizon);
   maybe_write_svg(svg_dir, "fig2c_delay_dc2", "(c) Average delay in DC #2", "slots",
                   delay_dc2, horizon);
+  obs.finish();
   return 0;
 }

@@ -33,6 +33,8 @@ int main(int argc, char** argv) {
   const auto jobs = jobs_from_cli(cli);
   const auto audit = audit_from_cli(cli);
 
+  ObsSession obs(cli);
+
   print_header("Fig. 3: impact of the energy-fairness parameter beta",
                "Ren, He, Xu (ICDCS'12), Fig. 3(a)-(c)", seed, horizon);
 
@@ -42,7 +44,7 @@ int main(int argc, char** argv) {
     auto scheduler = std::make_shared<GreFarScheduler>(
         scenario.config, paper_grefar_params(V, betas[leg]));
     return make_scenario_engine(scenario, std::move(scheduler), {}, audit);
-  });
+  }, &obs);
 
   std::vector<TimeSeries> energy, fairness, delay_dc1;
   SummaryTable summary(
@@ -80,5 +82,6 @@ int main(int argc, char** argv) {
                   fairness, horizon);
   maybe_write_svg(svg_dir, "fig3c_delay_dc1", "(c) Average delay in DC #1", "slots",
                   delay_dc1, horizon);
+  obs.finish();
   return 0;
 }

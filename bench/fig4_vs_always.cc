@@ -32,6 +32,8 @@ int main(int argc, char** argv) {
   const auto jobs = jobs_from_cli(cli);
   const auto audit = audit_from_cli(cli);
 
+  ObsSession obs(cli);
+
   print_header("Fig. 4: GreFar versus Always",
                "Ren, He, Xu (ICDCS'12), Fig. 4(a)-(c)", seed, horizon);
 
@@ -46,7 +48,7 @@ int main(int argc, char** argv) {
       scheduler = std::make_shared<AlwaysScheduler>(scenario.config);
     }
     return make_scenario_engine(scenario, std::move(scheduler), {}, audit);
-  });
+  }, &obs);
 
   std::vector<TimeSeries> energy, fairness, delay_dc1;
   SummaryTable summary({"scheduler", "avg energy cost", "avg fairness",
@@ -83,5 +85,6 @@ int main(int argc, char** argv) {
                   fairness, horizon);
   maybe_write_svg(svg_dir, "fig4c_delay_dc1", "(c) Average delay in DC #1", "slots",
                   delay_dc1, horizon);
+  obs.finish();
   return 0;
 }

@@ -33,6 +33,8 @@ int main(int argc, char** argv) {
   const auto window = cli.get_int("window");
   const auto audit = audit_from_cli(cli);
 
+  ObsSession obs(cli);
+
   print_header("Fig. 5: scheduled work vs price (one-day snapshot, DC #1)",
                "Ren, He, Xu (ICDCS'12), Fig. 5", seed, horizon);
 
@@ -42,10 +44,12 @@ int main(int argc, char** argv) {
   const double V_strong = 20.0;
   PaperScenario scenario = make_paper_scenario(seed);
   const auto run_slots = std::min<std::int64_t>(horizon, start + window);
-  auto grefar = run_scenario(
+  auto grefar = make_scenario_engine(
       scenario,
       std::make_shared<GreFarScheduler>(scenario.config, paper_grefar_params(V, 0.0)),
-      run_slots, {}, audit);
+      {}, audit);
+  obs.attach_tracer(*grefar);  // reference run carries the --trace records
+  grefar->run(run_slots);
   auto grefar_strong = run_scenario(
       scenario,
       std::make_shared<GreFarScheduler>(scenario.config,
@@ -94,5 +98,6 @@ int main(int argc, char** argv) {
   maybe_write_svg(svg_dir, "fig5_price", "Price in DC #1", "price", {price}, window);
   maybe_write_svg(svg_dir, "fig5_work", "Work processed in DC #1", "work",
                   {g_work, gs_work, a_work}, window);
+  obs.finish();
   return 0;
 }

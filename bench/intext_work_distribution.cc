@@ -28,14 +28,18 @@ int main(int argc, char** argv) {
   const double beta = cli.get_double("beta");
   const auto audit = audit_from_cli(cli);
 
+  ObsSession obs(cli);
+
   print_header("In-text: average work per slot per data center",
                "Ren, He, Xu (ICDCS'12), Sec. VI-B1", seed, horizon);
 
   PaperScenario scenario = make_paper_scenario(seed);
-  auto grefar = run_scenario(
+  auto grefar = make_scenario_engine(
       scenario,
       std::make_shared<GreFarScheduler>(scenario.config, paper_grefar_params(V, beta)),
-      horizon, {}, audit);
+      {}, audit);
+  obs.attach_tracer(*grefar);  // reference run carries the --trace records
+  grefar->run(horizon);
   auto always = run_scenario(scenario, std::make_shared<AlwaysScheduler>(scenario.config),
                              horizon, {}, audit);
 
@@ -56,5 +60,6 @@ int main(int argc, char** argv) {
   std::cout << table.render()
             << "\npaper shape: GreFar's ordering is DC2 > DC1 > DC3 — work flows to\n"
                "the lowest energy cost per unit work; Always ignores cost.\n";
+  obs.finish();
   return 0;
 }

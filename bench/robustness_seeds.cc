@@ -32,6 +32,8 @@ int main(int argc, char** argv) {
   const auto jobs = jobs_from_cli(cli);
   const auto audit = audit_from_cli(cli);
 
+  ObsSession obs(cli);
+
   print_header("Robustness: GreFar vs Always across seeds",
                "Ren, He, Xu (ICDCS'12), Fig. 4 (multi-seed)", base_seed, horizon);
 
@@ -48,7 +50,7 @@ int main(int argc, char** argv) {
       scheduler = std::make_shared<AlwaysScheduler>(scenario.config);
     }
     return make_scenario_engine(scenario, std::move(scheduler), {}, audit);
-  });
+  }, &obs);
 
   RunningStats saving_pct, grefar_cost, always_cost, grefar_delay, always_delay,
       fairness_delta;
@@ -82,5 +84,6 @@ int main(int argc, char** argv) {
             << num_seeds << " seeds.\n"
             << "expected: the energy saving is large relative to its spread and\n"
                "GreFar wins in every seed; Always' delay is ~1 in all of them.\n";
+  obs.finish();
   return 0;
 }

@@ -45,6 +45,8 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const auto jobs = jobs_from_cli(cli);
 
+  ObsSession obs(cli);
+
   print_header("Scheduler landscape (2-DC periodic-price instance)",
                "synthesis bench (not a paper figure)", seed, horizon);
 
@@ -98,7 +100,7 @@ int main(int argc, char** argv) {
     }
     return std::make_unique<SimulationEngine>(inst.config, inst.prices, inst.avail,
                                               inst.arrivals, std::move(scheduler));
-  });
+  }, &obs);
 
   SummaryTable table({"scheduler", "avg energy cost", "avg delay", "p95 delay"});
   for (const auto& engine : sweep.engines) {
@@ -126,5 +128,6 @@ int main(int argc, char** argv) {
                "periodic instance but offers no adaptivity or guarantees when\n"
                "prices/arrivals are non-stationary (the paper's setting);\n"
                "myopic price-blind policies pay 1.6-2x more.\n";
+  obs.finish();
   return 0;
 }

@@ -21,6 +21,8 @@ int main(int argc, char** argv) {
   const auto horizon = cli.get_int("horizon");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
+  ObsSession obs(cli);
+
   print_header("Table I: server configuration and electricity price",
                "Ren, He, Xu (ICDCS'12), Table I", seed, horizon);
 
@@ -43,5 +45,6 @@ int main(int argc, char** argv) {
             << "\nDC #2 is the cheapest per unit work (efficient servers offset a\n"
                "higher price); DC #3 is the most expensive — the ordering GreFar's\n"
                "spatial scheduling exploits.\n";
+  obs.finish();
   return 0;
 }

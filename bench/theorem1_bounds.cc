@@ -51,6 +51,8 @@ int main(int argc, char** argv) {
   const auto T = cli.get_int("T");
   const auto jobs = jobs_from_cli(cli);
 
+  ObsSession obs(cli);
+
   print_header("Theorem 1: queue bound O(V), optimality gap O(1/V)",
                "Ren, He, Xu (ICDCS'12), Theorem 1", seed, horizon);
 
@@ -139,5 +141,6 @@ int main(int argc, char** argv) {
   std::cout << fair_table.render()
             << "\nsame story with fairness in the objective: the gap shrinks as V\n"
                "grows while queues grow at most linearly.\n";
+  obs.finish();
   return 0;
 }

@@ -1,0 +1,219 @@
+// trace_inspect — offline reader for --trace JSONL slot records.
+//
+// Any bench binary run with --trace=<path> drops one JSON object per
+// simulated slot (see obs/tracing_inspector.cc for the schema). This tool
+// re-reads such a file and answers the questions the raw JSONL makes
+// awkward: how was work shared between accounts, where did jobs actually
+// get routed (DC x job-type heatmap), and how did the queues evolve.
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/experiment.h"
+#include "stats/summary_table.h"
+#include "util/ascii_chart.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace {
+
+using grefar::JsonValue;
+
+// Adds `value`'s numeric array field `key` element-wise into `into`,
+// growing it as needed. Missing or non-array fields are ignored.
+void accumulate_array(const JsonValue& value, const std::string& key,
+                      std::vector<double>& into) {
+  const JsonValue* field = value.find(key);
+  if (field == nullptr || !field->is_array()) return;
+  const auto& arr = field->as_array();
+  if (into.size() < arr.size()) into.resize(arr.size(), 0.0);
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    if (arr[i].is_number()) into[i] += arr[i].as_number();
+  }
+}
+
+// Adds the matrix field `key` (array of numeric rows) into `into`.
+void accumulate_matrix(const JsonValue& value, const std::string& key,
+                       std::vector<std::vector<double>>& into) {
+  const JsonValue* field = value.find(key);
+  if (field == nullptr || !field->is_array()) return;
+  const auto& rows = field->as_array();
+  if (into.size() < rows.size()) into.resize(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (!rows[i].is_array()) continue;
+    const auto& row = rows[i].as_array();
+    if (into[i].size() < row.size()) into[i].resize(row.size(), 0.0);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (row[j].is_number()) into[i][j] += row[j].as_number();
+    }
+  }
+}
+
+double sum_of(const JsonValue& value, const std::string& key) {
+  double total = 0.0;
+  const JsonValue* field = value.find(key);
+  if (field == nullptr || !field->is_array()) return total;
+  for (const auto& v : field->as_array()) {
+    if (v.is_number()) total += v.as_number();
+  }
+  return total;
+}
+
+// One intensity glyph per cell, darkest = row maximum.
+char heat_glyph(double value, double max_value) {
+  static const char kRamp[] = " .:-=+*#%@";
+  if (max_value <= 0.0 || value <= 0.0) return kRamp[0];
+  auto idx = static_cast<std::size_t>(value / max_value * 9.0 + 0.5);
+  return kRamp[idx > 9 ? 9 : idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace grefar;
+  using namespace grefar::bench;
+
+  CliParser cli("trace_inspect",
+                "inspect a --trace JSONL file: account work shares, routing "
+                "heatmap, queue evolution");
+  cli.add_option("trace", "", "JSONL trace file written by a bench --trace run");
+  cli.add_option("chart-width", "72", "ASCII chart width in columns");
+  parse_or_exit(cli, argc, argv);
+  const std::string path = cli.get_string("trace");
+  if (path.empty()) {
+    std::cerr << "error: --trace=<path> is required\n\n" << cli.usage();
+    return 1;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open " << path << "\n";
+    return 1;
+  }
+
+  std::vector<double> account_work;          // summed over slots
+  std::vector<double> dc_energy;             // summed over slots
+  std::vector<std::vector<double>> routed;   // [dc][job type], summed
+  TimeSeries central_total("central queue (jobs)");
+  TimeSeries routed_total("jobs routed/slot");
+  double fairness_sum = 0.0;
+  std::int64_t first_slot = -1, last_slot = -1, records = 0, bad_lines = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto parsed = parse_json(line);
+    if (!parsed.ok() || !parsed.value().is_object()) {
+      ++bad_lines;
+      continue;
+    }
+    const JsonValue& rec = parsed.value();
+    ++records;
+    const std::int64_t slot =
+        static_cast<std::int64_t>(rec.number_or("slot", -1.0));
+    if (first_slot < 0) first_slot = slot;
+    last_slot = slot;
+    accumulate_array(rec, "account_work", account_work);
+    accumulate_array(rec, "dc_energy_cost", dc_energy);
+    accumulate_matrix(rec, "routed", routed);
+    central_total.add(sum_of(rec, "central_queue"));
+    double routed_this_slot = 0.0;
+    if (const JsonValue* m = rec.find("routed"); m != nullptr && m->is_array()) {
+      for (const auto& row : m->as_array()) {
+        if (!row.is_array()) continue;
+        for (const auto& v : row.as_array()) {
+          if (v.is_number()) routed_this_slot += v.as_number();
+        }
+      }
+    }
+    routed_total.add(routed_this_slot);
+    if (const JsonValue* f = rec.find("fairness"); f != nullptr && f->is_number()) {
+      fairness_sum += f->as_number();
+    }
+  }
+  if (records == 0) {
+    std::cerr << "error: no trace records in " << path
+              << (bad_lines > 0 ? " (all lines failed to parse)" : "") << "\n";
+    return 1;
+  }
+
+  std::cout << "== trace_inspect ==\n"
+            << path << ": " << records << " slot records (slots " << first_slot
+            << ".." << last_slot << ")";
+  if (bad_lines > 0) std::cout << ", " << bad_lines << " unparseable lines skipped";
+  std::cout << "\nmean fairness: "
+            << format_fixed(fairness_sum / static_cast<double>(records), 4) << "\n\n";
+
+  // -- per-account work shares ------------------------------------------------
+  double total_work = 0.0;
+  for (double w : account_work) total_work += w;
+  SummaryTable shares({"account", "total work", "share %", "work/slot"});
+  for (std::size_t m = 0; m < account_work.size(); ++m) {
+    shares.add_row("account #" + std::to_string(m + 1),
+                   {account_work[m],
+                    total_work > 0.0 ? 100.0 * account_work[m] / total_work : 0.0,
+                    account_work[m] / static_cast<double>(records)});
+  }
+  std::cout << "-- account work shares --\n" << shares.render() << "\n";
+
+  // -- routing heatmap (DC x job type) ---------------------------------------
+  if (!routed.empty()) {
+    double max_cell = 0.0;
+    std::size_t num_types = 0;
+    for (const auto& row : routed) {
+      num_types = std::max(num_types, row.size());
+      for (double v : row) max_cell = std::max(max_cell, v);
+    }
+    std::vector<std::string> headers = {"DC \\ job type"};
+    for (std::size_t j = 0; j < num_types; ++j) {
+      // Built in two steps: GCC 12's -Wrestrict misfires on `"j" + temporary`.
+      std::string header = "j";
+      header += std::to_string(j + 1);
+      headers.push_back(std::move(header));
+    }
+    headers.emplace_back("total");
+    SummaryTable heat(headers);
+    std::cout << "-- routing heatmap: jobs routed per (DC, job type) --\n";
+    for (std::size_t i = 0; i < routed.size(); ++i) {
+      std::vector<double> cells(routed[i]);
+      cells.resize(num_types, 0.0);
+      double row_total = 0.0;
+      for (double v : cells) row_total += v;
+      cells.push_back(row_total);
+      std::string glyphs;
+      for (std::size_t j = 0; j < num_types; ++j) {
+        glyphs += heat_glyph(cells[j], max_cell);
+      }
+      heat.add_row("DC #" + std::to_string(i + 1), cells, 0);
+      std::cout << "  DC #" << (i + 1) << "  [" << glyphs << "]\n";
+    }
+    std::cout << heat.render() << "\n";
+  } else {
+    std::cout << "-- routing heatmap unavailable: trace has no 'routed' "
+                 "matrices --\n\n";
+  }
+
+  // -- queue / routing evolution ---------------------------------------------
+  const int width = static_cast<int>(cli.get_int("chart-width"));
+  AsciiChart chart(width, 14);
+  chart.set_title("Trace evolution");
+  chart.set_y_label("jobs");
+  chart.set_x_label("record");
+  chart.set_x_range(static_cast<double>(first_slot), static_cast<double>(last_slot));
+  chart.add_series({central_total.name(), central_total.values()});
+  chart.add_series({routed_total.name(), routed_total.values()});
+  std::cout << chart.render() << "\n";
+
+  // -- per-DC billed energy ---------------------------------------------------
+  if (!dc_energy.empty()) {
+    SummaryTable energy({"DC", "total billed cost", "cost/slot"});
+    for (std::size_t i = 0; i < dc_energy.size(); ++i) {
+      energy.add_row("DC #" + std::to_string(i + 1),
+                     {dc_energy[i], dc_energy[i] / static_cast<double>(records)});
+    }
+    std::cout << "-- billed energy --\n" << energy.render();
+  }
+  return 0;
+}

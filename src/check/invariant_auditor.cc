@@ -184,6 +184,13 @@ void InvariantAuditor::inspect(const SlotRecord& record) {
         add(InvariantKind::kRoutingBound, t, i, j, r, std::round(action.route(i, j)),
             "engine moved more jobs than the scheduler asked for");
       }
+      // Integer-routing contract (sim/scheduler.h): the ask itself must be
+      // integral up to float noise, independent of the auditor's tolerance.
+      const double ask = action.route(i, j);
+      if (std::isfinite(ask) && std::abs(ask - std::round(ask)) > 1e-6) {
+        add(InvariantKind::kSchedulerContract, t, i, j, ask, std::round(ask),
+            "routing ask is fractional (integer-routing contract)");
+      }
     }
     if (!leq(moved, central)) {
       add(InvariantKind::kRoutingBound, t, kNone, j, moved, central,

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
+#include "obs/trace_scope.h"
 #include "util/check.h"
 #include "util/strings.h"
 
@@ -37,6 +39,11 @@ SlotAction GreFarScheduler::decide(const SlotObservation& obs) {
 }
 
 void GreFarScheduler::decide_into(const SlotObservation& obs, SlotAction& action) {
+  decide_into(obs, action, nullptr);
+}
+
+void GreFarScheduler::decide_into(const SlotObservation& obs, SlotAction& action,
+                                  TraceScope* scope) {
   const std::size_t N = config_.num_data_centers();
   const std::size_t J = config_.num_job_types();
   GREFAR_CHECK(obs.prices.size() == N);
@@ -68,7 +75,15 @@ void GreFarScheduler::decide_into(const SlotObservation& obs, SlotAction& action
     std::vector<std::size_t>& beneficial = beneficial_;
     beneficial.clear();
     for (DataCenterId i : config_.job_types[j].eligible_dcs) {
-      if (obs.dc_queue(i, j) < Q) beneficial.push_back(i);
+      const bool negative_weight = obs.dc_queue(i, j) < Q;
+      if (scope != nullptr) {
+        if (negative_weight) {
+          ++scope->drift_weights_negative;
+        } else {
+          ++scope->drift_weights_nonnegative;
+        }
+      }
+      if (negative_weight) beneficial.push_back(i);
     }
     if (beneficial.empty()) continue;
     std::sort(beneficial.begin(), beneficial.end(), [&](std::size_t a, std::size_t b) {
@@ -80,6 +95,10 @@ void GreFarScheduler::decide_into(const SlotObservation& obs, SlotAction& action
       // optimal for the linear routing term of eq. (14); split the batch
       // across the tie group proportionally to capacity, so the policy
       // degrades gracefully to Always-style load spreading as V -> 0.
+      // Members with no capacity this slot are excluded from the split: a
+      // dead DC can only bank jobs it cannot serve, so its share goes to a
+      // worse-queue group instead (or stays central when every beneficial
+      // DC is dead).
       double available = std::floor(Q);
       std::size_t g = 0;
       while (g < beneficial.size() && available > 0.0) {
@@ -89,18 +108,22 @@ void GreFarScheduler::decide_into(const SlotObservation& obs, SlotAction& action
                    obs.dc_queue(beneficial[g], j) + 1e-9) {
           ++g_end;
         }
-        // Capacity weights of the tie group.
-        double total_cap = 0.0;
-        for (std::size_t s = g; s < g_end; ++s) total_cap += dc_capacity_[beneficial[s]];
-        double group_jobs = available;
-        for (std::size_t s = g; s < g_end && available > 0.0; ++s) {
-          double share =
-              total_cap > 0.0
-                  ? std::ceil(group_jobs * dc_capacity_[beneficial[s]] / total_cap)
-                  : group_jobs;
-          double r = std::floor(std::min({params_.r_max, share, available}));
-          action.route(beneficial[s], j) = r;
-          available -= r;
+        tie_members_.clear();
+        for (std::size_t s = g; s < g_end; ++s) {
+          if (dc_capacity_[beneficial[s]] > 0.0) tie_members_.push_back(beneficial[s]);
+        }
+        double assigned = 0.0;
+        if (!tie_members_.empty()) {
+          assigned = split_tie_group(j, available, action);
+          available -= assigned;
+        }
+        if (scope != nullptr) {
+          TraceScope::TieSplit split;
+          split.job_type = j;
+          split.group_size = g_end - g;
+          split.jobs = assigned;
+          split.zero_capacity_skipped = (g_end - g) - tie_members_.size();
+          scope->tie_splits.push_back(split);
         }
         g = g_end;
       }
@@ -139,6 +162,95 @@ void GreFarScheduler::decide_into(const SlotObservation& obs, SlotAction& action
       action.process(i, j) = std::min(h, params_.h_max);
     }
   }
+}
+
+double GreFarScheduler::split_tie_group(std::size_t j, double jobs,
+                                        SlotAction& action) {
+  // Largest-remainder apportionment, capacity-weighted. Exactly conserving
+  // (the return value equals min(jobs, m * floor(r_max))) and independent of
+  // the member ordering: quotas depend only on capacities, and remainder
+  // ties break by DC index.
+  const double cap_r = std::floor(params_.r_max);
+  const std::size_t m = tie_members_.size();
+  if (cap_r <= 0.0) return 0.0;
+  jobs = std::min(jobs, cap_r * static_cast<double>(m));
+  if (jobs <= 0.0) return 0.0;
+  if (m == 1) {
+    // Singleton group: the whole (capped) batch goes to the one member; the
+    // apportionment machinery below would grind through quota rounds and a
+    // sort to conclude the same.
+    action.route(tie_members_[0], j) = jobs;
+    return jobs;
+  }
+
+  // Proportional quotas with per-member cap: members whose quota reaches
+  // floor(r_max) are pinned there and the rest re-split among the remaining
+  // capacity. Each round pins at least one member, so this runs at most m
+  // rounds; `remaining` stays an exact integer throughout.
+  tie_quota_.assign(m, 0.0);
+  tie_pinned_.assign(m, 0);
+  double remaining = jobs;
+  bool changed = true;
+  while (changed && remaining > 0.0) {
+    changed = false;
+    double free_cap = 0.0;
+    for (std::size_t s = 0; s < m; ++s) {
+      if (!tie_pinned_[s]) free_cap += dc_capacity_[tie_members_[s]];
+    }
+    if (free_cap <= 0.0) break;
+    for (std::size_t s = 0; s < m; ++s) {
+      if (tie_pinned_[s]) continue;
+      tie_quota_[s] = remaining * dc_capacity_[tie_members_[s]] / free_cap;
+    }
+    for (std::size_t s = 0; s < m; ++s) {
+      if (!tie_pinned_[s] && tie_quota_[s] >= cap_r) {
+        tie_quota_[s] = cap_r;
+        tie_pinned_[s] = 1;
+        remaining -= cap_r;
+        changed = true;
+      }
+    }
+  }
+
+  double base_total = 0.0;
+  tie_base_.resize(m);
+  for (std::size_t s = 0; s < m; ++s) {
+    tie_base_[s] = std::floor(tie_quota_[s]);
+    base_total += tie_base_[s];
+  }
+  auto leftover = static_cast<std::int64_t>(std::llround(jobs - base_total));
+
+  // Hand the leftover jobs out one each by descending fractional remainder;
+  // remainder ties (and the float-noise backstop below) go to the lowest DC
+  // index first.
+  tie_rank_.resize(m);
+  std::iota(tie_rank_.begin(), tie_rank_.end(), std::size_t{0});
+  std::sort(tie_rank_.begin(), tie_rank_.end(), [&](std::size_t a, std::size_t b) {
+    const double ra = tie_quota_[a] - tie_base_[a];
+    const double rb = tie_quota_[b] - tie_base_[b];
+    if (ra != rb) return ra > rb;
+    return tie_members_[a] < tie_members_[b];
+  });
+  for (std::size_t r = 0; r < m && leftover > 0; ++r) {
+    const std::size_t s = tie_rank_[r];
+    if (tie_base_[s] < cap_r) {
+      tie_base_[s] += 1.0;
+      --leftover;
+    }
+  }
+  for (std::size_t s = 0; s < m && leftover > 0; ++s) {
+    if (tie_base_[s] < cap_r) {
+      tie_base_[s] += 1.0;
+      --leftover;
+    }
+  }
+
+  double assigned = 0.0;
+  for (std::size_t s = 0; s < m; ++s) {
+    action.route(tie_members_[s], j) = tie_base_[s];
+    assigned += tie_base_[s];
+  }
+  return assigned;
 }
 
 }  // namespace grefar

@@ -40,12 +40,21 @@ class GreFarScheduler final : public Scheduler {
   /// convex problem, solver scratch, routing work lists, action matrices)
   /// is reused in place, so steady-state decisions are allocation-free.
   void decide_into(const SlotObservation& obs, SlotAction& out) override;
+  /// Traced variant: annotates `scope` (when non-null) with the slot's
+  /// routing tie-group splits and the drift-weight sign census.
+  void decide_into(const SlotObservation& obs, SlotAction& out,
+                   TraceScope* scope) override;
   std::string name() const override;
 
   const GreFarParams& params() const { return params_; }
   PerSlotSolver solver() const { return solver_; }
 
  private:
+  /// Splits `jobs` whole jobs across tie_members_ (capacity-weighted
+  /// largest-remainder apportionment, each member capped at floor(r_max)),
+  /// writing action.route(member, j). Returns the total actually assigned.
+  double split_tie_group(std::size_t j, double jobs, SlotAction& action);
+
   ClusterConfig config_;
   GreFarParams params_;
   PerSlotSolver solver_;
@@ -58,6 +67,11 @@ class GreFarScheduler final : public Scheduler {
   std::vector<double> u_;                // per-slot solver result (work units)
   std::vector<double> dc_capacity_;      // sum_k n_{i,k} s_k, per DC per slot
   std::vector<std::size_t> beneficial_;  // routing candidates for one job type
+  std::vector<std::size_t> tie_members_; // one tie group's capacity>0 members
+  std::vector<double> tie_quota_;        // proportional quota per member
+  std::vector<double> tie_base_;         // integer part of the quota
+  std::vector<unsigned char> tie_pinned_;  // member pinned at r_max
+  std::vector<std::size_t> tie_rank_;    // remainder ranking scratch
 };
 
 }  // namespace grefar

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/counters.h"
 #include "util/check.h"
 
 namespace grefar {
@@ -88,8 +89,10 @@ void prepare_iterative_warm_start(const PerSlotProblem& problem,
   if (problem.params().warm_start_across_slots && scratch != nullptr &&
       scratch->prev.size() == problem.num_vars()) {
     warm = scratch->prev;
+    obs::count("per_slot.cross_slot_warm_starts");
     return;
   }
+  obs::count("per_slot.greedy_starts");
   solve_per_slot_greedy_into(problem, warm, scratch);
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/counters.h"
 #include "solver/lp.h"
 #include "util/check.h"
 #include "util/strings.h"
@@ -161,9 +162,9 @@ SlotAction MpcScheduler::decide(const SlotObservation& obs) {
   // and queue levels shift), so the previous slot's basis usually re-enters
   // phase 2 directly; solve_lp falls back to a cold solve on its own when
   // the shifted data breaks primal feasibility.
-  LpSolution sol = params_.warm_start && warm_basis_.valid()
-                       ? solve_lp(lp, warm_basis_)
-                       : solve_lp(lp);
+  const bool warm = params_.warm_start && warm_basis_.valid();
+  obs::count(warm ? "mpc.warm_solves" : "mpc.cold_solves");
+  LpSolution sol = warm ? solve_lp(lp, warm_basis_) : solve_lp(lp);
   GREFAR_CHECK_MSG(sol.optimal(), "MPC window LP " << to_string(sol.status));
   if (params_.warm_start) warm_basis_ = std::move(sol.basis);
 

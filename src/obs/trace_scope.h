@@ -1,0 +1,42 @@
+// TraceScope: scheduler-internal annotations for the slot trace.
+//
+// The engine clears one TraceScope per slot and passes it to
+// Scheduler::decide_into whenever a SlotInspector is attached (nullptr
+// otherwise, so an untraced run pays nothing). Schedulers that have
+// interesting internal structure — GreFar's routing tie-break is the
+// canonical case — append annotations describing *why* the action looks the
+// way it does; the TracingInspector serializes them alongside the record.
+// Schedulers are free to ignore the scope entirely.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace grefar {
+
+struct TraceScope {
+  /// One routing tie-group split: `group_size` equally-beneficial DCs for
+  /// `job_type` shared `jobs` routed jobs; `zero_capacity_skipped` members
+  /// were excluded from the split because they had no capacity this slot.
+  struct TieSplit {
+    std::size_t job_type = 0;
+    std::size_t group_size = 0;
+    double jobs = 0.0;
+    std::size_t zero_capacity_skipped = 0;
+  };
+  std::vector<TieSplit> tie_splits;
+
+  /// Sign census of the routing drift weights q_{i,j} - Q_j over eligible
+  /// (i, j) pairs: negative means routing is beneficial this slot.
+  std::size_t drift_weights_negative = 0;
+  std::size_t drift_weights_nonnegative = 0;
+
+  /// Reused across slots by the engine; keeps capacity.
+  void clear() {
+    tie_splits.clear();
+    drift_weights_negative = 0;
+    drift_weights_nonnegative = 0;
+  }
+};
+
+}  // namespace grefar

@@ -1,0 +1,43 @@
+#include "obs/trace_sink.h"
+
+#include "util/check.h"
+
+namespace grefar::obs {
+
+TraceSink::TraceSink(Options options) : options_(std::move(options)) {
+  if (!options_.path.empty()) {
+    file_.open(options_.path, std::ios::out | std::ios::trunc);
+    GREFAR_CHECK_MSG(file_.is_open(),
+                     "cannot open trace file '" << options_.path << "' for writing");
+  }
+}
+
+TraceSink::~TraceSink() { flush(); }
+
+void TraceSink::write(const JsonValue& record) {
+  std::string line = record.dump();  // serialize outside the lock
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_.is_open()) file_ << line << '\n';
+  if (options_.ring_capacity > 0) {
+    if (ring_.size() == options_.ring_capacity) ring_.pop_front();
+    ring_.push_back(std::move(line));
+  }
+  ++records_written_;
+}
+
+std::vector<std::string> TraceSink::ring() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::uint64_t TraceSink::records_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_written_;
+}
+
+void TraceSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_.is_open()) file_.flush();
+}
+
+}  // namespace grefar::obs

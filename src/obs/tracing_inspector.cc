@@ -1,0 +1,114 @@
+#include "obs/tracing_inspector.h"
+
+#include "obs/trace_scope.h"
+#include "util/check.h"
+#include "util/matrix.h"
+
+namespace grefar::obs {
+
+namespace {
+
+JsonValue array_of(const std::vector<double>& values) {
+  JsonArray out;
+  out.reserve(values.size());
+  for (double v : values) out.emplace_back(v);
+  return out;
+}
+
+JsonValue array_of(const std::vector<std::int64_t>& values) {
+  JsonArray out;
+  out.reserve(values.size());
+  for (std::int64_t v : values) out.emplace_back(v);
+  return out;
+}
+
+JsonValue rows_of(const MatrixD& m) {
+  JsonArray rows;
+  rows.reserve(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    JsonArray row;
+    row.reserve(m.cols());
+    for (std::size_t j = 0; j < m.cols(); ++j) row.emplace_back(m(i, j));
+    rows.emplace_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+TracingInspector::TracingInspector(std::shared_ptr<TraceSink> sink,
+                                   TracingInspectorOptions options)
+    : sink_(std::move(sink)), options_(options) {
+  GREFAR_CHECK(sink_ != nullptr);
+}
+
+void TracingInspector::inspect(const SlotRecord& record) {
+  GREFAR_CHECK(record.obs != nullptr && record.action != nullptr &&
+               record.routed != nullptr && record.served_work != nullptr);
+  JsonObject root;
+  root.emplace("slot", static_cast<double>(record.slot));
+  root.emplace("prices", array_of(record.obs->prices));
+  root.emplace("central_queue", array_of(record.obs->central_queue));
+  if (record.dc_capacity != nullptr) {
+    root.emplace("dc_capacity", array_of(*record.dc_capacity));
+  }
+  if (record.dc_energy_cost != nullptr) {
+    root.emplace("dc_energy_cost", array_of(*record.dc_energy_cost));
+  }
+  if (record.dc_completions != nullptr) {
+    root.emplace("dc_completions", array_of(*record.dc_completions));
+  }
+  if (record.dc_delay_sum != nullptr) {
+    root.emplace("dc_delay_sum", array_of(*record.dc_delay_sum));
+  }
+  if (record.account_work != nullptr) {
+    root.emplace("account_work", array_of(*record.account_work));
+  }
+  root.emplace("fairness", record.fairness);
+  if (record.arrivals != nullptr) root.emplace("arrivals", array_of(*record.arrivals));
+  if (record.central_after != nullptr) {
+    root.emplace("central_after", array_of(*record.central_after));
+  }
+  if (options_.include_matrices) {
+    root.emplace("dc_queue", rows_of(record.obs->dc_queue));
+    root.emplace("route_ask", rows_of(record.action->route));
+    root.emplace("process_ask", rows_of(record.action->process));
+    root.emplace("routed", rows_of(*record.routed));
+    root.emplace("served_work", rows_of(*record.served_work));
+    if (record.dc_after != nullptr) root.emplace("dc_after", rows_of(*record.dc_after));
+  }
+  if (record.scope != nullptr) {
+    const TraceScope& scope = *record.scope;
+    JsonObject annotations;
+    annotations.emplace("drift_weights_negative",
+                        static_cast<double>(scope.drift_weights_negative));
+    annotations.emplace("drift_weights_nonnegative",
+                        static_cast<double>(scope.drift_weights_nonnegative));
+    JsonArray splits;
+    splits.reserve(scope.tie_splits.size());
+    for (const auto& split : scope.tie_splits) {
+      JsonObject s;
+      s.emplace("job_type", static_cast<double>(split.job_type));
+      s.emplace("group_size", static_cast<double>(split.group_size));
+      s.emplace("jobs", split.jobs);
+      s.emplace("zero_capacity_skipped",
+                static_cast<double>(split.zero_capacity_skipped));
+      splits.emplace_back(std::move(s));
+    }
+    annotations.emplace("tie_splits", std::move(splits));
+    root.emplace("annotations", std::move(annotations));
+  }
+  sink_->write(JsonValue(std::move(root)));
+  ++slots_traced_;
+}
+
+TeeInspector::TeeInspector(std::vector<std::shared_ptr<SlotInspector>> inspectors)
+    : inspectors_(std::move(inspectors)) {
+  for (const auto& inspector : inspectors_) GREFAR_CHECK(inspector != nullptr);
+}
+
+void TeeInspector::inspect(const SlotRecord& record) {
+  for (const auto& inspector : inspectors_) inspector->inspect(record);
+}
+
+}  // namespace grefar::obs

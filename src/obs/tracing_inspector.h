@@ -1,0 +1,61 @@
+// TracingInspector: SlotInspector -> structured JSONL slot records.
+//
+// Attached to a SimulationEngine, it converts every SlotRecord into one JSON
+// object — prices, queue state, the scheduler's ask, what the engine actually
+// routed/served, per-DC capacity and billed energy, per-account work,
+// fairness, completions, post-slot queues — plus scheduler-internal
+// annotations (TraceScope: tie-group splits, drift-weight signs) when the
+// scheduler filled any. Records go to a shared TraceSink (JSONL file and/or
+// in-memory ring).
+//
+// The serialization is deterministic: JsonObject keys are ordered and every
+// number comes from the deterministic simulation state, so two runs of the
+// same seed produce byte-identical traces (pinned by tests/obs).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/trace_sink.h"
+#include "sim/slot_inspector.h"
+
+namespace grefar::obs {
+
+struct TracingInspectorOptions {
+  /// Include the N x J matrices (ask, routed, served, post-slot queues).
+  /// Off keeps records small for long horizons at the cost of per-(i,j)
+  /// detail; the per-DC and per-account aggregates are always emitted.
+  bool include_matrices = true;
+};
+
+class TracingInspector final : public SlotInspector {
+ public:
+  explicit TracingInspector(std::shared_ptr<TraceSink> sink,
+                            TracingInspectorOptions options = {});
+
+  void inspect(const SlotRecord& record) override;
+
+  const std::shared_ptr<TraceSink>& sink() const { return sink_; }
+  std::int64_t slots_traced() const { return slots_traced_; }
+
+ private:
+  std::shared_ptr<TraceSink> sink_;
+  TracingInspectorOptions options_;
+  std::int64_t slots_traced_ = 0;
+};
+
+/// Fans one SlotRecord out to several inspectors, in order. Lets a tracer
+/// ride alongside an already-attached inspector (the invariant auditor) on
+/// the engine's single inspector slot.
+class TeeInspector final : public SlotInspector {
+ public:
+  explicit TeeInspector(std::vector<std::shared_ptr<SlotInspector>> inspectors);
+
+  void inspect(const SlotRecord& record) override;
+
+ private:
+  std::vector<std::shared_ptr<SlotInspector>> inspectors_;
+};
+
+}  // namespace grefar::obs

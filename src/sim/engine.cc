@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/counters.h"
+#include "obs/profile.h"
 #include "util/check.h"
 
 namespace grefar {
@@ -91,9 +93,20 @@ void SimulationEngine::set_inspector(std::shared_ptr<SlotInspector> inspector) {
 }
 
 void SimulationEngine::step() {
-  observe_into(obs_scratch_);
+  {
+    obs::ScopedTimer timer("engine.observe");
+    observe_into(obs_scratch_);
+  }
   const SlotObservation& obs = obs_scratch_;
-  scheduler_->decide_into(obs, action_scratch_);
+  {
+    obs::ScopedTimer timer("engine.decide");
+    if (inspector_ != nullptr) {
+      trace_scope_.clear();
+      scheduler_->decide_into(obs, action_scratch_, &trace_scope_);
+    } else {
+      scheduler_->decide_into(obs, action_scratch_, nullptr);
+    }
+  }
   const SlotAction& action = action_scratch_;
 
   const std::size_t N = config_.num_data_centers();
@@ -122,11 +135,22 @@ void SimulationEngine::step() {
     }
   }
 
-  route(obs, action);
-  serve(obs, action);
-  admit_arrivals();
+  {
+    obs::ScopedTimer timer("engine.route");
+    route(obs, action);
+  }
+  {
+    obs::ScopedTimer timer("engine.serve");
+    serve(obs, action);
+  }
+  {
+    obs::ScopedTimer timer("engine.admit");
+    admit_arrivals();
+  }
+  obs::count("engine.slots");
 
   if (inspector_ != nullptr) {
+    obs::ScopedTimer timer("engine.inspect");
     central_after_.resize(J);
     for (std::size_t j = 0; j < J; ++j) central_after_[j] = central_[j].length_jobs();
     if (dc_after_.rows() != N || dc_after_.cols() != J) dc_after_ = MatrixD(N, J);
@@ -141,7 +165,10 @@ void SimulationEngine::step() {
     record.served_work = &served_mat_;
     record.dc_capacity = &dc_capacity_record_;
     record.dc_energy_cost = &dc_energy_record_;
+    record.dc_completions = &dc_completions_record_;
+    record.dc_delay_sum = &dc_delay_record_;
     record.account_work = &account_work_;
+    record.scope = &trace_scope_;
     record.fairness = fairness_record_;
     record.arrivals = &arrival_counts_;
     record.central_after = &central_after_;
@@ -168,7 +195,13 @@ void SimulationEngine::route(const SlotObservation& obs, const SlotAction& actio
       return obs.dc_queue(a, j) < obs.dc_queue(b, j);
     });
     for (std::size_t i : order) {
-      auto want = static_cast<std::int64_t>(std::llround(action.route(i, j)));
+      // Integer-routing contract (sim/scheduler.h): a fractional ask is a
+      // scheduler bug (unrounded relaxation), never something to floor away.
+      const double ask = action.route(i, j);
+      GREFAR_CHECK_MSG(std::abs(ask - std::round(ask)) <= 1e-6,
+                       "fractional routing decision r(" << i << ", " << j << ") = "
+                                                        << ask);
+      auto want = static_cast<std::int64_t>(std::llround(ask));
       GREFAR_CHECK_MSG(want >= 0, "negative routing decision");
       for (std::int64_t n = 0; n < want && !central_[j].empty(); ++n) {
         Job job = central_[j].pop_front();
@@ -247,8 +280,12 @@ void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& actio
     if (inspector_ != nullptr) {
       dc_capacity_record_.resize(N);
       dc_energy_record_.resize(N);
+      dc_completions_record_.resize(N);
+      dc_delay_record_.resize(N);
       dc_capacity_record_[i] = curves_[i].capacity();
       dc_energy_record_[i] = energy;
+      dc_completions_record_[i] = dc_completions;
+      dc_delay_record_[i] = dc_delay_sum;
     }
 
     metrics_.dc_energy_cost[i].add(energy);
@@ -281,6 +318,8 @@ void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& actio
   }
   metrics_.total_queue_jobs.add(total_q);
   metrics_.max_queue_jobs.add(max_q);
+  obs::gauge_max("engine.queue_high_water_jobs", max_q);
+  obs::gauge_max("engine.total_queue_high_water_jobs", total_q);
 }
 
 void SimulationEngine::admit_arrivals() {

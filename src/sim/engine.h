@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/trace_scope.h"
 #include "price/price_model.h"
 #include "sim/availability.h"
 #include "sim/cluster.h"
@@ -79,6 +80,11 @@ class SimulationEngine {
   /// extra bookkeeping is skipped entirely when no inspector is set.
   void set_inspector(std::shared_ptr<SlotInspector> inspector);
   SlotInspector* inspector() const { return inspector_.get(); }
+  /// Shared handle to the attached inspector (for wrapping, e.g. tee-ing a
+  /// tracer with an already-attached invariant auditor).
+  const std::shared_ptr<SlotInspector>& shared_inspector() const {
+    return inspector_;
+  }
 
  private:
   void route(const SlotObservation& obs, const SlotAction& action);
@@ -120,9 +126,12 @@ class SimulationEngine {
   MatrixD served_mat_;                           // work served per (i,j)
   std::vector<double> dc_capacity_record_;       // per-DC capacity
   std::vector<double> dc_energy_record_;         // per-DC billed cost
+  std::vector<double> dc_completions_record_;    // per-DC jobs finished
+  std::vector<double> dc_delay_record_;          // per-DC completion delay sum
   double fairness_record_ = 0.0;
   std::vector<double> central_after_;            // Q_j(t+1)
   MatrixD dc_after_;                             // q_{i,j}(t+1)
+  TraceScope trace_scope_;                       // scheduler annotations
 };
 
 }  // namespace grefar

@@ -1,8 +1,19 @@
 #include "sim/metrics.h"
 
+#include <cmath>
+
 #include "util/check.h"
 
 namespace grefar {
+
+namespace {
+
+// The JSON layer rejects non-finite numbers; NaN means "no samples here".
+JsonValue number_or_null(double x) {
+  return std::isnan(x) ? JsonValue(nullptr) : JsonValue(x);
+}
+
+}  // namespace
 
 SimMetrics::SimMetrics(std::size_t num_dcs, std::size_t num_accounts)
     : energy_cost("energy_cost"),
@@ -58,6 +69,34 @@ double SimMetrics::final_average_dc_delay(std::size_t dc) const {
   GREFAR_CHECK(dc < dc_delay_sum.size());
   double jobs = dc_completions[dc].sum();
   return jobs > 0.0 ? dc_delay_sum[dc].sum() / jobs : 0.0;
+}
+
+JsonValue SimMetrics::summary_json() const {
+  JsonObject o;
+  o["slots"] = JsonValue(static_cast<double>(slots()));
+  o["final_average_energy_cost"] = JsonValue(final_average_energy_cost());
+  o["final_average_fairness"] = JsonValue(final_average_fairness());
+  o["completions"] = JsonValue(static_cast<double>(delay_stats.count()));
+  o["mean_delay"] = JsonValue(mean_delay());
+  o["delay_p50"] = number_or_null(delay_p50());
+  o["delay_p95"] = number_or_null(delay_p95());
+  o["delay_p99"] = number_or_null(delay_p99());
+  JsonArray per_dc;
+  for (std::size_t i = 0; i < num_data_centers(); ++i) {
+    JsonObject d;
+    d["mean_work"] = JsonValue(mean_dc_work(i));
+    d["routed_jobs"] = JsonValue(dc_routed_jobs[i].sum());
+    d["completions"] = JsonValue(dc_completions[i].sum());
+    d["final_average_delay"] = JsonValue(final_average_dc_delay(i));
+    per_dc.emplace_back(std::move(d));
+  }
+  o["data_centers"] = JsonValue(std::move(per_dc));
+  JsonArray per_account;
+  for (std::size_t m = 0; m < num_accounts(); ++m) {
+    per_account.emplace_back(account_work[m].sum());
+  }
+  o["account_work"] = JsonValue(std::move(per_account));
+  return JsonValue(std::move(o));
 }
 
 }  // namespace grefar

@@ -11,6 +11,7 @@
 #include "stats/p2_quantile.h"
 #include "stats/running_stats.h"
 #include "stats/time_series.h"
+#include "util/json.h"
 
 namespace grefar {
 
@@ -69,6 +70,11 @@ class SimMetrics {
   double delay_p95() const { return delay_p95_.value(); }
   double delay_p99() const { return delay_p99_.value(); }
   RunningStats delay_stats;  // mean/max over all completions
+
+  /// End-of-run summary for bench/tool JSON output. The delay percentiles
+  /// are NaN when no job ever completed; they serialize as null here (the
+  /// JSON layer rejects NaN outright).
+  JsonValue summary_json() const;
 
  private:
   P2Quantile delay_p50_{0.50};

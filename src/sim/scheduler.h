@@ -28,10 +28,19 @@ struct SlotObservation {
 
 /// The action z(t). Ineligible (i,j) pairs must stay zero; the engine clamps
 /// desires against actual queue contents and capacity (see DESIGN.md §2).
+///
+/// Integer-routing contract: jobs are indivisible, so every route entry must
+/// be integral up to floating-point noise (|r - round(r)| <= 1e-6). The
+/// engine *verifies* this and rounds to the nearest integer — it never
+/// silently floors a fractional ask, because a scheduler that emits r = 2.4
+/// has a relaxation-rounding bug the simulation must surface, not paper
+/// over. Process entries are genuinely fractional (fluid service).
 struct SlotAction {
   MatrixD route;    // r_{i,j}(t): jobs moved central -> DC i (integral values)
   MatrixD process;  // h_{i,j}(t): jobs' worth of work served at DC i (fractional)
 };
+
+struct TraceScope;  // obs/trace_scope.h
 
 class Scheduler {
  public:
@@ -47,6 +56,17 @@ class Scheduler {
   /// allocation-free implementation.
   virtual void decide_into(const SlotObservation& obs, SlotAction& out) {
     out = decide(obs);
+  }
+
+  /// Traced variant: `scope` (owned by the engine, cleared each slot, nullptr
+  /// when no inspector is attached) collects scheduler-internal annotations
+  /// for the slot trace. The default ignores the scope and delegates to the
+  /// two-argument overload, so only schedulers with something to annotate
+  /// (GreFar's tie-break bookkeeping) override this.
+  virtual void decide_into(const SlotObservation& obs, SlotAction& out,
+                           TraceScope* scope) {
+    (void)scope;
+    decide_into(obs, out);
   }
 
   /// Display name for reports ("GreFar(V=7.5, beta=100)", "Always", ...).

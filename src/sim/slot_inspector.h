@@ -25,6 +25,8 @@
 
 namespace grefar {
 
+struct TraceScope;  // obs/trace_scope.h
+
 /// Everything that happened during one engine slot.
 struct SlotRecord {
   std::int64_t slot = 0;
@@ -34,11 +36,16 @@ struct SlotRecord {
   const MatrixD* served_work = nullptr;  // work units actually served, N x J
   const std::vector<double>* dc_capacity = nullptr;     // sum_k n_{i,k} s_k, per DC
   const std::vector<double>* dc_energy_cost = nullptr;  // billed cost per DC
+  const std::vector<double>* dc_completions = nullptr;  // jobs finished, per DC
+  const std::vector<double>* dc_delay_sum = nullptr;    // slots of delay, per DC
   const std::vector<double>* account_work = nullptr;    // served work per account
   double fairness = 0.0;                                // f(t) as recorded
   const std::vector<std::int64_t>* arrivals = nullptr;  // a_j(t) admitted, per type
   const std::vector<double>* central_after = nullptr;   // Q_j(t+1), jobs
   const MatrixD* dc_after = nullptr;                    // q_{i,j}(t+1), jobs
+  /// Scheduler-internal annotations for this slot, when the scheduler filled
+  /// any (nullptr for schedulers that ignore the scope).
+  const TraceScope* scope = nullptr;
 };
 
 /// Per-slot hook. Implementations must not mutate engine state; throwing

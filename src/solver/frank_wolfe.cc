@@ -1,7 +1,11 @@
 #include "solver/frank_wolfe.h"
 
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 
+#include "obs/counters.h"
+#include "obs/profile.h"
 #include "util/check.h"
 
 namespace grefar {
@@ -20,18 +24,35 @@ FrankWolfeResult minimize_frank_wolfe(const ConvexObjective& objective,
   std::vector<double> trial(n);
   std::vector<double> s(n);  // LMO vertex, reused across iterations
 
+  // Per-phase times are accumulated into locals and flushed once per solve:
+  // a ScopedTimer pair per iteration is measurable overhead in the solver's
+  // tight loop even when profiling is off (see the counters.h hot-loop rule).
+  obs::ProfileRegistry* profile = obs::active_profile();
+  using clock = std::chrono::steady_clock;
+  double lmo_ns = 0.0;
+  double line_search_ns = 0.0;
+  std::uint64_t line_searches = 0;
+  clock::time_point t0;
+
   double f_prev = objective.value(x);
   int stall = 0;
+  bool gap_stop = false;
+  bool stall_stop = false;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++result.iterations;
+    if (profile != nullptr) t0 = clock::now();
     objective.gradient(x, grad);
     polytope.minimize_linear_into(grad, s);
+    if (profile != nullptr) {
+      lmo_ns += std::chrono::duration<double, std::nano>(clock::now() - t0).count();
+    }
 
     double gap = 0.0;
     for (std::size_t j = 0; j < n; ++j) gap += grad[j] * (x[j] - s[j]);
     result.gap = gap;
     if (gap <= options.gap_tolerance) {
       result.converged = true;
+      gap_stop = true;
       break;
     }
 
@@ -42,11 +63,17 @@ FrankWolfeResult minimize_frank_wolfe(const ConvexObjective& objective,
       return objective.value(trial);
     };
     double lo = 0.0, hi = 1.0;
+    if (profile != nullptr) t0 = clock::now();
     for (int ls = 0; ls < options.line_search_iters; ++ls) {
       double m1 = lo + (hi - lo) / 3.0;
       double m2 = hi - (hi - lo) / 3.0;
       if (value_at(m1) <= value_at(m2)) hi = m2;
       else lo = m1;
+    }
+    if (profile != nullptr) {
+      line_search_ns +=
+          std::chrono::duration<double, std::nano>(clock::now() - t0).count();
+      ++line_searches;
     }
     double t = 0.5 * (lo + hi);
     // Guard against a stalled step: fall back to the classic 2/(k+2) rate.
@@ -63,9 +90,25 @@ FrankWolfeResult minimize_frank_wolfe(const ConvexObjective& objective,
       f_prev = f;
       if (stall >= options.stall_iterations) {
         result.converged = true;
+        stall_stop = true;
         break;
       }
     }
+  }
+
+  if (profile != nullptr) {
+    profile->record("fw.lmo", lmo_ns, static_cast<std::uint64_t>(result.iterations));
+    profile->record("fw.line_search", line_search_ns, line_searches);
+  }
+
+  obs::count("fw.solves");
+  obs::count("fw.iterations", static_cast<std::uint64_t>(result.iterations));
+  if (gap_stop) {
+    obs::count("fw.gap_stops");
+  } else if (stall_stop) {
+    obs::count("fw.stall_stops");
+  } else {
+    obs::count("fw.iteration_limit_stops");
   }
 
   result.objective = objective.value(x);

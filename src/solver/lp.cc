@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "obs/counters.h"
 #include "util/check.h"
 
 namespace grefar {
@@ -274,6 +275,7 @@ class RevisedSimplex {
   /// Rebuilds binv_ from the current basis by Gauss-Jordan with partial
   /// pivoting. Returns false on a (numerically) singular basis.
   bool factorize() {
+    ++total_refactors_;
     factor_work_.assign(m_ * m_, 0.0);
     double* B = factor_work_.data();
     double* inv = binv_.data();
@@ -346,6 +348,7 @@ class RevisedSimplex {
       for (std::size_t k = 0; k < m_; ++k) irow[k] -= f * prow[k];
     }
     ++pivots_since_refactor_;
+    ++total_pivots_;
   }
 
   /// One simplex run on the given cost vector (phase 1 or phase 2).
@@ -537,6 +540,11 @@ class RevisedSimplex {
   std::vector<double> alpha_;
   std::vector<double> rhs_work_;
   int pivots_since_refactor_ = 0;
+
+ public:
+  // Lifetime totals, flushed to the obs counters once per solve_lp() call.
+  std::uint64_t total_pivots_ = 0;
+  std::uint64_t total_refactors_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -763,9 +771,21 @@ class Tableau {
 
 }  // namespace
 
+namespace {
+// One flush per solve keeps the instrumentation off the pivot loop
+// (obs/counters.h hot-loop discipline).
+void flush_simplex_counters(const RevisedSimplex& solver) {
+  obs::count("lp.pivots", solver.total_pivots_);
+  obs::count("lp.refactorizations", solver.total_refactors_);
+}
+}  // namespace
+
 LpSolution solve_lp(const LinearProgram& lp, const SimplexOptions& options) {
   RevisedSimplex solver(lp, options);
-  return solver.solve_cold();
+  LpSolution solution = solver.solve_cold();
+  obs::count("lp.cold_solves");
+  flush_simplex_counters(solver);
+  return solution;
 }
 
 LpSolution solve_lp(const LinearProgram& lp, const SimplexBasis& warm,
@@ -773,10 +793,18 @@ LpSolution solve_lp(const LinearProgram& lp, const SimplexBasis& warm,
   if (warm.valid()) {
     RevisedSimplex solver(lp, options);
     LpSolution solution;
-    if (solver.solve_warm(warm, &solution)) return solution;
+    if (solver.solve_warm(warm, &solution)) {
+      obs::count("lp.warm_start_hits");
+      flush_simplex_counters(solver);
+      return solution;
+    }
+    flush_simplex_counters(solver);  // work spent on the failed warm attempt
   }
+  obs::count("lp.warm_start_cold_fallbacks");
   RevisedSimplex cold(lp, options);
-  return cold.solve_cold();
+  LpSolution solution = cold.solve_cold();
+  flush_simplex_counters(cold);
+  return solution;
 }
 
 LpSolution solve_lp_tableau(const LinearProgram& lp, const SimplexOptions& options) {

@@ -1,8 +1,10 @@
 #include "solver/projected_gradient.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 
+#include "obs/counters.h"
 #include "util/check.h"
 
 namespace grefar {
@@ -27,6 +29,16 @@ PgdResult minimize_projected_gradient(const ConvexObjective& objective,
   double step = options.initial_step;
   int stall_count = 0;  // consecutive iterations without monotone descent
 
+  // Accumulated locally and flushed once per solve (obs hot-loop discipline).
+  std::uint64_t projections = 1;  // the x0 projection above
+  std::uint64_t subgradient_steps = 0;
+  auto flush_counters = [&](const PgdResult& r) {
+    obs::count("pgd.solves");
+    obs::count("pgd.iterations", static_cast<std::uint64_t>(r.iterations));
+    obs::count("pgd.projections", projections);
+    obs::count("pgd.subgradient_fallback_steps", subgradient_steps);
+  };
+
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++result.iterations;
     objective.gradient(x, grad);
@@ -37,6 +49,7 @@ PgdResult minimize_projected_gradient(const ConvexObjective& objective,
     for (int bt = 0; bt < options.max_backtracks; ++bt) {
       for (std::size_t j = 0; j < n; ++j) projected[j] = x[j] - trial_step * grad[j];
       polytope.project_into(projected, candidate);
+      ++projections;
       double fc = objective.value(candidate);
       if (fc < fx - 1e-15) {
         // Accept; allow the step to grow again slowly.
@@ -57,6 +70,7 @@ PgdResult minimize_projected_gradient(const ConvexObjective& objective,
           result.converged = true;
           result.x = std::move(best_x);
           result.objective = best_f;
+          flush_counters(result);
           return result;
         }
         break;
@@ -70,6 +84,7 @@ PgdResult minimize_projected_gradient(const ConvexObjective& objective,
       double probe_move = 0.0;
       for (std::size_t j = 0; j < n; ++j) projected[j] = x[j] - 1e-6 * grad[j];
       polytope.project_into(projected, candidate);
+      ++projections;
       for (std::size_t j = 0; j < n; ++j) {
         probe_move = std::max(probe_move, std::abs(candidate[j] - x[j]));
       }
@@ -91,6 +106,8 @@ PgdResult minimize_projected_gradient(const ConvexObjective& objective,
           options.initial_step / (1.0 + static_cast<double>(stall_count * stall_count));
       for (std::size_t j = 0; j < n; ++j) projected[j] = x[j] - sub_step * grad[j];
       polytope.project_into(projected, candidate);
+      ++projections;
+      ++subgradient_steps;
       x.swap(candidate);
       fx = objective.value(x);
       if (fx < best_f) {
@@ -102,6 +119,7 @@ PgdResult minimize_projected_gradient(const ConvexObjective& objective,
   }
   result.x = std::move(best_x);
   result.objective = best_f;
+  flush_counters(result);
   return result;
 }
 

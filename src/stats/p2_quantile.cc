@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/check.h"
 
@@ -78,7 +79,7 @@ void P2Quantile::add(double x) {
 }
 
 double P2Quantile::value() const {
-  if (count_ == 0) return 0.0;
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
   if (count_ < 5) {
     // Exact small-sample quantile: sort a copy of observed values.
     const auto n = static_cast<std::size_t>(std::min<std::int64_t>(count_, 5));

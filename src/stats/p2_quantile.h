@@ -16,7 +16,8 @@ class P2Quantile {
   void add(double x);
 
   /// Current estimate. Exact while fewer than 5 samples have been seen;
-  /// 0 when empty.
+  /// NaN when empty — "no samples" must not masquerade as a zero-delay
+  /// percentile (JSON emitters serialize it as null).
   double value() const;
 
   std::int64_t count() const { return count_; }

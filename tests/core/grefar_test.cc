@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/trace_scope.h"
+#include "sim/engine.h"
 #include "util/check.h"
 
 namespace grefar {
@@ -198,6 +200,151 @@ TEST(GreFar, RoutingIsIntegral) {
   auto action = s.decide(obs_with(5.7, 1.0, 2.0));
   double r = action.route(0, 0) + action.route(1, 0);
   EXPECT_DOUBLE_EQ(r, std::floor(r));
+}
+
+// -- zero-capacity / tie-split regression tests ------------------------------
+
+ClusterConfig three_dc_config(std::vector<DataCenterId> eligible = {0, 1, 2}) {
+  ClusterConfig c;
+  c.server_types = {{"std", 1.0, 1.0}};
+  c.data_centers = {{"dc1", {10}}, {"dc2", {10}}, {"dc3", {10}}};
+  c.accounts = {{"a", 1.0}};
+  c.job_types = {{"j", 1.0, std::move(eligible), 0}};
+  return c;
+}
+
+SlotObservation three_dc_obs(double Q, std::vector<std::int64_t> avail) {
+  SlotObservation obs;
+  obs.slot = 0;
+  obs.prices = {0.5, 0.5, 0.5};
+  obs.availability = Matrix<std::int64_t>(3, 1);
+  for (std::size_t i = 0; i < 3; ++i) obs.availability(i, 0) = avail[i];
+  obs.central_queue = {Q};
+  obs.dc_queue = MatrixD(3, 1);  // all tied at zero
+  return obs;
+}
+
+TEST(GreFar, DeadTieGroupRoutesNothing) {
+  // Every beneficial DC has zero capacity this slot. The old split fell back
+  // to offering the *whole batch* to each member (total_cap == 0 branch), so
+  // jobs were banked in DCs that could never serve them; now they stay
+  // central.
+  GreFarScheduler s(two_dc_config(), make_params(1.0));
+  SlotObservation obs = obs_with(5.0, 0.0, 0.0);
+  obs.availability(0, 0) = 0;
+  obs.availability(1, 0) = 0;
+  auto action = s.decide(obs);
+  EXPECT_DOUBLE_EQ(action.route(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(action.route(1, 0), 0.0);
+}
+
+TEST(GreFar, DeadDcSkippedInsideTieGroup) {
+  // DC1 is dead, DC2 alive, queues tied: the whole batch goes to DC2.
+  GreFarScheduler s(two_dc_config(), make_params(1.0));
+  SlotObservation obs = obs_with(5.0, 0.0, 0.0);
+  obs.availability(0, 0) = 0;
+  auto action = s.decide(obs);
+  EXPECT_DOUBLE_EQ(action.route(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(action.route(1, 0), 5.0);
+}
+
+TEST(GreFar, DeadDcFallsThroughToWorseQueueGroup) {
+  // The shortest-queue DC is dead; the batch should skip it and go to the
+  // alive DC even though its queue is longer.
+  GreFarScheduler s(two_dc_config(), make_params(1.0));
+  SlotObservation obs = obs_with(10.0, 0.0, 2.0);
+  obs.availability(0, 0) = 0;
+  auto action = s.decide(obs);
+  EXPECT_DOUBLE_EQ(action.route(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(action.route(1, 0), 10.0);
+}
+
+TEST(GreFar, EngineNeverRoutesToPermanentlyDeadDc) {
+  // End-to-end: DC1 has zero servers every slot. Over a long run no job may
+  // ever enter its queues.
+  ClusterConfig config = two_dc_config();
+  Matrix<std::int64_t> snapshot(2, 1);
+  snapshot(0, 0) = 0;   // DC1 dead forever
+  snapshot(1, 0) = 10;  // DC2 alive
+  auto prices = std::make_shared<ConstantPriceModel>(std::vector<double>{0.5, 0.5});
+  auto avail = std::make_shared<TableAvailability>(
+      std::vector<Matrix<std::int64_t>>{snapshot});
+  // Overload (15 jobs/slot vs capacity 10) so the alive DC's queue grows:
+  // the dead DC then sits alone in the shortest-queue group every slot,
+  // which is exactly the configuration the old split stranded jobs in.
+  auto arrivals = std::make_shared<ConstantArrivals>(std::vector<std::int64_t>{15});
+  auto sched = std::make_shared<GreFarScheduler>(config, make_params(1.0));
+  SimulationEngine engine(config, prices, avail, arrivals, sched);
+  for (int t = 0; t < 100; ++t) {
+    engine.step();
+    ASSERT_DOUBLE_EQ(engine.dc_queue_length(0, 0), 0.0) << "slot " << t;
+  }
+  EXPECT_DOUBLE_EQ(engine.metrics().dc_routed_jobs[0].sum(), 0.0);
+  EXPECT_GT(engine.metrics().dc_routed_jobs[1].sum(), 0.0);
+}
+
+TEST(GreFar, TieSplitConservesUnderRMaxPressure) {
+  // caps 10 vs 1, r_max = 3, Q = 5. The old ceil-based share gave DC2 only
+  // ceil(5/11) = 1 after DC1 hit r_max, leaving a job stranded centrally
+  // even though both DCs had r_max headroom. The largest-remainder split
+  // pins DC1 at r_max and re-splits the rest: 3 + 2 = 5.
+  GreFarParams p = make_params(1.0);
+  p.r_max = 3.0;
+  GreFarScheduler s(two_dc_config(), p);
+  SlotObservation obs = obs_with(5.0, 0.0, 0.0);
+  obs.availability(1, 0) = 1;
+  auto action = s.decide(obs);
+  EXPECT_DOUBLE_EQ(action.route(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(action.route(1, 0), 2.0);
+}
+
+TEST(GreFar, TieSplitConservesExactlyAcrossBatchSizes) {
+  // Capacity weights 7 : 11 : 23 with ample r_max: every batch size must be
+  // split exactly (no job lost, none invented) into integral per-DC counts.
+  for (double Q = 1.0; Q <= 41.0; Q += 1.0) {
+    GreFarScheduler s(three_dc_config(), make_params(1.0));
+    SlotObservation obs = three_dc_obs(Q, {7, 11, 23});
+    auto action = s.decide(obs);
+    double total = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      const double r = action.route(i, 0);
+      EXPECT_DOUBLE_EQ(r, std::round(r));
+      EXPECT_GE(r, 0.0);
+      total += r;
+    }
+    EXPECT_DOUBLE_EQ(total, Q) << "Q=" << Q;
+  }
+}
+
+TEST(GreFar, TieSplitIsOrderIndependent) {
+  // Same cluster, eligible-DC list permuted: the split must not depend on
+  // the order members entered the tie group.
+  for (double Q = 1.0; Q <= 12.0; Q += 1.0) {
+    GreFarScheduler fwd(three_dc_config({0, 1, 2}), make_params(1.0));
+    GreFarScheduler rev(three_dc_config({2, 1, 0}), make_params(1.0));
+    auto a = fwd.decide(three_dc_obs(Q, {10, 10, 10}));
+    auto b = rev.decide(three_dc_obs(Q, {10, 10, 10}));
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_DOUBLE_EQ(a.route(i, 0), b.route(i, 0)) << "Q=" << Q << " dc=" << i;
+    }
+  }
+}
+
+TEST(GreFar, TraceScopeRecordsTieSplitsAndDriftSigns) {
+  GreFarScheduler s(two_dc_config(), make_params(1.0));
+  SlotObservation obs = obs_with(5.0, 0.0, 0.0);
+  obs.availability(0, 0) = 0;  // one dead member in the tie group
+  SlotAction action;
+  TraceScope scope;
+  s.decide_into(obs, action, &scope);
+  ASSERT_EQ(scope.tie_splits.size(), 1u);
+  EXPECT_EQ(scope.tie_splits[0].job_type, 0u);
+  EXPECT_EQ(scope.tie_splits[0].group_size, 2u);
+  EXPECT_DOUBLE_EQ(scope.tie_splits[0].jobs, 5.0);
+  EXPECT_EQ(scope.tie_splits[0].zero_capacity_skipped, 1u);
+  // Both (i, j) pairs had q = 0 < Q = 5: negative drift weights.
+  EXPECT_EQ(scope.drift_weights_negative, 2u);
+  EXPECT_EQ(scope.drift_weights_nonnegative, 0u);
 }
 
 }  // namespace

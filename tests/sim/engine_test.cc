@@ -96,6 +96,29 @@ TEST(Engine, RoutingSplitsAcrossDataCenters) {
   EXPECT_DOUBLE_EQ(engine->dc_queue_length(1, 0), 1.0);
 }
 
+TEST(Engine, FractionalRoutingAskIsContractViolation) {
+  // Integer-routing contract (sim/scheduler.h): a scheduler emitting an
+  // unrounded relaxation value must fail loudly, not be silently floored.
+  auto engine = make_engine([](const SlotObservation& obs) {
+    auto a = idle_action(obs);
+    a.route(0, 0) = 2.4;
+    return a;
+  });
+  EXPECT_THROW(engine->step(), ContractViolation);
+}
+
+TEST(Engine, NearIntegralRoutingAskIsAccepted) {
+  // Floating-point noise up to 1e-6 rounds to the nearest integer.
+  auto engine = make_engine([](const SlotObservation& obs) {
+    auto a = idle_action(obs);
+    a.route(0, 0) = 2.0 + 5e-7;
+    return a;
+  });
+  engine->step();  // queue empty
+  engine->step();  // routes the 2 queued jobs
+  EXPECT_DOUBLE_EQ(engine->dc_queue_length(0, 0), 2.0);
+}
+
 TEST(Engine, IneligibleRoutingIsContractViolation) {
   ClusterConfig config = simple_config();
   config.job_types[0].eligible_dcs = {0};  // DC2 not allowed

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace grefar {
 namespace {
@@ -120,6 +124,47 @@ TEST(Tariff, RejectsInvalidTiers) {
   TieredTariff ok = two_tier();
   EXPECT_THROW(ok.cost(-1.0), ContractViolation);
   EXPECT_THROW(ok.marginal(-1.0), ContractViolation);
+}
+
+// Property sweep over random tiered tariffs: for every tariff and band,
+//   (a) smoothed_cost(e, 0) == cost(e) exactly,
+//   (b) smoothed_cost is non-decreasing in e,
+//   (c) |smoothed_cost(e, band) - cost(e)| <= band * max_rate_jump — the
+//       blend zone around each boundary has half-width <= band and marginal
+//       error <= the rate jump there, and the error cancels past the zone.
+TEST(Tariff, SmoothingPropertiesOnRandomTariffs) {
+  Rng rng(20260805);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int num_tiers = 2 + static_cast<int>(rng.uniform() * 4.0);  // 2..5
+    std::vector<TieredTariff::Tier> tiers;
+    double upto = 0.0;
+    double rate = 0.5 + rng.uniform();
+    for (int k = 0; k < num_tiers; ++k) {
+      const bool last = (k + 1 == num_tiers);
+      upto += 2.0 + 10.0 * rng.uniform();
+      rate += 2.0 * rng.uniform();  // non-decreasing => convex
+      tiers.push_back({last ? std::numeric_limits<double>::infinity() : upto, rate});
+    }
+    const TieredTariff t(tiers);
+
+    double max_rate_jump = 0.0;
+    for (std::size_t k = 0; k + 1 < tiers.size(); ++k) {
+      max_rate_jump = std::max(max_rate_jump, tiers[k + 1].rate - tiers[k].rate);
+    }
+
+    const double band = 2.0 * rng.uniform();
+    const double e_max = upto + 10.0;
+    double prev = 0.0;
+    for (double e = 0.0; e <= e_max; e += e_max / 400.0) {
+      EXPECT_NEAR(t.smoothed_cost(e, 0.0), t.cost(e), 1e-9)
+          << "trial " << trial << " e=" << e;
+      const double sc = t.smoothed_cost(e, band);
+      EXPECT_GE(sc + 1e-12, prev) << "trial " << trial << " e=" << e;
+      EXPECT_NEAR(sc, t.cost(e), band * max_rate_jump + 1e-9)
+          << "trial " << trial << " e=" << e << " band=" << band;
+      prev = sc;
+    }
+  }
 }
 
 TEST(Tariff, EqualRatesActLikeScaledFlat) {
