@@ -103,7 +103,8 @@ BENCHMARK(BM_GreFarDecideGreedy)
     ->Args({3, 8})
     ->Args({10, 16})
     ->Args({30, 32})
-    ->Args({100, 64});
+    ->Args({100, 64})
+    ->Args({300, 128});
 
 void BM_GreFarDecideFairnessPgd(benchmark::State& state) {
   auto inst = make_instance(static_cast<std::size_t>(state.range(0)),
@@ -114,7 +115,11 @@ void BM_GreFarDecideFairnessPgd(benchmark::State& state) {
     benchmark::DoNotOptimize(scheduler.decide(inst.obs));
   }
 }
-BENCHMARK(BM_GreFarDecideFairnessPgd)->Args({3, 8})->Args({10, 16})->Args({30, 32});
+BENCHMARK(BM_GreFarDecideFairnessPgd)
+    ->Args({3, 8})
+    ->Args({10, 16})
+    ->Args({30, 32})
+    ->Args({100, 64});
 
 void BM_GreFarDecideFairnessFrankWolfe(benchmark::State& state) {
   auto inst = make_instance(static_cast<std::size_t>(state.range(0)),
@@ -125,7 +130,10 @@ void BM_GreFarDecideFairnessFrankWolfe(benchmark::State& state) {
     benchmark::DoNotOptimize(scheduler.decide(inst.obs));
   }
 }
-BENCHMARK(BM_GreFarDecideFairnessFrankWolfe)->Args({3, 8})->Args({10, 16});
+BENCHMARK(BM_GreFarDecideFairnessFrankWolfe)
+    ->Args({3, 8})
+    ->Args({10, 16})
+    ->Args({30, 32});
 
 void BM_GreFarDecideLp(benchmark::State& state) {
   auto inst = make_instance(static_cast<std::size_t>(state.range(0)),
@@ -218,4 +226,4 @@ BENCHMARK(BM_AlwaysDecide)->Args({3, 8})->Args({30, 32});
 }  // namespace
 }  // namespace grefar
 
-BENCHMARK_MAIN();
+#include "common/benchmark_main.h"

@@ -181,4 +181,4 @@ BENCHMARK(BM_SimulationStepAlways);
 }  // namespace
 }  // namespace grefar
 
-BENCHMARK_MAIN();
+#include "common/benchmark_main.h"

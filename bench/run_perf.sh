@@ -7,8 +7,17 @@
 #   # then eyeball, or use benchmark's tools/compare.py if available:
 #   #   compare.py benchmarks BENCH_baseline.json out.json
 #
+# Debug-build refusal: numbers from a Debug (-O0, assertions) build are
+# meaningless as baselines and have silently poisoned comparisons before, so
+# the script probes each binary's "grefar_build_type" context field (stamped
+# by bench/common/benchmark_main.h from NDEBUG — the library's own
+# "library_build_type" only describes how libbenchmark was compiled) and
+# exits non-zero unless the build is Release-like. Pass --allow-debug to
+# override for profiling/debugging sessions where absolute numbers are not
+# the point.
+#
 # The baseline was captured with:
-#   cmake -B build -S . && cmake --build build -j
+#   cmake -B build -S . && cmake --build build -j   # default build is Release
 #   ./bench/run_perf.sh BENCH_baseline.json
 # on an otherwise idle machine. Wall-clock numbers move between machines;
 # what matters is the *relative* change on the same box.
@@ -16,13 +25,56 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build}"
-out="${1:-$repo_root/perf_run.json}"
 min_time="${BENCHMARK_MIN_TIME:-0.2}"
+
+allow_debug=0
+out="$repo_root/perf_run.json"
+for arg in "$@"; do
+  case "$arg" in
+    --allow-debug) allow_debug=1 ;;
+    -h|--help)
+      sed -n '2,23p' "${BASH_SOURCE[0]}"
+      exit 0
+      ;;
+    *) out="$arg" ;;
+  esac
+done
 
 for bin in perf_scheduler perf_substrate; do
   if [[ ! -x "$build_dir/bench/$bin" ]]; then
     echo "error: $build_dir/bench/$bin not built (cmake --build $build_dir)" >&2
     exit 1
+  fi
+done
+
+# Probe the build type by running one micro-sized benchmark per binary and
+# reading the grefar_build_type context field out of the JSON report.
+probe_build_type() {
+  local bin="$1" filter="$2" probe
+  probe="$(mktemp)"
+  "$build_dir/bench/$bin" --benchmark_filter="$filter" --benchmark_min_time=0.001 \
+    --benchmark_out="$probe" --benchmark_out_format=json >/dev/null 2>&1 || true
+  python3 -c 'import json,sys
+try:
+    print(json.load(open(sys.argv[1]))["context"].get("grefar_build_type", "unknown"))
+except Exception:
+    print("unknown")' "$probe"
+  rm -f "$probe"
+}
+
+for spec in "perf_scheduler BM_GreFarDecideGreedy/3/8\$" \
+            "perf_substrate BM_CappedBoxProject/8\$"; do
+  read -r bin filter <<<"$spec"
+  build_type="$(probe_build_type "$bin" "$filter")"
+  if [[ "$build_type" != "release" ]]; then
+    echo "error: $bin reports grefar_build_type=$build_type; perf numbers from" >&2
+    echo "a non-Release build are not comparable to BENCH_baseline.json." >&2
+    echo "Rebuild with -DCMAKE_BUILD_TYPE=Release (the default), or pass" >&2
+    echo "--allow-debug to run anyway." >&2
+    if [[ "$allow_debug" -ne 1 ]]; then
+      exit 1
+    fi
+    echo "continuing (--allow-debug)" >&2
   fi
 done
 

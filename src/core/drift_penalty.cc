@@ -7,61 +7,6 @@
 
 namespace grefar {
 
-namespace {
-
-/// Work upper bound for one (i, j) pair: h_max (optionally clamped to the
-/// queue) in work units, capped by the per-job parallelism constraint.
-double work_upper_bound(const ClusterConfig& config, const SlotObservation& obs,
-                        const GreFarParams& params, std::size_t i, std::size_t j) {
-  if (!config.job_types[j].eligible(i)) return 0.0;
-  double d = config.job_types[j].work;
-  double h_cap = params.h_max;
-  if (params.clamp_to_queue) h_cap = std::min(h_cap, obs.dc_queue(i, j));
-  double work_ub = std::max(h_cap, 0.0) * d;
-  // Parallelism constraint: each of the (whole) queued jobs can absorb
-  // at most max_rate work per slot.
-  if (std::isfinite(config.job_types[j].max_rate)) {
-    work_ub = std::min(work_ub, config.job_types[j].max_rate *
-                                    std::ceil(obs.dc_queue(i, j)));
-  }
-  return work_ub;
-}
-
-CappedBoxPolytope build_polytope(const ClusterConfig& config,
-                                 const SlotObservation& obs,
-                                 const GreFarParams& params,
-                                 const std::vector<EnergyCostCurve>& curves) {
-  const std::size_t N = config.num_data_centers();
-  const std::size_t J = config.num_job_types();
-  std::vector<double> ub(N * J, 0.0);
-  for (std::size_t i = 0; i < N; ++i) {
-    for (std::size_t j = 0; j < J; ++j) {
-      ub[i * J + j] = work_upper_bound(config, obs, params, i, j);
-    }
-  }
-  CappedBoxPolytope polytope(std::move(ub));
-  for (std::size_t i = 0; i < N; ++i) {
-    std::vector<std::size_t> group(J);
-    for (std::size_t j = 0; j < J; ++j) group[j] = i * J + j;
-    polytope.add_group(std::move(group), curves[i].capacity());
-  }
-  return polytope;
-}
-
-std::vector<EnergyCostCurve> build_curves(const ClusterConfig& config,
-                                          const SlotObservation& obs) {
-  std::vector<EnergyCostCurve> curves;
-  curves.reserve(config.num_data_centers());
-  for (std::size_t i = 0; i < config.num_data_centers(); ++i) {
-    std::vector<std::int64_t> avail(config.num_server_types());
-    for (std::size_t k = 0; k < avail.size(); ++k) avail[k] = obs.availability(i, k);
-    curves.emplace_back(config.server_types, avail);
-  }
-  return curves;
-}
-
-}  // namespace
-
 PerSlotProblem::PerSlotProblem(const ClusterConfig& config, const SlotObservation& obs,
                                const GreFarParams& params)
     : config_(&config),
@@ -69,61 +14,118 @@ PerSlotProblem::PerSlotProblem(const ClusterConfig& config, const SlotObservatio
       params_(params),
       num_dcs_(config.num_data_centers()),
       num_types_(config.num_job_types()),
-      curves_(build_curves(config, obs)),
+      num_accounts_(config.num_accounts()),
+      curves_(num_dcs_),
+      smoothing_band_(num_dcs_, 0.0),
+      energy_band_(num_dcs_, 0.0),
       fairness_(config.gammas()),
-      polytope_(build_polytope(config, obs, params, curves_)),
+      polytope_(std::vector<double>(num_dcs_ * num_types_, 0.0)),
       queue_value_(num_dcs_ * num_types_, 0.0) {
   GREFAR_CHECK(params_.V >= 0.0);
   GREFAR_CHECK(params_.beta >= 0.0);
   GREFAR_CHECK(params_.r_max >= 0.0);
   GREFAR_CHECK(params_.h_max >= 0.0);
-  smoothing_band_.reserve(num_dcs_);
-  energy_band_.reserve(num_dcs_);
-  for (const auto& curve : curves_) {
-    total_resource_ += curve.capacity();
-    // Blend the energy-curve (and tariff) kinks over 0.1% of the DC's
-    // capacity so the objective is C^1 — Frank-Wolfe/PGD need smoothness to
-    // converge, and the induced value error (<= band * slope-jump / 4 per
-    // kink) is far below anything the experiments can resolve.
-    smoothing_band_.push_back(1e-3 * curve.capacity());
-    energy_band_.push_back(1e-3 * curve.energy_for_work(curve.capacity()));
+
+  // Static SoA arrays: eligibility as a bitmap (JobType::eligible() is a
+  // linear scan over D_j — calling it per (i, j) per reset made the rebuild
+  // O(N^2 J)), plus flat per-type columns so the hot loops never chase
+  // job_types[j] through three indirections.
+  eligible_.assign(num_dcs_ * num_types_, 0);
+  work_.resize(num_types_);
+  inv_work_.resize(num_types_);
+  account_of_.resize(num_types_);
+  max_rate_.resize(num_types_);
+  rate_capped_.resize(num_types_);
+  for (std::size_t j = 0; j < num_types_; ++j) {
+    const JobType& jt = config.job_types[j];
+    work_[j] = jt.work;
+    inv_work_[j] = 1.0 / jt.work;
+    account_of_[j] = static_cast<std::uint32_t>(jt.account);
+    max_rate_[j] = jt.max_rate;
+    rate_capped_[j] = std::isfinite(jt.max_rate) ? 1 : 0;
+    any_rate_cap_ = any_rate_cap_ || rate_capped_[j] != 0;
+    for (DataCenterId i : jt.eligible_dcs) eligible_[i * num_types_ + j] = 1;
   }
+  const std::size_t K = config.num_server_types();
+  speed_.resize(K);
+  busy_power_.resize(K);
+  energy_per_work_.resize(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    speed_[k] = config.server_types[k].speed;
+    busy_power_[k] = config.server_types[k].busy_power;
+    energy_per_work_[k] = config.server_types[k].busy_power / config.server_types[k].speed;
+  }
+
   for (std::size_t i = 0; i < num_dcs_; ++i) {
-    for (std::size_t j = 0; j < num_types_; ++j) {
-      if (!config.job_types[j].eligible(i)) continue;
-      queue_value_[index(i, j)] = obs.dc_queue(i, j) / config.job_types[j].work;
-    }
+    std::vector<std::size_t> group(num_types_);
+    for (std::size_t j = 0; j < num_types_; ++j) group[j] = index(i, j);
+    polytope_.add_group(std::move(group), 0.0);
   }
-  avail_scratch_.resize(config.num_server_types());
-  account_scratch_.resize(config.num_accounts());
+
+  dc_capacity_.resize(num_dcs_);
+  account_scratch_.resize(num_accounts_);
+  account_partial_.resize(num_dcs_ * num_accounts_);
   marginal_scratch_.resize(num_dcs_);
+  dc_value_.resize(num_dcs_);
+  account_term_.resize(num_accounts_);
+  type_term_.resize(num_types_);
+
+  reset(obs);
 }
 
 void PerSlotProblem::reset(const SlotObservation& obs) {
   const ClusterConfig& config = *config_;
-  GREFAR_CHECK(obs.availability.rows() == num_dcs_ &&
-               obs.availability.cols() == config.num_server_types());
+  const std::size_t K = config.num_server_types();
+  GREFAR_CHECK(obs.availability.rows() == num_dcs_ && obs.availability.cols() == K);
   GREFAR_CHECK(obs.dc_queue.rows() == num_dcs_ && obs.dc_queue.cols() == num_types_);
   obs_ = &obs;
-  total_resource_ = 0.0;
-  for (std::size_t i = 0; i < num_dcs_; ++i) {
-    for (std::size_t k = 0; k < avail_scratch_.size(); ++k) {
-      avail_scratch_[k] = obs.availability(i, k);
+
+  const std::int64_t* avail = obs.availability.data().data();
+  const double* dc_queue = obs.dc_queue.data().data();
+  double* ub = polytope_.mutable_upper_bounds();
+  const std::size_t J = num_types_;
+  const bool clamp = params_.clamp_to_queue;
+  const double h_max = params_.h_max;
+
+  // One fused pass per DC: curve rebuild, bands, group cap, queue values and
+  // work upper bounds, all off flat row pointers. Each DC writes only its
+  // own slots, so the pass shards cleanly; the only cross-DC reduction
+  // (total_resource_) is merged serially below, in DC order, making the
+  // result identical at any intra_slot_jobs.
+  auto per_dc = [&](std::size_t, ShardRange range) {
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      curves_[i].rebuild(config.server_types, avail + i * K, K);
+      const double cap = curves_[i].capacity();
+      dc_capacity_[i] = cap;
+      smoothing_band_[i] = 1e-3 * cap;
+      energy_band_[i] = 1e-3 * curves_[i].energy_for_work(cap);
+      polytope_.set_group_cap(i, cap);
+
+      const double* q = dc_queue + i * J;
+      const std::uint8_t* el = eligible_.data() + i * J;
+      double* qv = queue_value_.data() + i * J;
+      double* ub_row = ub + i * J;
+      for (std::size_t j = 0; j < J; ++j) {
+        qv[j] = el[j] != 0 ? q[j] / work_[j] : 0.0;
+        double h_cap = clamp ? std::min(h_max, q[j]) : h_max;
+        double work_ub = std::max(h_cap, 0.0) * work_[j];
+        // Parallelism constraint (guarded: max_rate * ceil(q) with an
+        // infinite rate and an empty queue would be inf * 0 = NaN).
+        if (any_rate_cap_ && rate_capped_[j] != 0) {
+          work_ub = std::min(work_ub, max_rate_[j] * std::ceil(q[j]));
+        }
+        ub_row[j] = el[j] != 0 ? work_ub : 0.0;
+      }
     }
-    curves_[i].rebuild(config.server_types, avail_scratch_);
-    double cap = curves_[i].capacity();
-    total_resource_ += cap;
-    smoothing_band_[i] = 1e-3 * cap;
-    energy_band_[i] = 1e-3 * curves_[i].energy_for_work(cap);
-    polytope_.set_group_cap(i, cap);
-    for (std::size_t j = 0; j < num_types_; ++j) {
-      polytope_.set_upper_bound(index(i, j), work_upper_bound(config, obs, params_, i, j));
-      queue_value_[index(i, j)] =
-          config.job_types[j].eligible(i)
-              ? obs.dc_queue(i, j) / config.job_types[j].work
-              : 0.0;
-    }
+  };
+  if (IntraSlotExecutor* exec = intra_slot_executor()) {
+    exec->run(num_dcs_, per_dc);
+  } else {
+    per_dc(0, ShardRange{0, num_dcs_});
   }
+
+  total_resource_ = 0.0;
+  for (std::size_t i = 0; i < num_dcs_; ++i) total_resource_ += dc_capacity_[i];
 }
 
 double PerSlotProblem::queue_value(DataCenterId i, JobTypeId j) const {
@@ -131,26 +133,94 @@ double PerSlotProblem::queue_value(DataCenterId i, JobTypeId j) const {
   return queue_value_[index(i, j)];
 }
 
+PerSlotView PerSlotProblem::view() const {
+  PerSlotView v;
+  v.num_dcs = num_dcs_;
+  v.num_types = num_types_;
+  v.num_servers = speed_.size();
+  v.num_accounts = num_accounts_;
+  v.eligible = eligible_.data();
+  v.work = work_.data();
+  v.inv_work = inv_work_.data();
+  v.account_of = account_of_.data();
+  v.speed = speed_.data();
+  v.busy_power = busy_power_.data();
+  v.energy_per_work = energy_per_work_.data();
+  v.prices = obs_->prices.data();
+  v.availability = obs_->availability.data().data();
+  v.queue_value = queue_value_.data();
+  v.upper_bounds = polytope_.upper_bounds().data();
+  v.dc_capacity = dc_capacity_.data();
+  return v;
+}
+
+void PerSlotProblem::accumulate_rows(const std::vector<double>& x, bool need_value,
+                                     bool need_marginal, bool need_accounts) const {
+  const std::size_t J = num_types_;
+  const std::size_t M = num_accounts_;
+  const double V = params_.V;
+  auto per_dc = [&](std::size_t, ShardRange range) {
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      const double* xr = x.data() + i * J;
+      const double* qv = queue_value_.data() + i * J;
+      double dc_work = 0.0;
+      double queue_dot = 0.0;
+      if (need_accounts) {
+        double* ap = account_partial_.data() + i * M;
+        std::fill(ap, ap + M, 0.0);
+        for (std::size_t j = 0; j < J; ++j) {
+          const double u = xr[j];
+          dc_work += u;
+          queue_dot += qv[j] * u;
+          ap[account_of_[j]] += u;
+        }
+      } else {
+        for (std::size_t j = 0; j < J; ++j) {
+          const double u = xr[j];
+          dc_work += u;
+          queue_dot += qv[j] * u;
+        }
+      }
+      const double energy = curves_[i].smoothed_energy(dc_work, smoothing_band_[i]);
+      const double v_phi = V * obs_->prices[i];
+      const TieredTariff& tariff = config_->tariff(i);
+      if (need_value) {
+        dc_value_[i] = v_phi * tariff.smoothed_cost(energy, energy_band_[i]) - queue_dot;
+      }
+      if (need_marginal) {
+        // Chain rule through the tariff: d cost/dW = tariff'(E(W)) * E'(W).
+        marginal_scratch_[i] = v_phi * tariff.smoothed_marginal(energy, energy_band_[i]) *
+                               curves_[i].smoothed_marginal(dc_work, smoothing_band_[i]);
+      }
+    }
+  };
+  if (IntraSlotExecutor* exec = intra_slot_executor()) {
+    exec->run(num_dcs_, per_dc);
+  } else {
+    per_dc(0, ShardRange{0, num_dcs_});
+  }
+}
+
+void PerSlotProblem::merge_account_work() const {
+  const std::size_t M = num_accounts_;
+  std::fill(account_scratch_.begin(), account_scratch_.end(), 0.0);
+  for (std::size_t i = 0; i < num_dcs_; ++i) {
+    const double* ap = account_partial_.data() + i * M;
+    for (std::size_t m = 0; m < M; ++m) account_scratch_[m] += ap[m];
+  }
+}
+
 double PerSlotProblem::value(const std::vector<double>& x) const {
   GREFAR_CHECK(x.size() == num_vars());
+  const bool fair = params_.beta > 0.0 && total_resource_ > 0.0;
+  accumulate_rows(x, /*need_value=*/true, /*need_marginal=*/false,
+                  /*need_accounts=*/fair);
   double total = 0.0;
-  std::vector<double>& account_work = account_scratch_;
-  account_work.assign(config_->num_accounts(), 0.0);
-  for (std::size_t i = 0; i < num_dcs_; ++i) {
-    double dc_work = 0.0;
-    for (std::size_t j = 0; j < num_types_; ++j) {
-      double u = x[index(i, j)];
-      dc_work += u;
-      total -= queue_value_[index(i, j)] * u;
-      account_work[config_->job_types[j].account] += u;
-    }
-    double energy = curves_[i].smoothed_energy(dc_work, smoothing_band_[i]);
-    total += params_.V * obs_->prices[i] *
-             config_->tariff(i).smoothed_cost(energy, energy_band_[i]);
-  }
-  if (params_.beta > 0.0 && total_resource_ > 0.0) {
+  for (std::size_t i = 0; i < num_dcs_; ++i) total += dc_value_[i];
+  if (fair) {
+    merge_account_work();
     // -V*beta*f(u): f is the (negative) fairness score.
-    total -= params_.V * params_.beta * fairness_.score(account_work, total_resource_);
+    total -= params_.V * params_.beta * fairness_.score(account_scratch_, total_resource_);
   }
   return total;
 }
@@ -158,37 +228,38 @@ double PerSlotProblem::value(const std::vector<double>& x) const {
 void PerSlotProblem::gradient(const std::vector<double>& x,
                               std::vector<double>& out) const {
   GREFAR_CHECK(x.size() == num_vars());
-  out.assign(num_vars(), 0.0);
-  std::vector<double>& account_work = account_scratch_;
-  account_work.assign(config_->num_accounts(), 0.0);
-  std::vector<double>& dc_marginal = marginal_scratch_;
-  dc_marginal.assign(num_dcs_, 0.0);
-  for (std::size_t i = 0; i < num_dcs_; ++i) {
-    double dc_work = 0.0;
-    for (std::size_t j = 0; j < num_types_; ++j) {
-      double u = x[index(i, j)];
-      dc_work += u;
-      account_work[config_->job_types[j].account] += u;
-    }
-    double energy = curves_[i].smoothed_energy(dc_work, smoothing_band_[i]);
-    // Chain rule through the tariff: d cost/dW = tariff'(E(W)) * E'(W).
-    dc_marginal[i] = params_.V * obs_->prices[i] *
-                     config_->tariff(i).smoothed_marginal(energy, energy_band_[i]) *
-                     curves_[i].smoothed_marginal(dc_work, smoothing_band_[i]);
-  }
   const bool fair = params_.beta > 0.0 && total_resource_ > 0.0;
-  for (std::size_t i = 0; i < num_dcs_; ++i) {
-    for (std::size_t j = 0; j < num_types_; ++j) {
-      std::size_t idx = index(i, j);
-      double g = dc_marginal[i] - queue_value_[idx];
-      if (fair) {
-        AccountId m = config_->job_types[j].account;
-        // d/du of -V*beta*f = -V*beta * score_gradient.
-        g -= params_.V * params_.beta *
-             fairness_.score_gradient(account_work[m], m, total_resource_);
-      }
-      out[idx] = g;
+  accumulate_rows(x, /*need_value=*/false, /*need_marginal=*/true,
+                  /*need_accounts=*/fair);
+  out.resize(num_vars());
+  const std::size_t J = num_types_;
+  if (fair) {
+    merge_account_work();
+    for (std::size_t m = 0; m < num_accounts_; ++m) {
+      // d/du of -V*beta*f = -V*beta * score_gradient.
+      account_term_[m] = params_.V * params_.beta *
+                         fairness_.score_gradient(account_scratch_[m], m, total_resource_);
     }
+    // Scatter the M account terms to the J type columns once, so the N*J
+    // fill below is a pure stride-1 triad.
+    for (std::size_t j = 0; j < J; ++j) type_term_[j] = account_term_[account_of_[j]];
+  }
+  auto fill = [&](std::size_t, ShardRange range) {
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      const double m_i = marginal_scratch_[i];
+      const double* qv = queue_value_.data() + i * J;
+      double* out_row = out.data() + i * J;
+      if (fair) {
+        for (std::size_t j = 0; j < J; ++j) out_row[j] = m_i - qv[j] - type_term_[j];
+      } else {
+        for (std::size_t j = 0; j < J; ++j) out_row[j] = m_i - qv[j];
+      }
+    }
+  };
+  if (IntraSlotExecutor* exec = intra_slot_executor()) {
+    exec->run(num_dcs_, fill);
+  } else {
+    fill(0, ShardRange{0, num_dcs_});
   }
 }
 

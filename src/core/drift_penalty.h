@@ -21,9 +21,12 @@
 // index = i * J + j.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "core/problem_view.h"
+#include "parallel/shard.h"
 #include "sim/cluster.h"
 #include "sim/energy.h"
 #include "sim/fairness.h"
@@ -55,6 +58,17 @@ struct GreFarParams {
   /// one. Disable for A/B comparison against the historical cold start;
   /// ignored by the greedy and LP solvers, which are not iterative.
   bool warm_start_across_slots = true;
+  /// Intra-slot data parallelism: shard the per-slot rebuild, the greedy
+  /// fill and the PGD/FW gradient/value kernels across data centers on a
+  /// persistent worker pool. 1 (default) keeps the serial fast path; the
+  /// pooled path only engages when num_vars() >= intra_slot_min_vars, so
+  /// small instances never pay synchronization for kernels that take
+  /// microseconds. Decisions are bit-identical at any value (see
+  /// DESIGN.md §11: kernels write per-DC slots, merged in DC order).
+  std::size_t intra_slot_jobs = 1;
+  /// Size threshold (in N*J decision variables) below which the sharded
+  /// kernels stay inline even when intra_slot_jobs > 1.
+  std::size_t intra_slot_min_vars = 4096;
 };
 
 /// The per-slot convex program in work units u (flattened N*J vector).
@@ -62,8 +76,10 @@ struct GreFarParams {
 /// Hot-path note: a long-lived scheduler constructs one PerSlotProblem on
 /// its first slot and calls reset() on every later slot — curves, polytope,
 /// and all internal vectors are then updated in place, so steady-state
-/// problem construction is allocation-free. An instance is single-threaded;
-/// concurrent runs each own their problem.
+/// problem construction is allocation-free. An instance is single-threaded
+/// from the caller's point of view (concurrent runs each own their
+/// problem); with an intra-slot executor attached, its kernels internally
+/// fan per-DC work over the executor's pool and join before returning.
 class PerSlotProblem final : public ConvexObjective {
  public:
   PerSlotProblem(const ClusterConfig& config, const SlotObservation& obs,
@@ -89,6 +105,24 @@ class PerSlotProblem final : public ConvexObjective {
   /// Queue benefit per unit work: q_{i,j} / d_j (0 for ineligible pairs).
   double queue_value(DataCenterId i, JobTypeId j) const;
 
+  /// Flat structure-of-arrays borrow of the current slot's problem data
+  /// (see problem_view.h). Invalidated by the next reset().
+  PerSlotView view() const;
+
+  /// Attaches (or detaches, with nullptr) the executor used for intra-slot
+  /// DC sharding. Borrowed: the caller (GreFarScheduler) owns the executor
+  /// and keeps it alive for the problem's lifetime.
+  void set_intra_slot_executor(IntraSlotExecutor* executor) { executor_ = executor; }
+
+  /// The executor when the pooled path is engaged for this instance's size,
+  /// nullptr when kernels should stay serial (see GreFarParams).
+  IntraSlotExecutor* intra_slot_executor() const {
+    return (executor_ != nullptr && executor_->jobs() > 1 &&
+            num_vars() >= params_.intra_slot_min_vars)
+               ? executor_
+               : nullptr;
+  }
+
   // ConvexObjective: the h-part of eq. (14) as described above.
   double value(const std::vector<double>& x) const override;
   void gradient(const std::vector<double>& x, std::vector<double>& out) const override;
@@ -98,11 +132,24 @@ class PerSlotProblem final : public ConvexObjective {
   const SlotObservation& observation() const { return *obs_; }
 
  private:
+  /// Shared first half of value()/gradient(): per-DC row reductions of x
+  /// (work, queue-value dot, account partials) plus the per-DC energy term,
+  /// written to the dc_*_ / account_partial_ slots. Sharded across DCs when
+  /// the executor is engaged; the callers merge the slots in DC order, so
+  /// the result is bit-identical at any job count.
+  void accumulate_rows(const std::vector<double>& x, bool need_value,
+                       bool need_marginal, bool need_accounts) const;
+
+  /// Merges account_partial_ into account_scratch_ in DC order.
+  void merge_account_work() const;
+
   const ClusterConfig* config_;
   const SlotObservation* obs_;
   GreFarParams params_;
   std::size_t num_dcs_;
   std::size_t num_types_;
+  std::size_t num_accounts_;
+  IntraSlotExecutor* executor_ = nullptr;
   std::vector<EnergyCostCurve> curves_;
   std::vector<double> smoothing_band_;  // per-DC kink-blend half-width (work)
   std::vector<double> energy_band_;     // per-DC tariff-blend half-width (energy)
@@ -111,11 +158,31 @@ class PerSlotProblem final : public ConvexObjective {
   CappedBoxPolytope polytope_;
   std::vector<double> queue_value_;  // q_{i,j}/d_j, flattened
 
+  // Static SoA arrays (see problem_view.h), built once at construction.
+  std::vector<std::uint8_t> eligible_;   // [N*J] 1 iff i in D_j
+  std::vector<double> work_;             // [J] d_j
+  std::vector<double> inv_work_;         // [J] 1/d_j
+  std::vector<std::uint32_t> account_of_;  // [J]
+  std::vector<double> max_rate_;           // [J] work one job absorbs per slot
+  std::vector<std::uint8_t> rate_capped_;  // [J] 1 iff max_rate_ is finite
+  std::vector<double> speed_;            // [K]
+  std::vector<double> busy_power_;       // [K]
+  std::vector<double> energy_per_work_;  // [K]
+  bool any_rate_cap_ = false;            // any finite JobType::max_rate?
+
+  // Per-slot SoA arrays refreshed by reset().
+  std::vector<double> dc_capacity_;      // [N] curve capacity per DC
+
   // Reused scratch: value()/gradient() run every solver iteration and must
-  // not touch the heap.
-  std::vector<std::int64_t> avail_scratch_;        // one DC's availability row
-  mutable std::vector<double> account_scratch_;    // per-account work
-  mutable std::vector<double> marginal_scratch_;   // per-DC marginal cost
+  // not touch the heap. The per-DC slot arrays are what makes the sharded
+  // kernels deterministic: shard s writes only slots of its DC range, and
+  // the (serial) merge walks them in DC order regardless of shard count.
+  mutable std::vector<double> account_scratch_;    // [M] merged account work
+  mutable std::vector<double> account_partial_;    // [N*M] per-DC account work
+  mutable std::vector<double> marginal_scratch_;   // [N] per-DC marginal cost
+  mutable std::vector<double> dc_value_;           // [N] per-DC objective part
+  mutable std::vector<double> account_term_;       // [M] fairness grad term
+  mutable std::vector<double> type_term_;          // [J] account_term_[rho_j]
 };
 
 }  // namespace grefar

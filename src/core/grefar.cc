@@ -25,6 +25,9 @@ GreFarScheduler::GreFarScheduler(ClusterConfig config, GreFarParams params,
                      (solver_ == PerSlotSolver::kGreedy || solver_ == PerSlotSolver::kLp)),
                    "greedy/lp per-slot solvers ignore the fairness term; "
                    "use Frank-Wolfe or PGD when beta > 0");
+  if (params_.intra_slot_jobs > 1) {
+    intra_exec_ = std::make_unique<IntraSlotExecutor>(params_.intra_slot_jobs);
+  }
 }
 
 std::string GreFarScheduler::name() const {
@@ -61,10 +64,14 @@ void GreFarScheduler::decide_into(const SlotObservation& obs, SlotAction& action
   // Per-DC total capacity sum_k n_{i,k} s_k for this slot, computed once up
   // front (the routing tie-break below used to recompute it per tie group
   // per job type).
+  const std::size_t K = config_.num_server_types();
+  const std::int64_t* avail = obs.availability.data().data();
+  const double* dcq = obs.dc_queue.data().data();
   dc_capacity_.assign(N, 0.0);
   for (std::size_t i = 0; i < N; ++i) {
-    for (std::size_t k = 0; k < config_.num_server_types(); ++k) {
-      dc_capacity_[i] += static_cast<double>(obs.availability(i, k)) *
+    const std::int64_t* avail_row = avail + i * K;
+    for (std::size_t k = 0; k < K; ++k) {
+      dc_capacity_[i] += static_cast<double>(avail_row[k]) *
                          config_.server_types[k].speed;
     }
   }
@@ -75,7 +82,7 @@ void GreFarScheduler::decide_into(const SlotObservation& obs, SlotAction& action
     std::vector<std::size_t>& beneficial = beneficial_;
     beneficial.clear();
     for (DataCenterId i : config_.job_types[j].eligible_dcs) {
-      const bool negative_weight = obs.dc_queue(i, j) < Q;
+      const bool negative_weight = dcq[i * J + j] < Q;
       if (scope != nullptr) {
         if (negative_weight) {
           ++scope->drift_weights_negative;
@@ -87,7 +94,7 @@ void GreFarScheduler::decide_into(const SlotObservation& obs, SlotAction& action
     }
     if (beneficial.empty()) continue;
     std::sort(beneficial.begin(), beneficial.end(), [&](std::size_t a, std::size_t b) {
-      return obs.dc_queue(a, j) < obs.dc_queue(b, j);
+      return dcq[a * J + j] < dcq[b * J + j];
     });
     if (params_.clamp_to_queue) {
       // Distribute the queued jobs, shortest destination queue first. DCs
@@ -104,8 +111,7 @@ void GreFarScheduler::decide_into(const SlotObservation& obs, SlotAction& action
       while (g < beneficial.size() && available > 0.0) {
         std::size_t g_end = g + 1;
         while (g_end < beneficial.size() &&
-               obs.dc_queue(beneficial[g_end], j) <=
-                   obs.dc_queue(beneficial[g], j) + 1e-9) {
+               dcq[beneficial[g_end] * J + j] <= dcq[beneficial[g] * J + j] + 1e-9) {
           ++g_end;
         }
         tie_members_.clear();
@@ -142,24 +148,44 @@ void GreFarScheduler::decide_into(const SlotObservation& obs, SlotAction& action
   // a structural one-slot service lag.
   const SlotObservation* problem_obs = &obs;
   if (params_.process_after_routing) {
-    routed_obs_ = obs;
-    for (std::size_t j = 0; j < J; ++j) {
-      for (std::size_t i = 0; i < N; ++i) {
-        routed_obs_.dc_queue(i, j) += action.route(i, j);
-      }
+    routed_obs_.slot = obs.slot;
+    routed_obs_.prices = obs.prices;
+    routed_obs_.availability = obs.availability;
+    routed_obs_.central_queue = obs.central_queue;
+    if (routed_obs_.dc_queue.rows() != N || routed_obs_.dc_queue.cols() != J) {
+      routed_obs_.dc_queue = MatrixD(N, J);
     }
+    // Post-routing queues in one fused flat pass (the copy-then-add over
+    // checked accessors this replaces was a visible slice of the per-slot
+    // cost at 100+ DCs).
+    const double* route = action.route.data().data();
+    double* routed_q = routed_obs_.dc_queue.data().data();
+    for (std::size_t idx = 0; idx < N * J; ++idx) routed_q[idx] = dcq[idx] + route[idx];
     problem_obs = &routed_obs_;
   }
   if (problem_.has_value()) {
     problem_->reset(*problem_obs);
   } else {
     problem_.emplace(config_, *problem_obs, params_);
+    problem_->set_intra_slot_executor(intra_exec_.get());
+    if (intra_exec_ != nullptr) {
+      // The executor was not attached yet during the emplace above; redo the
+      // first reset so even slot 0 takes the sharded path (keeps decisions
+      // trivially identical between the first and every later slot).
+      problem_->reset(*problem_obs);
+    }
   }
   solve_per_slot_into(*problem_, solver_, u_, &solver_scratch_);
+  const PerSlotView v = problem_->view();
+  double* proc = action.process.data().data();
+  const double h_max = params_.h_max;
   for (std::size_t i = 0; i < N; ++i) {
+    const double* u_row = u_.data() + i * J;
+    double* proc_row = proc + i * J;
     for (std::size_t j = 0; j < J; ++j) {
-      double h = u_[problem_->index(i, j)] / config_.job_types[j].work;
-      action.process(i, j) = std::min(h, params_.h_max);
+      // Keep the division by d_j (not a reciprocal multiply): the engine and
+      // auditor recompute h * d_j and expect the exact same values.
+      proc_row[j] = std::min(u_row[j] / v.work[j], h_max);
     }
   }
 }

@@ -59,6 +59,12 @@ class GreFarScheduler final : public Scheduler {
   GreFarParams params_;
   PerSlotSolver solver_;
 
+  // Worker pool for intra-slot DC sharding (params_.intra_slot_jobs > 1);
+  // null when the scheduler runs fully serial. Owned here so the pool
+  // persists across slots — the sharded kernels run thousands of times per
+  // second and cannot afford per-slot thread spawns.
+  std::unique_ptr<IntraSlotExecutor> intra_exec_;
+
   // Per-slot scratch, constructed lazily on the first decide and reused
   // thereafter. A scheduler instance is single-threaded (one simulation).
   std::optional<PerSlotProblem> problem_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "obs/counters.h"
 #include "util/check.h"
@@ -23,24 +24,18 @@ namespace {
 /// Rebuilds the sorted energy-cost piece list for DC `i` if (and only if)
 /// its availability row changed since the pieces were last built. Pieces
 /// store the price-free base cost, so price movement never invalidates.
-void refresh_pieces(const PerSlotProblem& problem, std::size_t i,
-                    PerSlotSolverScratch& scratch) {
+/// Returns true when the list was actually rebuilt.
+bool refresh_pieces(const PerSlotProblem& problem, const PerSlotView& v,
+                    std::size_t i, PerSlotSolverScratch& scratch) {
   const auto& config = problem.config();
-  const auto& obs = problem.observation();
-  const std::size_t K = config.num_server_types();
+  const std::size_t K = v.num_servers;
+  const std::int64_t* avail_row = v.availability + i * K;
   auto& cached = scratch.cached_avail[i];
-  bool fresh = cached.size() == K;
-  if (fresh) {
-    for (std::size_t k = 0; k < K; ++k) {
-      if (cached[k] != obs.availability(i, k)) {
-        fresh = false;
-        break;
-      }
-    }
+  if (cached.size() == K &&
+      std::memcmp(cached.data(), avail_row, K * sizeof(std::int64_t)) == 0) {
+    return false;
   }
-  if (fresh) return;
-  cached.resize(K);
-  for (std::size_t k = 0; k < K; ++k) cached[k] = obs.availability(i, k);
+  cached.assign(avail_row, avail_row + K);
 
   // Filling cheapest energy-per-work servers first minimizes E(W), hence
   // also tariff(E(W)) (tariff increasing); subdividing each curve segment at
@@ -76,6 +71,7 @@ void refresh_pieces(const PerSlotProblem& problem, std::size_t i,
       seg_work_left -= work_to_boundary;
     }
   }
+  return true;
 }
 
 /// Chooses the x0 for an iterative (FW/PGD) solve: the previous slot's
@@ -106,56 +102,114 @@ std::vector<double> solve_per_slot_greedy(const PerSlotProblem& problem) {
 
 void solve_per_slot_greedy_into(const PerSlotProblem& problem, std::vector<double>& u,
                                 PerSlotSolverScratch* scratch) {
-  const auto& config = problem.config();
-  const auto& obs = problem.observation();
-  const std::size_t N = config.num_data_centers();
-  const std::size_t J = config.num_job_types();
+  const PerSlotView v = problem.view();
+  const std::size_t N = v.num_dcs;
+  const std::size_t J = v.num_types;
   const double V = problem.params().V;
 
   PerSlotSolverScratch local;
   PerSlotSolverScratch& ws = scratch ? *scratch : local;
   ws.pieces.resize(N);
   ws.cached_avail.resize(N);
+  ws.demand_cache.resize(N);
+  ws.cached_qv.resize(N);
+  ws.cached_ub.resize(N);
+  IntraSlotExecutor* exec = problem.intra_slot_executor();
+  const std::size_t shards =
+      exec != nullptr ? std::min(exec->jobs(), std::max<std::size_t>(N, 1)) : 1;
+  if (ws.fill_demands.size() < shards) ws.fill_demands.resize(shards);
+  ws.count_stage.assign(shards * 4, 0);
 
   u.assign(problem.num_vars(), 0.0);
-  for (std::size_t i = 0; i < N; ++i) {
-    // Job demands with positive queue value, most valuable first.
-    auto& demands = ws.demands;
-    demands.clear();
-    for (std::size_t j = 0; j < J; ++j) {
-      double ub = problem.polytope().upper_bounds()[problem.index(i, j)];
-      double v = problem.queue_value(i, j);
-      if (ub > 0.0 && v > 0.0) demands.push_back({j, v, ub});
-    }
-    std::sort(demands.begin(), demands.end(),
-              [](const PerSlotSolverScratch::Demand& a,
-                 const PerSlotSolverScratch::Demand& b) { return a.value > b.value; });
-
-    // Server pieces, cheapest marginal-cost-per-work first (cached across
-    // slots; see refresh_pieces).
-    refresh_pieces(problem, i, ws);
-    const double price_scale = V * obs.prices[i];
-
-    std::size_t d_idx = 0;
-    for (const auto& piece : ws.pieces[i]) {
-      double piece_remaining = piece.capacity;
-      double unit_cost = price_scale * piece.base_cost;
-      while (piece_remaining > 1e-12 && d_idx < demands.size()) {
-        PerSlotSolverScratch::Demand& d = demands[d_idx];
-        if (d.value <= unit_cost) {
-          // Demands are sorted descending and pieces are non-decreasing in
-          // cost, so no remaining pair is profitable.
-          d_idx = demands.size();
-          break;
+  auto fill_dc = [&](std::size_t shard, ShardRange range) {
+    std::uint64_t demand_sorts = 0;
+    std::uint64_t demand_reuses = 0;
+    std::uint64_t piece_rebuilds = 0;
+    std::uint64_t piece_reuses = 0;
+    auto& demands = ws.fill_demands[shard];
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      // Job demands with positive queue value, most valuable first. The
+      // sorted list is cached per DC, keyed on the (queue-value, bound)
+      // rows: a slot where only prices moved leaves both rows untouched and
+      // reuses the order outright (prices rescale every piece of a DC
+      // equally, so neither list can reorder — see DESIGN.md §11).
+      const double* qv_row = v.queue_value + i * J;
+      const double* ub_row = v.upper_bounds + i * J;
+      auto& key_qv = ws.cached_qv[i];
+      auto& key_ub = ws.cached_ub[i];
+      auto& cache = ws.demand_cache[i];
+      const bool fresh =
+          key_qv.size() == J &&
+          std::memcmp(key_qv.data(), qv_row, J * sizeof(double)) == 0 &&
+          std::memcmp(key_ub.data(), ub_row, J * sizeof(double)) == 0;
+      if (!fresh) {
+        key_qv.assign(qv_row, qv_row + J);
+        key_ub.assign(ub_row, ub_row + J);
+        cache.clear();
+        for (std::size_t j = 0; j < J; ++j) {
+          if (ub_row[j] > 0.0 && qv_row[j] > 0.0) cache.push_back({j, qv_row[j], ub_row[j]});
         }
-        double take = std::min(piece_remaining, d.remaining);
-        u[problem.index(i, d.j)] += take;
-        piece_remaining -= take;
-        d.remaining -= take;
-        if (d.remaining <= 1e-12) ++d_idx;
+        std::sort(cache.begin(), cache.end(),
+                  [](const PerSlotSolverScratch::Demand& a,
+                     const PerSlotSolverScratch::Demand& b) { return a.value > b.value; });
+        ++demand_sorts;
+      } else {
+        ++demand_reuses;
       }
-      if (d_idx >= demands.size()) break;
+      // The cache entry stays immutable (it must survive the fill for the
+      // next slot's key check); the merge consumes a per-shard working copy.
+      demands.assign(cache.begin(), cache.end());
+
+      // Server pieces, cheapest marginal-cost-per-work first (cached across
+      // slots; see refresh_pieces).
+      if (refresh_pieces(problem, v, i, ws)) ++piece_rebuilds; else ++piece_reuses;
+      const double price_scale = V * v.prices[i];
+
+      double* u_row = u.data() + i * J;
+      std::size_t d_idx = 0;
+      for (const auto& piece : ws.pieces[i]) {
+        double piece_remaining = piece.capacity;
+        double unit_cost = price_scale * piece.base_cost;
+        while (piece_remaining > 1e-12 && d_idx < demands.size()) {
+          PerSlotSolverScratch::Demand& d = demands[d_idx];
+          if (d.value <= unit_cost) {
+            // Demands are sorted descending and pieces are non-decreasing in
+            // cost, so no remaining pair is profitable.
+            d_idx = demands.size();
+            break;
+          }
+          double take = std::min(piece_remaining, d.remaining);
+          u_row[d.j] += take;
+          piece_remaining -= take;
+          d.remaining -= take;
+          if (d.remaining <= 1e-12) ++d_idx;
+        }
+        if (d_idx >= demands.size()) break;
+      }
     }
+    ws.count_stage[shard * 4 + 0] = demand_sorts;
+    ws.count_stage[shard * 4 + 1] = demand_reuses;
+    ws.count_stage[shard * 4 + 2] = piece_rebuilds;
+    ws.count_stage[shard * 4 + 3] = piece_reuses;
+  };
+  if (exec != nullptr) {
+    exec->run(N, fill_dc);
+  } else {
+    fill_dc(0, ShardRange{0, N});
+  }
+
+  // Flush the staged counters from the calling thread (pool workers carry
+  // their own, usually inactive, registries). Totals are sums of per-DC
+  // events, so they are identical at any intra_slot_jobs.
+  if (obs::counting()) {
+    std::uint64_t totals[4] = {0, 0, 0, 0};
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (std::size_t c = 0; c < 4; ++c) totals[c] += ws.count_stage[s * 4 + c];
+    }
+    if (totals[0] != 0) obs::count("per_slot.demand_sorts", totals[0]);
+    if (totals[1] != 0) obs::count("per_slot.demand_sort_reuses", totals[1]);
+    if (totals[2] != 0) obs::count("per_slot.piece_rebuilds", totals[2]);
+    if (totals[3] != 0) obs::count("per_slot.piece_reuses", totals[3]);
   }
 }
 

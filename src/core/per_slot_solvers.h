@@ -29,13 +29,22 @@ enum class PerSlotSolver {
 std::string to_string(PerSlotSolver solver);
 
 /// Reusable scratch for the per-slot solvers. A long-lived scheduler keeps
-/// one instance and passes it to every solve: the greedy's demand list and
-/// its per-DC sorted energy-cost piece lists are then reused across slots.
-/// Pieces store `base_cost = tariff_rate * energy_per_work` with the
-/// (positive) V * phi price factor divided out, so a DC's piece list only
-/// has to be rebuilt when its *availability row* changes — price moves
-/// rescale every piece equally and cannot reorder them. An instance is tied
-/// to one cluster config (server types + tariffs) and is single-threaded.
+/// one instance and passes it to every solve: both sides of the greedy's
+/// two-list merge are cached per data center and only rebuilt when their
+/// inputs actually move (see DESIGN.md §11):
+///
+///   * Pieces store `base_cost = tariff_rate * energy_per_work` with the
+///     (positive) V * phi price factor divided out, so a DC's piece list is
+///     rebuilt only when its *availability row* changes — price moves
+///     rescale every piece equally and cannot reorder them.
+///   * Demands (job types with positive queue value, sorted descending) are
+///     keyed on the DC's (queue-value, upper-bound) rows; a prices-only
+///     slot leaves both untouched and reuses the sorted order outright.
+///
+/// An instance is tied to one cluster config (server types + tariffs). It is
+/// single-threaded from the caller's side; with an intra-slot executor the
+/// greedy fill shards across DCs internally, which is why the fill working
+/// copies are per *shard* (each cache entry stays immutable during a fill).
 struct PerSlotSolverScratch {
   struct Piece {
     double capacity;   // work units
@@ -46,9 +55,17 @@ struct PerSlotSolverScratch {
     double value;      // q_{i,j} / d_j
     double remaining;  // ub on work units
   };
-  std::vector<Demand> demands;
   std::vector<std::vector<Piece>> pieces;               // [dc], sorted by cost
   std::vector<std::vector<std::int64_t>> cached_avail;  // [dc] row pieces were built for
+  std::vector<std::vector<Demand>> demand_cache;  // [dc] sorted desc by value
+  std::vector<std::vector<double>> cached_qv;     // [dc] queue-value row key
+  std::vector<std::vector<double>> cached_ub;     // [dc] upper-bound row key
+  std::vector<std::vector<Demand>> fill_demands;  // [shard] fill working copy
+  /// Per-shard staging slots for the cache-hit counters: pool workers have
+  /// their own (usually inactive) thread-local registries, so the sharded
+  /// fill records here and the calling thread flushes the totals once per
+  /// solve — counter values stay identical at any intra_slot_jobs.
+  std::vector<std::uint64_t> count_stage;
   std::vector<double> warm;                             // FW/PGD warm start
   /// Previous slot's FW/PGD solution; with params.warm_start_across_slots
   /// the next solve starts here (the solvers project it onto the current

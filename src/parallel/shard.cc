@@ -1,0 +1,46 @@
+#include "parallel/shard.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace grefar {
+
+ShardRange shard_range(std::size_t n, std::size_t shards, std::size_t shard) {
+  shards = std::clamp<std::size_t>(shards, 1, std::max<std::size_t>(n, 1));
+  GREFAR_CHECK(shard < shards);
+  const std::size_t base = n / shards;
+  const std::size_t extra = n % shards;
+  const std::size_t begin = shard * base + std::min(shard, extra);
+  return {begin, begin + base + (shard < extra ? 1 : 0)};
+}
+
+IntraSlotExecutor::IntraSlotExecutor(std::size_t jobs) : jobs_(std::max<std::size_t>(jobs, 1)) {}
+
+IntraSlotExecutor::~IntraSlotExecutor() = default;
+
+void IntraSlotExecutor::run(std::size_t n,
+                            const std::function<void(std::size_t, ShardRange)>& kernel) {
+  const std::size_t shards = std::clamp<std::size_t>(jobs_, 1, std::max<std::size_t>(n, 1));
+  if (shards <= 1) {
+    kernel(0, ShardRange{0, n});
+    return;
+  }
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(jobs_);
+  errors_.assign(shards, nullptr);
+  for (std::size_t s = 0; s < shards; ++s) {
+    pool_->submit([this, &kernel, n, shards, s] {
+      try {
+        kernel(s, shard_range(n, shards, s));
+      } catch (...) {
+        errors_[s] = std::current_exception();
+      }
+    });
+  }
+  pool_->wait_idle();
+  for (auto& e : errors_) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace grefar

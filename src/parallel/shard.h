@@ -1,0 +1,70 @@
+// IntraSlotExecutor: fixed-shard fan-out for *within-slot* data parallelism.
+//
+// SimRunner parallelizes across whole simulation runs and builds a fresh
+// ThreadPool per call — milliseconds of task make that amortize trivially.
+// The per-slot hot path cannot afford either: a GreFar decision at large
+// N x K calls its sharded kernels (greedy fill, PGD/FW gradient passes)
+// thousands of times per second, so this executor keeps one persistent pool
+// and hands out index *ranges* instead of closures per element.
+//
+// Determinism contract (same discipline as SimRunner and the lookahead
+// frames): the executor never reduces anything itself. Kernels write to
+// per-data-center slots (disjoint ranges of a shared output, or per-DC
+// partial accumulators), and the caller merges the partials serially in DC
+// index order. Because the merge order is a property of the *data layout*,
+// not of the shard boundaries or worker count, results are bit-identical at
+// any `jobs` value — including jobs = 1, which runs the same kernel inline
+// with no pool at all.
+//
+// A kernel that throws poisons only its shard; run() rethrows the first
+// failure in shard order after every shard finished.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+
+#include "parallel/thread_pool.h"
+
+namespace grefar {
+
+/// Half-open index range [begin, end) a shard owns.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+};
+
+/// Splits [0, n) into `shards` near-equal contiguous ranges (the first
+/// n % shards ranges get one extra element). `shards` is clamped to [1, n]
+/// so no range is empty (n == 0 yields a single empty range).
+ShardRange shard_range(std::size_t n, std::size_t shards, std::size_t shard);
+
+class IntraSlotExecutor {
+ public:
+  /// `jobs` <= 1 never creates a pool: run() executes inline. Larger values
+  /// spawn jobs workers once, reused for every subsequent run().
+  explicit IntraSlotExecutor(std::size_t jobs);
+  ~IntraSlotExecutor();
+
+  IntraSlotExecutor(const IntraSlotExecutor&) = delete;
+  IntraSlotExecutor& operator=(const IntraSlotExecutor&) = delete;
+
+  std::size_t jobs() const { return jobs_; }
+
+  /// Runs `kernel(shard, range)` for every shard of [0, n), blocking until
+  /// all complete. Inline (in shard order) when jobs <= 1 or n is small
+  /// enough that splitting cannot pay; on the pool otherwise. The kernel
+  /// must only write state owned by its range (disjoint output rows /
+  /// per-index partial slots) — see the determinism contract above.
+  void run(std::size_t n,
+           const std::function<void(std::size_t, ShardRange)>& kernel);
+
+ private:
+  std::size_t jobs_;
+  std::unique_ptr<ThreadPool> pool_;  // created lazily on first pooled run
+  std::vector<std::exception_ptr> errors_;  // one slot per shard, reused
+};
+
+}  // namespace grefar

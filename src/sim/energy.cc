@@ -15,8 +15,13 @@ EnergyCostCurve::EnergyCostCurve(const std::vector<ServerType>& server_types,
 
 void EnergyCostCurve::rebuild(const std::vector<ServerType>& server_types,
                               const std::vector<std::int64_t>& available) {
+  rebuild(server_types, available.data(), available.size());
+}
+
+void EnergyCostCurve::rebuild(const std::vector<ServerType>& server_types,
+                              const std::int64_t* available, std::size_t count) {
   GREFAR_CHECK(!server_types.empty());
-  GREFAR_CHECK(available.size() == server_types.size());
+  GREFAR_CHECK(count == server_types.size());
   num_types_ = server_types.size();
   segments_.clear();
   capacity_ = 0.0;

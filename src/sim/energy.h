@@ -35,6 +35,13 @@ class EnergyCostCurve {
   void rebuild(const std::vector<ServerType>& server_types,
                const std::vector<std::int64_t>& available);
 
+  /// Pointer-row overload for callers whose availability lives in a flat
+  /// row-major matrix (the per-slot problem resets straight from the
+  /// observation row, no staging copy). `available` points at `count`
+  /// entries; `count` must equal the server-type count.
+  void rebuild(const std::vector<ServerType>& server_types,
+               const std::int64_t* available, std::size_t count);
+
   /// Total processing capacity: sum_k n_k * s_k (work units this slot).
   double capacity() const { return capacity_; }
 

@@ -20,7 +20,18 @@ void CappedBoxPolytope::add_group(std::vector<std::size_t> indices, double cap) 
     GREFAR_CHECK_MSG(!grouped_[j], "variable " << j << " already in a group");
     grouped_[j] = true;
   }
-  groups_.push_back({std::move(indices), cap});
+  Group g;
+  g.cap = cap;
+  g.contiguous = !indices.empty();
+  for (std::size_t k = 0; k + 1 < indices.size() && g.contiguous; ++k) {
+    g.contiguous = indices[k + 1] == indices[k] + 1;
+  }
+  if (g.contiguous) {
+    g.begin = indices.front();
+    g.end = indices.back() + 1;
+  }
+  g.indices = std::move(indices);
+  groups_.push_back(std::move(g));
 }
 
 void CappedBoxPolytope::set_upper_bound(std::size_t j, double ub) {
@@ -50,39 +61,70 @@ bool CappedBoxPolytope::contains(const std::vector<double>& x, double tol) const
 
 void CappedBoxPolytope::project_group(const Group& g, std::vector<double>& x) const {
   // KKT: the projection is clamp(y - lambda, 0, ub) for the smallest
-  // lambda >= 0 satisfying the cap. Keep the *original* y values for the
-  // bisection — clamping first would change the solution for y_j > ub_j.
-  std::vector<double>& y = group_y_;
-  y.clear();
-  y.reserve(g.indices.size());
-  for (std::size_t j : g.indices) y.push_back(x[j]);
+  // lambda >= 0 satisfying the cap. The group's x entries still hold the
+  // *original* y values (project_into clamps only ungrouped variables), and
+  // every pass below reads before it writes, so the bisection can run
+  // straight off x — no staging copy.
+  //
+  // Contiguous fast path: stride-1 loops over raw pointers, branch-free
+  // clamps — these are the inner loops of every PGD iteration at N*J
+  // variables, and the compiler vectorizes them only without the indices
+  // indirection.
+  if (g.contiguous) {
+    double* xs = x.data() + g.begin;
+    const double* ub = ub_.data() + g.begin;
+    const std::size_t count = g.end - g.begin;
+    double sum0 = 0.0;
+    double hi = 0.0;
+    for (std::size_t k = 0; k < count; ++k) {
+      sum0 += std::clamp(xs[k], 0.0, ub[k]);
+      hi = std::max(hi, xs[k]);
+    }
+    if (sum0 <= g.cap) {
+      for (std::size_t k = 0; k < count; ++k) xs[k] = std::clamp(xs[k], 0.0, ub[k]);
+      return;
+    }
+    // sum(lambda) is non-increasing and reaches 0 at max(y); bisect, exiting
+    // early once the bracket is resolved to ~1e-12 relative (the historical
+    // fixed 100 rounds kept bisecting long past double resolution).
+    double lo = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      double s = 0.0;
+      for (std::size_t k = 0; k < count; ++k) s += std::clamp(xs[k] - mid, 0.0, ub[k]);
+      if (s > g.cap) lo = mid;
+      else hi = mid;
+      if (hi - lo <= 1e-12 * (1.0 + hi)) break;
+    }
+    const double lambda = 0.5 * (lo + hi);
+    for (std::size_t k = 0; k < count; ++k) {
+      xs[k] = std::clamp(xs[k] - lambda, 0.0, ub[k]);
+    }
+    return;
+  }
 
   auto sum_at = [&](double lambda) {
     double s = 0.0;
-    for (std::size_t k = 0; k < y.size(); ++k) {
-      s += std::clamp(y[k] - lambda, 0.0, ub_[g.indices[k]]);
+    for (std::size_t j : g.indices) {
+      s += std::clamp(x[j] - lambda, 0.0, ub_[j]);
     }
     return s;
   };
   if (sum_at(0.0) <= g.cap) {
-    for (std::size_t k = 0; k < y.size(); ++k) {
-      x[g.indices[k]] = std::clamp(y[k], 0.0, ub_[g.indices[k]]);
-    }
+    for (std::size_t j : g.indices) x[j] = std::clamp(x[j], 0.0, ub_[j]);
     return;
   }
-  // sum_at is non-increasing in lambda and reaches 0 at max(y); bisect.
   double lo = 0.0;
   double hi = 0.0;
-  for (double v : y) hi = std::max(hi, v);
+  for (std::size_t j : g.indices) hi = std::max(hi, x[j]);
   for (int iter = 0; iter < 100; ++iter) {
     double mid = 0.5 * (lo + hi);
     if (sum_at(mid) > g.cap) lo = mid;
     else hi = mid;
+    if (hi - lo <= 1e-12 * (1.0 + hi)) break;
   }
   double lambda = 0.5 * (lo + hi);
-  for (std::size_t k = 0; k < y.size(); ++k) {
-    x[g.indices[k]] = std::clamp(y[k] - lambda, 0.0, ub_[g.indices[k]]);
-  }
+  for (std::size_t j : g.indices) x[j] = std::clamp(x[j] - lambda, 0.0, ub_[j]);
 }
 
 std::vector<double> CappedBoxPolytope::project(const std::vector<double>& y) const {
@@ -118,14 +160,38 @@ void CappedBoxPolytope::minimize_linear_into(const std::vector<double>& c,
     if (!grouped_[j] && c[j] < 0.0) out[j] = ub_[j];
   }
   for (const auto& g : groups_) {
-    // Fractional greedy: fill by ascending cost while cost < 0 and cap remains.
+    // Fractional greedy: fill by ascending cost while cost < 0 and cap
+    // remains. Only negative-cost variables can enter the solution, so
+    // first scan for them (stride-1 on the contiguous fast path) — and if
+    // their bounds cannot even reach the cap, the fill order is irrelevant
+    // and the sort is skipped entirely.
     std::vector<std::size_t>& order = lmo_order_;
-    order.assign(g.indices.begin(), g.indices.end());
+    order.clear();
+    double neg_ub = 0.0;
+    if (g.contiguous) {
+      for (std::size_t j = g.begin; j < g.end; ++j) {
+        if (c[j] < 0.0) {
+          order.push_back(j);
+          neg_ub += ub_[j];
+        }
+      }
+    } else {
+      for (std::size_t j : g.indices) {
+        if (c[j] < 0.0) {
+          order.push_back(j);
+          neg_ub += ub_[j];
+        }
+      }
+    }
+    if (neg_ub <= g.cap) {
+      for (std::size_t j : order) out[j] = ub_[j];
+      continue;
+    }
     std::sort(order.begin(), order.end(),
               [&](std::size_t a, std::size_t b) { return c[a] < c[b]; });
     double remaining = g.cap;
     for (std::size_t j : order) {
-      if (c[j] >= 0.0 || remaining <= 0.0) break;
+      if (remaining <= 0.0) break;
       double take = std::min(ub_[j], remaining);
       out[j] = take;
       remaining -= take;

@@ -32,6 +32,12 @@ class CappedBoxPolytope {
   void set_upper_bound(std::size_t j, double ub);
   void set_group_cap(std::size_t g, double cap);
 
+  /// Mutable flat bound array for callers that rewrite *every* bound each
+  /// slot (the per-slot problem's fused reset). The caller is responsible
+  /// for keeping entries >= 0; set_upper_bound() remains the checked path
+  /// for one-off edits.
+  double* mutable_upper_bounds() { return ub_.data(); }
+
   /// True if x satisfies all bounds and caps within `tol`.
   bool contains(const std::vector<double>& x, double tol = 1e-9) const;
 
@@ -57,6 +63,13 @@ class CappedBoxPolytope {
   struct Group {
     std::vector<std::size_t> indices;
     double cap;
+    // Detected at add_group: when the indices are the ascending run
+    // [begin, end) — true for every per-slot problem group, where DC i owns
+    // variables i*J .. i*J+J-1 — the oracles take stride-1 fast paths on
+    // raw pointers instead of chasing the indices indirection.
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    bool contiguous = false;
   };
 
   void project_group(const Group& g, std::vector<double>& x) const;
@@ -68,7 +81,6 @@ class CappedBoxPolytope {
   // Scratch reused by the oracles (hot path: every solver iteration). Makes
   // a polytope instance single-threaded, like the rest of the repo's
   // lazily-caching objects; concurrent runs each own their instances.
-  mutable std::vector<double> group_y_;        // project_group working copy
   mutable std::vector<std::size_t> lmo_order_; // minimize_linear sort order
 };
 

@@ -50,13 +50,31 @@ PgdResult minimize_projected_gradient(const ConvexObjective& objective,
       for (std::size_t j = 0; j < n; ++j) projected[j] = x[j] - trial_step * grad[j];
       polytope.project_into(projected, candidate);
       ++projections;
+      // Tiny-move shortcut, checked *before* paying for an objective
+      // evaluation: ||proj(x - t*grad) - x|| is non-decreasing in t, so a
+      // negligible move at the current step means every smaller backtracking
+      // step moves even less — and at the full (never-shrinking) first step
+      // it means the projected gradient itself vanishes, i.e. stationarity.
+      // Without this, a solve warm-started at the optimum burned the whole
+      // backtracking schedule on objective evaluations that could not
+      // improve, then repeated it across the stall loop.
+      double move = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        move += (candidate[j] - x[j]) * (candidate[j] - x[j]);
+      }
+      if (std::sqrt(move) < options.tolerance) {
+        if (bt == 0) {
+          result.converged = true;
+          result.x = std::move(best_x);
+          result.objective = best_f;
+          flush_counters(result);
+          return result;
+        }
+        break;  // smaller steps cannot move either; go probe stationarity
+      }
       double fc = objective.value(candidate);
       if (fc < fx - 1e-15) {
         // Accept; allow the step to grow again slowly.
-        double move = 0.0;
-        for (std::size_t j = 0; j < n; ++j) {
-          move += (candidate[j] - x[j]) * (candidate[j] - x[j]);
-        }
         x.swap(candidate);
         fx = fc;
         if (fx < best_f) {
@@ -66,13 +84,6 @@ PgdResult minimize_projected_gradient(const ConvexObjective& objective,
         step = trial_step * 1.5;
         improved = true;
         stall_count = 0;
-        if (std::sqrt(move) < options.tolerance) {
-          result.converged = true;
-          result.x = std::move(best_x);
-          result.objective = best_f;
-          flush_counters(result);
-          return result;
-        }
         break;
       }
       trial_step *= options.backtrack_factor;

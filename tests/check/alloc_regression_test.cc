@@ -110,5 +110,15 @@ TEST(AllocRegression, PgdSteadyStateStaysWithinBaseline) {
       << "); find the new allocation or re-baseline BENCH_baseline.json";
 }
 
+TEST(AllocRegression, LpSteadyStateStaysWithinBaseline) {
+  const double limit = baseline("grefar_lp") * 1.1;
+  ASSERT_GT(limit, 0.0);
+  const double measured = measure_allocs_per_slot(PerSlotSolver::kLp, 0.0);
+  EXPECT_LE(measured, limit)
+      << "LP hot path now allocates " << measured
+      << " times per slot (baseline allows " << limit
+      << "); find the new allocation or re-baseline BENCH_baseline.json";
+}
+
 }  // namespace
 }  // namespace grefar
