@@ -2,12 +2,15 @@
 // capped-box oracles, the energy curve, and a full simulation step.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "baselines/baselines.h"
 #include "core/grefar.h"
 #include "scenario/paper_scenario.h"
 #include "sim/engine.h"
+#include "sim/fairness.h"
 #include "solver/capped_box.h"
 #include "solver/lp.h"
 #include "util/rng.h"
@@ -139,6 +142,48 @@ void BM_CappedBoxLmo(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CappedBoxLmo)->Arg(8)->Arg(64)->Arg(512);
+
+/// Sparse-fairness kernels at account scale (DESIGN.md §12). The dense score
+/// walks all M accounts; the active-set score walks only the ~10^3 that
+/// received work. Both produce bitwise-identical values (sim/fairness.h);
+/// this pair exists to record the cost gap, so the args are {M, active}.
+FairnessFunction fairness_for(std::size_t m) {
+  std::vector<double> gamma(m, 1.0 / static_cast<double>(m));
+  return FairnessFunction(std::move(gamma));
+}
+
+void BM_FairnessScore(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto active = static_cast<std::size_t>(state.range(1));
+  FairnessFunction f = fairness_for(m);
+  Rng rng(31);
+  std::vector<double> r(m, 0.0);
+  for (std::size_t a = 0; a < active; ++a) {
+    r[(m / active) * a] = rng.uniform(0.0, 2.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.score(r, 1000.0));
+  }
+}
+BENCHMARK(BM_FairnessScore)->Args({100000, 1000})->Args({1000000, 1000});
+
+void BM_FairnessScoreActive(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto active = static_cast<std::size_t>(state.range(1));
+  FairnessFunction f = fairness_for(m);
+  Rng rng(31);
+  std::vector<std::uint32_t> ids;
+  std::vector<double> r_active;
+  for (std::size_t a = 0; a < active; ++a) {
+    ids.push_back(static_cast<std::uint32_t>((m / active) * a));
+    r_active.push_back(rng.uniform(0.0, 2.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.score_active(ids.data(), r_active.data(), ids.size(), 1000.0));
+  }
+}
+BENCHMARK(BM_FairnessScoreActive)->Args({100000, 1000})->Args({1000000, 1000});
 
 void BM_EnergyCurve(benchmark::State& state) {
   std::vector<ServerType> types;

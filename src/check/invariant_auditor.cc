@@ -7,6 +7,15 @@
 
 namespace grefar {
 
+namespace {
+/// Null-checks the shared config before the member-init list dereferences it.
+std::shared_ptr<const ClusterConfig> require_config(
+    std::shared_ptr<const ClusterConfig> config) {
+  GREFAR_CHECK_MSG(config != nullptr, "InvariantAuditor needs a cluster config");
+  return config;
+}
+}  // namespace
+
 std::string to_string(InvariantKind kind) {
   switch (kind) {
     case InvariantKind::kActionShape: return "action-shape";
@@ -37,8 +46,15 @@ std::string InvariantViolation::to_string() const {
 }
 
 InvariantAuditor::InvariantAuditor(ClusterConfig config, InvariantAuditorOptions options)
-    : config_(std::move(config)), options_(options), fairness_fn_(config_.gammas()) {
-  config_.validate();
+    : InvariantAuditor(std::make_shared<const ClusterConfig>(std::move(config)),
+                       options) {}
+
+InvariantAuditor::InvariantAuditor(std::shared_ptr<const ClusterConfig> config,
+                                   InvariantAuditorOptions options)
+    : config_(require_config(std::move(config))),
+      options_(options),
+      fairness_fn_(config_->gammas()) {
+  config_->validate();
   GREFAR_CHECK_MSG(options_.tolerance >= 0.0, "auditor tolerance must be >= 0");
 }
 
@@ -95,9 +111,9 @@ std::string InvariantAuditor::report() const {
 }
 
 void InvariantAuditor::inspect(const SlotRecord& record) {
-  const std::size_t N = config_.num_data_centers();
-  const std::size_t J = config_.num_job_types();
-  const std::size_t K = config_.num_server_types();
+  const std::size_t N = config_->num_data_centers();
+  const std::size_t J = config_->num_job_types();
+  const std::size_t K = config_->num_server_types();
   const std::int64_t t = record.slot;
   constexpr std::size_t kNone = InvariantViolation::kNoIndex;
 
@@ -123,7 +139,7 @@ void InvariantAuditor::inspect(const SlotRecord& record) {
       record.central_after->size() != J || record.dc_after->rows() != N ||
       record.dc_after->cols() != J || record.dc_capacity->size() != N ||
       record.dc_energy_cost->size() != N ||
-      record.account_work->size() != config_.num_accounts() ||
+      record.account_work->size() != config_->num_accounts() ||
       record.arrivals->size() != J) {
     add(InvariantKind::kActionShape, t, kNone, kNone, 0.0, 0.0,
         "record matrices/vectors do not match the cluster's N x J x M shape");
@@ -153,12 +169,12 @@ void InvariantAuditor::inspect(const SlotRecord& record) {
             std::min(std::min(r_ask, h_ask), std::min(r_got, w_got)), 0.0,
             "negative routing/processing value");
       }
-      if (!config_.job_types[j].eligible(i)) {
+      if (!config_->job_types[j].eligible(i)) {
         const double worst = std::max(std::max(r_ask, h_ask), std::max(r_got, w_got));
         if (worst > options_.tolerance) {
           add(InvariantKind::kEligibility, t, i, j, worst, 0.0,
               "work assigned to a DC outside D_j for job type '" +
-                  config_.job_types[j].name + "'");
+                  config_->job_types[j].name + "'");
         }
       }
     }
@@ -205,7 +221,7 @@ void InvariantAuditor::inspect(const SlotRecord& record) {
     for (std::size_t k = 0; k < K; ++k) {
       avail_scratch_[k] = obs.availability(i, k);
       installed_capacity +=
-          static_cast<double>(obs.availability(i, k)) * config_.server_types[k].speed;
+          static_cast<double>(obs.availability(i, k)) * config_->server_types[k].speed;
     }
     if (!near((*record.dc_capacity)[i], installed_capacity)) {
       add(InvariantKind::kCapacityChain, t, i, kNone, (*record.dc_capacity)[i],
@@ -218,7 +234,7 @@ void InvariantAuditor::inspect(const SlotRecord& record) {
     }
     // Re-derive the busy-server allocation b_{i,k} from the minimum-energy
     // curve and check sum_j h d <= sum_k b s <= sum_k n s with b_k <= n_k.
-    curve_scratch_.rebuild(config_.server_types, avail_scratch_);
+    curve_scratch_.rebuild(config_->server_types, avail_scratch_);
     busy_scratch_.assign(K, 0.0);
     double left = std::min(dc_served, curve_scratch_.capacity());
     double busy_capacity = 0.0;  // sum_k b_{i,k} s_k
@@ -234,7 +250,7 @@ void InvariantAuditor::inspect(const SlotRecord& record) {
         add(InvariantKind::kCapacityChain, t, i, kNone, busy_scratch_[k],
             static_cast<double>(obs.availability(i, k)),
             "busy servers b_{i,k} exceed availability n_{i,k} for type '" +
-                config_.server_types[k].name + "'");
+                config_->server_types[k].name + "'");
       }
     }
     if (!leq(dc_served, busy_capacity)) {
@@ -250,7 +266,7 @@ void InvariantAuditor::inspect(const SlotRecord& record) {
     // -- F. energy accounting ----------------------------------------------
     const double billed = (*record.dc_energy_cost)[i];
     const double expected =
-        obs.prices[i] * config_.tariff(i).cost(curve_scratch_.energy_for_work(dc_served));
+        obs.prices[i] * config_->tariff(i).cost(curve_scratch_.energy_for_work(dc_served));
     if (!near(billed, expected)) {
       add(InvariantKind::kEnergyAccounting, t, i, kNone, billed, expected,
           "billed energy != price * tariff(curve(served work))");
@@ -272,7 +288,7 @@ void InvariantAuditor::inspect(const SlotRecord& record) {
           "central queue went negative");
     }
     for (std::size_t i = 0; i < N; ++i) {
-      const double d = config_.job_types[j].work;
+      const double d = config_->job_types[j].work;
       const double expected_dc =
           std::max(obs.dc_queue(i, j) + routed(i, j) - served(i, j) / d, 0.0);
       const double got_dc = (*record.dc_after)(i, j);
@@ -301,23 +317,23 @@ void InvariantAuditor::inspect(const SlotRecord& record) {
     // observation (jobs x d_j).
     initial_queued_work_ = 0.0;
     for (std::size_t j = 0; j < J; ++j) {
-      initial_queued_work_ += obs.central_queue[j] * config_.job_types[j].work;
+      initial_queued_work_ += obs.central_queue[j] * config_->job_types[j].work;
       for (std::size_t i = 0; i < N; ++i) {
-        initial_queued_work_ += obs.dc_queue(i, j) * config_.job_types[j].work;
+        initial_queued_work_ += obs.dc_queue(i, j) * config_->job_types[j].work;
       }
     }
     ledger_initialized_ = true;
   }
   for (std::size_t j = 0; j < J; ++j) {
     arrived_work_ +=
-        static_cast<double>((*record.arrivals)[j]) * config_.job_types[j].work;
+        static_cast<double>((*record.arrivals)[j]) * config_->job_types[j].work;
   }
   served_work_ += slot_served;
   double queued_now = 0.0;
   for (std::size_t j = 0; j < J; ++j) {
-    queued_now += (*record.central_after)[j] * config_.job_types[j].work;
+    queued_now += (*record.central_after)[j] * config_->job_types[j].work;
     for (std::size_t i = 0; i < N; ++i) {
-      queued_now += (*record.dc_after)(i, j) * config_.job_types[j].work;
+      queued_now += (*record.dc_after)(i, j) * config_->job_types[j].work;
     }
   }
   const double inflow = initial_queued_work_ + arrived_work_;

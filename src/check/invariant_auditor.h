@@ -38,6 +38,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -103,6 +104,11 @@ struct InvariantAuditorOptions {
 class InvariantAuditor final : public SlotInspector {
  public:
   explicit InvariantAuditor(ClusterConfig config, InvariantAuditorOptions options = {});
+  /// Shared-config overload (DESIGN.md §12): the auditor re-derives every
+  /// invariant from the same immutable config the engine/scheduler hold, so
+  /// at million-account scale it must not keep a third value copy.
+  explicit InvariantAuditor(std::shared_ptr<const ClusterConfig> config,
+                            InvariantAuditorOptions options = {});
 
   /// Checks every invariant against `record`; records/throws on violations.
   void inspect(const SlotRecord& record) override;
@@ -124,7 +130,7 @@ class InvariantAuditor final : public SlotInspector {
   bool leq(double a, double b) const;   // a <= b within tolerance
   bool near(double a, double b) const;  // |a - b| within tolerance
 
-  ClusterConfig config_;
+  std::shared_ptr<const ClusterConfig> config_;  // immutable, shareable
   InvariantAuditorOptions options_;
   FairnessFunction fairness_fn_;
 

@@ -19,6 +19,20 @@
 // file exposes the problem as a ConvexObjective over a CappedBoxPolytope so
 // any first-order solver can run on it; variables are flattened as
 // index = i * J + j.
+//
+// Compact (active-type) mode — DESIGN.md §12. At million-type /
+// million-account scale almost every column is dead in any given slot: a
+// type with nothing queued anywhere has queue value 0 and (with
+// clamp_to_queue) upper bound 0, so no solver can put work on it. When the
+// observation carries the active-type hint and sparse mode is enabled (the
+// GreFar scheduler does this for the greedy and PGD solvers), reset()
+// re-shapes the problem onto the A = |active| types only: variables become
+// i * A + a with a indexing the ascending active-type list, every per-type
+// array is gathered to length A, and the fairness state collapses to the
+// accounts those types reference. Per-slot cost is then O(N*A + A log A)
+// instead of O(N*J), and — by the exact-zero kernel argument in
+// sim/fairness.h plus the dead-column gradient rule below — the solve is
+// *bit-identical* to the dense solve scattered back to full coordinates.
 #pragma once
 
 #include <cstdint>
@@ -71,15 +85,18 @@ struct GreFarParams {
   std::size_t intra_slot_min_vars = 4096;
 };
 
-/// The per-slot convex program in work units u (flattened N*J vector).
+/// The per-slot convex program in work units u (flattened N*J vector, or
+/// N*A in compact mode — see the header comment).
 ///
 /// Hot-path note: a long-lived scheduler constructs one PerSlotProblem on
 /// its first slot and calls reset() on every later slot — curves, polytope,
 /// and all internal vectors are then updated in place, so steady-state
-/// problem construction is allocation-free. An instance is single-threaded
-/// from the caller's point of view (concurrent runs each own their
-/// problem); with an intra-slot executor attached, its kernels internally
-/// fan per-DC work over the executor's pool and join before returning.
+/// problem construction is allocation-free (compact-mode buffers reach
+/// their high-water size after a few slots and are reused thereafter). An
+/// instance is single-threaded from the caller's point of view (concurrent
+/// runs each own their problem); with an intra-slot executor attached, its
+/// kernels internally fan per-DC work over the executor's pool and join
+/// before returning.
 class PerSlotProblem final : public ConvexObjective {
  public:
   PerSlotProblem(const ClusterConfig& config, const SlotObservation& obs,
@@ -90,8 +107,28 @@ class PerSlotProblem final : public ConvexObjective {
   /// next use (the problem keeps a pointer, not a copy).
   void reset(const SlotObservation& obs);
 
-  std::size_t num_vars() const { return num_dcs_ * num_types_; }
-  std::size_t index(DataCenterId i, JobTypeId j) const { return i * num_types_ + j; }
+  /// Opts in to compact active-type resets. Takes effect at the next
+  /// reset(), and only when the observation carries a valid active-type
+  /// hint and params.clamp_to_queue is set (without the clamp, dead types
+  /// keep ub = h_max * d_j and cannot be dropped). Off by default, so every
+  /// existing caller keeps the dense problem.
+  void set_sparse_enabled(bool enabled) { sparse_enabled_ = enabled; }
+
+  /// True when the *current* reset ran compact: variables are i*A+a over
+  /// the active_type_ids() list instead of i*J+j.
+  bool compact() const { return compact_; }
+
+  /// Ascending active type ids the compact problem is defined over (column
+  /// a is job type active_type_ids()[a]). Empty/meaningless in dense mode.
+  const std::vector<std::uint32_t>& active_type_ids() const { return active_types_; }
+
+  /// Number of type columns of the current problem: A in compact mode, J
+  /// otherwise. num_vars() and all flattened arrays use this stride.
+  std::size_t num_types_effective() const { return num_types_eff_; }
+
+  std::size_t num_vars() const { return num_dcs_ * num_types_eff_; }
+  /// Flat index in *effective* type space (j < num_types_effective()).
+  std::size_t index(DataCenterId i, JobTypeId j) const { return i * num_types_eff_ + j; }
 
   /// Feasible region: box [0, ub] with one capacity group per data center.
   const CappedBoxPolytope& polytope() const { return polytope_; }
@@ -103,10 +140,14 @@ class PerSlotProblem final : public ConvexObjective {
   double total_resource() const { return total_resource_; }
 
   /// Queue benefit per unit work: q_{i,j} / d_j (0 for ineligible pairs).
+  /// Dense-mode accessor (j is a full-space type id); the compact hot paths
+  /// read view().queue_value instead.
   double queue_value(DataCenterId i, JobTypeId j) const;
 
   /// Flat structure-of-arrays borrow of the current slot's problem data
-  /// (see problem_view.h). Invalidated by the next reset().
+  /// (see problem_view.h). Invalidated by the next reset(). In compact mode
+  /// the per-type arrays are the gathered length-A versions and
+  /// view().type_ids maps columns back to job types.
   PerSlotView view() const;
 
   /// Attaches (or detaches, with nullptr) the executor used for intra-slot
@@ -147,8 +188,8 @@ class PerSlotProblem final : public ConvexObjective {
   const SlotObservation* obs_;
   GreFarParams params_;
   std::size_t num_dcs_;
-  std::size_t num_types_;
-  std::size_t num_accounts_;
+  std::size_t num_types_;      // J: full-space type count
+  std::size_t num_accounts_;   // M: full-space account count
   IntraSlotExecutor* executor_ = nullptr;
   std::vector<EnergyCostCurve> curves_;
   std::vector<double> smoothing_band_;  // per-DC kink-blend half-width (work)
@@ -156,7 +197,7 @@ class PerSlotProblem final : public ConvexObjective {
   double total_resource_ = 0.0;
   FairnessFunction fairness_;
   CappedBoxPolytope polytope_;
-  std::vector<double> queue_value_;  // q_{i,j}/d_j, flattened
+  std::vector<double> queue_value_;  // q/d, flattened [N * num_types_eff_]
 
   // Static SoA arrays (see problem_view.h), built once at construction.
   std::vector<std::uint8_t> eligible_;   // [N*J] 1 iff i in D_j
@@ -170,19 +211,55 @@ class PerSlotProblem final : public ConvexObjective {
   std::vector<double> energy_per_work_;  // [K]
   bool any_rate_cap_ = false;            // any finite JobType::max_rate?
 
+  // Account compaction (DESIGN.md §12). The fairness accumulators never
+  // span all M accounts: dense resets use the *referenced* set (accounts
+  // some job type maps to — computed once, account_of_ is static) and
+  // compact resets the per-slot *active* set (accounts of active types).
+  // Accounts outside the chosen set provably accumulate exactly 0.0 work,
+  // and fairness_kernel::term(0, g, inv) is an exact float zero, so both
+  // compacted sums are bitwise equal to the full-M sum.
+  std::vector<std::uint32_t> referenced_accounts_;   // static, ascending
+  std::vector<std::uint32_t> account_slot_static_;   // [J] -> referenced slot
+
+  // Compact-mode per-slot state (sized/filled by a compact reset).
+  bool sparse_enabled_ = false;
+  bool compact_ = false;
+  std::size_t num_types_eff_;             // A when compact, J otherwise
+  std::vector<std::uint32_t> active_types_;     // [A] ascending type ids
+  std::vector<double> work_eff_;                // [A] gathered d_j
+  std::vector<double> inv_work_eff_;            // [A]
+  std::vector<std::uint32_t> account_of_eff_;   // [A] global account ids
+  std::vector<double> max_rate_eff_;            // [A]
+  std::vector<std::uint8_t> rate_capped_eff_;   // [A]
+  std::vector<std::uint8_t> eligible_eff_;      // [N*A]
+  std::vector<std::uint32_t> active_accounts_;  // ascending account ids
+  std::vector<std::uint32_t> account_slot_eff_; // [A] -> active-account slot
+
   // Per-slot SoA arrays refreshed by reset().
   std::vector<double> dc_capacity_;      // [N] curve capacity per DC
+  std::size_t num_account_slots_ = 0;    // rows of the account accumulators
+  /// Dead-column mask for the fairness gradient (built when beta > 0):
+  /// active_col_[j] == 0 iff ub_{i,j} == 0 for every DC i. Such a column's
+  /// fairness term is zeroed in the gradient — the column cannot move, its
+  /// account received no work through it, and (crucially) zeroing keeps the
+  /// dense gradient's dead entries >= 0 so they never perturb the projection
+  /// bisection bracket. That is what makes compact PGD (where dead columns
+  /// simply don't exist) bit-identical to dense PGD.
+  mutable std::vector<std::uint8_t> active_col_;  // [num_types_eff_]
 
   // Reused scratch: value()/gradient() run every solver iteration and must
   // not touch the heap. The per-DC slot arrays are what makes the sharded
   // kernels deterministic: shard s writes only slots of its DC range, and
   // the (serial) merge walks them in DC order regardless of shard count.
-  mutable std::vector<double> account_scratch_;    // [M] merged account work
-  mutable std::vector<double> account_partial_;    // [N*M] per-DC account work
+  // Account rows are num_account_slots_ wide (referenced or active set),
+  // never M — the O(N*M) account_partial_ buffer this replaces was the
+  // million-account scaling wall.
+  mutable std::vector<double> account_scratch_;    // [slots] merged account work
+  mutable std::vector<double> account_partial_;    // [N*slots] per-DC account work
   mutable std::vector<double> marginal_scratch_;   // [N] per-DC marginal cost
   mutable std::vector<double> dc_value_;           // [N] per-DC objective part
-  mutable std::vector<double> account_term_;       // [M] fairness grad term
-  mutable std::vector<double> type_term_;          // [J] account_term_[rho_j]
+  mutable std::vector<double> account_term_;       // [slots] fairness grad term
+  mutable std::vector<double> type_term_;          // [num_types_eff_]
 };
 
 }  // namespace grefar

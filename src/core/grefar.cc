@@ -11,14 +11,25 @@
 namespace grefar {
 
 GreFarScheduler::GreFarScheduler(ClusterConfig config, GreFarParams params)
+    : GreFarScheduler(std::make_shared<const ClusterConfig>(std::move(config)),
+                      params) {}
+
+GreFarScheduler::GreFarScheduler(ClusterConfig config, GreFarParams params,
+                                 PerSlotSolver solver)
+    : GreFarScheduler(std::make_shared<const ClusterConfig>(std::move(config)),
+                      params, solver) {}
+
+GreFarScheduler::GreFarScheduler(std::shared_ptr<const ClusterConfig> config,
+                                 GreFarParams params)
     : GreFarScheduler(std::move(config), params,
                       params.beta == 0.0 ? PerSlotSolver::kGreedy
                                          : PerSlotSolver::kProjectedGradient) {}
 
-GreFarScheduler::GreFarScheduler(ClusterConfig config, GreFarParams params,
-                                 PerSlotSolver solver)
+GreFarScheduler::GreFarScheduler(std::shared_ptr<const ClusterConfig> config,
+                                 GreFarParams params, PerSlotSolver solver)
     : config_(std::move(config)), params_(params), solver_(solver) {
-  config_.validate();
+  GREFAR_CHECK_MSG(config_ != nullptr, "GreFarScheduler needs a cluster config");
+  config_->validate();
   GREFAR_CHECK(params_.V >= 0.0);
   GREFAR_CHECK(params_.beta >= 0.0);
   GREFAR_CHECK_MSG(!(params_.beta > 0.0 &&
@@ -47,24 +58,58 @@ void GreFarScheduler::decide_into(const SlotObservation& obs, SlotAction& action
 
 void GreFarScheduler::decide_into(const SlotObservation& obs, SlotAction& action,
                                   TraceScope* scope) {
-  const std::size_t N = config_.num_data_centers();
-  const std::size_t J = config_.num_job_types();
+  const std::size_t N = config_->num_data_centers();
+  const std::size_t J = config_->num_job_types();
   GREFAR_CHECK(obs.prices.size() == N);
   GREFAR_CHECK(obs.central_queue.size() == J);
   GREFAR_CHECK(obs.dc_queue.rows() == N && obs.dc_queue.cols() == J);
 
-  if (action.route.rows() != N || action.route.cols() != J) {
-    action.route = MatrixD(N, J);
+  // Sparse per-slot regime (DESIGN.md §12): with the active-type hint, any
+  // job type not listed has Q_j == 0 and q_{i,j} == 0 everywhere, so it can
+  // neither route (no queued jobs, and q < Q is impossible at Q == 0) nor
+  // process (nothing to serve). Every O(N*J) sweep below then runs over the
+  // A active columns only. Traced decides stay dense: the drift-weight
+  // census and tie-split annotations are defined over all J types. The
+  // queue clamp is required: without it the literal mode permits "null
+  // work" (h > 0 on an empty queue), so inactive columns can carry
+  // non-zero process entries and the sparse clearing invariant would break.
+  const bool hint =
+      obs.active_types_valid && scope == nullptr && params_.clamp_to_queue;
+  // The compact problem additionally needs a solver that never reads
+  // full-space accessors (greedy and PGD work off view() + polytope; FW's
+  // LMO and the LP builder do not).
+  const bool compact_problem =
+      hint && (solver_ == PerSlotSolver::kGreedy ||
+               solver_ == PerSlotSolver::kProjectedGradient);
+
+  const bool shapes_ok = action.route.rows() == N && action.route.cols() == J;
+  if (!shapes_ok) {
+    action.route = MatrixD(N, J);  // fresh matrices are zero-initialized
     action.process = MatrixD(N, J);
-  } else {
-    action.route.fill(0.0);
-    action.process.fill(0.0);
   }
+  double* route_data = action.route.data().data();
+  double* proc_data = action.process.data().data();
+  if (shapes_ok) {
+    if (hint && sparse_route_data_ == route_data && sparse_proc_data_ == proc_data) {
+      // Only columns written last slot can be non-zero; clear exactly those.
+      for (std::uint32_t j : prev_active_) {
+        for (std::size_t i = 0; i < N; ++i) {
+          route_data[i * J + j] = 0.0;
+          proc_data[i * J + j] = 0.0;
+        }
+      }
+    } else {
+      action.route.fill(0.0);
+      action.process.fill(0.0);
+    }
+  }
+  sparse_route_data_ = hint ? route_data : nullptr;
+  sparse_proc_data_ = hint ? proc_data : nullptr;
 
   // Per-DC total capacity sum_k n_{i,k} s_k for this slot, computed once up
   // front (the routing tie-break below used to recompute it per tie group
   // per job type).
-  const std::size_t K = config_.num_server_types();
+  const std::size_t K = config_->num_server_types();
   const std::int64_t* avail = obs.availability.data().data();
   const double* dcq = obs.dc_queue.data().data();
   dc_capacity_.assign(N, 0.0);
@@ -72,16 +117,18 @@ void GreFarScheduler::decide_into(const SlotObservation& obs, SlotAction& action
     const std::int64_t* avail_row = avail + i * K;
     for (std::size_t k = 0; k < K; ++k) {
       dc_capacity_[i] += static_cast<double>(avail_row[k]) *
-                         config_.server_types[k].speed;
+                         config_->server_types[k].speed;
     }
   }
 
   // -- Routing: minimize sum (q_{i,j} - Q_j) r_{i,j} ------------------------
-  for (std::size_t j = 0; j < J; ++j) {
+  const std::size_t route_sweep = hint ? obs.active_types.size() : J;
+  for (std::size_t jj = 0; jj < route_sweep; ++jj) {
+    const std::size_t j = hint ? obs.active_types[jj] : jj;
     const double Q = obs.central_queue[j];
     std::vector<std::size_t>& beneficial = beneficial_;
     beneficial.clear();
-    for (DataCenterId i : config_.job_types[j].eligible_dcs) {
+    for (DataCenterId i : config_->job_types[j].eligible_dcs) {
       const bool negative_weight = dcq[i * J + j] < Q;
       if (scope != nullptr) {
         if (negative_weight) {
@@ -151,27 +198,52 @@ void GreFarScheduler::decide_into(const SlotObservation& obs, SlotAction& action
     routed_obs_.slot = obs.slot;
     routed_obs_.prices = obs.prices;
     routed_obs_.availability = obs.availability;
-    routed_obs_.central_queue = obs.central_queue;
-    if (routed_obs_.dc_queue.rows() != N || routed_obs_.dc_queue.cols() != J) {
-      routed_obs_.dc_queue = MatrixD(N, J);
-    }
-    // Post-routing queues in one fused flat pass (the copy-then-add over
-    // checked accessors this replaces was a visible slice of the per-slot
-    // cost at 100+ DCs).
+    const bool routed_shape_ok =
+        routed_obs_.dc_queue.rows() == N && routed_obs_.dc_queue.cols() == J;
+    if (!routed_shape_ok) routed_obs_.dc_queue = MatrixD(N, J);
     const double* route = action.route.data().data();
     double* routed_q = routed_obs_.dc_queue.data().data();
-    for (std::size_t idx = 0; idx < N * J; ++idx) routed_q[idx] = dcq[idx] + route[idx];
+    if (hint && routed_obs_sparse_valid_ && routed_shape_ok) {
+      // Incremental update: inactive columns are q + r = 0 + 0 = 0, and the
+      // previous slot left non-zeros only in its own active columns. Zero
+      // those, then fill this slot's active columns.
+      for (std::uint32_t j : prev_active_) {
+        for (std::size_t i = 0; i < N; ++i) routed_q[i * J + j] = 0.0;
+      }
+      for (std::uint32_t j : obs.active_types) {
+        for (std::size_t i = 0; i < N; ++i) {
+          routed_q[i * J + j] = dcq[i * J + j] + route[i * J + j];
+        }
+      }
+    } else {
+      // Post-routing queues in one fused flat pass (the copy-then-add over
+      // checked accessors this replaces was a visible slice of the per-slot
+      // cost at 100+ DCs).
+      for (std::size_t idx = 0; idx < N * J; ++idx) routed_q[idx] = dcq[idx] + route[idx];
+    }
+    routed_obs_sparse_valid_ = hint;
+    if (!hint) {
+      // The per-slot problem never reads the central queue, so the sparse
+      // path skips this O(J) copy (at J = 10^6 it is pure overhead).
+      routed_obs_.central_queue = obs.central_queue;
+    }
+    // Routing only ever adds jobs to types with Q_j > 0, which are active
+    // already, so the hint stays valid for the post-routing queues.
+    routed_obs_.active_types_valid = obs.active_types_valid;
+    if (obs.active_types_valid) routed_obs_.active_types = obs.active_types;
     problem_obs = &routed_obs_;
   }
   if (problem_.has_value()) {
+    problem_->set_sparse_enabled(compact_problem);
     problem_->reset(*problem_obs);
   } else {
-    problem_.emplace(config_, *problem_obs, params_);
+    // The constructor's reset runs dense (sparse mode and the executor are
+    // attached after); redo it so even slot 0 takes the same path as every
+    // later slot.
+    problem_.emplace(*config_, *problem_obs, params_);
     problem_->set_intra_slot_executor(intra_exec_.get());
-    if (intra_exec_ != nullptr) {
-      // The executor was not attached yet during the emplace above; redo the
-      // first reset so even slot 0 takes the sharded path (keeps decisions
-      // trivially identical between the first and every later slot).
+    problem_->set_sparse_enabled(compact_problem);
+    if (intra_exec_ != nullptr || compact_problem) {
       problem_->reset(*problem_obs);
     }
   }
@@ -179,14 +251,36 @@ void GreFarScheduler::decide_into(const SlotObservation& obs, SlotAction& action
   const PerSlotView v = problem_->view();
   double* proc = action.process.data().data();
   const double h_max = params_.h_max;
-  for (std::size_t i = 0; i < N; ++i) {
-    const double* u_row = u_.data() + i * J;
-    double* proc_row = proc + i * J;
-    for (std::size_t j = 0; j < J; ++j) {
-      // Keep the division by d_j (not a reciprocal multiply): the engine and
-      // auditor recompute h * d_j and expect the exact same values.
-      proc_row[j] = std::min(u_row[j] / v.work[j], h_max);
+  if (problem_->compact()) {
+    // Compact solve: scatter the A active columns back to full coordinates
+    // (everything else is already zero by the clearing invariant above).
+    // Mode-checked via compact(), not v.type_ids: an idle slot's empty
+    // active list has a null data() pointer but is still compact.
+    const std::size_t A = v.num_types;
+    for (std::size_t i = 0; i < N; ++i) {
+      const double* u_row = u_.data() + i * A;
+      double* proc_row = proc + i * J;
+      for (std::size_t a = 0; a < A; ++a) {
+        // Keep the division by d_j (not a reciprocal multiply): the engine
+        // and auditor recompute h * d_j and expect the exact same values.
+        proc_row[v.type_ids[a]] = std::min(u_row[a] / v.work[a], h_max);
+      }
     }
+  } else {
+    for (std::size_t i = 0; i < N; ++i) {
+      const double* u_row = u_.data() + i * J;
+      double* proc_row = proc + i * J;
+      for (std::size_t j = 0; j < J; ++j) {
+        // Keep the division by d_j (not a reciprocal multiply): the engine and
+        // auditor recompute h * d_j and expect the exact same values.
+        proc_row[j] = std::min(u_row[j] / v.work[j], h_max);
+      }
+    }
+  }
+  if (hint) {
+    prev_active_.assign(obs.active_types.begin(), obs.active_types.end());
+  } else {
+    prev_active_.clear();
   }
 }
 

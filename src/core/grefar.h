@@ -34,6 +34,12 @@ class GreFarScheduler final : public Scheduler {
   /// otherwise; pass explicitly to ablate.
   GreFarScheduler(ClusterConfig config, GreFarParams params);
   GreFarScheduler(ClusterConfig config, GreFarParams params, PerSlotSolver solver);
+  /// Shared-config overloads: a million-account ClusterConfig weighs ~10^2
+  /// MB, so the scheduler sharing the engine's immutable instance instead of
+  /// copying it is part of the DESIGN.md §12 memory budget.
+  GreFarScheduler(std::shared_ptr<const ClusterConfig> config, GreFarParams params);
+  GreFarScheduler(std::shared_ptr<const ClusterConfig> config, GreFarParams params,
+                  PerSlotSolver solver);
 
   SlotAction decide(const SlotObservation& obs) override;
   /// The hot path: after the first slot every per-slot structure (the
@@ -55,7 +61,7 @@ class GreFarScheduler final : public Scheduler {
   /// writing action.route(member, j). Returns the total actually assigned.
   double split_tie_group(std::size_t j, double jobs, SlotAction& action);
 
-  ClusterConfig config_;
+  std::shared_ptr<const ClusterConfig> config_;  // immutable, shareable
   GreFarParams params_;
   PerSlotSolver solver_;
 
@@ -71,6 +77,19 @@ class GreFarScheduler final : public Scheduler {
   PerSlotSolverScratch solver_scratch_;
   SlotObservation routed_obs_;           // obs with routing applied to dc_queue
   std::vector<double> u_;                // per-slot solver result (work units)
+
+  // Sparse per-slot bookkeeping (DESIGN.md §12). When the observation
+  // carries the active-type hint, the O(N*J) per-slot fills (action
+  // clearing, routing sweep, routed-queue rebuild) shrink to O(N*A): only
+  // columns in prev_active_ can hold non-zeros from the previous slot, so
+  // clearing those restores the all-zero invariant. The cached data
+  // pointers detect a swapped/reallocated action matrix (then the invariant
+  // is unknown and a full clear runs), and any dense slot in between —
+  // a traced decide, a hint-less caller — resets the state likewise.
+  std::vector<std::uint32_t> prev_active_;      // columns written last slot
+  const double* sparse_route_data_ = nullptr;   // matrices the invariant
+  const double* sparse_proc_data_ = nullptr;    //   currently covers
+  bool routed_obs_sparse_valid_ = false;        // routed_obs_ zero-invariant
   std::vector<double> dc_capacity_;      // sum_k n_{i,k} s_k, per DC per slot
   std::vector<std::size_t> beneficial_;  // routing candidates for one job type
   std::vector<std::size_t> tie_members_; // one tie group's capacity>0 members

@@ -75,21 +75,112 @@ bool refresh_pieces(const PerSlotProblem& problem, const PerSlotView& v,
 }
 
 /// Chooses the x0 for an iterative (FW/PGD) solve: the previous slot's
-/// solution when cross-slot warm starting is on and one is available
-/// (the solvers project it onto the current capacity box themselves),
-/// otherwise the greedy point. Steady state allocates nothing — both the
-/// scratch copy and the projection reuse existing capacity.
+/// solution when cross-slot warm starting is on and one is available,
+/// otherwise the greedy point. Steady state allocates nothing — the copy,
+/// the remap scratch and the projection all reuse existing capacity.
+///
+/// The previous solution is clamped onto the current bound box entry-wise
+/// (coordinates whose bound collapsed to 0 — a type whose queue drained —
+/// start at exactly 0). The clamp is what keeps the compact and dense x0
+/// bitwise aligned: a compact warm start simply has no slot for a
+/// now-inactive type, and the dense one clamps the stale value to the same
+/// 0.0. Across differing coordinate systems (dense <-> compact, or two
+/// different active-type lists) the solution is remapped by job type id.
 void prepare_iterative_warm_start(const PerSlotProblem& problem,
                                   std::vector<double>& warm,
                                   PerSlotSolverScratch* scratch) {
+  // prev_valid, not prev.empty(): an idle compact slot legitimately saves a
+  // zero-variable solution, and the slot after it must still warm-start
+  // (from all zeros) exactly like the dense run does.
   if (problem.params().warm_start_across_slots && scratch != nullptr &&
-      scratch->prev.size() == problem.num_vars()) {
-    warm = scratch->prev;
-    obs::count("per_slot.cross_slot_warm_starts");
-    return;
+      scratch->prev_valid) {
+    const std::size_t N = problem.config().num_data_centers();
+    const std::size_t J_full = problem.config().num_job_types();
+    const bool prev_compact = scratch->prev_compact;
+    const std::size_t J_prev = prev_compact ? scratch->prev_types.size() : J_full;
+    if (scratch->prev.size() == N * J_prev) {
+      const bool now_compact = problem.compact();
+      const std::size_t J_now = problem.num_types_effective();
+      const double* ub = problem.polytope().upper_bounds().data();
+      const double* prev = scratch->prev.data();
+      warm.assign(problem.num_vars(), 0.0);
+      if (!prev_compact && !now_compact) {
+        for (std::size_t k = 0; k < warm.size(); ++k) {
+          warm[k] = std::clamp(prev[k], 0.0, ub[k]);
+        }
+      } else if (!prev_compact) {
+        // Dense -> compact: gather the active columns.
+        const std::uint32_t* ids = problem.active_type_ids().data();
+        for (std::size_t i = 0; i < N; ++i) {
+          const double* prev_row = prev + i * J_full;
+          const double* ub_row = ub + i * J_now;
+          double* warm_row = warm.data() + i * J_now;
+          for (std::size_t a = 0; a < J_now; ++a) {
+            warm_row[a] = std::clamp(prev_row[ids[a]], 0.0, ub_row[a]);
+          }
+        }
+      } else if (!now_compact) {
+        // Compact -> dense: scatter back to full columns (the rest stay 0,
+        // matching the 0 those coordinates held in the compact solution).
+        const std::uint32_t* prev_ids = scratch->prev_types.data();
+        for (std::size_t i = 0; i < N; ++i) {
+          const double* prev_row = prev + i * J_prev;
+          const double* ub_row = ub + i * J_full;
+          double* warm_row = warm.data() + i * J_full;
+          for (std::size_t ap = 0; ap < J_prev; ++ap) {
+            const std::uint32_t j = prev_ids[ap];
+            warm_row[j] = std::clamp(prev_row[ap], 0.0, ub_row[j]);
+          }
+        }
+      } else {
+        // Compact -> compact: align the two ascending type lists once, then
+        // remap rows through the merged index (UINT32_MAX = newly active).
+        const std::uint32_t* ids = problem.active_type_ids().data();
+        const std::uint32_t* prev_ids = scratch->prev_types.data();
+        constexpr std::uint32_t kNone = 0xffffffffu;
+        scratch->warm_map.assign(J_now, kNone);
+        for (std::size_t a = 0, ap = 0; a < J_now && ap < J_prev;) {
+          if (prev_ids[ap] < ids[a]) {
+            ++ap;
+          } else if (prev_ids[ap] > ids[a]) {
+            ++a;
+          } else {
+            scratch->warm_map[a] = static_cast<std::uint32_t>(ap);
+            ++a;
+            ++ap;
+          }
+        }
+        for (std::size_t i = 0; i < N; ++i) {
+          const double* prev_row = prev + i * J_prev;
+          const double* ub_row = ub + i * J_now;
+          double* warm_row = warm.data() + i * J_now;
+          for (std::size_t a = 0; a < J_now; ++a) {
+            const std::uint32_t ap = scratch->warm_map[a];
+            if (ap != kNone) warm_row[a] = std::clamp(prev_row[ap], 0.0, ub_row[a]);
+          }
+        }
+      }
+      obs::count("per_slot.cross_slot_warm_starts");
+      return;
+    }
   }
   obs::count("per_slot.greedy_starts");
   solve_per_slot_greedy_into(problem, warm, scratch);
+}
+
+/// Records an iterative solution for the next slot's warm start, tagged
+/// with the coordinate system it lives in.
+void save_iterative_solution(const PerSlotProblem& problem,
+                             const std::vector<double>& u,
+                             PerSlotSolverScratch& scratch) {
+  scratch.prev = u;
+  scratch.prev_valid = true;
+  scratch.prev_compact = problem.compact();
+  if (problem.compact()) {
+    scratch.prev_types = problem.active_type_ids();
+  } else {
+    scratch.prev_types.clear();
+  }
 }
 
 }  // namespace
@@ -114,6 +205,26 @@ void solve_per_slot_greedy_into(const PerSlotProblem& problem, std::vector<doubl
   ws.demand_cache.resize(N);
   ws.cached_qv.resize(N);
   ws.cached_ub.resize(N);
+
+  // Demand caches are keyed on raw (qv, ub) rows; in compact mode column a
+  // means job type v.type_ids[a], so a changed active-type list must clear
+  // the keys even when the bytes happen to match (same A, same values,
+  // different types). Dense rows always carry the same column identity.
+  // problem.compact(), not v.type_ids != nullptr: an empty active-type list
+  // (idle slot) is still a compact problem, but its data() pointer is null.
+  const bool compact = problem.compact();
+  const std::vector<std::uint32_t>& active_ids = problem.active_type_ids();
+  const bool same_columns =
+      compact == ws.cache_compact && (!compact || ws.cache_types == active_ids);
+  if (!same_columns) {
+    for (auto& key : ws.cached_qv) key.clear();
+    ws.cache_compact = compact;
+    if (compact) {
+      ws.cache_types = active_ids;
+    } else {
+      ws.cache_types.clear();
+    }
+  }
   IntraSlotExecutor* exec = problem.intra_slot_executor();
   const std::size_t shards =
       exec != nullptr ? std::min(exec->jobs(), std::max<std::size_t>(N, 1)) : 1;
@@ -231,6 +342,9 @@ std::vector<double> solve_per_slot_pgd(const PerSlotProblem& problem,
 
 LinearProgram build_per_slot_lp(const PerSlotProblem& problem) {
   const auto& config = problem.config();
+  GREFAR_CHECK_MSG(!problem.compact(),
+                   "the per-slot LP builder reads full-space accessors; "
+                   "compact problems are solved by greedy/PGD only");
   GREFAR_CHECK_MSG(!config.has_nonlinear_billing(),
                    "the per-slot LP models linear billing only; use the greedy "
                    "or a convex solver with tiered tariffs");
@@ -292,7 +406,7 @@ void solve_per_slot_into(const PerSlotProblem& problem, PerSlotSolver solver,
       prepare_iterative_warm_start(problem, warm, scratch);
       auto result = minimize_frank_wolfe(problem, problem.polytope(), warm);
       u = std::move(result.x);
-      if (scratch != nullptr) scratch->prev = u;
+      if (scratch != nullptr) save_iterative_solution(problem, u, *scratch);
       return;
     }
     case PerSlotSolver::kProjectedGradient: {
@@ -300,7 +414,7 @@ void solve_per_slot_into(const PerSlotProblem& problem, PerSlotSolver solver,
       prepare_iterative_warm_start(problem, warm, scratch);
       auto result = minimize_projected_gradient(problem, problem.polytope(), warm);
       u = std::move(result.x);
-      if (scratch != nullptr) scratch->prev = u;
+      if (scratch != nullptr) save_iterative_solution(problem, u, *scratch);
       return;
     }
     case PerSlotSolver::kLp:

@@ -60,6 +60,12 @@ struct PerSlotSolverScratch {
   std::vector<std::vector<Demand>> demand_cache;  // [dc] sorted desc by value
   std::vector<std::vector<double>> cached_qv;     // [dc] queue-value row key
   std::vector<std::vector<double>> cached_ub;     // [dc] upper-bound row key
+  /// Column-identity key for the demand caches: in compact mode column a of
+  /// the (qv, ub) rows stands for job type cache_types[a], so byte-equal
+  /// rows under a *different* active-type list must still miss. A mode or
+  /// type-list change clears every per-DC key.
+  bool cache_compact = false;
+  std::vector<std::uint32_t> cache_types;
   std::vector<std::vector<Demand>> fill_demands;  // [shard] fill working copy
   /// Per-shard staging slots for the cache-hit counters: pool workers have
   /// their own (usually inactive) thread-local registries, so the sharded
@@ -68,10 +74,18 @@ struct PerSlotSolverScratch {
   std::vector<std::uint64_t> count_stage;
   std::vector<double> warm;                             // FW/PGD warm start
   /// Previous slot's FW/PGD solution; with params.warm_start_across_slots
-  /// the next solve starts here (the solvers project it onto the current
-  /// capacity box) instead of re-running the greedy. Empty until the first
-  /// iterative solve.
+  /// the next solve starts here (clamped onto the current bound box and, in
+  /// compact mode, remapped across active-type lists) instead of re-running
+  /// the greedy. prev_valid flags that a solution was saved at all — an
+  /// empty prev with prev_valid set is a real zero-variable compact
+  /// solution (idle slot), not "no history". prev_compact / prev_types
+  /// record the coordinate system the solution was saved under (dense
+  /// full-space when prev_compact is false).
   std::vector<double> prev;
+  bool prev_valid = false;
+  bool prev_compact = false;
+  std::vector<std::uint32_t> prev_types;
+  std::vector<std::uint32_t> warm_map;  // remap scratch (active -> prev col)
 };
 
 /// Exact greedy for beta = 0 (the fairness term, if any, is ignored).

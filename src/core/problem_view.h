@@ -26,9 +26,18 @@ namespace grefar {
 
 struct PerSlotView {
   std::size_t num_dcs = 0;       // N
-  std::size_t num_types = 0;     // J
+  std::size_t num_types = 0;     // J (or A in compact mode, see type_ids)
   std::size_t num_servers = 0;   // K
   std::size_t num_accounts = 0;  // M
+
+  /// Compact (active-type) column map — DESIGN.md §12. Null for a dense
+  /// problem. In compact mode the problem is defined over num_types = A
+  /// active columns and type_ids[a] is the job type column a stands for;
+  /// every per-type array below is the gathered length-A version and (i, a)
+  /// arrays are row-major N x A. Do NOT use nullness as the mode test: an
+  /// idle compact slot has A == 0 and a null pointer — branch on
+  /// PerSlotProblem::compact() instead and only index type_ids under a < A.
+  const std::uint32_t* type_ids = nullptr;
 
   // Static per-cluster arrays (built once per problem, never invalidated).
   const std::uint8_t* eligible = nullptr;   // [N*J] 1 iff i in D_j

@@ -22,14 +22,53 @@ JsonValue array_of(const std::vector<std::int64_t>& values) {
   return out;
 }
 
-JsonValue rows_of(const MatrixD& m) {
+// Dense array up to `threshold` entries; past it, a sparse object over the
+// non-zero entries (see TracingInspectorOptions::sparse_array_threshold).
+template <typename T>
+JsonValue sparse_or_dense(const std::vector<T>& values, std::size_t threshold) {
+  if (values.size() <= threshold) return array_of(values);
+  JsonArray idx;
+  JsonArray val;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] != T{}) {
+      idx.emplace_back(static_cast<double>(i));
+      val.emplace_back(static_cast<double>(values[i]));
+    }
+  }
+  JsonObject o;
+  o.emplace("n", static_cast<double>(values.size()));
+  o.emplace("idx", std::move(idx));
+  o.emplace("val", std::move(val));
+  return JsonValue(std::move(o));
+}
+
+// Rows as dense arrays up to `threshold` columns; past it each row becomes
+// the same {"n", "idx", "val"} sparse object as the long vectors above (at
+// J = 10^6 a dense row dump would dwarf the trace).
+JsonValue rows_of(const MatrixD& m, std::size_t threshold) {
   JsonArray rows;
   rows.reserve(m.rows());
   for (std::size_t i = 0; i < m.rows(); ++i) {
-    JsonArray row;
-    row.reserve(m.cols());
-    for (std::size_t j = 0; j < m.cols(); ++j) row.emplace_back(m(i, j));
-    rows.emplace_back(std::move(row));
+    if (m.cols() <= threshold) {
+      JsonArray row;
+      row.reserve(m.cols());
+      for (std::size_t j = 0; j < m.cols(); ++j) row.emplace_back(m(i, j));
+      rows.emplace_back(std::move(row));
+    } else {
+      JsonArray idx;
+      JsonArray val;
+      for (std::size_t j = 0; j < m.cols(); ++j) {
+        if (m(i, j) != 0.0) {
+          idx.emplace_back(static_cast<double>(j));
+          val.emplace_back(m(i, j));
+        }
+      }
+      JsonObject o;
+      o.emplace("n", static_cast<double>(m.cols()));
+      o.emplace("idx", std::move(idx));
+      o.emplace("val", std::move(val));
+      rows.emplace_back(JsonValue(std::move(o)));
+    }
   }
   return rows;
 }
@@ -47,8 +86,9 @@ void TracingInspector::inspect(const SlotRecord& record) {
                record.routed != nullptr && record.served_work != nullptr);
   JsonObject root;
   root.emplace("slot", static_cast<double>(record.slot));
+  const std::size_t sparse_at = options_.sparse_array_threshold;
   root.emplace("prices", array_of(record.obs->prices));
-  root.emplace("central_queue", array_of(record.obs->central_queue));
+  root.emplace("central_queue", sparse_or_dense(record.obs->central_queue, sparse_at));
   if (record.dc_capacity != nullptr) {
     root.emplace("dc_capacity", array_of(*record.dc_capacity));
   }
@@ -62,20 +102,24 @@ void TracingInspector::inspect(const SlotRecord& record) {
     root.emplace("dc_delay_sum", array_of(*record.dc_delay_sum));
   }
   if (record.account_work != nullptr) {
-    root.emplace("account_work", array_of(*record.account_work));
+    root.emplace("account_work", sparse_or_dense(*record.account_work, sparse_at));
   }
   root.emplace("fairness", record.fairness);
-  if (record.arrivals != nullptr) root.emplace("arrivals", array_of(*record.arrivals));
+  if (record.arrivals != nullptr) {
+    root.emplace("arrivals", sparse_or_dense(*record.arrivals, sparse_at));
+  }
   if (record.central_after != nullptr) {
-    root.emplace("central_after", array_of(*record.central_after));
+    root.emplace("central_after", sparse_or_dense(*record.central_after, sparse_at));
   }
   if (options_.include_matrices) {
-    root.emplace("dc_queue", rows_of(record.obs->dc_queue));
-    root.emplace("route_ask", rows_of(record.action->route));
-    root.emplace("process_ask", rows_of(record.action->process));
-    root.emplace("routed", rows_of(*record.routed));
-    root.emplace("served_work", rows_of(*record.served_work));
-    if (record.dc_after != nullptr) root.emplace("dc_after", rows_of(*record.dc_after));
+    root.emplace("dc_queue", rows_of(record.obs->dc_queue, sparse_at));
+    root.emplace("route_ask", rows_of(record.action->route, sparse_at));
+    root.emplace("process_ask", rows_of(record.action->process, sparse_at));
+    root.emplace("routed", rows_of(*record.routed, sparse_at));
+    root.emplace("served_work", rows_of(*record.served_work, sparse_at));
+    if (record.dc_after != nullptr) {
+      root.emplace("dc_after", rows_of(*record.dc_after, sparse_at));
+    }
   }
   if (record.scope != nullptr) {
     const TraceScope& scope = *record.scope;

@@ -27,6 +27,13 @@ struct TracingInspectorOptions {
   /// Off keeps records small for long horizons at the cost of per-(i,j)
   /// detail; the per-DC and per-account aggregates are always emitted.
   bool include_matrices = true;
+  /// Per-type / per-account vectors longer than this — and matrix rows with
+  /// more columns than this — are emitted in sparse form, {"n": length,
+  /// "idx": [...], "val": [...]} over the non-zero entries, instead of a
+  /// dense array. At a million accounts a dense per-slot array would dwarf
+  /// the trace; at the default threshold every existing (small) scenario
+  /// keeps its dense byte-identical records.
+  std::size_t sparse_array_threshold = 4096;
 };
 
 class TracingInspector final : public SlotInspector {

@@ -1,0 +1,129 @@
+#include "scenario/large_scale.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace grefar {
+
+ZipfArrivals::ZipfArrivals(std::size_t num_job_types, std::size_t draws_per_slot,
+                           double exponent, std::uint64_t seed)
+    : draws_per_slot_(draws_per_slot), seed_(seed) {
+  GREFAR_CHECK_MSG(num_job_types > 0, "need at least one job type");
+  GREFAR_CHECK_MSG(exponent > 0.0, "Zipf exponent must be positive");
+  cumulative_.resize(num_job_types);
+  double sum = 0.0;
+  for (std::size_t j = 0; j < num_job_types; ++j) {
+    sum += std::pow(static_cast<double>(j + 1), -exponent);
+    cumulative_[j] = sum;
+  }
+}
+
+std::size_t ZipfArrivals::sample(double u) const {
+  // Smallest j with cumulative_[j] > u * total.
+  const double target = u * cumulative_.back();
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), target);
+  if (it == cumulative_.end()) --it;  // u ~ 1.0 edge
+  return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+std::vector<std::int64_t> ZipfArrivals::arrivals(std::int64_t t) const {
+  std::vector<std::int64_t> out;
+  arrivals_into(t, out);
+  return out;
+}
+
+void ZipfArrivals::arrivals_into(std::int64_t t,
+                                 std::vector<std::int64_t>& out) const {
+  out.assign(cumulative_.size(), 0);
+  // Pure function of (seed, t): fork() derives the slot stream from the
+  // parent state and the slot index, so any access order replays.
+  Rng slot_rng = Rng(seed_).fork(static_cast<std::uint64_t>(t));
+  for (std::size_t k = 0; k < draws_per_slot_; ++k) {
+    out[sample(slot_rng.uniform())] += 1;
+  }
+}
+
+std::int64_t ZipfArrivals::max_arrivals(JobTypeId j) const {
+  GREFAR_CHECK(j < cumulative_.size());
+  // Every draw could land on one type; a loose but valid a_j^max.
+  return static_cast<std::int64_t>(draws_per_slot_);
+}
+
+GreFarParams large_scale_grefar_params(double V, double beta) {
+  GreFarParams p;
+  p.V = V;
+  p.beta = beta;
+  p.r_max = 64.0;
+  p.h_max = 64.0;
+  p.clamp_to_queue = true;  // required for the sparse per-slot regime
+  return p;
+}
+
+LargeScaleScenario make_large_scale_scenario(const LargeScaleOptions& options) {
+  GREFAR_CHECK_MSG(options.num_dcs > 0, "need at least one data center");
+  GREFAR_CHECK_MSG(options.account_level < options.branching.size(),
+                   "account_level " << options.account_level << " outside the "
+                                    << options.branching.size() << "-level tree");
+  GREFAR_CHECK_MSG(options.draws_per_slot > 0, "need at least one draw per slot");
+
+  LargeScaleScenario s{AccountTree::balanced(options.branching, options.seed),
+                       nullptr, nullptr, nullptr, nullptr, options};
+  const std::size_t leaves = s.tree.num_leaves();
+  const std::size_t N = options.num_dcs;
+
+  // Built in place and moved into the shared handle at the end: the single
+  // alive copy is the point (see LargeScaleScenario::config).
+  ClusterConfig config;
+
+  // -- hardware: two server classes, fleets sized so total capacity clears
+  // the mean offered load (draws_per_slot jobs x mean work ~1.0) with slack.
+  config.server_types = {{"std", 1.0, 1.0}, {"eco", 0.75, 0.6}};
+  const auto std_fleet =
+      static_cast<std::int64_t>((options.draws_per_slot + N - 1) / N);
+  for (std::size_t i = 0; i < N; ++i) {
+    config.data_centers.push_back(
+        {"dc" + std::to_string(i + 1), {std_fleet, std_fleet}});
+  }
+
+  // -- accounts: the chosen tree level, leaf job types mapped to ancestors --
+  config.accounts = s.tree.accounts_at_level(options.account_level);
+
+  config.job_types.resize(leaves);
+  for (std::size_t j = 0; j < leaves; ++j) {
+    JobType& jt = config.job_types[j];
+    // Names stay empty at this scale (a million strings would dominate the
+    // config footprint); errors print the type index instead.
+    jt.work = 0.5 + 0.5 * static_cast<double>(j % 3);  // 0.5 / 1.0 / 1.5
+    if (j % 7 == 0) {
+      jt.eligible_dcs.resize(N);
+      for (std::size_t i = 0; i < N; ++i) jt.eligible_dcs[i] = i;
+    } else {
+      jt.eligible_dcs = {j % N};
+    }
+    jt.account = s.tree.ancestor_of_leaf(j, options.account_level);
+  }
+
+  // -- dynamics: diurnal prices offset per DC, full availability, Zipf
+  // activity over the leaf types.
+  std::vector<DiurnalOuParams> price_params(N);
+  for (std::size_t i = 0; i < N; ++i) {
+    price_params[i].mean = 0.40 + 0.05 * static_cast<double>(i);
+    price_params[i].peak_hour = 14.0 + 4.0 * static_cast<double>(i % 3);
+  }
+  s.prices = std::make_shared<DiurnalOuPriceModel>(std::move(price_params),
+                                                   options.seed ^ 0x9e37u);
+  s.availability = std::make_shared<FullAvailability>(config.data_centers);
+  s.arrivals = std::make_shared<ZipfArrivals>(leaves, options.draws_per_slot,
+                                              options.zipf_exponent,
+                                              options.seed ^ 0x51f15u);
+
+  config.validate();
+  s.config = std::make_shared<const ClusterConfig>(std::move(config));
+  return s;
+}
+
+}  // namespace grefar

@@ -10,40 +10,59 @@
 
 namespace grefar {
 
+namespace {
+/// Null-checks the shared config before the member-init list dereferences it.
+std::shared_ptr<const ClusterConfig> require_config(
+    std::shared_ptr<const ClusterConfig> config) {
+  GREFAR_CHECK_MSG(config != nullptr, "SimulationEngine needs a cluster config");
+  return config;
+}
+}  // namespace
+
 SimulationEngine::SimulationEngine(ClusterConfig config,
                                    std::shared_ptr<const PriceModel> prices,
                                    std::shared_ptr<const AvailabilityModel> availability,
                                    std::shared_ptr<const ArrivalProcess> arrivals,
                                    std::shared_ptr<Scheduler> scheduler,
                                    EngineOptions options)
-    : config_(std::move(config)),
+    : SimulationEngine(std::make_shared<const ClusterConfig>(std::move(config)),
+                       std::move(prices), std::move(availability),
+                       std::move(arrivals), std::move(scheduler), options) {}
+
+SimulationEngine::SimulationEngine(std::shared_ptr<const ClusterConfig> config,
+                                   std::shared_ptr<const PriceModel> prices,
+                                   std::shared_ptr<const AvailabilityModel> availability,
+                                   std::shared_ptr<const ArrivalProcess> arrivals,
+                                   std::shared_ptr<Scheduler> scheduler,
+                                   EngineOptions options)
+    : config_(require_config(std::move(config))),
       prices_(std::move(prices)),
       availability_(std::move(availability)),
       arrivals_(std::move(arrivals)),
       scheduler_(std::move(scheduler)),
       options_(options),
-      fairness_fn_(config_.gammas()),
-      metrics_(config_.num_data_centers(), config_.num_accounts()) {
-  config_.validate();
+      fairness_fn_(config_->gammas()),
+      metrics_(config_->num_data_centers(), config_->num_accounts()) {
+  config_->validate();
   GREFAR_CHECK(prices_ != nullptr && availability_ != nullptr &&
                arrivals_ != nullptr && scheduler_ != nullptr);
-  GREFAR_CHECK_MSG(prices_->num_data_centers() == config_.num_data_centers(),
+  GREFAR_CHECK_MSG(prices_->num_data_centers() == config_->num_data_centers(),
                    "price model covers " << prices_->num_data_centers()
                                          << " DCs, cluster has "
-                                         << config_.num_data_centers());
-  GREFAR_CHECK_MSG(availability_->num_data_centers() == config_.num_data_centers(),
+                                         << config_->num_data_centers());
+  GREFAR_CHECK_MSG(availability_->num_data_centers() == config_->num_data_centers(),
                    "availability model DC count mismatch");
-  GREFAR_CHECK_MSG(availability_->num_server_types() == config_.num_server_types(),
+  GREFAR_CHECK_MSG(availability_->num_server_types() == config_->num_server_types(),
                    "availability model server-type count mismatch");
-  GREFAR_CHECK_MSG(arrivals_->num_job_types() == config_.num_job_types(),
+  GREFAR_CHECK_MSG(arrivals_->num_job_types() == config_->num_job_types(),
                    "arrival process job-type count mismatch");
 
-  central_.reserve(config_.num_job_types());
-  for (const auto& jt : config_.job_types) central_.emplace_back(jt.work);
-  dc_.resize(config_.num_data_centers());
+  central_.reserve(config_->num_job_types());
+  for (const auto& jt : config_->job_types) central_.emplace_back(jt.work);
+  dc_.resize(config_->num_data_centers());
   for (auto& row : dc_) {
-    row.reserve(config_.num_job_types());
-    for (const auto& jt : config_.job_types) row.emplace_back(jt.work);
+    row.reserve(config_->num_job_types());
+    for (const auto& jt : config_->job_types) row.emplace_back(jt.work);
   }
 }
 
@@ -65,22 +84,37 @@ SlotObservation SimulationEngine::observe() const {
 }
 
 void SimulationEngine::observe_into(SlotObservation& out) const {
-  const std::size_t N = config_.num_data_centers();
-  const std::size_t J = config_.num_job_types();
+  const std::size_t N = config_->num_data_centers();
+  const std::size_t J = config_->num_job_types();
   out.slot = slot_;
   out.prices.resize(N);
   for (std::size_t i = 0; i < N; ++i) out.prices[i] = prices_->price(i, slot_);
   availability_->availability_into(slot_, out.availability);
   out.central_queue.resize(J);
-  for (std::size_t j = 0; j < J; ++j) out.central_queue[j] = central_[j].length_jobs();
+  active_flag_.assign(J, 0);
+  for (std::size_t j = 0; j < J; ++j) {
+    const double q = central_[j].length_jobs();
+    out.central_queue[j] = q;
+    if (q > 0.0) active_flag_[j] = 1;
+  }
   if (out.dc_queue.rows() != N || out.dc_queue.cols() != J) {
     out.dc_queue = MatrixD(N, J);
   }
   for (std::size_t i = 0; i < dc_.size(); ++i) {
     for (std::size_t j = 0; j < dc_[i].size(); ++j) {
-      out.dc_queue(i, j) = dc_[i][j].length_jobs();
+      const double q = dc_[i][j].length_jobs();
+      out.dc_queue(i, j) = q;
+      if (q > 0.0) active_flag_[j] = 1;
     }
   }
+  // Active-type hint (sim/scheduler.h): every type with any queued jobs,
+  // ascending. Types not listed are guaranteed empty everywhere, which lets
+  // a sparse-aware scheduler work in O(active) instead of O(J).
+  out.active_types.clear();
+  for (std::size_t j = 0; j < J; ++j) {
+    if (active_flag_[j] != 0) out.active_types.push_back(static_cast<std::uint32_t>(j));
+  }
+  out.active_types_valid = true;
 }
 
 void SimulationEngine::run(std::int64_t slots) {
@@ -109,8 +143,8 @@ void SimulationEngine::step() {
   }
   const SlotAction& action = action_scratch_;
 
-  const std::size_t N = config_.num_data_centers();
-  const std::size_t J = config_.num_job_types();
+  const std::size_t N = config_->num_data_centers();
+  const std::size_t J = config_->num_job_types();
   if (inspector_ != nullptr) {
     if (routed_mat_.rows() != N || routed_mat_.cols() != J) {
       routed_mat_ = MatrixD(N, J);
@@ -127,7 +161,7 @@ void SimulationEngine::step() {
   // Ineligible pairs must stay zero: this is a scheduler contract.
   for (std::size_t i = 0; i < N; ++i) {
     for (std::size_t j = 0; j < J; ++j) {
-      if (!config_.job_types[j].eligible(i)) {
+      if (!config_->job_types[j].eligible(i)) {
         GREFAR_CHECK_MSG(action.route(i, j) <= 1e-9 && action.process(i, j) <= 1e-9,
                          "scheduler assigned work to ineligible DC " << i
                                                                      << " job type " << j);
@@ -179,8 +213,8 @@ void SimulationEngine::step() {
 }
 
 void SimulationEngine::route(const SlotObservation& obs, const SlotAction& action) {
-  const std::size_t N = config_.num_data_centers();
-  const std::size_t J = config_.num_job_types();
+  const std::size_t N = config_->num_data_centers();
+  const std::size_t J = config_->num_job_types();
   routed_per_dc_.assign(N, 0.0);
 
   for (std::size_t j = 0; j < J; ++j) {
@@ -216,20 +250,27 @@ void SimulationEngine::route(const SlotObservation& obs, const SlotAction& actio
 }
 
 void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& action) {
-  const std::size_t N = config_.num_data_centers();
-  const std::size_t J = config_.num_job_types();
+  const std::size_t N = config_->num_data_centers();
+  const std::size_t J = config_->num_job_types();
 
   double total_energy = 0.0;
   double total_resource = 0.0;
-  account_work_.assign(config_.num_accounts(), 0.0);
+  // account_work_ keeps its all-zero invariant across slots: clear exactly
+  // the entries the previous slot touched instead of an O(M) refill.
+  if (account_work_.size() != config_->num_accounts()) {
+    account_work_.assign(config_->num_accounts(), 0.0);
+  } else {
+    for (std::uint32_t m : touched_accounts_) account_work_[m] = 0.0;
+  }
+  touched_accounts_.clear();
   std::vector<double>& account_work = account_work_;
   curves_.resize(N);
-  avail_row_.resize(config_.num_server_types());
+  avail_row_.resize(config_->num_server_types());
   for (std::size_t i = 0; i < N; ++i) {
     for (std::size_t k = 0; k < avail_row_.size(); ++k) {
       avail_row_[k] = obs.availability(i, k);
     }
-    curves_[i].rebuild(config_.server_types, avail_row_);
+    curves_[i].rebuild(config_->server_types, avail_row_);
     total_resource += curves_[i].capacity();
   }
 
@@ -241,7 +282,7 @@ void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& actio
     for (std::size_t j = 0; j < J; ++j) {
       double h = action.process(i, j);
       GREFAR_CHECK_MSG(h >= -1e-9, "negative processing decision");
-      want[j] = std::max(h, 0.0) * config_.job_types[j].work;
+      want[j] = std::max(h, 0.0) * config_->job_types[j].work;
       total_want += want[j];
     }
     double capacity = curves_[i].capacity();
@@ -259,15 +300,19 @@ void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& actio
       // servable this slot.
       double servable = want[j];
       if (!options_.serve_routed_same_slot) {
-        servable = std::min(servable, obs.dc_queue(i, j) * config_.job_types[j].work);
+        servable = std::min(servable, obs.dc_queue(i, j) * config_->job_types[j].work);
       }
       double consumed = 0.0;
       completions_.clear();
       dc_[i][j].serve_into(servable, slot_, &consumed, completions_,
-                           config_.job_types[j].max_rate);
+                           config_->job_types[j].max_rate);
       if (inspector_ != nullptr) served_mat_(i, j) = consumed;
       dc_work += consumed;
-      account_work[config_.job_types[j].account] += consumed;
+      if (consumed > 0.0) {
+        const auto m = static_cast<std::uint32_t>(config_->job_types[j].account);
+        if (account_work[m] == 0.0) touched_accounts_.push_back(m);
+        account_work[m] += consumed;
+      }
       for (const auto& c : completions_) {
         dc_delay_sum += static_cast<double>(c.total_delay());
         dc_completions += 1.0;
@@ -275,7 +320,7 @@ void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& actio
       }
     }
     double energy = obs.prices[i] *
-                    config_.tariff(i).cost(curves_[i].energy_for_work(dc_work));
+                    config_->tariff(i).cost(curves_[i].energy_for_work(dc_work));
     total_energy += energy;
     if (inspector_ != nullptr) {
       dc_capacity_record_.resize(N);
@@ -296,12 +341,26 @@ void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& actio
   }
 
   metrics_.energy_cost.add(total_energy);
-  double f = total_resource > 0.0 ? fairness_fn_.score(account_work, total_resource)
-                                  : 0.0;
+  // Ascending ids give the sparse sum the same accumulation order as the
+  // dense one, so score_active is bitwise identical to score() here
+  // (sim/fairness.h) — including what the invariant auditor recomputes.
+  std::sort(touched_accounts_.begin(), touched_accounts_.end());
+  active_work_.clear();
+  for (std::uint32_t m : touched_accounts_) active_work_.push_back(account_work[m]);
+  double f = total_resource > 0.0
+                 ? fairness_fn_.score_active(touched_accounts_.data(),
+                                             active_work_.data(),
+                                             touched_accounts_.size(), total_resource)
+                 : 0.0;
   fairness_record_ = f;
   metrics_.fairness.add(f);
-  for (std::size_t m = 0; m < account_work.size(); ++m) {
-    metrics_.account_work[m].add(account_work[m]);
+  if (metrics_.has_per_account_series()) {
+    for (std::size_t m = 0; m < account_work.size(); ++m) {
+      metrics_.account_work[m].add(account_work[m]);
+    }
+  }
+  for (std::uint32_t m : touched_accounts_) {
+    metrics_.account_work_total[m] += account_work[m];
   }
 
   // Queue-size telemetry (after routing and service, before new arrivals).
@@ -325,7 +384,7 @@ void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& actio
 void SimulationEngine::admit_arrivals() {
   arrivals_->arrivals_into(slot_, arrival_counts_);
   const std::vector<std::int64_t>& counts = arrival_counts_;
-  GREFAR_CHECK(counts.size() == config_.num_job_types());
+  GREFAR_CHECK(counts.size() == config_->num_job_types());
   double jobs = 0.0, work = 0.0;
   for (std::size_t j = 0; j < counts.size(); ++j) {
     for (std::int64_t n = 0; n < counts[j]; ++n) {
@@ -334,11 +393,11 @@ void SimulationEngine::admit_arrivals() {
       job.type = j;
       job.arrival_slot = slot_;
       job.dc_entry_slot = slot_;  // updated when routed
-      job.remaining = config_.job_types[j].work;
+      job.remaining = config_->job_types[j].work;
       central_[j].push(std::move(job));
     }
     jobs += static_cast<double>(counts[j]);
-    work += static_cast<double>(counts[j]) * config_.job_types[j].work;
+    work += static_cast<double>(counts[j]) * config_->job_types[j].work;
   }
   metrics_.arrived_jobs.add(jobs);
   metrics_.arrived_work.add(work);

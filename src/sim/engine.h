@@ -52,6 +52,16 @@ class SimulationEngine {
                    std::shared_ptr<const ArrivalProcess> arrivals,
                    std::shared_ptr<Scheduler> scheduler, EngineOptions options = {});
 
+  /// Shared-config overload: at M = 10^6 accounts a ClusterConfig weighs
+  /// ~10^2 MB, so engine/scheduler/auditor sharing one immutable instance
+  /// (instead of a value copy each) is what keeps peak RSS bounded
+  /// (DESIGN.md §12). The by-value overload above delegates here.
+  SimulationEngine(std::shared_ptr<const ClusterConfig> config,
+                   std::shared_ptr<const PriceModel> prices,
+                   std::shared_ptr<const AvailabilityModel> availability,
+                   std::shared_ptr<const ArrivalProcess> arrivals,
+                   std::shared_ptr<Scheduler> scheduler, EngineOptions options = {});
+
   /// Advances the simulation by `slots` steps.
   void run(std::int64_t slots);
 
@@ -60,7 +70,7 @@ class SimulationEngine {
 
   std::int64_t slot() const { return slot_; }
   const SimMetrics& metrics() const { return metrics_; }
-  const ClusterConfig& config() const { return config_; }
+  const ClusterConfig& config() const { return *config_; }
   const Scheduler& scheduler() const { return *scheduler_; }
 
   /// Queue introspection (jobs).
@@ -91,7 +101,7 @@ class SimulationEngine {
   void serve(const SlotObservation& obs, const SlotAction& action);
   void admit_arrivals();
 
-  ClusterConfig config_;
+  std::shared_ptr<const ClusterConfig> config_;  // immutable, shareable
   std::shared_ptr<const PriceModel> prices_;
   std::shared_ptr<const AvailabilityModel> availability_;
   std::shared_ptr<const ArrivalProcess> arrivals_;
@@ -113,7 +123,14 @@ class SimulationEngine {
   std::vector<EnergyCostCurve> curves_;          // per DC, rebuilt per slot
   std::vector<std::int64_t> avail_row_;          // one DC's availability row
   std::vector<double> want_;                     // per-type desired work
-  std::vector<double> account_work_;             // per-account served work
+  mutable std::vector<unsigned char> active_flag_;  // observe_into: type has queue
+  /// Per-account served work, length M. All-zero invariant between slots:
+  /// only the accounts listed in touched_accounts_ hold non-zeros, and
+  /// serve() clears exactly those on entry — O(active) per slot instead of
+  /// an O(M) refill at a million accounts (DESIGN.md §12).
+  std::vector<double> account_work_;
+  std::vector<std::uint32_t> touched_accounts_;  // accounts served this slot
+  std::vector<double> active_work_;              // gathered r_active for scoring
   std::vector<double> routed_per_dc_;            // per-DC routed jobs
   std::vector<std::size_t> route_order_;         // routing destinations, sorted
   std::vector<Completion> completions_;          // one queue's completions

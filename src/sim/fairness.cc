@@ -8,16 +8,33 @@ FairnessFunction::FairnessFunction(std::vector<double> gamma)
     : gamma_(std::move(gamma)) {
   GREFAR_CHECK_MSG(!gamma_.empty(), "need at least one account");
   for (double g : gamma_) GREFAR_CHECK_MSG(g >= 0.0, "gamma must be >= 0");
+  for (double g : gamma_) gamma_sq_total_ += g * g;
+}
+
+double FairnessFunction::inv_total(double total_resource) const {
+  GREFAR_CHECK_MSG(total_resource > 0.0, "total resource must be positive");
+  return 1.0 / total_resource;
 }
 
 double FairnessFunction::score(const std::vector<double>& r,
                                double total_resource) const {
   GREFAR_CHECK(r.size() == gamma_.size());
-  GREFAR_CHECK_MSG(total_resource > 0.0, "total resource must be positive");
-  double penalty = 0.0;
+  const double inv = inv_total(total_resource);
+  double penalty = gamma_sq_total_;
   for (std::size_t m = 0; m < r.size(); ++m) {
-    double deviation = r[m] / total_resource - gamma_[m];
-    penalty += deviation * deviation;
+    penalty += fairness_kernel::term(r[m], gamma_[m], inv);
+  }
+  return -penalty;
+}
+
+double FairnessFunction::score_active(const std::uint32_t* ids,
+                                      const double* r_active, std::size_t count,
+                                      double total_resource) const {
+  const double inv = inv_total(total_resource);
+  double penalty = gamma_sq_total_;
+  for (std::size_t k = 0; k < count; ++k) {
+    GREFAR_CHECK(ids[k] < gamma_.size());
+    penalty += fairness_kernel::term(r_active[k], gamma_[ids[k]], inv);
   }
   return -penalty;
 }
@@ -25,8 +42,7 @@ double FairnessFunction::score(const std::vector<double>& r,
 double FairnessFunction::score_gradient(double r_m, std::size_t m,
                                         double total_resource) const {
   GREFAR_CHECK(m < gamma_.size());
-  GREFAR_CHECK_MSG(total_resource > 0.0, "total resource must be positive");
-  return -2.0 * (r_m / total_resource - gamma_[m]) / total_resource;
+  return fairness_kernel::gradient(r_m, gamma_[m], inv_total(total_resource));
 }
 
 }  // namespace grefar

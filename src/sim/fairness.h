@@ -7,11 +7,46 @@
 // desired allocation share. f is maximized (= 0) when every account receives
 // exactly its share. Shared by the simulator's accounting and the GreFar
 // objective.
+//
+// Sparse evaluation (DESIGN.md §12). At million-account scale only a small
+// set of accounts receives work in any slot; the rest contribute the fixed
+// gamma_m^2 each. The score is therefore computed as
+//
+//   f = - ( sum_m gamma_m^2  +  sum_{m active} [ dev_m^2 - gamma_m^2 ] )
+//
+// with dev_m = r_m/R - gamma_m and the first sum cached once at
+// construction (gamma_ is immutable, so the cache can never go stale). The
+// per-account term is written in the factored form
+// (dev - gamma) * (dev + gamma): when r_m == 0, dev is exactly -gamma_m, so
+// the second factor — and hence the whole term — is an exact floating-point
+// zero (even under FMA contraction, since the real product is zero too).
+// Adding that zero never changes the bits of the running sum, which is what
+// makes the sparse sum over active accounts *bitwise identical* to the
+// dense sum over all M accounts.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 namespace grefar {
+
+/// Shared inner kernels: one definition so every caller (dense score, sparse
+/// score, the drift-penalty gradient) compiles the identical expression and
+/// the bitwise sparse == dense contract holds across call sites.
+namespace fairness_kernel {
+
+/// dev^2 - gamma^2 in the factored form that is an exact zero when r == 0.
+inline double term(double r, double gamma, double inv_total) {
+  const double dev = r * inv_total - gamma;
+  return (dev - gamma) * (dev + gamma);
+}
+
+/// d f / d r_m = -2 (r/R - gamma) / R with the reciprocal hoisted.
+inline double gradient(double r, double gamma, double inv_total) {
+  return -2.0 * (r * inv_total - gamma) * inv_total;
+}
+
+}  // namespace fairness_kernel
 
 /// Per-account target shares gamma_m >= 0 (the paper uses 40/30/15/15%).
 class FairnessFunction {
@@ -21,9 +56,24 @@ class FairnessFunction {
   std::size_t num_accounts() const { return gamma_.size(); }
   const std::vector<double>& gamma() const { return gamma_; }
 
+  /// The cached inactive-remainder scalar: sum_m fl(gamma_m^2), accumulated
+  /// ascending in m. gamma_ is immutable after construction, so the cache is
+  /// always valid.
+  double gamma_sq_total() const { return gamma_sq_total_; }
+
+  /// Checked reciprocal 1/R; throws unless total_resource > 0 (a
+  /// non-positive R would otherwise push inf/NaN into the solver polytope).
+  double inv_total(double total_resource) const;
+
   /// f(t) for per-account allocated work `r` (length M) and total resource
   /// R > 0. Always <= 0; equals 0 iff r_m == gamma_m * R for all m.
   double score(const std::vector<double>& r, double total_resource) const;
+
+  /// Sparse f(t): `ids`/`r_active` list the accounts (ascending ids) that
+  /// received work; every account not listed is guaranteed r_m == 0.
+  /// Bitwise identical to score() on the scattered dense vector.
+  double score_active(const std::uint32_t* ids, const double* r_active,
+                      std::size_t count, double total_resource) const;
 
   /// Partial derivative of the *fairness score* with respect to r_m:
   /// d f / d r_m = -2 (r_m/R - gamma_m) / R. (The GreFar objective uses
@@ -32,6 +82,7 @@ class FairnessFunction {
 
  private:
   std::vector<double> gamma_;
+  double gamma_sq_total_ = 0.0;  // sum_m fl(gamma_m^2), ascending m
 };
 
 }  // namespace grefar

@@ -21,7 +21,8 @@ SimMetrics::SimMetrics(std::size_t num_dcs, std::size_t num_accounts)
       arrived_jobs("arrived_jobs"),
       arrived_work("arrived_work"),
       total_queue_jobs("total_queue_jobs"),
-      max_queue_jobs("max_queue_jobs") {
+      max_queue_jobs("max_queue_jobs"),
+      num_accounts_(num_accounts) {
   GREFAR_CHECK(num_dcs > 0);
   GREFAR_CHECK(num_accounts > 0);
   for (std::size_t i = 0; i < num_dcs; ++i) {
@@ -33,9 +34,12 @@ SimMetrics::SimMetrics(std::size_t num_dcs, std::size_t num_accounts)
     dc_completions.emplace_back("dc" + suffix + "_completions");
     dc_price.emplace_back("dc" + suffix + "_price");
   }
-  for (std::size_t m = 0; m < num_accounts; ++m) {
-    account_work.emplace_back("account" + std::to_string(m + 1) + "_work");
+  if (num_accounts <= kMaxPerAccountSeries) {
+    for (std::size_t m = 0; m < num_accounts; ++m) {
+      account_work.emplace_back("account" + std::to_string(m + 1) + "_work");
+    }
   }
+  account_work_total.assign(num_accounts, 0.0);
 }
 
 void SimMetrics::record_completion_delay(double delay) {
@@ -91,11 +95,27 @@ JsonValue SimMetrics::summary_json() const {
     per_dc.emplace_back(std::move(d));
   }
   o["data_centers"] = JsonValue(std::move(per_dc));
-  JsonArray per_account;
-  for (std::size_t m = 0; m < num_accounts(); ++m) {
-    per_account.emplace_back(account_work[m].sum());
+  if (has_per_account_series()) {
+    JsonArray per_account;
+    for (std::size_t m = 0; m < num_accounts(); ++m) {
+      per_account.emplace_back(account_work[m].sum());
+    }
+    o["account_work"] = JsonValue(std::move(per_account));
+  } else {
+    // Million-account mode: a per-account array would dominate the summary,
+    // so emit aggregate shape instead.
+    double total = 0.0;
+    double nonzero = 0.0;
+    for (double w : account_work_total) {
+      total += w;
+      if (w != 0.0) nonzero += 1.0;
+    }
+    JsonObject aw;
+    aw["num_accounts"] = JsonValue(static_cast<double>(num_accounts()));
+    aw["accounts_served"] = JsonValue(nonzero);
+    aw["total_work"] = JsonValue(total);
+    o["account_work_summary"] = JsonValue(std::move(aw));
   }
-  o["account_work"] = JsonValue(std::move(per_account));
   return JsonValue(std::move(o));
 }
 

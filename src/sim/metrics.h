@@ -17,6 +17,12 @@ namespace grefar {
 
 class SimMetrics {
  public:
+  /// Per-account TimeSeries are kept only up to this many accounts. Above
+  /// it, a million-account run over T slots would allocate M series of T
+  /// doubles each; only the cumulative per-account totals are tracked
+  /// (account_work_total, always maintained at any M).
+  static constexpr std::size_t kMaxPerAccountSeries = 4096;
+
   SimMetrics(std::size_t num_dcs, std::size_t num_accounts);
 
   /// Records one job completion (total delay in slots) for the percentile
@@ -36,10 +42,18 @@ class SimMetrics {
   std::vector<TimeSeries> dc_delay_sum;     // sum of total delays of jobs finishing in DC i
   std::vector<TimeSeries> dc_completions;   // jobs finishing in DC i
   std::vector<TimeSeries> dc_price;         // phi_i(t)
-  std::vector<TimeSeries> account_work;     // work processed for account m
+  /// Per-slot work processed for account m. Empty (not recorded) when the
+  /// cluster has more than kMaxPerAccountSeries accounts — check
+  /// has_per_account_series() before indexing.
+  std::vector<TimeSeries> account_work;
+  /// Cumulative work processed for account m, maintained at any M (a flat
+  /// vector of doubles: 8 MB at M = 10^6, independent of the horizon).
+  std::vector<double> account_work_total;
+
+  bool has_per_account_series() const { return !account_work.empty(); }
 
   std::size_t num_data_centers() const { return dc_work.size(); }
-  std::size_t num_accounts() const { return account_work.size(); }
+  std::size_t num_accounts() const { return num_accounts_; }
   std::size_t slots() const { return energy_cost.size(); }
 
   // -- derived views (the paper's y-axes) -------------------------------------
@@ -77,6 +91,7 @@ class SimMetrics {
   JsonValue summary_json() const;
 
  private:
+  std::size_t num_accounts_ = 0;
   P2Quantile delay_p50_{0.50};
   P2Quantile delay_p95_{0.95};
   P2Quantile delay_p99_{0.99};

@@ -17,12 +17,26 @@ void FifoJobQueue::push(Job job) {
 }
 
 Job FifoJobQueue::pop_front() {
-  GREFAR_CHECK_MSG(!jobs_.empty(), "pop_front on empty queue");
-  Job job = jobs_.front();
-  jobs_.pop_front();
+  GREFAR_CHECK_MSG(head_ < jobs_.size(), "pop_front on empty queue");
+  Job job = std::move(jobs_[head_]);
+  ++head_;
   remaining_work_ -= job.remaining;
   if (remaining_work_ < 0.0) remaining_work_ = 0.0;  // numeric dust
+  compact_if_stale();
   return job;
+}
+
+void FifoJobQueue::compact_if_stale() {
+  if (head_ == jobs_.size()) {
+    jobs_.clear();
+    head_ = 0;
+  } else if (head_ >= 64 && head_ * 2 >= jobs_.size()) {
+    // Amortized O(1): each erase moves at most as many live jobs as were
+    // popped since the last compaction.
+    jobs_.erase(jobs_.begin(),
+                jobs_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
 }
 
 std::vector<Completion> FifoJobQueue::serve(double work, std::int64_t slot,
@@ -39,24 +53,30 @@ void FifoJobQueue::serve_into(double work, std::int64_t slot, double* consumed,
   GREFAR_CHECK_MSG(per_job_cap > 0.0, "per-job cap must be positive");
   double budget = std::max(work, 0.0);
   double used = 0.0;
-  for (auto it = jobs_.begin(); it != jobs_.end() && budget > 1e-12; ++it) {
-    double give = std::min({budget, per_job_cap, it->remaining});
-    it->remaining -= give;
+  for (std::size_t r = head_; r < jobs_.size() && budget > 1e-12; ++r) {
+    double give = std::min({budget, per_job_cap, jobs_[r].remaining});
+    jobs_[r].remaining -= give;
     remaining_work_ -= give;
     used += give;
     budget -= give;
   }
-  // Collect and remove finished jobs in FIFO order (a capped head can leave
-  // later, smaller jobs finishing first).
-  for (auto it = jobs_.begin(); it != jobs_.end();) {
-    if (it->remaining <= 1e-12) {
-      Completion c{*it, slot};
+  // Collect finished jobs in FIFO order (a capped head can leave later,
+  // smaller jobs finishing first) and compact the survivors in place.
+  std::size_t w = head_;
+  for (std::size_t r = head_; r < jobs_.size(); ++r) {
+    if (jobs_[r].remaining <= 1e-12) {
+      Completion c{jobs_[r], slot};
       c.job.remaining = 0.0;
       completions.push_back(std::move(c));
-      it = jobs_.erase(it);
     } else {
-      ++it;
+      if (w != r) jobs_[w] = std::move(jobs_[r]);
+      ++w;
     }
+  }
+  jobs_.resize(w);
+  if (head_ == jobs_.size()) {
+    jobs_.clear();
+    head_ = 0;
   }
   if (remaining_work_ < 0.0) remaining_work_ = 0.0;
   if (consumed != nullptr) *consumed = used;

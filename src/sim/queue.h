@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <limits>
 #include <vector>
 
@@ -57,8 +56,8 @@ class FifoJobQueue {
                   std::vector<Completion>& completions,
                   double per_job_cap = std::numeric_limits<double>::infinity());
 
-  bool empty() const { return jobs_.empty(); }
-  std::size_t job_count() const { return jobs_.size(); }
+  bool empty() const { return head_ == jobs_.size(); }
+  std::size_t job_count() const { return jobs_.size() - head_; }
 
   /// Queue length in (fractional) jobs: total remaining work / d_j.
   double length_jobs() const { return remaining_work_ / job_work_; }
@@ -69,9 +68,17 @@ class FifoJobQueue {
   double job_work() const { return job_work_; }
 
  private:
+  /// Reclaims the popped prefix [0, head_) when it dominates the storage.
+  void compact_if_stale();
+
   double job_work_;
   double remaining_work_ = 0.0;
-  std::deque<Job> jobs_;
+  // Live jobs are jobs_[head_ .. end), FIFO order. A vector with a popped-
+  // prefix index replaces std::deque: libstdc++'s deque allocates a ~512 B
+  // block map even while empty, which is fatal at millions of per-(i,j)
+  // queues (DESIGN.md §12); an empty vector holds no heap storage at all.
+  std::vector<Job> jobs_;
+  std::size_t head_ = 0;
 };
 
 }  // namespace grefar

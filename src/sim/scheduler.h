@@ -24,6 +24,17 @@ struct SlotObservation {
   Matrix<std::int64_t> availability;      // n_{i,k}(t), N x K
   std::vector<double> central_queue;      // Q_j(t) in jobs, length J
   MatrixD dc_queue;                       // q_{i,j}(t) in jobs (fractional), N x J
+
+  /// Optional sparsity hint for million-type instances (DESIGN.md §12).
+  /// When `active_types_valid`, `active_types` lists — ascending, no
+  /// duplicates — every job type j with Q_j(t) > 0 or q_{i,j}(t) > 0 for
+  /// some i; any type not listed is guaranteed empty everywhere this slot.
+  /// Schedulers may use the hint to touch only active columns; the engine
+  /// maintains it from its queues, and a producer that sets the flag owns
+  /// the guarantee. An invalid flag (default) means "no information" and
+  /// must trigger dense behavior, not "no active types".
+  bool active_types_valid = false;
+  std::vector<std::uint32_t> active_types;
 };
 
 /// The action z(t). Ineligible (i,j) pairs must stay zero; the engine clamps

@@ -34,6 +34,22 @@ void CappedBoxPolytope::add_group(std::vector<std::size_t> indices, double cap) 
   groups_.push_back(std::move(g));
 }
 
+void CappedBoxPolytope::rebuild_contiguous(std::size_t n_groups,
+                                           std::size_t group_size) {
+  const std::size_t n = n_groups * group_size;
+  ub_.assign(n, 0.0);
+  grouped_.assign(n, true);
+  groups_.resize(n_groups);
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    Group& grp = groups_[g];
+    grp.indices.clear();  // contiguous oracles never touch the index list
+    grp.cap = 0.0;
+    grp.begin = g * group_size;
+    grp.end = (g + 1) * group_size;
+    grp.contiguous = true;
+  }
+}
+
 void CappedBoxPolytope::set_upper_bound(std::size_t j, double ub) {
   GREFAR_CHECK(j < ub_.size());
   GREFAR_CHECK_MSG(ub >= 0.0, "upper bound must be >= 0");
@@ -53,7 +69,11 @@ bool CappedBoxPolytope::contains(const std::vector<double>& x, double tol) const
   }
   for (const auto& g : groups_) {
     double sum = 0.0;
-    for (std::size_t j : g.indices) sum += x[j];
+    if (g.contiguous) {
+      for (std::size_t j = g.begin; j < g.end; ++j) sum += x[j];
+    } else {
+      for (std::size_t j : g.indices) sum += x[j];
+    }
     if (sum > g.cap + tol) return false;
   }
   return true;

@@ -22,6 +22,15 @@ class CappedBoxPolytope {
   /// Groups must be disjoint; indices not in any group are box-only.
   void add_group(std::vector<std::size_t> indices, double cap);
 
+  /// In-place re-shape for callers whose dimension changes per slot (the
+  /// compact active-type problem): the polytope becomes `n_groups`
+  /// contiguous groups of `group_size` variables each (group g owning
+  /// [g*group_size, (g+1)*group_size)), with every bound and cap reset to 0.
+  /// The caller then rewrites bounds via mutable_upper_bounds() and caps via
+  /// set_group_cap(). Reuses all internal storage; no allocation once the
+  /// high-water dimension has been reached.
+  void rebuild_contiguous(std::size_t n_groups, std::size_t group_size);
+
   std::size_t dim() const { return ub_.size(); }
   const std::vector<double>& upper_bounds() const { return ub_; }
   std::size_t num_groups() const { return groups_.size(); }

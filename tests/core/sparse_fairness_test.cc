@@ -1,0 +1,202 @@
+// DESIGN.md §12: the compact (active-type) per-slot solve must be *bitwise*
+// identical to the dense solve — same route and process matrices, down to
+// the last ulp — across multi-slot runs with churning active sets, for both
+// the exact greedy (beta = 0) and PGD (beta > 0, warm starts across slots
+// remapping between coordinate systems). Two scheduler instances see the
+// identical observation stream; one gets the active-type hint, the other
+// does not.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/drift_penalty.h"
+#include "core/grefar.h"
+#include "obs/counters.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace grefar {
+namespace {
+
+ClusterConfig random_config(Rng& rng, std::size_t num_dcs, std::size_t num_types,
+                            std::size_t num_accounts) {
+  ClusterConfig c;
+  c.server_types = {{"std", 1.0, 1.0}, {"eco", 0.75, 0.6}};
+  for (std::size_t i = 0; i < num_dcs; ++i) {
+    c.data_centers.push_back({"dc" + std::to_string(i), {12, 8}});
+  }
+  double gamma_sum = 0.0;
+  std::vector<double> gammas(num_accounts);
+  for (auto& g : gammas) {
+    g = rng.uniform(0.1, 1.0);
+    gamma_sum += g;
+  }
+  for (std::size_t m = 0; m < num_accounts; ++m) {
+    c.accounts.push_back({"a" + std::to_string(m), gammas[m] / gamma_sum});
+  }
+  for (std::size_t j = 0; j < num_types; ++j) {
+    JobType jt;
+    jt.name = "t" + std::to_string(j);
+    jt.work = rng.uniform(0.5, 2.0);
+    for (std::size_t i = 0; i < num_dcs; ++i) {
+      if (rng.bernoulli(0.7)) jt.eligible_dcs.push_back(i);
+    }
+    if (jt.eligible_dcs.empty()) {
+      jt.eligible_dcs.push_back(rng.uniform_int(0, static_cast<std::int64_t>(num_dcs) - 1));
+    }
+    jt.account = static_cast<AccountId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(num_accounts) - 1));
+    c.job_types.push_back(std::move(jt));
+  }
+  c.validate();
+  return c;
+}
+
+/// Random queue state honoring the hint contract: a type not in the active
+/// list is zero everywhere. p_active churns per call; listed-but-empty
+/// types exercise the superset tolerance.
+SlotObservation random_obs(Rng& rng, const ClusterConfig& c, std::int64_t slot,
+                           double p_active) {
+  const std::size_t N = c.num_data_centers();
+  const std::size_t J = c.num_job_types();
+  SlotObservation obs;
+  obs.slot = slot;
+  obs.prices.resize(N);
+  for (auto& p : obs.prices) p = rng.uniform(0.2, 0.8);
+  obs.availability = Matrix<std::int64_t>(N, c.num_server_types());
+  for (std::size_t i = 0; i < N; ++i) {
+    obs.availability(i, 0) = rng.uniform_int(6, 12);
+    obs.availability(i, 1) = rng.uniform_int(4, 8);
+  }
+  obs.central_queue.assign(J, 0.0);
+  obs.dc_queue = MatrixD(N, J);
+  obs.dc_queue.fill(0.0);
+  obs.active_types.clear();
+  for (std::size_t j = 0; j < J; ++j) {
+    if (rng.uniform() >= p_active) continue;
+    obs.active_types.push_back(static_cast<std::uint32_t>(j));
+    if (rng.bernoulli(0.1)) continue;  // listed but empty (superset hint)
+    obs.central_queue[j] = static_cast<double>(rng.uniform_int(0, 6));
+    for (std::size_t i = 0; i < N; ++i) {
+      if (rng.bernoulli(0.5)) {
+        obs.dc_queue(i, j) = rng.uniform(0.0, 4.0);
+      }
+    }
+  }
+  obs.active_types_valid = true;
+  return obs;
+}
+
+void expect_actions_bitwise_equal(const SlotAction& sparse, const SlotAction& dense,
+                                  std::int64_t slot) {
+  ASSERT_EQ(sparse.route.rows(), dense.route.rows());
+  ASSERT_EQ(sparse.route.cols(), dense.route.cols());
+  for (std::size_t i = 0; i < sparse.route.rows(); ++i) {
+    for (std::size_t j = 0; j < sparse.route.cols(); ++j) {
+      // EXPECT_EQ on doubles is exact — the bitwise contract.
+      EXPECT_EQ(sparse.route(i, j), dense.route(i, j))
+          << "route mismatch at slot " << slot << " (" << i << ", " << j << ")";
+      EXPECT_EQ(sparse.process(i, j), dense.process(i, j))
+          << "process mismatch at slot " << slot << " (" << i << ", " << j << ")";
+    }
+  }
+}
+
+void run_sparse_vs_dense(GreFarParams params, PerSlotSolver solver,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  ClusterConfig config = random_config(rng, 3, 48, 12);
+  GreFarScheduler with_hint(config, params, solver);
+  GreFarScheduler without_hint(config, params, solver);
+
+  obs::CounterRegistry counters;
+  SlotAction a_sparse;
+  SlotAction a_dense;
+  for (std::int64_t t = 0; t < 60; ++t) {
+    // Churn the density: sparse slots, dense slots, idle slots.
+    double p_active = 0.15;
+    if (t % 7 == 3) p_active = 0.9;
+    if (t % 11 == 5) p_active = 0.0;
+    SlotObservation obs = random_obs(rng, config, t, p_active);
+    {
+      obs::CountersScope scope(&counters);
+      with_hint.decide_into(obs, a_sparse);
+    }
+    SlotObservation dense_obs = obs;
+    dense_obs.active_types_valid = false;  // same state, no hint
+    dense_obs.active_types.clear();
+    without_hint.decide_into(dense_obs, a_dense);
+    expect_actions_bitwise_equal(a_sparse, a_dense, t);
+  }
+  // The hinted scheduler must actually have taken the compact path.
+  EXPECT_GT(counters.counter("fairness.sparse_skips"), 0u);
+}
+
+TEST(SparseFairness, GreedyCompactMatchesDenseBitwise) {
+  run_sparse_vs_dense(GreFarParams{}, PerSlotSolver::kGreedy, 0xA11CE);
+}
+
+TEST(SparseFairness, PgdCompactMatchesDenseBitwise) {
+  GreFarParams p;
+  p.V = 2.0;
+  p.beta = 0.5;
+  run_sparse_vs_dense(p, PerSlotSolver::kProjectedGradient, 0xB0B);
+}
+
+TEST(SparseFairness, PgdColdStartCompactMatchesDenseBitwise) {
+  GreFarParams p;
+  p.V = 1.0;
+  p.beta = 1.5;
+  p.warm_start_across_slots = false;  // greedy cold start every slot
+  run_sparse_vs_dense(p, PerSlotSolver::kProjectedGradient, 0xC0FFEE);
+}
+
+TEST(SparseFairness, DenseSlotsInterleavedStayBitwise) {
+  // Hint-less slots in the middle of a hinted run force compact -> dense ->
+  // compact transitions (warm-start remaps, action-clear invariant resets).
+  Rng rng(0xD15C0);
+  ClusterConfig config = random_config(rng, 2, 32, 8);
+  GreFarParams params;
+  params.V = 2.0;
+  params.beta = 0.8;
+  GreFarScheduler mixed(config, params, PerSlotSolver::kProjectedGradient);
+  GreFarScheduler dense(config, params, PerSlotSolver::kProjectedGradient);
+  SlotAction a_mixed;
+  SlotAction a_dense;
+  for (std::int64_t t = 0; t < 40; ++t) {
+    SlotObservation obs = random_obs(rng, config, t, 0.25);
+    SlotObservation mixed_obs = obs;
+    if (t % 3 == 1) {  // every third slot loses the hint
+      mixed_obs.active_types_valid = false;
+      mixed_obs.active_types.clear();
+    }
+    mixed.decide_into(mixed_obs, a_mixed);
+    SlotObservation dense_obs = obs;
+    dense_obs.active_types_valid = false;
+    dense_obs.active_types.clear();
+    dense.decide_into(dense_obs, a_dense);
+    expect_actions_bitwise_equal(a_mixed, a_dense, t);
+  }
+}
+
+TEST(SparseFairness, DriftPenaltyRejectsOutOfRangeAccount) {
+  // Satellite (a): a job type referencing a missing account must fail fast
+  // at problem construction with a pointed message, not corrupt the
+  // fairness buffers at solve time.
+  ClusterConfig c;
+  c.server_types = {{"std", 1.0, 1.0}};
+  c.data_centers = {{"dc0", {4}}};
+  c.accounts = {{"only", 1.0}};
+  c.job_types = {{"bad", 1.0, {0}, 1}};  // account 1 of a 1-account cluster
+  SlotObservation obs;
+  obs.slot = 0;
+  obs.prices = {0.5};
+  obs.availability = Matrix<std::int64_t>(1, 1);
+  obs.availability(0, 0) = 4;
+  obs.central_queue = {0.0};
+  obs.dc_queue = MatrixD(1, 1);
+  EXPECT_THROW(PerSlotProblem(c, obs, GreFarParams{}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace grefar

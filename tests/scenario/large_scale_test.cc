@@ -1,0 +1,151 @@
+// The scale-out scenario at test-friendly sizes: the same factory the 1M
+// smoke uses (bench/large_scale_smoke.cc), shrunk so every property runs in
+// milliseconds. Determinism across intra-slot shard counts is the key
+// invariant: the sparse per-slot path must produce bit-identical runs at
+// any intra_slot_jobs (DESIGN.md §11-§12).
+#include "scenario/large_scale.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "check/invariant_auditor.h"
+#include "core/grefar.h"
+#include "sim/engine.h"
+#include "util/check.h"
+
+namespace grefar {
+namespace {
+
+LargeScaleOptions small_options() {
+  LargeScaleOptions o;
+  o.branching = {4, 5, 10};  // 200 leaves
+  o.account_level = 2;
+  o.num_dcs = 2;
+  o.draws_per_slot = 24;
+  o.seed = 77;
+  return o;
+}
+
+TEST(LargeScale, ScenarioShapesAndConsistency) {
+  LargeScaleScenario s = make_large_scale_scenario(small_options());
+  EXPECT_EQ(s.config->num_job_types(), 200u);
+  EXPECT_EQ(s.config->num_accounts(), 200u);
+  EXPECT_EQ(s.config->num_data_centers(), 2u);
+  EXPECT_EQ(s.arrivals->num_job_types(), 200u);
+  // One job type per leaf, account = its ancestor at the chosen level.
+  for (std::size_t j = 0; j < 200; ++j) {
+    EXPECT_EQ(s.config->job_types[j].account, s.tree.ancestor_of_leaf(j, 2));
+  }
+}
+
+TEST(LargeScale, AccountsCanComeFromCoarserLevel) {
+  LargeScaleOptions o = small_options();
+  o.account_level = 1;  // teams, not users
+  LargeScaleScenario s = make_large_scale_scenario(o);
+  EXPECT_EQ(s.config->num_accounts(), 20u);
+  for (std::size_t j = 0; j < s.config->num_job_types(); ++j) {
+    EXPECT_LT(s.config->job_types[j].account, 20u);
+  }
+}
+
+TEST(LargeScale, ZipfArrivalsAreDeterministicAndRandomAccess) {
+  ZipfArrivals a(500, 40, 1.1, 9);
+  ZipfArrivals b(500, 40, 1.1, 9);
+  // Out-of-order access must replay byte-identically.
+  auto a7 = a.arrivals(7);
+  auto a3 = a.arrivals(3);
+  EXPECT_EQ(b.arrivals(3), a3);
+  EXPECT_EQ(b.arrivals(7), a7);
+  std::int64_t total = 0;
+  for (auto n : a7) total += n;
+  EXPECT_EQ(total, 40);  // every draw lands on some type
+}
+
+TEST(LargeScale, ZipfHeadIsHeavierThanTail) {
+  ZipfArrivals a(1000, 50, 1.2, 123);
+  std::int64_t head = 0;
+  std::int64_t tail = 0;
+  for (std::int64_t t = 0; t < 200; ++t) {
+    auto counts = a.arrivals(t);
+    for (std::size_t j = 0; j < 10; ++j) head += counts[j];
+    for (std::size_t j = 990; j < 1000; ++j) tail += counts[j];
+  }
+  EXPECT_GT(head, 10 * (tail + 1));
+}
+
+std::unique_ptr<SimulationEngine> make_engine(const LargeScaleScenario& s,
+                                              GreFarParams params,
+                                              PerSlotSolver solver,
+                                              bool audit) {
+  auto scheduler = std::make_shared<GreFarScheduler>(s.config, params, solver);
+  auto engine = std::make_unique<SimulationEngine>(s.config, s.prices,
+                                                   s.availability, s.arrivals,
+                                                   std::move(scheduler));
+  if (audit) {
+    InvariantAuditorOptions opts;
+    opts.throw_on_violation = true;
+    opts.expect_queue_bounded_ask = true;
+    opts.r_max = params.r_max;
+    opts.h_max = params.h_max;
+    engine->set_inspector(std::make_shared<InvariantAuditor>(s.config, opts));
+  }
+  return engine;
+}
+
+TEST(LargeScale, AuditedGreedyRunIsClean) {
+  LargeScaleScenario s = make_large_scale_scenario(small_options());
+  auto engine = make_engine(s, large_scale_grefar_params(2.0, 0.0),
+                            PerSlotSolver::kGreedy, /*audit=*/true);
+  engine->run(40);  // throw_on_violation aborts on any invariant break
+  EXPECT_GT(engine->metrics().delay_stats.count(), 0);
+}
+
+TEST(LargeScale, AuditedPgdRunIsClean) {
+  LargeScaleScenario s = make_large_scale_scenario(small_options());
+  auto engine = make_engine(s, large_scale_grefar_params(2.0, 0.5),
+                            PerSlotSolver::kProjectedGradient, /*audit=*/true);
+  engine->run(40);
+  EXPECT_GT(engine->metrics().delay_stats.count(), 0);
+}
+
+void expect_runs_bitwise_equal(const SimMetrics& a, const SimMetrics& b) {
+  ASSERT_EQ(a.slots(), b.slots());
+  for (std::size_t t = 0; t < a.slots(); ++t) {
+    EXPECT_EQ(a.energy_cost.values()[t], b.energy_cost.values()[t]) << "slot " << t;
+    EXPECT_EQ(a.fairness.values()[t], b.fairness.values()[t]) << "slot " << t;
+    EXPECT_EQ(a.total_queue_jobs.values()[t], b.total_queue_jobs.values()[t])
+        << "slot " << t;
+  }
+  for (std::size_t i = 0; i < a.num_data_centers(); ++i) {
+    EXPECT_EQ(a.dc_routed_jobs[i].sum(), b.dc_routed_jobs[i].sum());
+    EXPECT_EQ(a.dc_work[i].sum(), b.dc_work[i].sum());
+  }
+  ASSERT_EQ(a.account_work_total.size(), b.account_work_total.size());
+  for (std::size_t m = 0; m < a.account_work_total.size(); ++m) {
+    EXPECT_EQ(a.account_work_total[m], b.account_work_total[m]) << "account " << m;
+  }
+}
+
+TEST(LargeScale, RunsAreBitIdenticalAcrossShardCounts) {
+  LargeScaleScenario s = make_large_scale_scenario(small_options());
+  GreFarParams base = large_scale_grefar_params(2.0, 0.5);
+  base.intra_slot_min_vars = 1;  // engage the pool even at test sizes
+
+  std::unique_ptr<SimulationEngine> reference;
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    GreFarParams p = base;
+    p.intra_slot_jobs = jobs;
+    auto engine = make_engine(s, p, PerSlotSolver::kProjectedGradient,
+                              /*audit=*/false);
+    engine->run(30);
+    if (reference == nullptr) {
+      reference = std::move(engine);
+    } else {
+      expect_runs_bitwise_equal(reference->metrics(), engine->metrics());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grefar

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace grefar {
 namespace {
@@ -10,7 +11,10 @@ namespace {
 TEST(Fairness, PerfectAllocationScoresZero) {
   FairnessFunction f({0.4, 0.3, 0.15, 0.15});
   double R = 100.0;
-  EXPECT_DOUBLE_EQ(f.score({40.0, 30.0, 15.0, 15.0}, R), 0.0);
+  // Zero up to rounding: the sparse-exact kernel evaluates r * (1/R) -
+  // gamma (hoisted reciprocal, see sim/fairness.h), so a mathematically
+  // perfect allocation can sit an ulp or two off exact zero.
+  EXPECT_NEAR(f.score({40.0, 30.0, 15.0, 15.0}, R), 0.0, 1e-14);
 }
 
 TEST(Fairness, ScoreIsNeverPositive) {
@@ -81,6 +85,82 @@ TEST(Fairness, ExposesGamma) {
   FairnessFunction f({0.4, 0.6});
   EXPECT_EQ(f.num_accounts(), 2u);
   EXPECT_DOUBLE_EQ(f.gamma()[1], 0.6);
+}
+
+TEST(Fairness, InvTotalGuardsNonPositiveResource) {
+  FairnessFunction f({0.5, 0.5});
+  EXPECT_DOUBLE_EQ(f.inv_total(4.0), 0.25);
+  EXPECT_THROW(f.inv_total(0.0), ContractViolation);
+  EXPECT_THROW(f.inv_total(-2.0), ContractViolation);
+  const std::uint32_t ids[] = {0};
+  const double r[] = {1.0};
+  EXPECT_THROW(f.score_active(ids, r, 1, 0.0), ContractViolation);
+  EXPECT_THROW(f.score_active(ids, r, 1, -1.0), ContractViolation);
+}
+
+TEST(Fairness, ScoreActiveRejectsOutOfRangeIds) {
+  FairnessFunction f({0.5, 0.5});
+  const std::uint32_t ids[] = {2};
+  const double r[] = {1.0};
+  EXPECT_THROW(f.score_active(ids, r, 1, 10.0), ContractViolation);
+}
+
+TEST(Fairness, GammaSqTotalIsAscendingSquareSum) {
+  FairnessFunction f({0.4, 0.3, 0.15, 0.15});
+  double expected = 0.0;
+  for (double g : {0.4, 0.3, 0.15, 0.15}) expected += g * g;
+  EXPECT_EQ(f.gamma_sq_total(), expected);
+}
+
+// The DESIGN.md §12 contract: evaluating only the accounts that received
+// work gives the *bitwise identical* score to the dense sum over all M
+// accounts, because an idle account's factored term is an exact float zero
+// and adding zero never changes the accumulator bits. Exercised over many
+// random gammas, allocations and active masks, up to M = 10^4.
+TEST(Fairness, SparseScoreMatchesDenseBitwise) {
+  Rng rng(20260807);
+  for (std::size_t m_exp = 0; m_exp < 5; ++m_exp) {
+    const std::size_t M = std::size_t{10} << (2 * m_exp);  // 10 .. 2560
+    std::vector<double> gamma(M);
+    for (double& g : gamma) g = rng.uniform(0.0, 1.0);
+    FairnessFunction f(gamma);
+    for (int trial = 0; trial < 8; ++trial) {
+      const double R = rng.uniform(1.0, 1000.0);
+      const double p_active = trial % 2 == 0 ? 0.05 : 0.5;
+      std::vector<double> dense(M, 0.0);
+      std::vector<std::uint32_t> ids;
+      std::vector<double> r_active;
+      for (std::size_t m = 0; m < M; ++m) {
+        if (rng.uniform() < p_active) {
+          dense[m] = rng.uniform(0.0, R);
+          ids.push_back(static_cast<std::uint32_t>(m));
+          r_active.push_back(dense[m]);
+        }
+      }
+      const double sparse_score =
+          f.score_active(ids.data(), r_active.data(), ids.size(), R);
+      // EXPECT_EQ on doubles is exact equality — the whole point.
+      EXPECT_EQ(f.score(dense, R), sparse_score)
+          << "M=" << M << " trial=" << trial;
+    }
+  }
+  // The 10^4 end of the satellite: one big instance, sparse mask.
+  const std::size_t M = 10000;
+  std::vector<double> gamma(M);
+  for (double& g : gamma) g = rng.uniform(0.0, 1.0);
+  FairnessFunction f(gamma);
+  std::vector<double> dense(M, 0.0);
+  std::vector<std::uint32_t> ids;
+  std::vector<double> r_active;
+  for (std::size_t m = 0; m < M; ++m) {
+    if (rng.uniform() < 0.01) {
+      dense[m] = rng.uniform(0.0, 500.0);
+      ids.push_back(static_cast<std::uint32_t>(m));
+      r_active.push_back(dense[m]);
+    }
+  }
+  EXPECT_EQ(f.score(dense, 500.0),
+            f.score_active(ids.data(), r_active.data(), ids.size(), 500.0));
 }
 
 }  // namespace
