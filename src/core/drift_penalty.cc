@@ -21,8 +21,8 @@ PerSlotProblem::PerSlotProblem(const ClusterConfig& config, const SlotObservatio
       energy_band_(num_dcs_, 0.0),
       fairness_(config.gammas()),
       polytope_(std::vector<double>(num_dcs_ * num_types_, 0.0)),
-      num_types_eff_(num_types_),
-      queue_value_(num_dcs_ * num_types_, 0.0) {
+      queue_value_(num_dcs_ * num_types_, 0.0),
+      num_types_eff_(num_types_) {
   GREFAR_CHECK(params_.V >= 0.0);
   GREFAR_CHECK(params_.beta >= 0.0);
   GREFAR_CHECK(params_.r_max >= 0.0);
@@ -108,6 +108,10 @@ void PerSlotProblem::reset(const SlotObservation& obs) {
   // that requires both the hint (so we know which types are dead) and the
   // queue clamp (so empty queues actually zero the bound).
   compact_ = sparse_enabled_ && obs.active_types_valid && params_.clamp_to_queue;
+  // NOLINTBEGIN(grefar-hot-path-alloc): every resize below re-shapes a
+  // persistent buffer that reaches its high-water size after a few slots and
+  // is reused in place thereafter (the header's allocation-free contract is
+  // about the steady state, DESIGN.md §7/§12).
   if (compact_) {
     active_types_.assign(obs.active_types.begin(), obs.active_types.end());
     const std::size_t A = active_types_.size();
@@ -159,6 +163,7 @@ void PerSlotProblem::reset(const SlotObservation& obs) {
     polytope_.rebuild_contiguous(num_dcs_, J_eff);
   }
   queue_value_.resize(num_dcs_ * J_eff);
+  // NOLINTEND(grefar-hot-path-alloc)
 
   const std::int64_t* avail = obs.availability.data().data();
   const double* dc_queue = obs.dc_queue.data().data();
@@ -373,7 +378,8 @@ void PerSlotProblem::gradient(const std::vector<double>& x,
   const bool fair = params_.beta > 0.0 && total_resource_ > 0.0;
   accumulate_rows(x, /*need_value=*/false, /*need_marginal=*/true,
                   /*need_accounts=*/fair);
-  out.resize(num_vars());
+  // Amortized: the caller's gradient buffer is sized once per shape change.
+  out.resize(num_vars());  // NOLINT(grefar-hot-path-alloc)
   const std::size_t J = num_types_eff_;
   if (fair) {
     merge_account_work();

@@ -47,6 +47,7 @@
 #include "sim/scheduler.h"
 #include "solver/capped_box.h"
 #include "solver/objective.h"
+#include "util/annotations.h"
 
 namespace grefar {
 
@@ -105,6 +106,7 @@ class PerSlotProblem final : public ConvexObjective {
   /// Re-targets the problem at a new observation of the *same* cluster and
   /// params, reusing all internal storage. `obs` must outlive the problem's
   /// next use (the problem keeps a pointer, not a copy).
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   void reset(const SlotObservation& obs);
 
   /// Opts in to compact active-type resets. Takes effect at the next
@@ -165,7 +167,9 @@ class PerSlotProblem final : public ConvexObjective {
   }
 
   // ConvexObjective: the h-part of eq. (14) as described above.
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   double value(const std::vector<double>& x) const override;
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   void gradient(const std::vector<double>& x, std::vector<double>& out) const override;
 
   const GreFarParams& params() const { return params_; }
@@ -178,10 +182,12 @@ class PerSlotProblem final : public ConvexObjective {
   /// written to the dc_*_ / account_partial_ slots. Sharded across DCs when
   /// the executor is engaged; the callers merge the slots in DC order, so
   /// the result is bit-identical at any job count.
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   void accumulate_rows(const std::vector<double>& x, bool need_value,
                        bool need_marginal, bool need_accounts) const;
 
   /// Merges account_partial_ into account_scratch_ in DC order.
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   void merge_account_work() const;
 
   const ClusterConfig* config_;

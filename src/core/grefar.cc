@@ -137,7 +137,9 @@ void GreFarScheduler::decide_into(const SlotObservation& obs, SlotAction& action
           ++scope->drift_weights_nonnegative;
         }
       }
-      if (negative_weight) beneficial.push_back(i);
+      // Amortized: beneficial_ reaches its high-water size after a few slots
+      // and is clear()+refilled thereafter (DESIGN.md §7).
+      if (negative_weight) beneficial.push_back(i);  // NOLINT(grefar-hot-path-alloc)
     }
     if (beneficial.empty()) continue;
     std::sort(beneficial.begin(), beneficial.end(), [&](std::size_t a, std::size_t b) {
@@ -163,7 +165,8 @@ void GreFarScheduler::decide_into(const SlotObservation& obs, SlotAction& action
         }
         tie_members_.clear();
         for (std::size_t s = g; s < g_end; ++s) {
-          if (dc_capacity_[beneficial[s]] > 0.0) tie_members_.push_back(beneficial[s]);
+          if (dc_capacity_[beneficial[s]] > 0.0)
+            tie_members_.push_back(beneficial[s]);  // NOLINT(grefar-hot-path-alloc)
         }
         double assigned = 0.0;
         if (!tie_members_.empty()) {
@@ -176,7 +179,9 @@ void GreFarScheduler::decide_into(const SlotObservation& obs, SlotAction& action
           split.group_size = g_end - g;
           split.jobs = assigned;
           split.zero_capacity_skipped = (g_end - g) - tie_members_.size();
-          scope->tie_splits.push_back(split);
+          // Traced slots only (scope != nullptr): tracing is explicitly off
+          // the allocation-free contract, the tracer owns the growth.
+          scope->tie_splits.push_back(split);  // NOLINT(grefar-hot-path-alloc)
         }
         g = g_end;
       }
@@ -333,7 +338,8 @@ double GreFarScheduler::split_tie_group(std::size_t j, double jobs,
   }
 
   double base_total = 0.0;
-  tie_base_.resize(m);
+  // Amortized: tie scratch tracks the largest tie group seen, then reuses.
+  tie_base_.resize(m);  // NOLINT(grefar-hot-path-alloc)
   for (std::size_t s = 0; s < m; ++s) {
     tie_base_[s] = std::floor(tie_quota_[s]);
     base_total += tie_base_[s];
@@ -343,7 +349,7 @@ double GreFarScheduler::split_tie_group(std::size_t j, double jobs,
   // Hand the leftover jobs out one each by descending fractional remainder;
   // remainder ties (and the float-noise backstop below) go to the lowest DC
   // index first.
-  tie_rank_.resize(m);
+  tie_rank_.resize(m);  // NOLINT(grefar-hot-path-alloc)
   std::iota(tie_rank_.begin(), tie_rank_.end(), std::size_t{0});
   std::sort(tie_rank_.begin(), tie_rank_.end(), [&](std::size_t a, std::size_t b) {
     const double ra = tie_quota_[a] - tie_base_[a];

@@ -25,6 +25,7 @@
 #include "core/drift_penalty.h"
 #include "core/per_slot_solvers.h"
 #include "sim/scheduler.h"
+#include "util/annotations.h"
 
 namespace grefar {
 
@@ -45,9 +46,11 @@ class GreFarScheduler final : public Scheduler {
   /// The hot path: after the first slot every per-slot structure (the
   /// convex problem, solver scratch, routing work lists, action matrices)
   /// is reused in place, so steady-state decisions are allocation-free.
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   void decide_into(const SlotObservation& obs, SlotAction& out) override;
   /// Traced variant: annotates `scope` (when non-null) with the slot's
   /// routing tie-group splits and the drift-weight sign census.
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   void decide_into(const SlotObservation& obs, SlotAction& out,
                    TraceScope* scope) override;
   std::string name() const override;
@@ -59,6 +62,7 @@ class GreFarScheduler final : public Scheduler {
   /// Splits `jobs` whole jobs across tie_members_ (capacity-weighted
   /// largest-remainder apportionment, each member capped at floor(r_max)),
   /// writing action.route(member, j). Returns the total actually assigned.
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   double split_tie_group(std::size_t j, double jobs, SlotAction& action);
 
   std::shared_ptr<const ClusterConfig> config_;  // immutable, shareable

@@ -198,6 +198,8 @@ void solve_per_slot_greedy_into(const PerSlotProblem& problem, std::vector<doubl
   const std::size_t J = v.num_types;
   const double V = problem.params().V;
 
+  // NOLINTBEGIN(grefar-hot-path-alloc): per-DC scratch rows are sized on the
+  // first solve (N is fixed per cluster) and reused in place afterwards.
   PerSlotSolverScratch local;
   PerSlotSolverScratch& ws = scratch ? *scratch : local;
   ws.pieces.resize(N);
@@ -205,6 +207,7 @@ void solve_per_slot_greedy_into(const PerSlotProblem& problem, std::vector<doubl
   ws.demand_cache.resize(N);
   ws.cached_qv.resize(N);
   ws.cached_ub.resize(N);
+  // NOLINTEND(grefar-hot-path-alloc)
 
   // Demand caches are keyed on raw (qv, ub) rows; in compact mode column a
   // means job type v.type_ids[a], so a changed active-type list must clear
@@ -228,7 +231,8 @@ void solve_per_slot_greedy_into(const PerSlotProblem& problem, std::vector<doubl
   IntraSlotExecutor* exec = problem.intra_slot_executor();
   const std::size_t shards =
       exec != nullptr ? std::min(exec->jobs(), std::max<std::size_t>(N, 1)) : 1;
-  if (ws.fill_demands.size() < shards) ws.fill_demands.resize(shards);
+  if (ws.fill_demands.size() < shards)
+    ws.fill_demands.resize(shards);  // NOLINT(grefar-hot-path-alloc)
   ws.count_stage.assign(shards * 4, 0);
 
   u.assign(problem.num_vars(), 0.0);

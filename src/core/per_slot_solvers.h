@@ -15,6 +15,7 @@
 #include "solver/frank_wolfe.h"
 #include "solver/lp.h"
 #include "solver/projected_gradient.h"
+#include "util/annotations.h"
 
 namespace grefar {
 
@@ -94,6 +95,7 @@ std::vector<double> solve_per_slot_greedy(const PerSlotProblem& problem);
 
 /// Allocation-free greedy: writes into `u`, reuses `scratch` (pass nullptr
 /// to use transient local scratch).
+GREFAR_HOT_PATH GREFAR_DETERMINISTIC
 void solve_per_slot_greedy_into(const PerSlotProblem& problem, std::vector<double>& u,
                                 PerSlotSolverScratch* scratch);
 
@@ -119,6 +121,7 @@ std::vector<double> solve_per_slot(const PerSlotProblem& problem, PerSlotSolver 
 
 /// Dispatching solve into a caller-owned result buffer with reusable
 /// scratch — the hot path GreFarScheduler uses every slot.
+GREFAR_HOT_PATH GREFAR_DETERMINISTIC
 void solve_per_slot_into(const PerSlotProblem& problem, PerSlotSolver solver,
                          std::vector<double>& u, PerSlotSolverScratch* scratch);
 

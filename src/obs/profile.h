@@ -55,6 +55,18 @@ inline thread_local ProfileRegistry* t_active_profile = nullptr;
 /// The calling thread's active profile registry (nullptr = profiling off).
 inline ProfileRegistry* active_profile() { return detail::t_active_profile; }
 
+/// True when a registry is active (lets call sites skip building inputs and
+/// gate clock reads — the off path must never touch the clock).
+inline bool profiling() { return active_profile() != nullptr; }
+
+/// Instrumentation entry point mirroring obs::count(): a no-op (one TL load
+/// + branch) when no registry is active. This — not a raw registry pointer —
+/// is how instrumented code outside src/obs records phase times; the
+/// grefar-counter-discipline check (DESIGN.md §13) enforces it.
+inline void record(std::string_view name, double ns, std::uint64_t calls = 1) {
+  if (ProfileRegistry* r = active_profile()) r->record(name, ns, calls);
+}
+
 /// RAII activation, nesting like CountersScope.
 class ProfileScope {
  public:
@@ -89,6 +101,41 @@ class ScopedTimer {
  private:
   ProfileRegistry* registry_;
   const char* name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Accumulating lap timer for tight loops where a ScopedTimer pair per
+/// iteration is measurable overhead even when profiling is off (see the
+/// counters.h hot-loop rule): the caller laps around each phase, accumulates
+/// the nanoseconds into locals, and flushes once per solve via obs::record().
+/// Both clock reads live here, behind the enabled() gate, so instrumented
+/// solver code contains no direct clock calls — which is what lets the
+/// solvers carry the GREFAR_DETERMINISTIC annotation (clock reads are banned
+/// there; the sanctioned profiling machinery in src/obs is the one exception,
+/// and wall times are documented non-deterministic).
+class PhaseClock {
+ public:
+  PhaseClock() : enabled_(active_profile() != nullptr) {}
+
+  /// Profiling was active when this clock was constructed. Callers may use
+  /// this to skip accumulation arithmetic entirely.
+  bool enabled() const { return enabled_; }
+
+  /// Marks the start of a phase. No-op (no clock read) when disabled.
+  void start() {
+    if (enabled_) start_ = std::chrono::steady_clock::now();
+  }
+
+  /// Nanoseconds since the last start(); 0.0 when disabled.
+  double lap_ns() {
+    if (!enabled_) return 0.0;
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  bool enabled_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -1,0 +1,24 @@
+#include "obs/task_registries.h"
+
+namespace grefar::obs {
+
+TaskRegistries::TaskRegistries(std::size_t num_tasks)
+    : parent_counters_(active_counters()),
+      parent_profile_(active_profile()),
+      task_counters_(parent_counters_ != nullptr ? num_tasks : 0),
+      task_profiles_(parent_profile_ != nullptr ? num_tasks : 0) {}
+
+CounterRegistry* TaskRegistries::counters(std::size_t i) {
+  return parent_counters_ != nullptr ? &task_counters_[i] : nullptr;
+}
+
+ProfileRegistry* TaskRegistries::profile(std::size_t i) {
+  return parent_profile_ != nullptr ? &task_profiles_[i] : nullptr;
+}
+
+void TaskRegistries::merge_ordered() {
+  for (auto& c : task_counters_) parent_counters_->merge(c);
+  for (auto& p : task_profiles_) parent_profile_->merge(p);
+}
+
+}  // namespace grefar::obs

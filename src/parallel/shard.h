@@ -26,6 +26,7 @@
 #include <memory>
 
 #include "parallel/thread_pool.h"
+#include "util/annotations.h"
 
 namespace grefar {
 
@@ -39,6 +40,7 @@ struct ShardRange {
 /// Splits [0, n) into `shards` near-equal contiguous ranges (the first
 /// n % shards ranges get one extra element). `shards` is clamped to [1, n]
 /// so no range is empty (n == 0 yields a single empty range).
+GREFAR_HOT_PATH GREFAR_DETERMINISTIC
 ShardRange shard_range(std::size_t n, std::size_t shards, std::size_t shard);
 
 class IntraSlotExecutor {
@@ -58,6 +60,7 @@ class IntraSlotExecutor {
   /// enough that splitting cannot pay; on the pool otherwise. The kernel
   /// must only write state owned by its range (disjoint output rows /
   /// per-index partial slots) — see the determinism contract above.
+  GREFAR_HOT_PATH
   void run(std::size_t n,
            const std::function<void(std::size_t, ShardRange)>& kernel);
 

@@ -4,6 +4,7 @@
 
 #include "obs/counters.h"
 #include "obs/profile.h"
+#include "obs/task_registries.h"
 #include "parallel/thread_pool.h"
 
 namespace grefar {
@@ -28,21 +29,15 @@ void SimRunner::run(std::vector<std::function<void()>>& tasks) const {
     // (they are thread-local). When the caller has one active, each task
     // gets a private registry, merged back in task order below — counters
     // are sums and gauges maxes, so the totals are bit-identical to the
-    // serial path no matter how the pool interleaves the legs.
-    obs::CounterRegistry* parent_counters = obs::active_counters();
-    obs::ProfileRegistry* parent_profile = obs::active_profile();
-    std::vector<obs::CounterRegistry> task_counters(
-        parent_counters != nullptr ? tasks.size() : 0);
-    std::vector<obs::ProfileRegistry> task_profiles(
-        parent_profile != nullptr ? tasks.size() : 0);
+    // serial path no matter how the pool interleaves the legs. The
+    // snapshot/private-pair/ordered-merge pattern lives in obs (raw registry
+    // merges outside src/obs violate the counter-discipline contract).
+    obs::TaskRegistries regs(tasks.size());
     ThreadPool pool(std::min(jobs_, tasks.size()));
     for (std::size_t i = 0; i < tasks.size(); ++i) {
-      pool.submit([&tasks, &errors, &task_counters, &task_profiles,
-                   parent_counters, parent_profile, i] {
-        obs::CountersScope counters(parent_counters != nullptr ? &task_counters[i]
-                                                               : nullptr);
-        obs::ProfileScope profile(parent_profile != nullptr ? &task_profiles[i]
-                                                            : nullptr);
+      pool.submit([&tasks, &errors, &regs, i] {
+        obs::CountersScope counters(regs.counters(i));
+        obs::ProfileScope profile(regs.profile(i));
         try {
           tasks[i]();
         } catch (...) {
@@ -51,10 +46,7 @@ void SimRunner::run(std::vector<std::function<void()>>& tasks) const {
       });
     }
     pool.wait_idle();
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      if (parent_counters != nullptr) parent_counters->merge(task_counters[i]);
-      if (parent_profile != nullptr) parent_profile->merge(task_profiles[i]);
-    }
+    regs.merge_ordered();
   }
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);

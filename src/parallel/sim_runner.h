@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "sim/engine.h"
+#include "util/annotations.h"
 
 namespace grefar {
 
@@ -38,6 +39,7 @@ class SimRunner {
   /// Runs every task (in parallel for jobs > 1, inline in order for
   /// jobs == 1). Returns once all tasks finished; rethrows the first
   /// task exception in index order.
+  GREFAR_DETERMINISTIC
   void run(std::vector<std::function<void()>>& tasks) const;
 
   /// Parallel map with ordered results: results[i] = fn(i).

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/cluster.h"
+#include "util/annotations.h"
 
 namespace grefar {
 
@@ -51,6 +52,7 @@ class AccountTree {
 
   /// The ancestor at `level` of leaf `leaf` (level == num_levels()-1 is the
   /// leaf itself).
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   std::uint32_t ancestor_of_leaf(std::size_t leaf, std::size_t level) const;
 
   /// Target shares gamma at `level`, normalized so they sum to 1 (up to
@@ -63,6 +65,7 @@ class AccountTree {
 
   /// Sums per-leaf values over subtrees: out[n] = sum of leaf_values over
   /// leaves whose level-`level` ancestor is n.
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   void aggregate_to_level(const std::vector<double>& leaf_values,
                           std::size_t level, std::vector<double>& out) const;
 

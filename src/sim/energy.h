@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/server.h"
+#include "util/annotations.h"
 #include "util/matrix.h"
 
 namespace grefar {
@@ -39,6 +40,7 @@ class EnergyCostCurve {
   /// row-major matrix (the per-slot problem resets straight from the
   /// observation row, no staging copy). `available` points at `count`
   /// entries; `count` must equal the server-type count.
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   void rebuild(const std::vector<ServerType>& server_types,
                const std::int64_t* available, std::size_t count);
 
@@ -46,10 +48,12 @@ class EnergyCostCurve {
   double capacity() const { return capacity_; }
 
   /// Minimum energy to serve `work` units (clamped to capacity).
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   double energy_for_work(double work) const;
 
   /// Marginal energy of one more unit of work at load `work`
   /// (right-derivative; returns the last segment's slope beyond capacity).
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   double marginal_energy(double work) const;
 
   /// The busy-server vector b_k achieving energy_for_work(work).
@@ -61,7 +65,9 @@ class EnergyCostCurve {
   /// differentiable. First-order solvers (Frank-Wolfe, PGD) need this to
   /// converge; |smoothed - exact| <= band * (slope jump) / 4 per kink.
   /// The exact curve remains the one used for cost accounting.
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   double smoothed_energy(double work, double band) const;
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   double smoothed_marginal(double work, double band) const;
 
   /// One linear piece of C(W): a server type's pooled capacity and slope.

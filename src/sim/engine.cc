@@ -87,6 +87,9 @@ void SimulationEngine::observe_into(SlotObservation& out) const {
   const std::size_t N = config_->num_data_centers();
   const std::size_t J = config_->num_job_types();
   out.slot = slot_;
+  // NOLINTBEGIN(grefar-hot-path-alloc): the observation buffers are sized on
+  // the first slot (N, J fixed per cluster) and reused in place afterwards;
+  // active_types is clear()+refilled within its high-water capacity.
   out.prices.resize(N);
   for (std::size_t i = 0; i < N; ++i) out.prices[i] = prices_->price(i, slot_);
   availability_->availability_into(slot_, out.availability);
@@ -115,6 +118,7 @@ void SimulationEngine::observe_into(SlotObservation& out) const {
     if (active_flag_[j] != 0) out.active_types.push_back(static_cast<std::uint32_t>(j));
   }
   out.active_types_valid = true;
+  // NOLINTEND(grefar-hot-path-alloc)
 }
 
 void SimulationEngine::run(std::int64_t slots) {
@@ -185,7 +189,8 @@ void SimulationEngine::step() {
 
   if (inspector_ != nullptr) {
     obs::ScopedTimer timer("engine.inspect");
-    central_after_.resize(J);
+    // Inspector bookkeeping allocates on the first inspected slot only.
+    central_after_.resize(J);  // NOLINT(grefar-hot-path-alloc)
     for (std::size_t j = 0; j < J; ++j) central_after_[j] = central_[j].length_jobs();
     if (dc_after_.rows() != N || dc_after_.cols() != J) dc_after_ = MatrixD(N, J);
     for (std::size_t i = 0; i < N; ++i) {
@@ -223,7 +228,8 @@ void SimulationEngine::route(const SlotObservation& obs, const SlotAction& actio
     std::vector<std::size_t>& order = route_order_;
     order.clear();
     for (std::size_t i = 0; i < N; ++i) {
-      if (action.route(i, j) > 1e-9) order.push_back(i);
+      // Amortized: route_order_ is clear()+refilled within high-water capacity.
+      if (action.route(i, j) > 1e-9) order.push_back(i);  // NOLINT(grefar-hot-path-alloc)
     }
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
       return obs.dc_queue(a, j) < obs.dc_queue(b, j);
@@ -264,8 +270,9 @@ void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& actio
   }
   touched_accounts_.clear();
   std::vector<double>& account_work = account_work_;
-  curves_.resize(N);
-  avail_row_.resize(config_->num_server_types());
+  // Amortized: per-DC scratch sized on the first slot, reused afterwards.
+  curves_.resize(N);                               // NOLINT(grefar-hot-path-alloc)
+  avail_row_.resize(config_->num_server_types());  // NOLINT(grefar-hot-path-alloc)
   for (std::size_t i = 0; i < N; ++i) {
     for (std::size_t k = 0; k < avail_row_.size(); ++k) {
       avail_row_[k] = obs.availability(i, k);
@@ -310,7 +317,8 @@ void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& actio
       dc_work += consumed;
       if (consumed > 0.0) {
         const auto m = static_cast<std::uint32_t>(config_->job_types[j].account);
-        if (account_work[m] == 0.0) touched_accounts_.push_back(m);
+        if (account_work[m] == 0.0)
+          touched_accounts_.push_back(m);  // NOLINT(grefar-hot-path-alloc)
         account_work[m] += consumed;
       }
       for (const auto& c : completions_) {
@@ -323,10 +331,12 @@ void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& actio
                     config_->tariff(i).cost(curves_[i].energy_for_work(dc_work));
     total_energy += energy;
     if (inspector_ != nullptr) {
+      // NOLINTBEGIN(grefar-hot-path-alloc): first inspected slot only.
       dc_capacity_record_.resize(N);
       dc_energy_record_.resize(N);
       dc_completions_record_.resize(N);
       dc_delay_record_.resize(N);
+      // NOLINTEND(grefar-hot-path-alloc)
       dc_capacity_record_[i] = curves_[i].capacity();
       dc_energy_record_[i] = energy;
       dc_completions_record_[i] = dc_completions;
@@ -346,7 +356,8 @@ void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& actio
   // (sim/fairness.h) — including what the invariant auditor recomputes.
   std::sort(touched_accounts_.begin(), touched_accounts_.end());
   active_work_.clear();
-  for (std::uint32_t m : touched_accounts_) active_work_.push_back(account_work[m]);
+  for (std::uint32_t m : touched_accounts_)
+    active_work_.push_back(account_work[m]);  // NOLINT(grefar-hot-path-alloc)
   double f = total_resource > 0.0
                  ? fairness_fn_.score_active(touched_accounts_.data(),
                                              active_work_.data(),

@@ -34,6 +34,7 @@
 #include "sim/queue.h"
 #include "sim/scheduler.h"
 #include "sim/slot_inspector.h"
+#include "util/annotations.h"
 #include "workload/arrival_process.h"
 
 namespace grefar {
@@ -66,6 +67,7 @@ class SimulationEngine {
   void run(std::int64_t slots);
 
   /// Advances by a single slot.
+  GREFAR_HOT_PATH
   void step();
 
   std::int64_t slot() const { return slot_; }
@@ -82,6 +84,7 @@ class SimulationEngine {
 
   /// Writes the current-slot observation into `out`, reusing its storage
   /// (the engine's own step() path; steady-state allocation-free).
+  GREFAR_HOT_PATH
   void observe_into(SlotObservation& out) const;
 
   /// Attaches a per-slot inspector (nullptr detaches). While attached, the
@@ -97,7 +100,9 @@ class SimulationEngine {
   }
 
  private:
+  GREFAR_HOT_PATH
   void route(const SlotObservation& obs, const SlotAction& action);
+  GREFAR_HOT_PATH
   void serve(const SlotObservation& obs, const SlotAction& action);
   void admit_arrivals();
 

@@ -28,6 +28,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/annotations.h"
+
 namespace grefar {
 
 /// Shared inner kernels: one definition so every caller (dense score, sparse
@@ -36,12 +38,14 @@ namespace grefar {
 namespace fairness_kernel {
 
 /// dev^2 - gamma^2 in the factored form that is an exact zero when r == 0.
+GREFAR_HOT_PATH GREFAR_DETERMINISTIC
 inline double term(double r, double gamma, double inv_total) {
   const double dev = r * inv_total - gamma;
   return (dev - gamma) * (dev + gamma);
 }
 
 /// d f / d r_m = -2 (r/R - gamma) / R with the reciprocal hoisted.
+GREFAR_HOT_PATH GREFAR_DETERMINISTIC
 inline double gradient(double r, double gamma, double inv_total) {
   return -2.0 * (r * inv_total - gamma) * inv_total;
 }
@@ -67,17 +71,20 @@ class FairnessFunction {
 
   /// f(t) for per-account allocated work `r` (length M) and total resource
   /// R > 0. Always <= 0; equals 0 iff r_m == gamma_m * R for all m.
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   double score(const std::vector<double>& r, double total_resource) const;
 
   /// Sparse f(t): `ids`/`r_active` list the accounts (ascending ids) that
   /// received work; every account not listed is guaranteed r_m == 0.
   /// Bitwise identical to score() on the scattered dense vector.
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   double score_active(const std::uint32_t* ids, const double* r_active,
                       std::size_t count, double total_resource) const;
 
   /// Partial derivative of the *fairness score* with respect to r_m:
   /// d f / d r_m = -2 (r_m/R - gamma_m) / R. (The GreFar objective uses
   /// -beta * f, so its gradient contribution is -beta times this.)
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   double score_gradient(double r_m, std::size_t m, double total_resource) const;
 
  private:

@@ -11,6 +11,7 @@
 #include "stats/p2_quantile.h"
 #include "stats/running_stats.h"
 #include "stats/time_series.h"
+#include "util/annotations.h"
 #include "util/json.h"
 
 namespace grefar {
@@ -27,6 +28,7 @@ class SimMetrics {
 
   /// Records one job completion (total delay in slots) for the percentile
   /// trackers; the engine calls this for every finishing job.
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   void record_completion_delay(double delay);
 
   // -- raw per-slot series ---------------------------------------------------

@@ -67,13 +67,15 @@ void FifoJobQueue::serve_into(double work, std::int64_t slot, double* consumed,
     if (jobs_[r].remaining <= 1e-12) {
       Completion c{jobs_[r], slot};
       c.job.remaining = 0.0;
-      completions.push_back(std::move(c));
+      // Amortized: the engine passes one high-water completions buffer
+      // reused across queues and slots (see the header contract).
+      completions.push_back(std::move(c));  // NOLINT(grefar-hot-path-alloc)
     } else {
       if (w != r) jobs_[w] = std::move(jobs_[r]);
       ++w;
     }
   }
-  jobs_.resize(w);
+  jobs_.resize(w);  // NOLINT(grefar-hot-path-alloc): shrink, never allocates
   if (head_ == jobs_.size()) {
     jobs_.clear();
     head_ = 0;

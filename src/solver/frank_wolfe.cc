@@ -1,6 +1,5 @@
 #include "solver/frank_wolfe.h"
 
-#include <chrono>
 #include <cmath>
 #include <cstdint>
 
@@ -26,13 +25,13 @@ FrankWolfeResult minimize_frank_wolfe(const ConvexObjective& objective,
 
   // Per-phase times are accumulated into locals and flushed once per solve:
   // a ScopedTimer pair per iteration is measurable overhead in the solver's
-  // tight loop even when profiling is off (see the counters.h hot-loop rule).
-  obs::ProfileRegistry* profile = obs::active_profile();
-  using clock = std::chrono::steady_clock;
+  // tight loop even when profiling is off (see the counters.h hot-loop
+  // rule). PhaseClock keeps the clock reads inside src/obs, behind the
+  // profiling gate — this function must contain no direct clock calls.
+  obs::PhaseClock phase;
   double lmo_ns = 0.0;
   double line_search_ns = 0.0;
   std::uint64_t line_searches = 0;
-  clock::time_point t0;
 
   double f_prev = objective.value(x);
   int stall = 0;
@@ -40,12 +39,10 @@ FrankWolfeResult minimize_frank_wolfe(const ConvexObjective& objective,
   bool stall_stop = false;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++result.iterations;
-    if (profile != nullptr) t0 = clock::now();
+    phase.start();
     objective.gradient(x, grad);
     polytope.minimize_linear_into(grad, s);
-    if (profile != nullptr) {
-      lmo_ns += std::chrono::duration<double, std::nano>(clock::now() - t0).count();
-    }
+    lmo_ns += phase.lap_ns();
 
     double gap = 0.0;
     for (std::size_t j = 0; j < n; ++j) gap += grad[j] * (x[j] - s[j]);
@@ -63,16 +60,15 @@ FrankWolfeResult minimize_frank_wolfe(const ConvexObjective& objective,
       return objective.value(trial);
     };
     double lo = 0.0, hi = 1.0;
-    if (profile != nullptr) t0 = clock::now();
+    phase.start();
     for (int ls = 0; ls < options.line_search_iters; ++ls) {
       double m1 = lo + (hi - lo) / 3.0;
       double m2 = hi - (hi - lo) / 3.0;
       if (value_at(m1) <= value_at(m2)) hi = m2;
       else lo = m1;
     }
-    if (profile != nullptr) {
-      line_search_ns +=
-          std::chrono::duration<double, std::nano>(clock::now() - t0).count();
+    if (phase.enabled()) {
+      line_search_ns += phase.lap_ns();
       ++line_searches;
     }
     double t = 0.5 * (lo + hi);
@@ -96,9 +92,9 @@ FrankWolfeResult minimize_frank_wolfe(const ConvexObjective& objective,
     }
   }
 
-  if (profile != nullptr) {
-    profile->record("fw.lmo", lmo_ns, static_cast<std::uint64_t>(result.iterations));
-    profile->record("fw.line_search", line_search_ns, line_searches);
+  if (phase.enabled()) {
+    obs::record("fw.lmo", lmo_ns, static_cast<std::uint64_t>(result.iterations));
+    obs::record("fw.line_search", line_search_ns, line_searches);
   }
 
   obs::count("fw.solves");

@@ -12,6 +12,7 @@
 
 #include "solver/capped_box.h"
 #include "solver/objective.h"
+#include "util/annotations.h"
 
 namespace grefar {
 
@@ -39,6 +40,7 @@ struct FrankWolfeResult {
   bool converged = false;
 };
 
+GREFAR_DETERMINISTIC
 FrankWolfeResult minimize_frank_wolfe(const ConvexObjective& objective,
                                       const CappedBoxPolytope& polytope,
                                       std::vector<double> x0 = {},

@@ -10,6 +10,7 @@
 
 #include "solver/capped_box.h"
 #include "solver/objective.h"
+#include "util/annotations.h"
 
 namespace grefar {
 
@@ -30,6 +31,7 @@ struct PgdResult {
 
 /// Minimizes `objective` over `polytope`, starting from the projection of
 /// `x0` (pass empty x0 to start from the origin projection).
+GREFAR_DETERMINISTIC
 PgdResult minimize_projected_gradient(const ConvexObjective& objective,
                                       const CappedBoxPolytope& polytope,
                                       std::vector<double> x0 = {},

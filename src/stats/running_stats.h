@@ -4,12 +4,14 @@
 #include <cstdint>
 #include <limits>
 
+#include "util/annotations.h"
+
 namespace grefar {
 
 /// Numerically-stable streaming mean/variance/min/max (Welford's algorithm).
 class RunningStats {
  public:
-  void add(double x);
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC void add(double x);
 
   std::int64_t count() const { return count_; }
   /// Mean of observed samples; 0 when empty.
@@ -22,7 +24,7 @@ class RunningStats {
   double sum() const { return count_ > 0 ? mean_ * static_cast<double>(count_) : 0.0; }
 
   /// Merges another accumulator into this one (parallel-combinable).
-  void merge(const RunningStats& other);
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC void merge(const RunningStats& other);
 
  private:
   std::int64_t count_ = 0;
@@ -37,7 +39,7 @@ class Ewma {
  public:
   explicit Ewma(double alpha);
 
-  void add(double x);
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC void add(double x);
   /// Current EWMA value; 0 before the first sample.
   double value() const { return initialized_ ? value_ : 0.0; }
   bool initialized() const { return initialized_; }

@@ -46,3 +46,23 @@ namespace internal {
                                         grefar_check_os_.str());              \
     }                                                                         \
   } while (false)
+
+/// Debug-only checks: identical to GREFAR_CHECK / GREFAR_CHECK_MSG when
+/// NDEBUG is undefined, compiled out entirely (condition unevaluated) in
+/// Release. For per-element invariants on hot loops that the Release build
+/// cannot afford. Because the condition may never run, it must be
+/// side-effect-free — true for the whole GREFAR_CHECK family by contract
+/// (program semantics must not live inside an assertion), and enforced
+/// statically by the grefar-check-side-effects clang-tidy check
+/// (tools/grefar-lint, DESIGN.md §13).
+#ifndef NDEBUG
+#define GREFAR_DCHECK(cond) GREFAR_CHECK(cond)
+#define GREFAR_DCHECK_MSG(cond, stream_expr) GREFAR_CHECK_MSG(cond, stream_expr)
+#else
+#define GREFAR_DCHECK(cond) \
+  do {                      \
+  } while (false)
+#define GREFAR_DCHECK_MSG(cond, stream_expr) \
+  do {                                       \
+  } while (false)
+#endif

@@ -1,0 +1,34 @@
+// Fuzz harness for the JSON config pipeline: parse_json plus the three
+// config decoders layered on it. Structural parse errors and semantic
+// decode errors both surface as Result errors; grefar::ContractViolation is
+// the library's defined failure mode for values that pass decoding but
+// violate construction contracts, so it is caught and ignored. Anything
+// else that escapes — ASan/UBSan reports, other exceptions, aborts — is a
+// finding.
+//
+// Built by -DGREFAR_FUZZ=ON: as a libFuzzer binary under clang, and always
+// as a corpus-replay ctest binary (fuzz_driver_main.cc) that works under
+// the pinned GCC toolchain with GREFAR_SANITIZE=address,undefined.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "scenario/config_io.h"
+#include "util/check.h"
+#include "util/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    auto parsed = grefar::parse_json(text);
+    if (!parsed.ok()) return 0;
+    const grefar::JsonValue& json = parsed.value();
+    (void)grefar::cluster_config_from_json(json);
+    (void)grefar::grefar_params_from_json(json);
+    (void)grefar::experiment_config_from_json(json);
+  } catch (const grefar::ContractViolation&) {
+    // Reaching a contract check on adversarial input is not a finding.
+  }
+  return 0;
+}

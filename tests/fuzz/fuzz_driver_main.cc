@@ -1,0 +1,60 @@
+// Corpus-replay driver: links against a harness's LLVMFuzzerTestOneInput
+// and replays every file (or directory of files) named on the command line,
+// in sorted order. This is how the pinned GCC toolchain — which has no
+// libFuzzer runtime — runs the checked-in corpora under ASan/UBSan as a
+// ctest; under clang the same harness source links -fsanitize=fuzzer
+// instead and this file is not used.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int replay_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "fuzz replay: cannot open " << path << "\n";
+    return 1;
+  }
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in), {}};
+  static const std::uint8_t empty = 0;
+  LLVMFuzzerTestOneInput(bytes.empty() ? &empty : bytes.data(), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: " << argv[0] << " <corpus file or directory>...\n";
+    return 2;
+  }
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) {
+        if (replay_file(file) != 0) return 1;
+        ++replayed;
+      }
+    } else {
+      if (replay_file(arg) != 0) return 1;
+      ++replayed;
+    }
+  }
+  std::cout << "fuzz replay: " << replayed << " inputs, no crashes\n";
+  return 0;
+}

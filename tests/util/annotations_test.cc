@@ -1,0 +1,51 @@
+// Expansion contract for src/util/annotations.h: under a frontend with
+// [[clang::annotate]] the macros carry metadata-only attributes; under every
+// other compiler (the pinned GCC toolchain included) they expand to nothing.
+// Either way annotated functions are ordinary functions — same type, same
+// behaviour, zero codegen effect.
+#include "util/annotations.h"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <type_traits>
+
+namespace grefar {
+namespace {
+
+#define GREFAR_TEST_STR2(x) #x
+#define GREFAR_TEST_STR(x) GREFAR_TEST_STR2(x)
+constexpr const char* kAnnotateExpansion =
+    GREFAR_TEST_STR(GREFAR_ANNOTATE("grefar::probe"));
+
+#if defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::annotate)
+#define GREFAR_TEST_EXPECT_ANNOTATED 1
+#endif
+#endif
+
+TEST(Annotations, ExpansionMatchesCompilerSupport) {
+  const std::string_view expansion(kAnnotateExpansion);
+#ifdef GREFAR_TEST_EXPECT_ANNOTATED
+  EXPECT_NE(expansion.find("clang::annotate"), std::string_view::npos)
+      << "frontend claims clang::annotate support but the macro is empty";
+#else
+  EXPECT_TRUE(expansion.empty())
+      << "without clang::annotate the macro must vanish, got: " << expansion;
+#endif
+}
+
+GREFAR_HOT_PATH GREFAR_DETERMINISTIC int annotated_add(int a, int b);
+int annotated_add(int a, int b) { return a + b; }
+
+TEST(Annotations, AnnotatedFunctionsAreOrdinaryFunctions) {
+  // The attributes are metadata-only: type and behaviour are untouched, so
+  // Release binaries with and without the annotations are identical.
+  static_assert(
+      std::is_same_v<decltype(&annotated_add), int (*)(int, int)>,
+      "annotations must not change the function type");
+  EXPECT_EQ(annotated_add(2, 3), 5);
+}
+
+}  // namespace
+}  // namespace grefar

@@ -1,0 +1,51 @@
+// Contract-macro semantics (src/util/check.h): GREFAR_CHECK always
+// evaluates and throws ContractViolation on failure in every build type;
+// GREFAR_DCHECK matches it in debug builds and compiles out — condition
+// unevaluated — under NDEBUG.
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace grefar {
+namespace {
+
+TEST(Check, ThrowsContractViolationOnFailure) {
+  EXPECT_THROW(GREFAR_CHECK(false), ContractViolation);
+  EXPECT_NO_THROW(GREFAR_CHECK(true));
+}
+
+TEST(Check, MessageCarriesExpressionAndContext) {
+  try {
+    GREFAR_CHECK_MSG(2 + 2 == 5, "context " << 42);
+    FAIL() << "GREFAR_CHECK_MSG(false, ...) must throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("context 42"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, DcheckMatchesBuildType) {
+  bool evaluated = false;
+  auto failing = [&evaluated] {
+    evaluated = true;
+    return false;
+  };
+  (void)failing;
+#ifdef NDEBUG
+  // Release: the condition must not even be evaluated.
+  EXPECT_NO_THROW(GREFAR_DCHECK(failing()));
+  EXPECT_NO_THROW(GREFAR_DCHECK_MSG(failing(), "never built " << 1));
+  EXPECT_FALSE(evaluated);
+#else
+  EXPECT_THROW(GREFAR_DCHECK(failing()), ContractViolation);
+  EXPECT_TRUE(evaluated);
+  EXPECT_THROW(GREFAR_DCHECK_MSG(failing(), "context " << 1),
+               ContractViolation);
+#endif
+}
+
+}  // namespace
+}  // namespace grefar

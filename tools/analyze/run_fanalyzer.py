@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Opt-in GCC static-analyzer sweep (`cmake --build build --target analyze`).
+
+Re-compiles every first-party translation unit from the exported compile
+database with -fanalyzer (objects sent to /dev/null — the analyzer runs as a
+middle-end pass, so -fsyntax-only would skip it). Findings are normalised to
+`relative/path.cc [-Wanalyzer-id]` keys and diffed against the triaged
+baseline in SUPPRESSIONS.md next to this script.
+
+Exit status: 0 when every finding is suppressed (or none), 1 when new
+findings appear. GCC's C++ interprocedural analysis is still maturing, so
+CI runs this step non-blocking (continue-on-error) — the value is the diff
+report, not a gate. New findings should be either fixed or triaged into
+SUPPRESSIONS.md with a one-line justification.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import re
+import shlex
+import subprocess
+import sys
+from pathlib import Path
+
+FINDING_RE = re.compile(r"warning: .* \[(-Wanalyzer-[\w\-]+)\]")
+SUPPRESSION_RE = re.compile(r"`([^`]+\.cc) (\-Wanalyzer\-[\w\-]+)`")
+
+
+def load_suppressions(path: Path):
+    suppressed = set()
+    if path.exists():
+        for m in SUPPRESSION_RE.finditer(path.read_text()):
+            suppressed.add((m.group(1), m.group(2)))
+    return suppressed
+
+
+def analyze_one(entry, source_root: Path, timeout: int):
+    """Returns (relpath, set of warning ids, note)."""
+    file_path = Path(entry["file"])
+    rel = str(file_path.relative_to(source_root))
+    if "command" in entry:
+        argv = shlex.split(entry["command"])
+    else:
+        argv = list(entry["arguments"])
+    # Swap the object output for /dev/null and bolt the analyzer on.
+    out_args = []
+    skip_next = False
+    for a in argv:
+        if skip_next:
+            skip_next = False
+            continue
+        if a == "-o":
+            skip_next = True
+            continue
+        out_args.append(a)
+    out_args += ["-o", "/dev/null", "-fanalyzer"]
+    try:
+        proc = subprocess.run(
+            out_args,
+            cwd=entry.get("directory", "."),
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+        )
+    except subprocess.TimeoutExpired:
+        return rel, set(), "timeout (skipped)"
+    ids = set(FINDING_RE.findall(proc.stderr))
+    note = "" if proc.returncode == 0 else f"exit {proc.returncode}"
+    return rel, ids, note
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--compile-db", required=True)
+    parser.add_argument("--source-root", required=True)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--timeout", type=int, default=180,
+                        help="per-TU analyzer timeout in seconds")
+    parser.add_argument("--prefix", action="append", default=None,
+                        help="source subtrees to analyze (default: src)")
+    args = parser.parse_args()
+
+    source_root = Path(args.source_root).resolve()
+    prefixes = args.prefix or ["src"]
+    entries = []
+    for entry in json.loads(Path(args.compile_db).read_text()):
+        file_path = Path(entry["file"])
+        try:
+            rel = file_path.relative_to(source_root)
+        except ValueError:
+            continue
+        if any(rel.parts and rel.parts[0] == p for p in prefixes):
+            entries.append(entry)
+    if not entries:
+        print("analyze: no first-party TUs found in compile database")
+        return 1
+
+    suppressed = load_suppressions(Path(__file__).parent / "SUPPRESSIONS.md")
+    new_findings = []
+    notes = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        futures = [
+            pool.submit(analyze_one, e, source_root, args.timeout)
+            for e in entries
+        ]
+        for future in concurrent.futures.as_completed(futures):
+            rel, ids, note = future.result()
+            if note:
+                notes.append(f"  {rel}: {note}")
+            for wid in sorted(ids):
+                if (rel, wid) in suppressed:
+                    continue
+                new_findings.append(f"  {rel} {wid}")
+
+    print(f"analyze: {len(entries)} TUs, {len(suppressed)} suppressions")
+    if notes:
+        print("notes:")
+        for n in sorted(notes):
+            print(n)
+    if new_findings:
+        print("NEW findings (fix, or triage into tools/analyze/SUPPRESSIONS.md):")
+        for f in sorted(set(new_findings)):
+            print(f)
+        return 1
+    print("analyze: no unsuppressed findings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

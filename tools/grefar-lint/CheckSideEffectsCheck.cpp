@@ -1,0 +1,94 @@
+#include "CheckSideEffectsCheck.h"
+
+#include "GrefarMatchers.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Lex/Lexer.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::grefar {
+
+namespace {
+
+AST_MATCHER(Expr, grefarHasSideEffect) {
+  if (const auto *Op = dyn_cast<UnaryOperator>(&Node))
+    return Op->isIncrementDecrementOp();
+  if (const auto *Op = dyn_cast<BinaryOperator>(&Node))
+    return Op->isAssignmentOp();
+  if (const auto *Op = dyn_cast<CXXOperatorCallExpr>(&Node)) {
+    const OverloadedOperatorKind K = Op->getOperator();
+    return K == OO_Equal || K == OO_PlusPlus || K == OO_MinusMinus ||
+           K == OO_PlusEqual || K == OO_MinusEqual || K == OO_StarEqual ||
+           K == OO_SlashEqual || K == OO_PercentEqual || K == OO_AmpEqual ||
+           K == OO_PipeEqual || K == OO_CaretEqual || K == OO_LessLessEqual ||
+           K == OO_GreaterGreaterEqual;
+  }
+  if (const auto *Call = dyn_cast<CXXMemberCallExpr>(&Node)) {
+    const auto *Method = dyn_cast_or_null<CXXMethodDecl>(Call->getMethodDecl());
+    if (Method == nullptr || Method->isConst())
+      return false;
+    // Lookup/iterator accessors resolve to their non-const overload on a
+    // mutable object (e.g. `values_.end()` in a non-const method) without
+    // observable effect — treating them as mutations would be pure noise.
+    static const llvm::StringRef Pure[] = {
+        "begin", "end",  "rbegin",      "rend",        "cbegin",     "cend",
+        "find",  "data", "lower_bound", "upper_bound", "equal_range"};
+    const IdentifierInfo *Id = Method->getIdentifier();
+    if (Id != nullptr) {
+      for (llvm::StringRef Name : Pure) {
+        if (Id->getName() == Name)
+          return false;
+      }
+    }
+    return true;
+  }
+  return isa<CXXNewExpr>(Node) || isa<CXXDeleteExpr>(Node);
+}
+
+bool isCheckFamilyMacro(StringRef Name) {
+  return Name == "GREFAR_CHECK" || Name == "GREFAR_CHECK_MSG" ||
+         Name == "GREFAR_DCHECK" || Name == "GREFAR_DCHECK_MSG";
+}
+
+}  // namespace
+
+void CheckSideEffectsCheck::registerMatchers(MatchFinder *Finder) {
+  // Every GREFAR_CHECK-family macro expands to `if (!(cond)) ...`, so the
+  // condition always wraps `cond` as a descendant. The macro-origin test
+  // happens in check(): matching all if-conditions here and filtering by
+  // expansion stack is how bugprone-assert-side-effect handles macros too.
+  Finder->addMatcher(
+      ifStmt(hasCondition(
+                 forEachDescendant(expr(grefarHasSideEffect()).bind("side"))))
+          .bind("if"),
+      this);
+}
+
+void CheckSideEffectsCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *If = Result.Nodes.getNodeAs<IfStmt>("if");
+  const auto *Side = Result.Nodes.getNodeAs<Expr>("side");
+  if (If == nullptr || Side == nullptr)
+    return;
+
+  const SourceManager &SM = *Result.SourceManager;
+  SourceLocation Loc = If->getIfLoc();
+  bool FromCheckMacro = false;
+  while (Loc.isMacroID()) {
+    const StringRef MacroName =
+        Lexer::getImmediateMacroName(Loc, SM, getLangOpts());
+    if (isCheckFamilyMacro(MacroName)) {
+      FromCheckMacro = true;
+      break;
+    }
+    Loc = SM.getImmediateMacroCallerLoc(Loc);
+  }
+  if (!FromCheckMacro)
+    return;
+
+  diag(Side->getExprLoc(),
+       "side effect inside a GREFAR_CHECK-family condition; contract checks "
+       "must be side-effect-free (GREFAR_DCHECK conditions are not even "
+       "evaluated in Release)");
+}
+
+}  // namespace clang::tidy::grefar

@@ -1,0 +1,29 @@
+// grefar-check-side-effects: expressions inside GREFAR_CHECK-family macros
+// must be side-effect-free.
+//
+// GREFAR_DCHECK / GREFAR_DCHECK_MSG compile out entirely in Release
+// (src/util/check.h), so a side effect in their condition changes program
+// behaviour across build types. GREFAR_CHECK / GREFAR_CHECK_MSG always
+// evaluate today, but share the family contract: program semantics must not
+// live inside an assertion, or the check can never be demoted or compiled
+// out. Modeled on bugprone-assert-side-effect: match if-conditions that
+// expand from the macros and contain an assignment, increment/decrement, or
+// a non-const member call.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::grefar {
+
+class CheckSideEffectsCheck : public ClangTidyCheck {
+public:
+  CheckSideEffectsCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::grefar

@@ -1,0 +1,37 @@
+#include "CounterDisciplineCheck.h"
+
+#include "GrefarMatchers.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::grefar {
+
+void CounterDisciplineCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(
+              ofClass(hasAnyName("::grefar::obs::CounterRegistry",
+                                 "::grefar::obs::ProfileRegistry")),
+              hasAnyName("count", "gauge_max", "record", "merge", "clear"))))
+          .bind("mutation"),
+      this);
+}
+
+void CounterDisciplineCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *E = Result.Nodes.getNodeAs<CXXMemberCallExpr>("mutation");
+  if (E == nullptr)
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+  // The obs layer owns the registries; tests exercise them directly.
+  if (spelledInPathContaining(E->getBeginLoc(), SM, "/src/obs/") ||
+      spelledInPathContaining(E->getBeginLoc(), SM, "/tests/"))
+    return;
+  diag(E->getBeginLoc(),
+       "raw registry mutation '%0' outside src/obs; go through "
+       "CountersScope/ProfileScope and the obs::count / obs::gauge_max / "
+       "obs::record entry points (ordered merges live in obs)")
+      << E->getMethodDecl()->getName();
+}
+
+}  // namespace clang::tidy::grefar

@@ -1,0 +1,34 @@
+// grefar-counter-discipline: observability registries are mutated only
+// inside src/obs (and tests).
+//
+// The counters/profile determinism contract (DESIGN.md Sec. 11, src/obs/
+// counters.h) holds because every mutation funnels through the obs entry
+// points: CountersScope/ProfileScope install per-task registries, the
+// obs::count / obs::gauge_max / obs::record free functions write through the
+// thread-local active pointer, and src/obs merges task registries back in
+// task order. A raw registry mutation anywhere else (r->count(...),
+// parent->merge(...)) bypasses that ordering and silently breaks
+// bit-identical counter totals across --jobs values.
+//
+// Flagged: calls to the mutating CounterRegistry / ProfileRegistry members
+// (count, gauge_max, record, merge, clear) spelled outside src/obs/ and
+// tests/. Read-only accessors (counter(), gauges(), dump(), summary_table())
+// stay legal everywhere — reporting is not mutation.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::grefar {
+
+class CounterDisciplineCheck : public ClangTidyCheck {
+public:
+  CounterDisciplineCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::grefar

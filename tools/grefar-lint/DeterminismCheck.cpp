@@ -1,0 +1,95 @@
+#include "DeterminismCheck.h"
+
+#include "GrefarMatchers.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::grefar {
+
+void DeterminismCheck::registerMatchers(MatchFinder *Finder) {
+  auto InDet = forFunction(
+      functionDecl(hasGrefarAnnotation("grefar::deterministic")).bind("func"));
+
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::rand", "::srand", "::random", "::srandom", "::rand_r",
+                   "::drand48", "::erand48", "::lrand48", "::nrand48",
+                   "::mrand48", "::jrand48", "::time", "::clock",
+                   "::gettimeofday", "::clock_gettime", "::timespec_get",
+                   "::pthread_self", "::gettid",
+                   "::std::this_thread::get_id"))),
+               InDet)
+          .bind("banned-call"),
+      this);
+
+  Finder->addMatcher(
+      callExpr(callee(cxxMethodDecl(
+                   hasName("now"),
+                   ofClass(hasAnyName("::std::chrono::system_clock",
+                                      "::std::chrono::steady_clock",
+                                      "::std::chrono::high_resolution_clock")))),
+               InDet)
+          .bind("banned-call"),
+      this);
+
+  Finder->addMatcher(
+      cxxConstructExpr(hasDeclaration(cxxConstructorDecl(
+                           ofClass(hasName("::std::random_device")))),
+                       InDet)
+          .bind("random-device"),
+      this);
+
+  // Range-for over a hashed container with a floating-point accumulation in
+  // the body: the reduction order follows the hash layout, not the data.
+  Finder->addMatcher(
+      cxxForRangeStmt(
+          hasRangeInit(expr(hasType(hasUnqualifiedDesugaredType(
+              recordType(hasDeclaration(classTemplateSpecializationDecl(
+                  hasAnyName("::std::unordered_map", "::std::unordered_set",
+                             "::std::unordered_multimap",
+                             "::std::unordered_multiset")))))))),
+          hasDescendant(
+              binaryOperator(isAssignmentOperator(),
+                             hasLHS(expr(hasType(realFloatingPointType()))))
+                  .bind("accum")),
+          InDet)
+          .bind("unordered-loop"),
+      this);
+}
+
+void DeterminismCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Func = Result.Nodes.getNodeAs<FunctionDecl>("func");
+  if (Func == nullptr)
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+
+  if (const auto *E = Result.Nodes.getNodeAs<CallExpr>("banned-call")) {
+    if (spelledInPathContaining(E->getBeginLoc(), SM, "/src/obs/"))
+      return;
+    diag(E->getBeginLoc(),
+         "call to '%0' in GREFAR_DETERMINISTIC function %1; decisions must "
+         "be bit-reproducible (timing belongs in src/obs behind the "
+         "profiling gate)")
+        << E->getDirectCallee()->getQualifiedNameAsString() << Func;
+  } else if (const auto *E =
+                 Result.Nodes.getNodeAs<CXXConstructExpr>("random-device")) {
+    if (spelledInPathContaining(E->getBeginLoc(), SM, "/src/obs/"))
+      return;
+    diag(E->getBeginLoc(),
+         "std::random_device in GREFAR_DETERMINISTIC function %0; decisions "
+         "must be bit-reproducible (use a seeded stream)")
+        << Func;
+  } else if (const auto *Loop =
+                 Result.Nodes.getNodeAs<CXXForRangeStmt>("unordered-loop")) {
+    if (spelledInPathContaining(Loop->getBeginLoc(), SM, "/src/obs/"))
+      return;
+    diag(Loop->getBeginLoc(),
+         "floating-point accumulation over unordered-container iteration in "
+         "GREFAR_DETERMINISTIC function %0; hashed iteration order is not a "
+         "stable reduction order")
+        << Func;
+  }
+}
+
+}  // namespace clang::tidy::grefar

@@ -1,0 +1,44 @@
+// Shared matcher helpers for the grefar-lint clang-tidy module.
+//
+// The domain checks key off the [[clang::annotate("grefar::...")]] markers
+// that src/util/annotations.h plants (GREFAR_HOT_PATH, GREFAR_DETERMINISTIC).
+// AnnotateAttr is inheritable, but clang only copies attributes forward onto
+// redeclarations it has already seen — so the matcher walks the whole
+// redeclaration chain explicitly: annotating the header declaration is
+// enough to cover the out-of-line definition regardless of parse order.
+#pragma once
+
+#include <string>
+
+#include "clang/AST/Attr.h"
+#include "clang/AST/Decl.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/SourceManager.h"
+
+namespace clang::tidy::grefar {
+
+inline bool anyRedeclHasAnnotation(const FunctionDecl &FD, llvm::StringRef Name) {
+  for (const FunctionDecl *Redecl : FD.redecls()) {
+    for (const auto *A : Redecl->specific_attrs<AnnotateAttr>()) {
+      if (A->getAnnotation() == Name)
+        return true;
+    }
+  }
+  return false;
+}
+
+AST_MATCHER_P(FunctionDecl, hasGrefarAnnotation, std::string, Name) {
+  return anyRedeclHasAnnotation(Node, Name);
+}
+
+/// True when `Loc` is spelled in a file whose path contains `Needle` (e.g.
+/// "/src/obs/") — used to exempt the observability layer itself, which is
+/// the one place allowed to touch registries and clocks directly.
+inline bool spelledInPathContaining(SourceLocation Loc, const SourceManager &SM,
+                                    llvm::StringRef Needle) {
+  if (Loc.isInvalid())
+    return false;
+  return SM.getFilename(SM.getSpellingLoc(Loc)).contains(Needle);
+}
+
+}  // namespace clang::tidy::grefar

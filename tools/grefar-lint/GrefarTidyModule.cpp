@@ -1,0 +1,39 @@
+// Registers the grefar-* checks as a clang-tidy plugin module.
+//
+// Built as a MODULE library and loaded with `clang-tidy --load
+// libgrefar_tidy_module.so`; all LLVM/Clang symbols resolve from the
+// clang-tidy executable itself, so the module links nothing.
+#include "CheckSideEffectsCheck.h"
+#include "CounterDisciplineCheck.h"
+#include "DeterminismCheck.h"
+#include "HotPathAllocCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+namespace clang::tidy {
+namespace grefar {
+
+class GrefarModule : public ClangTidyModule {
+public:
+  void addCheckFactories(ClangTidyCheckFactories &Factories) override {
+    Factories.registerCheck<HotPathAllocCheck>("grefar-hot-path-alloc");
+    Factories.registerCheck<DeterminismCheck>("grefar-determinism");
+    Factories.registerCheck<CounterDisciplineCheck>(
+        "grefar-counter-discipline");
+    Factories.registerCheck<CheckSideEffectsCheck>(
+        "grefar-check-side-effects");
+  }
+};
+
+}  // namespace grefar
+
+static ClangTidyModuleRegistry::Add<grefar::GrefarModule>
+    X("grefar-module",
+      "GreFar domain checks: hot-path allocation, determinism, observability "
+      "and contract-check discipline.");
+
+// Referenced nowhere; exists so the static registration above is not
+// dead-stripped from the module.
+volatile int GrefarModuleAnchorSource = 0;
+
+}  // namespace clang::tidy

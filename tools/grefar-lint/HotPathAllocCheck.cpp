@@ -1,0 +1,101 @@
+#include "HotPathAllocCheck.h"
+
+#include "GrefarMatchers.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::grefar {
+
+namespace {
+constexpr char kTail[] =
+    "; steady-state hot paths must reuse preallocated storage (audited "
+    "amortized growth takes NOLINT(grefar-hot-path-alloc))";
+}  // namespace
+
+void HotPathAllocCheck::registerMatchers(MatchFinder *Finder) {
+  auto InHot = forFunction(
+      functionDecl(hasGrefarAnnotation("grefar::hot_path")).bind("func"));
+
+  Finder->addMatcher(cxxNewExpr(InHot).bind("new"), this);
+
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::malloc", "::calloc",
+                                              "::realloc", "::aligned_alloc",
+                                              "::posix_memalign", "::strdup"))),
+               InHot)
+          .bind("alloc-call"),
+      this);
+
+  // Growth on contiguous containers. assign/clear stay legal: they are the
+  // sanctioned refill idiom and never grow past high-water capacity.
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(
+              ofClass(hasAnyName("::std::vector", "::std::basic_string",
+                                 "::std::deque")),
+              hasAnyName("push_back", "emplace_back", "resize", "reserve",
+                         "insert", "emplace", "append", "push_front",
+                         "emplace_front"))),
+          InHot)
+          .bind("grow"),
+      this);
+
+  // Node-based containers allocate per element; any mutation is banned on
+  // the hot path (their per-node malloc cannot be amortized away).
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(
+              ofClass(hasAnyName(
+                  "::std::map", "::std::multimap", "::std::set",
+                  "::std::multiset", "::std::unordered_map",
+                  "::std::unordered_set", "::std::unordered_multimap",
+                  "::std::unordered_multiset", "::std::list")),
+              hasAnyName("insert", "emplace", "emplace_hint", "try_emplace",
+                         "insert_or_assign", "erase", "clear", "merge",
+                         "operator[]"))),
+          InHot)
+          .bind("node"),
+      this);
+
+  Finder->addMatcher(
+      cxxConstructExpr(
+          hasType(hasUnqualifiedDesugaredType(recordType(hasDeclaration(
+              classTemplateSpecializationDecl(hasName("::std::basic_string")))))),
+          unless(hasDeclaration(cxxConstructorDecl(
+              anyOf(isDefaultConstructor(), isMoveConstructor())))),
+          InHot)
+          .bind("string-ctor"),
+      this);
+}
+
+void HotPathAllocCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Func = Result.Nodes.getNodeAs<FunctionDecl>("func");
+  if (Func == nullptr)
+    return;
+
+  if (const auto *E = Result.Nodes.getNodeAs<CXXNewExpr>("new")) {
+    diag(E->getBeginLoc(), "operator new in GREFAR_HOT_PATH function %0%1")
+        << Func << kTail;
+  } else if (const auto *E = Result.Nodes.getNodeAs<CallExpr>("alloc-call")) {
+    diag(E->getBeginLoc(), "call to '%0' in GREFAR_HOT_PATH function %1%2")
+        << E->getDirectCallee()->getName() << Func << kTail;
+  } else if (const auto *E =
+                 Result.Nodes.getNodeAs<CXXMemberCallExpr>("grow")) {
+    diag(E->getBeginLoc(),
+         "allocating container call '%0' in GREFAR_HOT_PATH function %1%2")
+        << E->getMethodDecl()->getName() << Func << kTail;
+  } else if (const auto *E =
+                 Result.Nodes.getNodeAs<CXXMemberCallExpr>("node")) {
+    diag(E->getBeginLoc(),
+         "node-container mutation '%0' in GREFAR_HOT_PATH function %1%2")
+        << E->getMethodDecl()->getNameAsString() << Func << kTail;
+  } else if (const auto *E =
+                 Result.Nodes.getNodeAs<CXXConstructExpr>("string-ctor")) {
+    diag(E->getBeginLoc(),
+         "std::string construction in GREFAR_HOT_PATH function %0%1")
+        << Func << kTail;
+  }
+}
+
+}  // namespace clang::tidy::grefar

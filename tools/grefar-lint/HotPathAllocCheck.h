@@ -1,0 +1,34 @@
+// grefar-hot-path-alloc: no direct allocating operations inside functions
+// annotated GREFAR_HOT_PATH (src/util/annotations.h).
+//
+// The repo's per-slot contract (DESIGN.md Sec. 7) is that steady-state
+// decide/reset/kernel surfaces make no heap allocations: scratch reaches a
+// high-water size after a few slots and is reused in place. This check makes
+// the contract static. It is deliberately NON-transitive — only calls spelled
+// directly in the annotated function body are flagged; callees are audited by
+// annotating them too. Audited amortized-growth sites (clear()+refill within
+// high-water capacity, first-slot sizing) carry NOLINT(grefar-hot-path-alloc)
+// with a justifying comment.
+//
+// Banned: operator new, the malloc family, growth calls on contiguous
+// containers (push_back/resize/reserve/...), any mutation of node-based
+// containers, and std::string construction (other than default/move).
+// Allowed: assign() and clear() — the sanctioned clear-and-refill idiom.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::grefar {
+
+class HotPathAllocCheck : public ClangTidyCheck {
+public:
+  HotPathAllocCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::grefar

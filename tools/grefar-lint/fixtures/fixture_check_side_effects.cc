@@ -1,0 +1,51 @@
+// Seeded violations for grefar-check-side-effects. The GREFAR_CHECK-family
+// macros come from the real src/util/check.h; conditions with side effects
+// must diagnose, side-effect-free conditions must stay silent.
+#include <vector>
+
+#include "util/check.h"
+
+namespace fixture {
+
+struct Cursor {
+  int pos = 0;
+  int advance() { return ++pos; }
+  int peek() const { return pos; }
+};
+
+void bad_increment(int i, int n) {
+  GREFAR_CHECK(i++ < n);  // GREFAR-EXPECT: side effect inside a GREFAR_CHECK-family condition
+}
+
+void bad_assignment(int i, int n) {
+  GREFAR_DCHECK((i = n) > 0);  // GREFAR-EXPECT: side effect inside a GREFAR_CHECK-family condition
+}
+
+void bad_mutating_member(Cursor& cursor, int n) {
+  GREFAR_CHECK_MSG(cursor.advance() < n, "cursor past " << n);  // GREFAR-EXPECT: side effect inside a GREFAR_CHECK-family condition
+}
+
+void bad_dcheck_member(Cursor& cursor, int n) {
+  GREFAR_DCHECK_MSG(cursor.advance() < n, "cursor past " << n);  // GREFAR-EXPECT: side effect inside a GREFAR_CHECK-family condition
+}
+
+// ---- negative controls ----------------------------------------------------
+
+// Pure reads, const member calls, and arithmetic are all legal conditions.
+void good_checks(const Cursor& cursor, const std::vector<int>& xs, int i,
+                 int n) {
+  GREFAR_CHECK(i < n);
+  GREFAR_CHECK(cursor.peek() <= n);
+  GREFAR_CHECK_MSG(!xs.empty(), "xs size " << xs.size());
+  GREFAR_DCHECK(i + 1 <= n);
+}
+
+// Side effects in ordinary if-statements are outside the contract: silent.
+int good_plain_if(int i, int n) {
+  if (i++ < n) {
+    return i;
+  }
+  return n;
+}
+
+}  // namespace fixture

@@ -1,0 +1,59 @@
+// Seeded violations for grefar-counter-discipline. The mock registries live
+// in fixtures/src/obs/mock_obs.h, mirroring the real src/obs API; this file
+// is spelled outside /src/obs/, so raw mutations here must be flagged.
+#include "src/obs/mock_obs.h"
+
+namespace fixture {
+
+void bad_direct_count() {
+  grefar::obs::CounterRegistry* r = grefar::obs::active_counters();
+  if (r != nullptr) {
+    r->count("fixture.events", 1);  // GREFAR-EXPECT: raw registry mutation 'count'
+  }
+}
+
+void bad_direct_gauge(grefar::obs::CounterRegistry& registry) {
+  registry.gauge_max("fixture.depth", 3);  // GREFAR-EXPECT: raw registry mutation 'gauge_max'
+}
+
+void bad_unordered_merge(grefar::obs::CounterRegistry& parent,
+                         const grefar::obs::CounterRegistry& child) {
+  parent.merge(child);  // GREFAR-EXPECT: raw registry mutation 'merge'
+}
+
+void bad_profile_record(grefar::obs::ProfileRegistry& profile) {
+  profile.record("fixture.phase", 42, 1);  // GREFAR-EXPECT: raw registry mutation 'record'
+}
+
+void bad_reset(grefar::obs::CounterRegistry& registry) {
+  registry.clear();  // GREFAR-EXPECT: raw registry mutation 'clear'
+}
+
+// ---- negative controls ----------------------------------------------------
+
+// The obs:: free-function entry points are the sanctioned write path (their
+// internal registry calls are spelled in /src/obs/ and exempt).
+void good_entry_points() {
+  grefar::obs::count("fixture.events", 1);
+  grefar::obs::gauge_max("fixture.depth", 3);
+}
+
+// Scoped installation plus entry-point writes: the full sanctioned pattern.
+long good_scoped_counting() {
+  grefar::obs::CounterRegistry local;
+  {
+    grefar::obs::CountersScope scope(&local);
+    grefar::obs::count("fixture.events", 2);
+  }
+  return local.counter("fixture.events");
+}
+
+// Read-only accessors are reporting, not mutation: legal everywhere.
+void good_reporting(const grefar::obs::CounterRegistry& counters,
+                    const grefar::obs::ProfileRegistry& profile,
+                    std::string& out) {
+  out = counters.dump();
+  out += profile.summary_table();
+}
+
+}  // namespace fixture

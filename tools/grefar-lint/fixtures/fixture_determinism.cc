@@ -1,0 +1,72 @@
+// Seeded violations for grefar-determinism. Lines that must diagnose carry a
+// GREFAR-EXPECT marker; everything else is a negative control.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "util/annotations.h"
+
+namespace fixture {
+
+GREFAR_DETERMINISTIC double det_entropy_call() {
+  return static_cast<double>(::rand());  // GREFAR-EXPECT: call to 'rand'
+}
+
+GREFAR_DETERMINISTIC long det_wall_clock() {
+  return static_cast<long>(::time(nullptr));  // GREFAR-EXPECT: call to 'time'
+}
+
+GREFAR_DETERMINISTIC long det_chrono_clock() {
+  auto t = std::chrono::steady_clock::now();  // GREFAR-EXPECT: steady_clock
+  return static_cast<long>(t.time_since_epoch().count());
+}
+
+GREFAR_DETERMINISTIC unsigned det_hardware_entropy() {
+  std::random_device device;  // GREFAR-EXPECT: std::random_device
+  return device();
+}
+
+GREFAR_DETERMINISTIC double det_unordered_reduction(
+    const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& entry : weights) {  // GREFAR-EXPECT: floating-point accumulation over unordered-container iteration
+    total += entry.second;
+  }
+  return total;
+}
+
+// ---- negative controls ----------------------------------------------------
+
+// Unannotated: clocks and entropy are fine outside the contract.
+long cold_wall_clock() { return static_cast<long>(::time(nullptr)); }
+
+// Seeded streams are the sanctioned source of randomness.
+GREFAR_DETERMINISTIC unsigned det_seeded_stream(unsigned seed) {
+  std::mt19937 gen(seed);
+  return gen();
+}
+
+// Integer accumulation over hashed iteration is order-independent: silent.
+GREFAR_DETERMINISTIC long det_unordered_count(
+    const std::unordered_map<int, double>& weights) {
+  long n = 0;
+  for (const auto& entry : weights) {
+    n += entry.second > 0.0 ? 1 : 0;
+  }
+  return n;
+}
+
+// Ordered containers have a stable iteration order: silent.
+GREFAR_DETERMINISTIC double det_ordered_reduction(
+    const std::vector<double>& weights) {
+  double total = 0.0;
+  for (const double w : weights) {
+    total += w;
+  }
+  return total;
+}
+
+}  // namespace fixture

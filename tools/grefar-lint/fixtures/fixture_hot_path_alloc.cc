@@ -1,0 +1,74 @@
+// Seeded violations for grefar-hot-path-alloc. Lines that must diagnose
+// carry a GREFAR-EXPECT marker (consumed by run_golden_test.py); everything
+// else is a negative control and must stay silent.
+#include <cstddef>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/annotations.h"
+
+namespace fixture {
+
+struct Workspace {
+  std::vector<double> values;
+  std::map<int, double> lookup;
+  std::unordered_map<int, int> index;
+  std::deque<int> pending;
+  std::string label;
+};
+
+GREFAR_HOT_PATH void hot_contiguous_growth(Workspace& ws) {
+  ws.values.push_back(1.0);  // GREFAR-EXPECT: allocating container call 'push_back'
+  ws.values.emplace_back(2.0);  // GREFAR-EXPECT: allocating container call 'emplace_back'
+  ws.values.resize(100);  // GREFAR-EXPECT: allocating container call 'resize'
+  ws.values.reserve(200);  // GREFAR-EXPECT: allocating container call 'reserve'
+  ws.pending.push_front(3);  // GREFAR-EXPECT: allocating container call 'push_front'
+  ws.label.append("x");  // GREFAR-EXPECT: allocating container call 'append'
+}
+
+GREFAR_HOT_PATH void hot_node_mutation(Workspace& ws) {
+  ws.lookup[7] = 1.0;  // GREFAR-EXPECT: node-container mutation 'operator[]'
+  ws.lookup.insert({1, 2.0});  // GREFAR-EXPECT: node-container mutation 'insert'
+  ws.lookup.erase(7);  // GREFAR-EXPECT: node-container mutation 'erase'
+  ws.index.clear();  // GREFAR-EXPECT: node-container mutation 'clear'
+}
+
+GREFAR_HOT_PATH double* hot_raw_allocation(std::size_t n) {
+  void* block = ::malloc(n);  // GREFAR-EXPECT: call to 'malloc'
+  ::free(block);
+  return new double[8];  // GREFAR-EXPECT: operator new
+}
+
+GREFAR_HOT_PATH std::size_t hot_string_build(const char* name) {
+  std::string key(name);  // GREFAR-EXPECT: std::string construction
+  return key.size();
+}
+
+// ---- negative controls ----------------------------------------------------
+
+// Unannotated: identical body, no diagnostics.
+void cold_growth(Workspace& ws) {
+  ws.values.push_back(1.0);
+  ws.lookup[7] = 1.0;
+}
+
+// Clear-and-refill on contiguous storage is the sanctioned idiom: capacity
+// is retained, so steady-state refills never allocate.
+GREFAR_HOT_PATH void hot_refill(Workspace& ws, std::size_t n) {
+  ws.values.clear();
+  ws.values.assign(n, 0.0);
+  for (std::size_t i = 0; i < ws.values.size(); ++i) {
+    ws.values[i] = static_cast<double>(i);
+  }
+}
+
+// Audited amortized growth takes an explicit NOLINT and must stay silent.
+GREFAR_HOT_PATH void hot_audited_growth(Workspace& ws) {
+  ws.values.push_back(2.0);  // NOLINT(grefar-hot-path-alloc)
+}
+
+}  // namespace fixture

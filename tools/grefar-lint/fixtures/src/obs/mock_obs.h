@@ -1,0 +1,89 @@
+// Minimal stand-in for src/obs/counters.h + profile.h, shaped like the real
+// registries so fixture_counter_discipline.cc needs no repo dependencies.
+//
+// This header deliberately lives under fixtures/src/obs/: the
+// grefar-counter-discipline check exempts call sites spelled in paths
+// containing "/src/obs/", so the registry mutations inside the inline
+// obs::count / obs::gauge_max entry points below must NOT be flagged — the
+// fixture run exercises the exemption as well as the ban.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace grefar::obs {
+
+class CounterRegistry {
+public:
+  void count(const std::string& name, std::int64_t delta) {
+    counters_[name] += delta;
+  }
+  void gauge_max(const std::string& name, std::int64_t value) {
+    auto& g = gauges_[name];
+    if (value > g) g = value;
+  }
+  void merge(const CounterRegistry& other) {
+    for (const auto& [name, v] : other.counters_) counters_[name] += v;
+  }
+  void clear() { counters_.clear(); }
+  std::int64_t counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  std::string dump() const { return {}; }
+
+private:
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, std::int64_t> gauges_;
+};
+
+class ProfileRegistry {
+public:
+  void record(const std::string& name, std::int64_t ns, std::int64_t calls) {
+    ns_[name] += ns;
+    calls_[name] += calls;
+  }
+  void merge(const ProfileRegistry& other) {
+    for (const auto& [name, v] : other.ns_) ns_[name] += v;
+  }
+  std::string summary_table() const { return {}; }
+
+private:
+  std::map<std::string, std::int64_t> ns_;
+  std::map<std::string, std::int64_t> calls_;
+};
+
+inline CounterRegistry*& active_counters_slot() {
+  thread_local CounterRegistry* active = nullptr;
+  return active;
+}
+
+inline CounterRegistry* active_counters() { return active_counters_slot(); }
+
+// Sanctioned entry points: mutations here are spelled in /src/obs/ and are
+// therefore exempt from grefar-counter-discipline, like the real inline
+// free functions in src/obs/counters.h.
+inline void count(const std::string& name, std::int64_t delta) {
+  if (CounterRegistry* r = active_counters()) r->count(name, delta);
+}
+
+inline void gauge_max(const std::string& name, std::int64_t value) {
+  if (CounterRegistry* r = active_counters()) r->gauge_max(name, value);
+}
+
+class CountersScope {
+public:
+  explicit CountersScope(CounterRegistry* r)
+      : previous_(active_counters_slot()) {
+    active_counters_slot() = r;
+  }
+  ~CountersScope() { active_counters_slot() = previous_; }
+  CountersScope(const CountersScope&) = delete;
+  CountersScope& operator=(const CountersScope&) = delete;
+
+private:
+  CounterRegistry* previous_;
+};
+
+}  // namespace grefar::obs

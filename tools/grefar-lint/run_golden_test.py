@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Golden-diagnostics harness for the grefar-lint clang-tidy checks.
+
+Each fixture under fixtures/ seeds deliberate violations. Every line that
+must produce a diagnostic carries a marker comment:
+
+    ws.values.push_back(1.0);  // GREFAR-EXPECT: allocating container call 'push_back'
+
+The harness runs clang-tidy with ONLY the check under test enabled
+(--checks=-*,<check>), loads the plugin, and normalises the emitted
+diagnostics to (line, message). It then verifies an exact correspondence:
+
+  * every marker line produced at least one diagnostic whose message
+    contains the marker substring, and
+  * every diagnostic (for the check under test, in the fixture file) landed
+    on a marker line.
+
+Negative-control lines — unannotated functions, sanctioned idioms, and
+NOLINT'd escapes — carry no marker, so any diagnostic on them fails the
+test. Matching on message substrings instead of full golden text keeps the
+harness stable across clang-tidy versions, which vary in column placement
+and note formatting but not in the check's own message text.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+MARKER_RE = re.compile(r"//\s*GREFAR-EXPECT:\s*(.+?)\s*$")
+DIAG_RE = re.compile(
+    r"^(?P<file>[^:\n]+):(?P<line>\d+):\d+:\s+"
+    r"(?:warning|error):\s+(?P<msg>.*?)\s+\[(?P<checks>[\w\-,.*]+)\]\s*$"
+)
+
+
+def parse_markers(fixture: Path):
+    markers = []
+    for lineno, text in enumerate(fixture.read_text().splitlines(), start=1):
+        m = MARKER_RE.search(text)
+        if m:
+            markers.append((lineno, m.group(1)))
+    return markers
+
+
+def run_clang_tidy(args):
+    fixture = Path(args.fixture).resolve()
+    repo_root = Path(args.repo_root).resolve()
+    cmd = [
+        args.clang_tidy,
+        f"--load={args.plugin}",
+        f"--checks=-*,{args.check}",
+        # Neutralise WarningsAsErrors from the repo .clang-tidy so exit
+        # codes stay meaningful (nonzero == real failure, not a finding).
+        "--warnings-as-errors=-*",
+        "--quiet",
+        str(fixture),
+        "--",
+        "-std=c++20",
+        f"-I{repo_root / 'src'}",
+        f"-I{fixture.parent}",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc, cmd
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clang-tidy", required=True)
+    parser.add_argument("--plugin", required=True)
+    parser.add_argument("--check", required=True)
+    parser.add_argument("--fixture", required=True)
+    parser.add_argument("--repo-root", required=True)
+    args = parser.parse_args()
+
+    fixture = Path(args.fixture).resolve()
+    markers = parse_markers(fixture)
+    if not markers:
+        print(f"FAIL: no GREFAR-EXPECT markers found in {fixture}")
+        return 1
+
+    proc, cmd = run_clang_tidy(args)
+    if "Error while processing" in proc.stderr or "error: " in proc.stderr:
+        print("FAIL: clang-tidy reported a processing error")
+        print("command:", " ".join(cmd))
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        return 1
+
+    diags = []
+    for line in proc.stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if not m:
+            continue
+        if Path(m.group("file")).name != fixture.name:
+            continue  # diagnostics from included headers are out of scope
+        if args.check not in m.group("checks"):
+            continue
+        diags.append((int(m.group("line")), m.group("msg")))
+
+    failures = []
+    for lineno, substr in markers:
+        hits = [msg for dline, msg in diags if dline == lineno]
+        if not hits:
+            failures.append(f"line {lineno}: expected '{substr}', got nothing")
+        elif not any(substr in msg for msg in hits):
+            failures.append(
+                f"line {lineno}: expected '{substr}' in one of {hits!r}"
+            )
+    marker_lines = {lineno for lineno, _ in markers}
+    for dline, msg in diags:
+        if dline not in marker_lines:
+            failures.append(f"line {dline}: unexpected diagnostic: {msg}")
+
+    if failures:
+        print(f"FAIL: {args.check} on {fixture.name}")
+        for f in failures:
+            print("  " + f)
+        print("--- raw clang-tidy output ---")
+        print(proc.stdout)
+        return 1
+
+    print(
+        f"PASS: {args.check}: {len(markers)} expected diagnostics matched, "
+        f"no extras"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
