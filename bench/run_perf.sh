@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the two microbenchmark binaries and writes google-benchmark JSON next
+# Runs the microbenchmark binaries and writes google-benchmark JSON next
 # to this script's repo root. Compare a fresh run against the checked-in
 # BENCH_baseline.json to catch hot-path regressions:
 #
@@ -40,7 +40,7 @@ for arg in "$@"; do
   esac
 done
 
-for bin in perf_scheduler perf_substrate; do
+for bin in perf_scheduler perf_substrate perf_serve; do
   if [[ ! -x "$build_dir/bench/$bin" ]]; then
     echo "error: $build_dir/bench/$bin not built (cmake --build $build_dir)" >&2
     exit 1
@@ -63,7 +63,8 @@ except Exception:
 }
 
 for spec in "perf_scheduler BM_GreFarDecideGreedy/3/8\$" \
-            "perf_substrate BM_CappedBoxProject/8\$"; do
+            "perf_substrate BM_CappedBoxProject/8\$" \
+            "perf_serve BM_StreamCsvParse/256/16\$"; do
   read -r bin filter <<<"$spec"
   build_type="$(probe_build_type "$bin" "$filter")"
   if [[ "$build_type" != "release" ]]; then
@@ -80,7 +81,8 @@ done
 
 tmp_sched="$(mktemp)"
 tmp_sub="$(mktemp)"
-trap 'rm -f "$tmp_sched" "$tmp_sub"' EXIT
+tmp_serve="$(mktemp)"
+trap 'rm -f "$tmp_sched" "$tmp_sub" "$tmp_serve"' EXIT
 
 "$build_dir/bench/perf_scheduler" \
   --benchmark_min_time="$min_time" \
@@ -88,19 +90,24 @@ trap 'rm -f "$tmp_sched" "$tmp_sub"' EXIT
 "$build_dir/bench/perf_substrate" \
   --benchmark_min_time="$min_time" \
   --benchmark_out="$tmp_sub" --benchmark_out_format=json
+"$build_dir/bench/perf_serve" \
+  --benchmark_min_time="$min_time" \
+  --benchmark_out="$tmp_serve" --benchmark_out_format=json
 
-# Merge the two reports into one file (context from the first, benchmarks
+# Merge the reports into one file (context from the first, benchmarks
 # concatenated) so a single JSON holds the whole perf surface. The
 # allocs_per_slot section is owned by tests/check/alloc_regression_test.cc,
 # not google-benchmark — carry it over from the previous baseline so a
 # re-baseline of the timing numbers does not drop the allocation guard.
-python3 - "$tmp_sched" "$tmp_sub" "$out" "$repo_root/BENCH_baseline.json" <<'PY'
+python3 - "$tmp_sched" "$tmp_sub" "$tmp_serve" "$out" \
+  "$repo_root/BENCH_baseline.json" <<'PY'
 import json, os, sys
-sched, sub, out, baseline = sys.argv[1:5]
+sched, sub, serve, out, baseline = sys.argv[1:6]
 with open(sched) as f:
     merged = json.load(f)
-with open(sub) as f:
-    merged["benchmarks"].extend(json.load(f)["benchmarks"])
+for part in (sub, serve):
+    with open(part) as f:
+        merged["benchmarks"].extend(json.load(f)["benchmarks"])
 if os.path.exists(baseline):
     with open(baseline) as f:
         prev = json.load(f)

@@ -1,0 +1,98 @@
+#include "scenario/serve_scenario.h"
+
+#include <cmath>
+#include <vector>
+
+#include "trace/job_trace.h"
+#include "trace/price_trace.h"
+#include "util/check.h"
+
+namespace grefar {
+
+PaperScenario make_serve_scenario(std::size_t num_dcs, std::size_t num_types,
+                                  std::uint64_t seed) {
+  GREFAR_CHECK(num_dcs > 0);
+  GREFAR_CHECK(num_types > 0);
+  PaperScenario s;
+  s.seed = seed;
+
+  // Three Table-I-like efficiency archetypes; DC i operates archetype i % 3.
+  s.config.server_types = {
+      {"gen-a", 1.00, 1.00},
+      {"gen-b", 0.75, 0.60},
+      {"gen-c", 1.15, 1.20},
+  };
+  double total_capacity = 0.0;  // work/slot at full availability
+  s.config.data_centers.reserve(num_dcs);
+  for (std::size_t i = 0; i < num_dcs; ++i) {
+    std::vector<std::int64_t> installed(s.config.server_types.size(), 0);
+    std::size_t archetype = i % s.config.server_types.size();
+    // 100 +/- a bit so DCs are not interchangeable.
+    std::int64_t count = 100 + static_cast<std::int64_t>(7 * (i % 5));
+    installed[archetype] = count;
+    total_capacity +=
+        static_cast<double>(count) * s.config.server_types[archetype].speed;
+    s.config.data_centers.push_back(
+        {"dc" + std::to_string(i + 1), std::move(installed)});
+  }
+
+  s.config.accounts = {
+      {"org1", 0.40}, {"org2", 0.30}, {"org3", 0.15}, {"org4", 0.15}};
+
+  static constexpr double kWorks[] = {1.0, 1.5, 2.5, 3.5};
+  s.config.job_types.reserve(num_types);
+  std::vector<std::size_t> all_dcs(num_dcs);
+  for (std::size_t d = 0; d < num_dcs; ++d) all_dcs[d] = d;
+  for (std::size_t j = 0; j < num_types; ++j) {
+    JobType type;
+    type.name = "type" + std::to_string(j);
+    type.work = kWorks[j % (sizeof(kWorks) / sizeof(kWorks[0]))];
+    type.eligible_dcs = all_dcs;
+    type.account = j % s.config.accounts.size();
+    s.config.job_types.push_back(std::move(type));
+  }
+  s.config.validate();
+
+  // Mean total work ~55% of worst-case capacity (availability floor 0.75),
+  // split evenly across types, independent of the chosen dimensions.
+  double target_work = 0.55 * 0.75 * total_capacity;
+  std::vector<double> rates(num_types);
+  std::vector<std::int64_t> a_max(num_types);
+  for (std::size_t j = 0; j < num_types; ++j) {
+    rates[j] = target_work / (static_cast<double>(num_types) *
+                              s.config.job_types[j].work);
+    a_max[j] = static_cast<std::int64_t>(std::ceil(rates[j] * 4.0 + 5.0));
+  }
+  s.arrivals = std::make_shared<PoissonArrivals>(std::move(rates),
+                                                 std::move(a_max),
+                                                 seed ^ 0x5E12FEEDULL);
+
+  std::vector<DiurnalOuParams> price_params(num_dcs);
+  for (std::size_t d = 0; d < num_dcs; ++d) {
+    price_params[d] = {.mean = 0.35 + 0.05 * static_cast<double>(d % 6),
+                       .diurnal_amplitude = 0.10 + 0.02 * static_cast<double>(d % 4),
+                       .peak_hour = 11.0 + 2.0 * static_cast<double>(d % 5),
+                       .reversion = 0.3,
+                       .volatility = 0.02,
+                       .floor = 0.05};
+  }
+  s.prices = std::make_shared<DiurnalOuPriceModel>(std::move(price_params),
+                                                   seed ^ 0x5E12C0DEULL);
+
+  s.availability = std::make_shared<RandomFractionAvailability>(
+      s.config.data_centers, 0.75, seed ^ 0x5E12A4A1ULL);
+  return s;
+}
+
+Status write_serve_traces(const PaperScenario& scenario, std::int64_t horizon,
+                          const std::string& dir, std::string& jobs_path,
+                          std::string& prices_path) {
+  GREFAR_CHECK(horizon > 0);
+  jobs_path = dir + "/jobs.csv";
+  prices_path = dir + "/prices.csv";
+  Status st = write_job_trace_streaming(*scenario.arrivals, horizon, jobs_path);
+  if (!st.ok()) return st;
+  return write_price_trace_streaming(*scenario.prices, horizon, prices_path);
+}
+
+}  // namespace grefar

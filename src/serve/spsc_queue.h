@@ -1,0 +1,114 @@
+// BoundedSpscQueue<T>: a fixed-capacity single-producer/single-consumer
+// queue with blocking backpressure, connecting the service-loop pipeline
+// stages (serve/service_loop.h).
+//
+// Deliberately mutex+condvar rather than lock-free: the pipeline moves a few
+// pointers per simulation slot (microseconds of solve work each), so queue
+// overhead is noise, and the simple implementation is trivially TSan-clean.
+// The ring storage is sized once at construction — push/pop never allocate.
+//
+// Stats (read them after the producer and consumer have stopped, or accept a
+// momentary snapshot): producer_blocks / consumer_waits count the number of
+// times a side had to wait (not wait iterations), high_water is the peak
+// occupancy — together they show which pipeline stage is the bottleneck.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace grefar {
+
+template <typename T>
+class BoundedSpscQueue {
+ public:
+  struct Stats {
+    std::uint64_t producer_blocks = 0;  // push() calls that had to wait
+    std::uint64_t consumer_waits = 0;   // pop() calls that had to wait
+    std::size_t high_water = 0;         // peak queue occupancy
+  };
+
+  explicit BoundedSpscQueue(std::size_t capacity)
+      : slots_(capacity), capacity_(capacity) {
+    GREFAR_CHECK(capacity > 0);
+  }
+
+  BoundedSpscQueue(const BoundedSpscQueue&) = delete;
+  BoundedSpscQueue& operator=(const BoundedSpscQueue&) = delete;
+
+  /// Blocks while full; returns false (dropping `value`) once closed.
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (size_ == capacity_ && !closed_) {
+      ++stats_.producer_blocks;
+      not_full_.wait(lock, [this] { return size_ < capacity_ || closed_; });
+    }
+    if (closed_) return false;
+    slots_[(head_ + size_) % capacity_] = std::move(value);
+    ++size_;
+    if (size_ > stats_.high_water) stats_.high_water = size_;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty; returns false once the queue is closed *and*
+  /// drained (close() lets already-queued items flow out first).
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (size_ == 0 && !closed_) {
+      ++stats_.consumer_waits;
+      not_empty_.wait(lock, [this] { return size_ > 0 || closed_; });
+    }
+    if (size_ == 0) return false;  // closed and drained
+    out = std::move(slots_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// After close(): push() fails immediately, pop() drains then fails.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<T> slots_;  // ring buffer, sized once
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+  Stats stats_;
+};
+
+}  // namespace grefar

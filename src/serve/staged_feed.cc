@@ -1,0 +1,67 @@
+#include "serve/staged_feed.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace grefar {
+
+StagedTraceFeed::StagedTraceFeed(std::size_t num_types, std::size_t num_dcs) {
+  state_ = std::make_shared<State>();
+  state_->num_types = num_types;
+  state_->num_dcs = num_dcs;
+  state_->arrivals.assign(num_types, 0);
+  state_->prices.assign(num_dcs, 0.0);
+  state_->max_arrivals.assign(num_types, 0);
+  arrivals_ = std::make_shared<const StagedArrivals>(state_);
+  prices_ = std::make_shared<const StagedPrices>(state_);
+}
+
+void StagedTraceFeed::stage(std::int64_t slot,
+                            const std::vector<std::int64_t>& arrivals,
+                            const std::vector<double>& prices) {
+  GREFAR_CHECK_MSG(slot > state_->slot,
+                   "stage(" << slot << ") after slot " << state_->slot);
+  GREFAR_CHECK(arrivals.size() == state_->num_types);
+  GREFAR_CHECK(prices.size() == state_->num_dcs);
+  state_->slot = slot;
+  std::copy(arrivals.begin(), arrivals.end(), state_->arrivals.begin());
+  std::copy(prices.begin(), prices.end(), state_->prices.begin());
+  for (std::size_t j = 0; j < arrivals.size(); ++j) {
+    state_->max_arrivals[j] = std::max(state_->max_arrivals[j], arrivals[j]);
+  }
+}
+
+std::int64_t StagedTraceFeed::staged_slot() const { return state_->slot; }
+
+std::vector<std::int64_t> StagedTraceFeed::StagedArrivals::arrivals(
+    std::int64_t t) const {
+  GREFAR_CHECK_MSG(t == state_->slot, "staged feed asked for slot "
+                                          << t << " but slot " << state_->slot
+                                          << " is staged");
+  return state_->arrivals;
+}
+
+void StagedTraceFeed::StagedArrivals::arrivals_into(
+    std::int64_t t, std::vector<std::int64_t>& out) const {
+  GREFAR_CHECK_MSG(t == state_->slot, "staged feed asked for slot "
+                                          << t << " but slot " << state_->slot
+                                          << " is staged");
+  out.assign(state_->arrivals.begin(), state_->arrivals.end());
+}
+
+std::int64_t StagedTraceFeed::StagedArrivals::max_arrivals(JobTypeId j) const {
+  GREFAR_CHECK(static_cast<std::size_t>(j) < state_->num_types);
+  return state_->max_arrivals[static_cast<std::size_t>(j)];
+}
+
+double StagedTraceFeed::StagedPrices::price(std::size_t dc,
+                                            std::int64_t t) const {
+  GREFAR_CHECK_MSG(t == state_->slot, "staged feed asked for slot "
+                                          << t << " but slot " << state_->slot
+                                          << " is staged");
+  GREFAR_CHECK(dc < state_->num_dcs);
+  return state_->prices[dc];
+}
+
+}  // namespace grefar

@@ -1,7 +1,10 @@
 #include "trace/job_trace.h"
 
+#include <fstream>
 #include <sstream>
 
+#include "trace/stream_csv.h"
+#include "trace/trace_schema.h"
 #include "util/check.h"
 #include "util/csv.h"
 #include "util/strings.h"
@@ -33,39 +36,28 @@ std::string job_trace_to_csv(const std::vector<std::vector<std::int64_t>>& count
 
 Result<std::vector<std::vector<std::int64_t>>> job_trace_from_csv(
     std::string_view csv, std::size_t num_types) {
-  CsvReader reader;
-  auto parsed = reader.parse(csv);
-  if (!parsed.ok()) return parsed.error();
-  const auto& rows = parsed.value();
-  if (rows.empty()) return Error::make("empty job trace");
-  if (rows.front() != std::vector<std::string>{"slot", "type", "count"}) {
-    return Error::make("job trace must start with header 'slot,type,count'");
-  }
+  // Materializing wrapper over the one streaming parser: rows accumulate
+  // into the dense table as they are emitted, no intermediate row list.
   std::vector<std::vector<std::int64_t>> table;
-  for (std::size_t r = 1; r < rows.size(); ++r) {
-    const auto& row = rows[r];
-    if (row.size() != 3) {
-      return Error::make("job trace row " + std::to_string(r) + " needs 3 fields");
-    }
-    auto slot = parse_int(row[0]);
-    auto type = parse_int(row[1]);
-    auto count = parse_int(row[2]);
-    if (!slot.ok() || !type.ok() || !count.ok()) {
-      return Error::make("job trace row " + std::to_string(r) + " is malformed");
-    }
-    if (slot.value() < 0 || count.value() < 0) {
-      return Error::make("job trace row " + std::to_string(r) + " has negative value");
-    }
-    if (type.value() < 0 || static_cast<std::size_t>(type.value()) >= num_types) {
-      return Error::make("job trace row " + std::to_string(r) +
-                         " has out-of-range type id");
-    }
-    auto s = static_cast<std::size_t>(slot.value());
-    if (table.size() <= s) {
-      table.resize(s + 1, std::vector<std::int64_t>(num_types, 0));
-    }
-    table[s][static_cast<std::size_t>(type.value())] += count.value();
-  }
+  std::uint64_t rows_seen = 0;
+  Status st = parse_csv(
+      csv,
+      [&table, &rows_seen, num_types](const std::vector<std::string>& fields,
+                                      std::uint64_t row_index,
+                                      const CsvPosition& row_start) -> Status {
+        ++rows_seen;
+        if (row_index == 0) return check_job_trace_header(fields, row_start);
+        auto row = decode_job_trace_row(fields, num_types, row_index, row_start);
+        if (!row.ok()) return row.error();
+        auto s = static_cast<std::size_t>(row.value().slot);
+        if (table.size() <= s) {
+          table.resize(s + 1, std::vector<std::int64_t>(num_types, 0));
+        }
+        table[s][row.value().type] += row.value().count;
+        return {};
+      });
+  if (!st.ok()) return st.error();
+  if (rows_seen == 0) return Error::make("empty job trace");
   if (table.empty()) return Error::make("job trace has no data rows");
   return table;
 }
@@ -73,6 +65,39 @@ Result<std::vector<std::vector<std::int64_t>>> job_trace_from_csv(
 Status write_job_trace(const std::string& path,
                        const std::vector<std::vector<std::int64_t>>& counts) {
   return write_file(path, job_trace_to_csv(counts));
+}
+
+Status write_job_trace_streaming(const ArrivalProcess& process,
+                                 std::int64_t horizon,
+                                 const std::string& path) {
+  GREFAR_CHECK(horizon > 0);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Error::make("cannot open file for writing: " + path);
+  CsvWriter writer(out);
+  writer.write_row(std::vector<std::string>{"slot", "type", "count"});
+  std::vector<std::int64_t> counts;
+  std::vector<std::string> row(3);
+  for (std::int64_t t = 0; t < horizon; ++t) {
+    process.arrivals_into(t, counts);
+    bool wrote_any = false;
+    for (std::size_t j = 0; j < counts.size(); ++j) {
+      if (counts[j] == 0) continue;  // sparse on disk
+      row[0] = std::to_string(t);
+      row[1] = std::to_string(j);
+      row[2] = std::to_string(counts[j]);
+      writer.write_row(row);
+      wrote_any = true;
+    }
+    // Pin the trace's span to [0, horizon) even when the last slot is idle.
+    if (t == horizon - 1 && !wrote_any) {
+      row[0] = std::to_string(t);
+      row[1] = "0";
+      row[2] = "0";
+      writer.write_row(row);
+    }
+  }
+  if (!out) return Error::make("write failed: " + path);
+  return {};
 }
 
 Result<std::vector<std::vector<std::int64_t>>> read_job_trace(const std::string& path,

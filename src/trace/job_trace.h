@@ -36,6 +36,15 @@ Result<std::vector<std::vector<std::int64_t>>> job_trace_from_csv(
 /// Writes/reads a trace file on disk.
 Status write_job_trace(const std::string& path,
                        const std::vector<std::vector<std::int64_t>>& counts);
+
+/// Streams `process` over [0, horizon) straight to `path`, one slot at a
+/// time — never materializes the table, so traces far larger than RAM can
+/// be generated in O(1 slot) memory. Rows are sparse (zero counts skipped);
+/// a zero-count row is emitted for the final slot if it would otherwise be
+/// absent, so the trace always spans exactly [0, horizon).
+Status write_job_trace_streaming(const ArrivalProcess& process,
+                                 std::int64_t horizon,
+                                 const std::string& path);
 Result<std::vector<std::vector<std::int64_t>>> read_job_trace(const std::string& path,
                                                               std::size_t num_types);
 

@@ -1,7 +1,10 @@
 #include "trace/price_trace.h"
 
+#include <fstream>
 #include <sstream>
 
+#include "trace/stream_csv.h"
+#include "trace/trace_schema.h"
 #include "util/check.h"
 #include "util/csv.h"
 #include "util/strings.h"
@@ -35,47 +38,31 @@ std::string price_trace_to_csv(const std::vector<std::vector<double>>& series) {
 
 Result<std::vector<std::vector<double>>> price_trace_from_csv(std::string_view csv,
                                                               std::size_t num_dcs) {
-  CsvReader reader;
-  auto parsed = reader.parse(csv);
-  if (!parsed.ok()) return parsed.error();
-  const auto& rows = parsed.value();
-  if (rows.empty()) return Error::make("empty price trace");
-  if (rows.front() != std::vector<std::string>{"slot", "dc", "price"}) {
-    return Error::make("price trace must start with header 'slot,dc,price'");
-  }
+  // Materializing wrapper over the one streaming parser.
   std::vector<std::vector<double>> series(num_dcs);
   std::vector<std::vector<bool>> seen(num_dcs);
-  for (std::size_t r = 1; r < rows.size(); ++r) {
-    const auto& row = rows[r];
-    if (row.size() != 3) {
-      return Error::make("price trace row " + std::to_string(r) + " needs 3 fields");
-    }
-    auto slot = parse_int(row[0]);
-    auto dc = parse_int(row[1]);
-    auto price = parse_double(row[2]);
-    if (!slot.ok() || !dc.ok() || !price.ok()) {
-      return Error::make("price trace row " + std::to_string(r) + " is malformed");
-    }
-    if (slot.value() < 0) {
-      return Error::make("price trace row " + std::to_string(r) + " has negative slot");
-    }
-    if (dc.value() < 0 || static_cast<std::size_t>(dc.value()) >= num_dcs) {
-      return Error::make("price trace row " + std::to_string(r) +
-                         " has out-of-range dc id");
-    }
-    if (price.value() <= 0.0) {
-      return Error::make("price trace row " + std::to_string(r) +
-                         " has non-positive price");
-    }
-    auto d = static_cast<std::size_t>(dc.value());
-    auto s = static_cast<std::size_t>(slot.value());
-    if (series[d].size() <= s) {
-      series[d].resize(s + 1, 0.0);
-      seen[d].resize(s + 1, false);
-    }
-    series[d][s] = price.value();
-    seen[d][s] = true;
-  }
+  std::uint64_t rows_seen = 0;
+  Status st = parse_csv(
+      csv,
+      [&series, &seen, &rows_seen, num_dcs](
+          const std::vector<std::string>& fields, std::uint64_t row_index,
+          const CsvPosition& row_start) -> Status {
+        ++rows_seen;
+        if (row_index == 0) return check_price_trace_header(fields, row_start);
+        auto row = decode_price_trace_row(fields, num_dcs, row_index, row_start);
+        if (!row.ok()) return row.error();
+        auto d = row.value().dc;
+        auto s = static_cast<std::size_t>(row.value().slot);
+        if (series[d].size() <= s) {
+          series[d].resize(s + 1, 0.0);
+          seen[d].resize(s + 1, false);
+        }
+        series[d][s] = row.value().price;  // duplicates: last wins
+        seen[d][s] = true;
+        return {};
+      });
+  if (!st.ok()) return st.error();
+  if (rows_seen == 0) return Error::make("empty price trace");
   for (std::size_t d = 0; d < num_dcs; ++d) {
     if (series[d].empty()) {
       return Error::make("price trace missing data for dc " + std::to_string(d));
@@ -93,6 +80,27 @@ Result<std::vector<std::vector<double>>> price_trace_from_csv(std::string_view c
 Status write_price_trace(const std::string& path,
                          const std::vector<std::vector<double>>& series) {
   return write_file(path, price_trace_to_csv(series));
+}
+
+Status write_price_trace_streaming(const PriceModel& model,
+                                   std::int64_t horizon,
+                                   const std::string& path) {
+  GREFAR_CHECK(horizon > 0);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Error::make("cannot open file for writing: " + path);
+  CsvWriter writer(out);
+  writer.write_row(std::vector<std::string>{"slot", "dc", "price"});
+  std::vector<std::string> row(3);
+  for (std::int64_t t = 0; t < horizon; ++t) {
+    for (std::size_t dc = 0; dc < model.num_data_centers(); ++dc) {
+      row[0] = std::to_string(t);
+      row[1] = std::to_string(dc);
+      row[2] = format_fixed(model.price(dc, t), 6);
+      writer.write_row(row);
+    }
+  }
+  if (!out) return Error::make("write failed: " + path);
+  return {};
 }
 
 Result<std::vector<std::vector<double>>> read_price_trace(const std::string& path,

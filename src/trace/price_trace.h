@@ -31,6 +31,12 @@ Result<std::vector<std::vector<double>>> price_trace_from_csv(std::string_view c
 
 Status write_price_trace(const std::string& path,
                          const std::vector<std::vector<double>>& series);
+
+/// Streams `model` over [0, horizon) straight to `path` in O(1 slot)
+/// memory (the price-trace analogue of write_job_trace_streaming).
+Status write_price_trace_streaming(const PriceModel& model,
+                                   std::int64_t horizon,
+                                   const std::string& path);
 Result<std::vector<std::vector<double>>> read_price_trace(const std::string& path,
                                                           std::size_t num_dcs);
 

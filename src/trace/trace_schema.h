@@ -1,0 +1,54 @@
+// Shared row decoders for the two trace CSV schemas ("slot,type,count" job
+// traces, "slot,dc,price" price traces). Both the materializing readers
+// (job_trace.h / price_trace.h) and the streaming per-slot sources
+// (stream_source.h) decode through these helpers, so schema validation and
+// diagnostics cannot drift between the batch and serve paths.
+//
+// Every diagnostic names the row index and the row's byte position in the
+// source stream ("job trace row 3 is malformed at byte 41 (line 4, col 1)").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/stream_csv.h"
+#include "util/result.h"
+
+namespace grefar {
+
+struct JobTraceRow {
+  std::int64_t slot = 0;
+  std::size_t type = 0;
+  std::int64_t count = 0;
+};
+
+struct PriceTraceRow {
+  std::int64_t slot = 0;
+  std::size_t dc = 0;
+  double price = 0.0;
+};
+
+/// Validates the mandatory "slot,type,count" header row.
+Status check_job_trace_header(const std::vector<std::string>& fields,
+                              const CsvPosition& row_start);
+
+/// Validates the mandatory "slot,dc,price" header row.
+Status check_price_trace_header(const std::vector<std::string>& fields,
+                                const CsvPosition& row_start);
+
+/// Decodes one job-trace data row. Fails on wrong arity, unparsable numbers,
+/// negative slot/count, or type id outside [0, num_types).
+Result<JobTraceRow> decode_job_trace_row(const std::vector<std::string>& fields,
+                                         std::size_t num_types,
+                                         std::uint64_t row_index,
+                                         const CsvPosition& row_start);
+
+/// Decodes one price-trace data row. Fails on wrong arity, unparsable
+/// numbers, negative slot, dc id outside [0, num_dcs), or price <= 0.
+Result<PriceTraceRow> decode_price_trace_row(
+    const std::vector<std::string>& fields, std::size_t num_dcs,
+    std::uint64_t row_index, const CsvPosition& row_start);
+
+}  // namespace grefar

@@ -40,66 +40,17 @@ std::string CsvWriter::escape(const std::string& field) const {
 
 Result<std::vector<std::vector<std::string>>> CsvReader::parse(std::string_view text) const {
   std::vector<std::vector<std::string>> rows;
-  std::vector<std::string> row;
-  std::string field;
-  bool in_quotes = false;
-  bool field_dirty = false;  // current field consumed chars or was quoted
-  bool row_dirty = false;    // current row has any content (fields or seps)
-
-  std::size_t i = 0;
-  const std::size_t n = text.size();
-  auto end_field = [&] {
-    row.push_back(std::move(field));
-    field.clear();
-    field_dirty = false;
-  };
-  auto end_row = [&] {
-    end_field();
-    rows.push_back(std::move(row));
-    row.clear();
-    row_dirty = false;
-  };
-
-  while (i < n) {
-    char c = text[i];
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < n && text[i + 1] == '"') {
-          field += '"';
-          i += 2;
-        } else {
-          in_quotes = false;
-          ++i;
-        }
-      } else {
-        field += c;
-        ++i;
-      }
-      continue;
-    }
-    if (c == '"' && !field_dirty) {
-      in_quotes = true;
-      field_dirty = true;
-      row_dirty = true;
-      ++i;
-    } else if (c == sep_) {
-      end_field();
-      row_dirty = true;
-      ++i;
-    } else if (c == '\r') {
-      ++i;  // tolerate CRLF
-    } else if (c == '\n') {
-      end_row();
-      ++i;
-    } else {
-      field += c;
-      field_dirty = true;
-      row_dirty = true;
-      ++i;
-    }
-  }
-  if (in_quotes) return Error::make("unterminated quoted CSV field");
-  if (row_dirty || field_dirty || !field.empty() || !row.empty()) end_row();
+  CsvDialect dialect;
+  dialect.separator = sep_;
+  Status st = parse_csv(
+      text,
+      [&rows](const std::vector<std::string>& fields, std::uint64_t /*row*/,
+              const CsvPosition& /*row_start*/) -> Status {
+        rows.push_back(fields);
+        return {};
+      },
+      dialect, limits_);
+  if (!st.ok()) return st.error();
   return rows;
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/stream_csv.h"
 #include "util/result.h"
 
 namespace grefar {
@@ -30,10 +31,15 @@ class CsvWriter {
   char sep_;
 };
 
-/// Parses CSV text into rows of fields.
+/// Parses CSV text into materialized rows of fields. A thin wrapper over
+/// StreamCsvParser (trace/stream_csv.h) — the repo's one CSV state machine —
+/// with the historical lenient dialect. `limits` bounds resource usage
+/// (max field bytes / fields per row / row count); violations and malformed
+/// quoting fail with byte-offset diagnostics.
 class CsvReader {
  public:
-  explicit CsvReader(char sep = ',') : sep_(sep) {}
+  explicit CsvReader(char sep = ',', CsvLimits limits = {})
+      : sep_(sep), limits_(limits) {}
 
   /// Parses an entire document. Returns all rows (the caller decides whether
   /// the first is a header). Fails on unterminated quotes.
@@ -44,6 +50,7 @@ class CsvReader {
 
  private:
   char sep_;
+  CsvLimits limits_;
 };
 
 /// Reads an entire file into a string.

@@ -1,0 +1,279 @@
+#include "trace/stream_source.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/serve_scenario.h"
+#include "trace/job_trace.h"
+#include "trace/price_trace.h"
+
+namespace grefar {
+namespace {
+
+std::unique_ptr<std::istream> stream_of(const std::string& text) {
+  return std::make_unique<std::istringstream>(text);
+}
+
+/// Drains a streaming job source; on success returns the emitted table.
+Result<std::vector<std::vector<std::int64_t>>> drain_jobs(
+    const std::string& csv, std::size_t num_types,
+    StreamSourceOptions options = {}) {
+  StreamingJobTraceSource source(stream_of(csv), num_types, options);
+  std::vector<std::vector<std::int64_t>> table;
+  std::vector<std::int64_t> counts;
+  while (true) {
+    auto more = source.next_slot_into(counts);
+    if (!more.ok()) return more.error();
+    if (!more.value()) return table;
+    table.push_back(counts);
+  }
+}
+
+Result<std::vector<std::vector<double>>> drain_prices(
+    const std::string& csv, std::size_t num_dcs,
+    StreamSourceOptions options = {}) {
+  StreamingPriceTraceSource source(stream_of(csv), num_dcs, options);
+  std::vector<std::vector<double>> by_slot;
+  std::vector<double> prices;
+  while (true) {
+    auto more = source.next_slot_into(prices);
+    if (!more.ok()) return more.error();
+    if (!more.value()) break;
+    by_slot.push_back(prices);
+  }
+  // Transpose to the materialized series[dc][t] layout for comparison.
+  std::vector<std::vector<double>> series(num_dcs);
+  for (std::size_t t = 0; t < by_slot.size(); ++t) {
+    for (std::size_t d = 0; d < num_dcs; ++d) series[d].push_back(by_slot[t][d]);
+  }
+  return series;
+}
+
+/// The golden-equivalence contract: streaming and materialized readers agree
+/// on success/failure, and bit-for-bit on the data when both succeed. A
+/// huge window removes the ordering restriction the batch reader never had.
+void expect_job_equivalence(const std::string& csv, std::size_t num_types) {
+  StreamSourceOptions options;
+  options.reorder_window = 1 << 20;
+  auto streamed = drain_jobs(csv, num_types, options);
+  auto batch = job_trace_from_csv(csv, num_types);
+  ASSERT_EQ(streamed.ok(), batch.ok()) << csv;
+  if (batch.ok()) EXPECT_EQ(streamed.value(), batch.value()) << csv;
+}
+
+void expect_price_equivalence(const std::string& csv, std::size_t num_dcs) {
+  StreamSourceOptions options;
+  options.reorder_window = 1 << 20;
+  auto streamed = drain_prices(csv, num_dcs, options);
+  auto batch = price_trace_from_csv(csv, num_dcs);
+  ASSERT_EQ(streamed.ok(), batch.ok()) << csv;
+  if (batch.ok()) EXPECT_EQ(streamed.value(), batch.value()) << csv;
+}
+
+TEST(StreamingJobSource, EmitsSlotsInOrderWithZeroFill) {
+  auto table = drain_jobs("slot,type,count\n0,1,2\n3,0,7\n", 2);
+  ASSERT_TRUE(table.ok());
+  // Slots 1 and 2 are absent from the file and must come back all-zero.
+  EXPECT_EQ(table.value(),
+            (std::vector<std::vector<std::int64_t>>{
+                {0, 2}, {0, 0}, {0, 0}, {7, 0}}));
+}
+
+TEST(StreamingJobSource, DuplicateRowsAccumulate) {
+  auto table = drain_jobs("slot,type,count\n0,0,1\n0,0,2\n", 1);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value()[0][0], 3);
+}
+
+TEST(StreamingJobSource, ReorderWithinWindowMatchesBatch) {
+  const std::string csv = "slot,type,count\n1,0,10\n0,0,5\n2,1,1\n";
+  StreamSourceOptions options;
+  options.reorder_window = 1;
+  auto table = drain_jobs(csv, 2, options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value(), job_trace_from_csv(csv, 2).value());
+}
+
+TEST(StreamingJobSource, RowBehindWindowFailsWithOffset) {
+  // Window 0, tiny chunks so slots 0-2 are emitted before the parser ever
+  // sees the final row: its slot-0 row then lands behind the window. (With
+  // the default 64 KiB chunk a document this small is parsed before any
+  // emission, and the late row is legal — order only matters across chunks.)
+  StreamSourceOptions options;
+  options.chunk_bytes = 8;
+  auto table = drain_jobs("slot,type,count\n2,0,1\n0,0,1\n", 1, options);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.error().message,
+            "job trace row 2 at byte 22 (line 3, col 1) is outside the "
+            "reorder window (slot 0 already emitted, window 0)");
+}
+
+TEST(StreamingJobSource, HeaderOnlyIsNoDataRows) {
+  auto table = drain_jobs("slot,type,count\n", 2);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.error().message, "job trace has no data rows");
+}
+
+TEST(StreamingJobSource, EmptyInputIsEmptyTrace) {
+  auto table = drain_jobs("", 2);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.error().message, "empty job trace");
+}
+
+TEST(StreamingJobSource, ErrorsAreSticky) {
+  StreamingJobTraceSource source(stream_of("slot,type,count\nx,0,1\n"), 1);
+  std::vector<std::int64_t> counts;
+  ASSERT_FALSE(source.next_slot_into(counts).ok());
+  ASSERT_FALSE(source.next_slot_into(counts).ok());
+}
+
+TEST(StreamingJobSource, MissingFileSurfacesOnFirstPull) {
+  StreamingJobTraceSource source("/nonexistent/grefar/jobs.csv", 2);
+  std::vector<std::int64_t> counts;
+  auto more = source.next_slot_into(counts);
+  ASSERT_FALSE(more.ok());
+  EXPECT_EQ(more.error().message,
+            "cannot open file: /nonexistent/grefar/jobs.csv");
+}
+
+TEST(StreamingJobSource, BufferStaysWithinWindow) {
+  // 64 slot-sorted slots at window 4 and a chunk smaller than one row: the
+  // pending buffer must stay O(window + one chunk's rows), never O(trace).
+  std::ostringstream os;
+  os << "slot,type,count\n";
+  for (int t = 0; t < 64; ++t) os << t << ",0," << (t % 3) << "\n";
+  StreamSourceOptions options;
+  options.reorder_window = 4;
+  options.chunk_bytes = 8;
+  StreamingJobTraceSource source(stream_of(os.str()), 1, options);
+  std::vector<std::int64_t> counts;
+  std::int64_t slots = 0;
+  while (true) {
+    auto more = source.next_slot_into(counts);
+    ASSERT_TRUE(more.ok());
+    if (!more.value()) break;
+    ++slots;
+  }
+  EXPECT_EQ(slots, 64);
+  EXPECT_LE(source.buffered_slots_high_water(), 7u);
+}
+
+TEST(StreamingPriceSource, EmitsPerSlotPrices) {
+  auto series = drain_prices(
+      "slot,dc,price\n0,0,0.4\n0,1,0.5\n1,0,0.6\n1,1,0.7\n", 2);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series.value(),
+            (std::vector<std::vector<double>>{{0.4, 0.6}, {0.5, 0.7}}));
+}
+
+TEST(StreamingPriceSource, GapFailsAtTheSlot) {
+  auto series = drain_prices("slot,dc,price\n0,0,0.4\n1,1,0.5\n1,0,0.6\n", 2);
+  ASSERT_FALSE(series.ok());
+  EXPECT_EQ(series.error().message,
+            "price trace has a gap at slot 0 for dc 1");
+}
+
+TEST(StreamingPriceSource, HeaderOnlyAndEmpty) {
+  auto series = drain_prices("slot,dc,price\n", 1);
+  ASSERT_FALSE(series.ok());
+  EXPECT_EQ(series.error().message, "price trace missing data for dc 0");
+  series = drain_prices("", 1);
+  ASSERT_FALSE(series.ok());
+  EXPECT_EQ(series.error().message, "empty price trace");
+}
+
+TEST(GoldenEquivalence, CuratedJobDocs) {
+  const std::size_t num_types = 3;
+  for (const std::string csv : {
+           std::string("slot,type,count\n0,0,1\n"),
+           std::string("slot,type,count\n5,2,9\n"),          // leading zero slots
+           std::string("slot,type,count\n0,0,1\n0,0,2\n2,1,3\n1,2,4\n"),
+           std::string("slot,type,count\r\n1,1,1\r\n0,0,1\r\n"),
+           std::string("slot,type,count\n0,0,1"),            // no trailing newline
+           std::string("slot,type,count\nx,0,1\n"),          // malformed
+           std::string("slot,type,count\n0,9,1\n"),          // type out of range
+           std::string("slot,type,count\n-1,0,1\n"),
+           std::string("slot,type,count\n"),
+           std::string(""),
+       }) {
+    expect_job_equivalence(csv, num_types);
+  }
+}
+
+TEST(GoldenEquivalence, CuratedPriceDocs) {
+  const std::size_t num_dcs = 2;
+  for (const std::string csv : {
+           std::string("slot,dc,price\n0,0,0.4\n0,1,0.5\n"),
+           std::string("slot,dc,price\n0,1,0.5\n0,0,0.4\n1,1,0.7\n1,0,0.6\n"),
+           std::string("slot,dc,price\n0,0,0.4\n0,0,0.45\n0,1,0.5\n"),  // dup
+           std::string("slot,dc,price\n0,0,0.4\n"),          // gap for dc 1
+           std::string("slot,dc,price\n0,0,0.4\n0,1,0\n"),   // non-positive
+           std::string("slot,dc,price\n0,5,0.4\n"),          // dc out of range
+           std::string("slot,dc,price\n"),
+           std::string(""),
+       }) {
+    expect_price_equivalence(csv, num_dcs);
+  }
+}
+
+TEST(GoldenEquivalence, FuzzCorpusFiles) {
+  // Every checked-in fuzz seed doubles as a golden-equivalence input: the
+  // streaming sources must agree with the materialized readers on all of
+  // them (most are malformed — the agreement is "both reject").
+  const std::filesystem::path root(GREFAR_TRACE_CORPUS_DIR);
+  std::size_t files = 0;
+  for (const auto& dir : {"fuzz_trace_readers", "fuzz_stream_csv"}) {
+    if (!std::filesystem::exists(root / dir)) continue;
+    for (const auto& entry : std::filesystem::directory_iterator(root / dir)) {
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::stringstream ss;
+      ss << in.rdbuf();
+      const std::string csv = ss.str();
+      SCOPED_TRACE(entry.path().string());
+      expect_job_equivalence(csv, 4);
+      expect_price_equivalence(csv, 4);
+      ++files;
+    }
+  }
+  EXPECT_GT(files, 0u);
+}
+
+TEST(GoldenEquivalence, GeneratedServeTraces) {
+  // End-to-end: the streamed writers produce files the streaming sources
+  // read back bit-identically to the batch readers.
+  PaperScenario scenario = make_serve_scenario(3, 12, /*seed=*/7);
+  const std::string dir = ::testing::TempDir();
+  std::string jobs_path, prices_path;
+  ASSERT_TRUE(
+      write_serve_traces(scenario, /*horizon=*/50, dir, jobs_path, prices_path)
+          .ok());
+  const auto read = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  expect_job_equivalence(read(jobs_path), scenario.config.num_job_types());
+  expect_price_equivalence(read(prices_path),
+                           scenario.config.num_data_centers());
+
+  // And from the file path directly (the serve-mode entry point).
+  StreamingJobTraceSource source(jobs_path, scenario.config.num_job_types());
+  std::vector<std::int64_t> counts;
+  std::int64_t slots = 0;
+  while (true) {
+    auto more = source.next_slot_into(counts);
+    ASSERT_TRUE(more.ok());
+    if (!more.value()) break;
+    ++slots;
+  }
+  EXPECT_EQ(slots, 50);
+}
+
+}  // namespace
+}  // namespace grefar

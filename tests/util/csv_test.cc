@@ -134,5 +134,34 @@ TEST(FileIo, ParseFileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(CsvReaderLimits, FieldBytesEnforcedWithByteOffset) {
+  CsvLimits limits;
+  limits.max_field_bytes = 3;
+  CsvReader reader(',', limits);
+  EXPECT_TRUE(reader.parse("abc,def\n").ok());
+  auto rows = reader.parse("abcd\n");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.error().message,
+            "CSV field exceeds max_field_bytes=3 at byte 3 (line 1, col 4)");
+}
+
+TEST(CsvReaderLimits, RowAndDocumentLimits) {
+  CsvLimits limits;
+  limits.max_fields_per_row = 2;
+  limits.max_rows = 2;
+  CsvReader reader(',', limits);
+  EXPECT_TRUE(reader.parse("a,b\nc,d\n").ok());
+  EXPECT_FALSE(reader.parse("a,b,c\n").ok());
+  EXPECT_FALSE(reader.parse("a\nb\nc\n").ok());
+}
+
+TEST(CsvReaderLimits, DefaultLimitsAreGenerous) {
+  CsvReader reader;
+  std::string wide(1000, 'x');
+  auto rows = reader.parse(wide + "," + wide + "\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value()[0][0].size(), 1000u);
+}
+
 }  // namespace
 }  // namespace grefar
