@@ -31,6 +31,9 @@ std::string to_string(InvariantKind kind) {
     case InvariantKind::kFairnessAccounting: return "fairness-accounting";
     case InvariantKind::kSchedulerContract: return "scheduler-contract";
     case InvariantKind::kSolverOptimality: return "solver-optimality";
+    case InvariantKind::kAdmissionAccounting: return "admission-accounting";
+    case InvariantKind::kDeadlineFeasibility: return "deadline-feasibility";
+    case InvariantKind::kValueConservation: return "value-conservation";
   }
   return "unknown";
 }
@@ -92,6 +95,9 @@ void InvariantAuditor::reset() {
   initial_queued_work_ = 0.0;
   arrived_work_ = 0.0;
   served_work_ = 0.0;
+  abandoned_work_ = 0.0;
+  value_ledger_initialized_ = false;
+  prev_queued_value_ = 0.0;
 }
 
 std::string InvariantAuditor::report() const {
@@ -312,6 +318,7 @@ void InvariantAuditor::inspect(const SlotRecord& record) {
     add(InvariantKind::kWorkConservation, t, kNone, kNone, account_total, slot_served,
         "per-account served work does not sum to total served work");
   }
+  const bool first_audited_slot = !ledger_initialized_;
   if (!ledger_initialized_) {
     // Queued work at the start of the first audited slot, from the pre-action
     // observation (jobs x d_j).
@@ -329,6 +336,10 @@ void InvariantAuditor::inspect(const SlotRecord& record) {
         static_cast<double>((*record.arrivals)[j]) * config_->job_types[j].work;
   }
   served_work_ += slot_served;
+  // Deadline expiry runs before the slot's observation, so the first audited
+  // slot's abandoned work left the queues before the ledger's opening
+  // snapshot — counting it would double-subtract.
+  if (!first_audited_slot) abandoned_work_ += record.abandoned_work;
   double queued_now = 0.0;
   for (std::size_t j = 0; j < J; ++j) {
     queued_now += (*record.central_after)[j] * config_->job_types[j].work;
@@ -337,10 +348,72 @@ void InvariantAuditor::inspect(const SlotRecord& record) {
     }
   }
   const double inflow = initial_queued_work_ + arrived_work_;
-  const double outflow = served_work_ + queued_now;
+  const double outflow = served_work_ + abandoned_work_ + queued_now;
   if (!near(inflow, outflow)) {
     add(InvariantKind::kWorkConservation, t, kNone, kNone, outflow, inflow,
-        "cumulative arrived work != served + still-queued work");
+        "cumulative arrived work != served + abandoned + still-queued work");
+  }
+
+  // -- G. admission / deadline / value accounting ---------------------------
+  if (record.offered != nullptr) {
+    if (record.offered->size() != J) {
+      add(InvariantKind::kAdmissionAccounting, t, kNone, kNone,
+          static_cast<double>(record.offered->size()), static_cast<double>(J),
+          "offered-arrivals vector does not match the job-type count");
+    } else {
+      for (std::size_t j = 0; j < J; ++j) {
+        const auto offered = (*record.offered)[j];
+        const auto admitted = (*record.arrivals)[j];
+        if (offered < 0) {
+          add(InvariantKind::kAdmissionAccounting, t, kNone, j,
+              static_cast<double>(offered), 0.0, "negative offered arrival count");
+        }
+        // A rejected job must never enter a queue: what was admitted into
+        // the central queue can never exceed what was offered.
+        if (admitted > offered) {
+          add(InvariantKind::kAdmissionAccounting, t, kNone, j,
+              static_cast<double>(admitted), static_cast<double>(offered),
+              "admitted arrivals exceed offered arrivals");
+        }
+      }
+    }
+  }
+  if (record.deadline_violations != 0) {
+    add(InvariantKind::kDeadlineFeasibility, t, kNone, kNone,
+        static_cast<double>(record.deadline_violations), 0.0,
+        "jobs completed after their deadline (must be abandoned before service)");
+  }
+  const double value_scalars[] = {record.admitted_value,  record.rejected_value,
+                                  record.realized_value,  record.decay_loss,
+                                  record.abandoned_jobs,  record.abandoned_work,
+                                  record.abandoned_value, record.queued_value_after};
+  bool values_finite = true;
+  for (double v : value_scalars) {
+    if (!std::isfinite(v)) {
+      add(InvariantKind::kValueConservation, t, kNone, kNone, v, 0.0,
+          "non-finite value/abandonment scalar in the slot record");
+      values_finite = false;
+    } else if (v < -options_.tolerance) {
+      add(InvariantKind::kValueConservation, t, kNone, kNone, v, 0.0,
+          "negative value/abandonment scalar in the slot record");
+      values_finite = false;
+    }
+  }
+  if (values_finite) {
+    if (value_ledger_initialized_) {
+      // Exact per-slot value recurrence (base values): abandonment happens
+      // before service, admission after, but all within this slot's record.
+      const double expected_value = prev_queued_value_ + record.admitted_value -
+                                    (record.realized_value + record.decay_loss) -
+                                    record.abandoned_value;
+      if (!near(record.queued_value_after, expected_value)) {
+        add(InvariantKind::kValueConservation, t, kNone, kNone,
+            record.queued_value_after, expected_value,
+            "queued value != previous + admitted - completed - abandoned");
+      }
+    }
+    prev_queued_value_ = record.queued_value_after;
+    value_ledger_initialized_ = true;
   }
 
   // -- F. fairness accounting -----------------------------------------------

@@ -24,7 +24,15 @@
 //                          plus still-queued work;
 //   F. accounting        — the billed energy equals price x tariff(curve(W))
 //                          recomputed independently, and the fairness score
-//                          matches eq. (3) on the per-account work.
+//                          matches eq. (3) on the per-account work;
+//   G. admission/value   — admitted counts never exceed offered counts (a
+//                          rejected job must never enter a queue), no job
+//                          completes after its deadline (the engine abandons
+//                          overdue jobs before serving), the work ledger in E
+//                          extends with abandoned work, and queued value
+//                          follows the exact per-slot value ledger
+//                          V(t+1) = V(t) + admitted - completed - abandoned
+//                          (base values; completed = realized + decay loss).
 //
 // Optional strict "scheduler contract" checks validate the *ask* (not just
 // the clamped outcome) against r_max / h_max / queue bounds — for schedulers
@@ -64,6 +72,9 @@ enum class InvariantKind {
   kFairnessAccounting, // recorded fairness != eq. (3) recomputed
   kSchedulerContract,  // strict-mode ask violates r_max/h_max/queue bounds
   kSolverOptimality,   // solver output beat by the brute-force oracle
+  kAdmissionAccounting, // admitted exceeds offered / negative admission stats
+  kDeadlineFeasibility, // a job completed after its deadline (invariant G)
+  kValueConservation,  // queued value deviates from the per-slot value ledger
 };
 
 std::string to_string(InvariantKind kind);
@@ -138,11 +149,21 @@ class InvariantAuditor final : public SlotInspector {
   std::size_t total_violations_ = 0;
   std::int64_t slots_audited_ = 0;
 
-  // Cumulative work ledger for invariant E (work units).
+  // Cumulative work ledger for invariant E (work units). Abandoned work
+  // (deadline expiry) leaves the queues without being served and is a third
+  // outflow term.
   bool ledger_initialized_ = false;
   double initial_queued_work_ = 0.0;
   double arrived_work_ = 0.0;
   double served_work_ = 0.0;
+  double abandoned_work_ = 0.0;
+
+  // Per-slot value ledger for invariant G. The observation carries no value
+  // information, so the ledger anchors on the first audited slot's
+  // queued_value_after and checks the exact recurrence from the second slot
+  // on (reset() re-anchors).
+  bool value_ledger_initialized_ = false;
+  double prev_queued_value_ = 0.0;
 
   // Reused scratch (one auditor serves one engine; single-threaded).
   EnergyCostCurve curve_scratch_;

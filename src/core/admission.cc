@@ -1,0 +1,69 @@
+#include "core/admission.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace grefar {
+
+ThresholdAdmission::ThresholdAdmission(double theta) : theta_(theta) {
+  GREFAR_CHECK_MSG(std::isfinite(theta_) && theta_ >= 0.0,
+                   "admission threshold must be finite and >= 0");
+}
+
+std::int64_t ThresholdAdmission::admit(std::int64_t /*slot*/, const JobType& type,
+                                       std::int64_t count, double value,
+                                       std::int64_t /*deadline*/) {
+  return value / type.work >= theta_ ? count : 0;
+}
+
+double ThresholdAdmission::threshold(std::int64_t /*slot*/) const { return theta_; }
+
+std::string ThresholdAdmission::name() const { return "threshold"; }
+
+RandomizedThresholdAdmission::RandomizedThresholdAdmission(double theta_lo,
+                                                           double theta_hi,
+                                                           std::uint64_t seed)
+    : theta_lo_(theta_lo), theta_hi_(theta_hi), seed_(seed) {
+  GREFAR_CHECK_MSG(std::isfinite(theta_lo_) && theta_lo_ > 0.0,
+                   "randomized admission needs theta_lo > 0");
+  GREFAR_CHECK_MSG(std::isfinite(theta_hi_) && theta_hi_ >= theta_lo_,
+                   "randomized admission needs theta_hi >= theta_lo");
+}
+
+double RandomizedThresholdAdmission::threshold(std::int64_t slot) const {
+  // Pure function of (seed, slot): fork() derives the slot stream exactly
+  // like ZipfArrivals, so any evaluation order replays.
+  const double u = Rng(seed_).fork(static_cast<std::uint64_t>(slot)).uniform();
+  return theta_lo_ * std::pow(theta_hi_ / theta_lo_, u);
+}
+
+std::int64_t RandomizedThresholdAdmission::admit(std::int64_t slot,
+                                                 const JobType& type,
+                                                 std::int64_t count, double value,
+                                                 std::int64_t /*deadline*/) {
+  return value / type.work >= threshold(slot) ? count : 0;
+}
+
+std::string RandomizedThresholdAdmission::name() const {
+  return "randomized-threshold";
+}
+
+std::shared_ptr<AdmissionPolicy> make_admission_policy(AdmissionPolicyKind kind,
+                                                       double theta,
+                                                       std::uint64_t seed) {
+  switch (kind) {
+    case AdmissionPolicyKind::kAdmitAll:
+      return std::make_shared<AdmitAllPolicy>();
+    case AdmissionPolicyKind::kThreshold:
+      return std::make_shared<ThresholdAdmission>(theta);
+    case AdmissionPolicyKind::kRandomized:
+      return std::make_shared<RandomizedThresholdAdmission>(theta / 4.0,
+                                                            theta * 4.0, seed);
+  }
+  GREFAR_CHECK_MSG(false, "unknown admission policy kind");
+  return nullptr;
+}
+
+}  // namespace grefar

@@ -1,0 +1,69 @@
+// The two admission policies of the revenue-management descendants:
+//
+//   * ThresholdAdmission — the deterministic value-density rule of arXiv
+//     1404.4865: admit a batch iff its value per unit work v / d_j clears a
+//     fixed threshold theta. Simple, and optimal when the value-density
+//     distribution is known; brittle when it is not.
+//   * RandomizedThresholdAdmission — the randomized improvement of arXiv
+//     1509.03699: theta is drawn log-uniformly from [theta_lo, theta_hi]
+//     once per slot, the classic online-threshold construction that hedges
+//     across the unknown value-density range (the same e/(e-1)-flavored
+//     guarantee as the one-way-trading threshold family). The draw is a
+//     pure function of (seed, slot) via Rng::fork, exactly like
+//     ZipfArrivals, so runs replay bit-identically at any --jobs.
+//
+// Both are all-or-nothing per batch: jobs inside a batch are identical, so a
+// density test either clears for all of them or none.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "workload/admission.h"
+
+namespace grefar {
+
+/// Deterministic value-density threshold: admit iff value / work >= theta.
+class ThresholdAdmission final : public AdmissionPolicy {
+ public:
+  explicit ThresholdAdmission(double theta);
+
+  std::int64_t admit(std::int64_t slot, const JobType& type, std::int64_t count,
+                     double value, std::int64_t deadline) override;
+  double threshold(std::int64_t slot) const override;
+  std::string name() const override;
+
+ private:
+  double theta_;
+};
+
+/// Randomized threshold: theta(t) = theta_lo * (theta_hi / theta_lo)^u with
+/// u uniform per (seed, slot). Deterministic per (seed, slot).
+class RandomizedThresholdAdmission final : public AdmissionPolicy {
+ public:
+  RandomizedThresholdAdmission(double theta_lo, double theta_hi,
+                               std::uint64_t seed);
+
+  std::int64_t admit(std::int64_t slot, const JobType& type, std::int64_t count,
+                     double value, std::int64_t deadline) override;
+  double threshold(std::int64_t slot) const override;
+  std::string name() const override;
+
+ private:
+  double theta_lo_;
+  double theta_hi_;
+  std::uint64_t seed_;
+};
+
+/// The admission-policy lineup bench/admission_ablation sweeps over.
+enum class AdmissionPolicyKind { kAdmitAll, kThreshold, kRandomized };
+
+/// Fresh policy instance (one per engine, mirrors Scheduler). `theta` is the
+/// deterministic threshold; the randomized variant hedges log-uniformly over
+/// [theta / 4, theta * 4] keyed on (seed, slot).
+std::shared_ptr<AdmissionPolicy> make_admission_policy(AdmissionPolicyKind kind,
+                                                       double theta,
+                                                       std::uint64_t seed);
+
+}  // namespace grefar

@@ -31,11 +31,27 @@ struct TraceScope {
   std::size_t drift_weights_negative = 0;
   std::size_t drift_weights_nonnegative = 0;
 
+  /// Admission-stage annotations (filled by the engine, not the scheduler,
+  /// when an admission policy runs with an inspector attached): what the
+  /// policy saw and decided this slot, including the value-density threshold
+  /// it applied (NaN for policies without one).
+  struct Admission {
+    bool active = false;
+    std::int64_t offered_jobs = 0;
+    std::int64_t admitted_jobs = 0;
+    std::int64_t rejected_jobs = 0;
+    double admitted_value = 0.0;
+    double rejected_value = 0.0;
+    double threshold = 0.0;  // meaningful only when active
+  };
+  Admission admission;
+
   /// Reused across slots by the engine; keeps capacity.
   void clear() {
     tie_splits.clear();
     drift_weights_negative = 0;
     drift_weights_nonnegative = 0;
+    admission = Admission{};
   }
 };
 

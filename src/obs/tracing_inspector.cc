@@ -1,5 +1,7 @@
 #include "obs/tracing_inspector.h"
 
+#include <cmath>
+
 #include "obs/trace_scope.h"
 #include "util/check.h"
 #include "util/matrix.h"
@@ -111,6 +113,26 @@ void TracingInspector::inspect(const SlotRecord& record) {
   if (record.central_after != nullptr) {
     root.emplace("central_after", sparse_or_dense(*record.central_after, sparse_at));
   }
+  if (record.admission_active) {
+    // Admission / value economics block (workload/admission.h): emitted only
+    // for runs where a policy or valued arrivals make it meaningful, so
+    // plain traces keep their pre-admission shape byte-for-byte.
+    JsonObject adm;
+    if (record.offered != nullptr) {
+      adm.emplace("offered", sparse_or_dense(*record.offered, sparse_at));
+    }
+    adm.emplace("admitted_value", record.admitted_value);
+    adm.emplace("rejected_value", record.rejected_value);
+    adm.emplace("realized_value", record.realized_value);
+    adm.emplace("decay_loss", record.decay_loss);
+    adm.emplace("abandoned_jobs", record.abandoned_jobs);
+    adm.emplace("abandoned_work", record.abandoned_work);
+    adm.emplace("abandoned_value", record.abandoned_value);
+    adm.emplace("queued_value_after", record.queued_value_after);
+    adm.emplace("deadline_violations",
+                static_cast<double>(record.deadline_violations));
+    root.emplace("admission", JsonValue(std::move(adm)));
+  }
   if (options_.include_matrices) {
     root.emplace("dc_queue", rows_of(record.obs->dc_queue, sparse_at));
     root.emplace("route_ask", rows_of(record.action->route, sparse_at));
@@ -140,6 +162,25 @@ void TracingInspector::inspect(const SlotRecord& record) {
       splits.emplace_back(std::move(s));
     }
     annotations.emplace("tie_splits", std::move(splits));
+    if (scope.admission.active) {
+      // What the admission policy saw and decided, including the value-
+      // density threshold it applied (the engine fills these, not the
+      // scheduler). NaN thresholds serialize as null.
+      JsonObject a;
+      a.emplace("offered_jobs", static_cast<double>(scope.admission.offered_jobs));
+      a.emplace("admitted_jobs",
+                static_cast<double>(scope.admission.admitted_jobs));
+      a.emplace("rejected_jobs",
+                static_cast<double>(scope.admission.rejected_jobs));
+      a.emplace("admitted_value", scope.admission.admitted_value);
+      a.emplace("rejected_value", scope.admission.rejected_value);
+      if (std::isnan(scope.admission.threshold)) {
+        a.emplace("threshold", JsonValue(nullptr));
+      } else {
+        a.emplace("threshold", scope.admission.threshold);
+      }
+      annotations.emplace("admission", std::move(a));
+    }
     root.emplace("annotations", std::move(annotations));
   }
   sink_->write(JsonValue(std::move(root)));

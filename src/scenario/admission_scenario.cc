@@ -1,0 +1,97 @@
+#include "scenario/admission_scenario.h"
+
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace grefar {
+
+namespace {
+
+/// Mean arriving jobs per slot per type. With the works below this offers
+/// ~40 work units/slot against 22.5 installed — the ~1.8x overload that
+/// makes admission control decisive.
+constexpr double kMeanJobs[4] = {8.0, 4.0, 6.0, 2.5};
+
+std::vector<std::vector<ArrivalBatch>> generate_batches(
+    std::uint64_t seed, const std::vector<JobType>& types) {
+  std::vector<std::vector<ArrivalBatch>> slots(
+      static_cast<std::size_t>(kAdmissionScenarioSlots));
+  const Rng root(seed ^ 0xAD0115D0ULL);
+  for (std::int64_t t = 0; t < kAdmissionScenarioSlots; ++t) {
+    // Pure function of (seed, slot): the table replays bit-identically no
+    // matter how callers interleave slot reads.
+    Rng r = root.fork(static_cast<std::uint64_t>(t));
+    auto& slot = slots[static_cast<std::size_t>(t)];
+    for (std::size_t j = 0; j < types.size(); ++j) {
+      std::int64_t remaining = r.poisson(kMeanJobs[j]);
+      // Split each type's arrivals into up to two batches with independent
+      // density draws, so one slot mixes keep-worthy and reject-worthy work.
+      while (remaining > 0) {
+        ArrivalBatch b;
+        b.type = j;
+        b.count = remaining > 1 ? r.uniform_int(1, remaining) : 1;
+        remaining -= b.count;
+        // Bimodal value density (value per unit work): the high mode alone
+        // fits within capacity; theta = 1.0 separates the modes exactly.
+        const double density = r.bernoulli(0.5) ? r.uniform(1.5, 4.0)
+                                                : r.uniform(0.1, 0.8);
+        b.value = density * types[j].work;
+        // decay_rate stays NaN (defer to the type's curve); a third of the
+        // batches carry an explicit tighter deadline to exercise the
+        // per-batch override path.
+        if (r.bernoulli(1.0 / 3.0)) b.deadline = r.uniform_int(10, 30);
+        slot.push_back(b);
+      }
+    }
+  }
+  return slots;
+}
+
+}  // namespace
+
+double admission_scenario_theta() { return 1.0; }
+
+PaperScenario make_admission_scenario(std::uint64_t seed) {
+  PaperScenario s;
+  s.seed = seed;
+  s.config.server_types = {{"fast", 1.0, 1.0}, {"efficient", 0.5, 0.3}};
+  // 12.5 + 10 = 22.5 work units/slot installed, fully available (capacity is
+  // deterministic so the overload factor is exact).
+  s.config.data_centers = {{"east", {10, 5}}, {"west", {5, 10}}};
+  s.config.accounts = {{"batch", 0.6}, {"svc", 0.4}};
+  // All types decay and expire: lingering in an overloaded queue always
+  // costs value, so admit-all has nowhere to hide.
+  s.config.job_types = {
+      {.name = "batch-small", .work = 1.0, .eligible_dcs = {0, 1}, .account = 0,
+       .decay = DecayKind::kExponential, .decay_rate = 0.02, .deadline = 40},
+      {.name = "batch-large", .work = 4.0, .eligible_dcs = {0, 1}, .account = 0,
+       .decay = DecayKind::kExponential, .decay_rate = 0.02, .deadline = 60},
+      {.name = "svc-small", .work = 1.0, .eligible_dcs = {0, 1}, .account = 1,
+       .decay = DecayKind::kLinear, .decay_rate = 0.015, .deadline = 30},
+      {.name = "svc-large", .work = 4.0, .eligible_dcs = {0, 1}, .account = 1,
+       .decay = DecayKind::kLinear, .decay_rate = 0.01, .deadline = 60},
+  };
+  s.config.validate();
+  s.arrivals = std::make_shared<ValuedTableArrivals>(
+      generate_batches(seed, s.config.job_types), s.config.job_types.size());
+  std::vector<DiurnalOuParams> price_params(2);
+  price_params[0] = {.mean = 0.40, .diurnal_amplitude = 0.12, .peak_hour = 15.0,
+                     .reversion = 0.3, .volatility = 0.02, .floor = 0.05};
+  price_params[1] = {.mean = 0.50, .diurnal_amplitude = 0.16, .peak_hour = 17.0,
+                     .reversion = 0.3, .volatility = 0.03, .floor = 0.05};
+  s.prices = std::make_shared<DiurnalOuPriceModel>(std::move(price_params),
+                                                   seed ^ 0x9E1CEULL);
+  s.availability = std::make_shared<FullAvailability>(s.config.data_centers);
+  return s;
+}
+
+PaperScenario make_admission_scenario(std::uint64_t seed,
+                                      AdmissionPolicyKind kind) {
+  PaperScenario s = make_admission_scenario(seed);
+  s.admission = make_admission_policy(kind, admission_scenario_theta(), seed);
+  return s;
+}
+
+}  // namespace grefar

@@ -1,0 +1,44 @@
+// The admission-ablation scenario: a deliberately overloaded 2-DC cluster
+// whose arrivals carry heterogeneous per-batch value densities, decay curves
+// and deadlines — the regime where the admission policies of arXiv
+// 1404.4865 / 1509.03699 earn their keep.
+//
+// Offered work averages ~1.8x the installed service capacity, and every job
+// type decays and expires, so admit-all drowns: queues grow, delay eats the
+// decayed value, and deadline expiry forfeits the rest. Value densities are
+// drawn from a bimodal mixture (high ~[1.5, 4.0], low ~[0.1, 0.8] value per
+// unit work) whose high half alone fits within capacity, so a density
+// threshold near admission_scenario_theta() keeps the profitable work and
+// realizes far more value than admitting everything.
+//
+// Arrivals are a pre-generated ValuedTableArrivals table, deterministic per
+// seed via Rng::fork(slot) — bit-identical across runs, shards and replay
+// order, per the DESIGN.md §11 contract.
+#pragma once
+
+#include <cstdint>
+
+#include "core/admission.h"
+#include "scenario/paper_scenario.h"
+
+namespace grefar {
+
+/// Slots in the pre-generated valued arrival table; longer horizons wrap
+/// (ValuedTableArrivals semantics).
+inline constexpr std::int64_t kAdmissionScenarioSlots = 512;
+
+/// The deterministic value-density threshold that separates the scenario's
+/// bimodal density mixture (the randomized policy hedges log-uniformly over
+/// [theta/4, theta*4] around it — core/admission.h).
+double admission_scenario_theta();
+
+/// Builds the overloaded valued scenario with no admission policy attached
+/// (scenario.admission == nullptr, i.e. admit-all). Deterministic per seed.
+PaperScenario make_admission_scenario(std::uint64_t seed);
+
+/// Same scenario with `kind` attached at the recommended theta, keyed on the
+/// scenario seed — the form the ablation bench and smoke tests sweep over.
+PaperScenario make_admission_scenario(std::uint64_t seed,
+                                      AdmissionPolicyKind kind);
+
+}  // namespace grefar

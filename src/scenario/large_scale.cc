@@ -11,9 +11,13 @@ namespace grefar {
 
 ZipfArrivals::ZipfArrivals(std::size_t num_job_types, std::size_t draws_per_slot,
                            double exponent, std::uint64_t seed)
-    : draws_per_slot_(draws_per_slot), seed_(seed) {
+    : draws_per_slot_(static_cast<std::int64_t>(draws_per_slot)), seed_(seed) {
   GREFAR_CHECK_MSG(num_job_types > 0, "need at least one job type");
   GREFAR_CHECK_MSG(exponent > 0.0, "Zipf exponent must be positive");
+  // The a_j^max bound is signed; a draws_per_slot beyond int64 wrapped
+  // negative before this check existed.
+  GREFAR_CHECK_MSG(draws_per_slot_ >= 0,
+                   "draws_per_slot overflows the signed arrival bound");
   cumulative_.resize(num_job_types);
   double sum = 0.0;
   for (std::size_t j = 0; j < num_job_types; ++j) {
@@ -42,7 +46,7 @@ void ZipfArrivals::arrivals_into(std::int64_t t,
   // Pure function of (seed, t): fork() derives the slot stream from the
   // parent state and the slot index, so any access order replays.
   Rng slot_rng = Rng(seed_).fork(static_cast<std::uint64_t>(t));
-  for (std::size_t k = 0; k < draws_per_slot_; ++k) {
+  for (std::int64_t k = 0; k < draws_per_slot_; ++k) {
     out[sample(slot_rng.uniform())] += 1;
   }
 }
@@ -50,7 +54,7 @@ void ZipfArrivals::arrivals_into(std::int64_t t,
 std::int64_t ZipfArrivals::max_arrivals(JobTypeId j) const {
   GREFAR_CHECK(j < cumulative_.size());
   // Every draw could land on one type; a loose but valid a_j^max.
-  return static_cast<std::int64_t>(draws_per_slot_);
+  return draws_per_slot_;
 }
 
 GreFarParams large_scale_grefar_params(double V, double beta) {

@@ -41,12 +41,16 @@ class ZipfArrivals final : public ArrivalProcess {
   std::size_t num_job_types() const override { return cumulative_.size(); }
   std::int64_t max_arrivals(JobTypeId j) const override;
 
- private:
-  /// Inverse-CDF sample: smallest j with cumulative_[j] > u.
+  /// Inverse-CDF sample: smallest j with cumulative_[j] > u * total, for
+  /// u in [0, 1). u = 0 maps to type 0 and u -> 1 to the last type (exposed
+  /// so the boundary behavior is directly testable).
   std::size_t sample(double u) const;
 
+ private:
   std::vector<double> cumulative_;  // prefix sums of 1/(j+1)^s
-  std::size_t draws_per_slot_;
+  /// Signed from construction (validated to fit) so max_arrivals — the
+  /// paper's int64 a_j^max — needs no per-call narrowing cast.
+  std::int64_t draws_per_slot_;
   std::uint64_t seed_;
 };
 

@@ -136,6 +136,9 @@ std::unique_ptr<SimulationEngine> make_scenario_engine(
   auto engine = std::make_unique<SimulationEngine>(
       scenario.config, scenario.prices, scenario.availability, scenario.arrivals,
       std::move(scheduler), options);
+  if (scenario.admission != nullptr) {
+    engine->set_admission_policy(scenario.admission);
+  }
   if (audit == AuditMode::kAuto) {
 #ifdef NDEBUG
     audit = AuditMode::kOff;

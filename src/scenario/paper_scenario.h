@@ -21,6 +21,7 @@
 #include "sim/availability.h"
 #include "sim/cluster.h"
 #include "sim/engine.h"
+#include "workload/admission.h"
 #include "workload/arrival_process.h"
 #include "workload/cosmos_like.h"
 
@@ -31,6 +32,10 @@ struct PaperScenario {
   std::shared_ptr<const PriceModel> prices;
   std::shared_ptr<const AvailabilityModel> availability;
   std::shared_ptr<const ArrivalProcess> arrivals;
+  /// Optional admission-control stage ahead of routing (workload/admission.h);
+  /// nullptr = admit everything (the paper's behavior). Honored by
+  /// make_scenario_engine.
+  std::shared_ptr<AdmissionPolicy> admission;
   std::uint64_t seed = 0;
 };
 

@@ -36,6 +36,18 @@ struct ServiceLoop::FlushCopy {
   std::vector<double> central_after;
   double fairness = 0.0;
   std::vector<std::int64_t> arrivals;
+  std::vector<std::int64_t> offered;
+  bool has_offered = false;
+  bool admission_active = false;
+  double admitted_value = 0.0;
+  double rejected_value = 0.0;
+  double realized_value = 0.0;
+  double decay_loss = 0.0;
+  double abandoned_jobs = 0.0;
+  double abandoned_work = 0.0;
+  double abandoned_value = 0.0;
+  double queued_value_after = 0.0;
+  std::int64_t deadline_violations = 0;
   TraceScope scope;
   bool has_scope = false;
 
@@ -55,6 +67,22 @@ struct ServiceLoop::FlushCopy {
     central_after = *r.central_after;
     fairness = r.fairness;
     arrivals = *r.arrivals;
+    has_offered = r.offered != nullptr;
+    if (has_offered) {
+      offered = *r.offered;
+    } else {
+      offered.clear();
+    }
+    admission_active = r.admission_active;
+    admitted_value = r.admitted_value;
+    rejected_value = r.rejected_value;
+    realized_value = r.realized_value;
+    decay_loss = r.decay_loss;
+    abandoned_jobs = r.abandoned_jobs;
+    abandoned_work = r.abandoned_work;
+    abandoned_value = r.abandoned_value;
+    queued_value_after = r.queued_value_after;
+    deadline_violations = r.deadline_violations;
     has_scope = r.scope != nullptr;
     if (has_scope) {
       scope = *r.scope;
@@ -81,6 +109,17 @@ struct ServiceLoop::FlushCopy {
     rec.central_after = &central_after;
     rec.dc_after = &dc_after;
     rec.scope = has_scope ? &scope : nullptr;
+    rec.offered = has_offered ? &offered : nullptr;
+    rec.admission_active = admission_active;
+    rec.admitted_value = admitted_value;
+    rec.rejected_value = rejected_value;
+    rec.realized_value = realized_value;
+    rec.decay_loss = decay_loss;
+    rec.abandoned_jobs = abandoned_jobs;
+    rec.abandoned_work = abandoned_work;
+    rec.abandoned_value = abandoned_value;
+    rec.queued_value_after = queued_value_after;
+    rec.deadline_violations = deadline_violations;
     return rec;
   }
 };
@@ -126,12 +165,20 @@ ServiceLoop::ServiceLoop(std::shared_ptr<const ClusterConfig> config,
       "price trace has " << prices_->num_data_centers()
                          << " DCs, config expects "
                          << config_->data_centers.size());
+  // The feed's valued flag must match the trace schema at engine
+  // construction — the engine samples has_valued_arrivals() once. Plain v1
+  // traces keep the counts path, so their serve runs stay byte-identical.
+  valued_ = jobs_->valued();
   feed_ = std::make_unique<StagedTraceFeed>(config_->job_types.size(),
-                                            config_->data_centers.size());
+                                            config_->data_centers.size(),
+                                            valued_);
   inspector_ = std::make_shared<PipelineInspector>();
   engine_ = std::make_unique<SimulationEngine>(
       config_, feed_->price_model(), std::move(availability),
       feed_->arrival_process(), std::move(scheduler), options_.engine);
+  if (options_.admission != nullptr) {
+    engine_->set_admission_policy(options_.admission);
+  }
   engine_->set_inspector(inspector_);
 }
 
@@ -149,7 +196,8 @@ std::int64_t ServiceLoop::slots_processed() const { return slots_; }
 
 Result<bool> ServiceLoop::ingest_one(SlotInput& in) {
   in.slot = jobs_->next_slot();
-  auto more_jobs = jobs_->next_slot_into(in.arrivals);
+  auto more_jobs = valued_ ? jobs_->next_slot_batches_into(in.batches)
+                           : jobs_->next_slot_into(in.arrivals);
   if (!more_jobs.ok()) return more_jobs.error();
   if (!more_jobs.value()) return false;
   auto more_prices = prices_->next_slot_into(in.prices);
@@ -162,7 +210,11 @@ Result<bool> ServiceLoop::ingest_one(SlotInput& in) {
 
 GREFAR_HOT_PATH GREFAR_DETERMINISTIC
 void ServiceLoop::solve_slot(const SlotInput& in) {
-  feed_->stage(in.slot, in.arrivals, in.prices);
+  if (valued_) {
+    feed_->stage_valued(in.slot, in.batches, in.prices);
+  } else {
+    feed_->stage(in.slot, in.arrivals, in.prices);
+  }
   engine_->step();
 }
 

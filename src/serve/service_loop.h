@@ -34,6 +34,7 @@
 
 #include "sim/engine.h"
 #include "stats/p2_quantile.h"
+#include "workload/admission.h"
 #include "trace/stream_source.h"
 #include "util/annotations.h"
 #include "util/result.h"
@@ -53,6 +54,11 @@ struct ServiceLoopOptions {
   /// Stop after this many slots (0 = run to the end of the traces; the run
   /// ends at whichever of the two traces ends first).
   std::int64_t max_slots = 0;
+  /// Optional admission policy screening each staged arrival batch before
+  /// it enters the central queues (nullptr = admit everything). Consulted
+  /// by the engine on the solve thread, so stateful policies need no
+  /// synchronization.
+  std::shared_ptr<AdmissionPolicy> admission;
   EngineOptions engine;
 };
 
@@ -106,7 +112,8 @@ class ServiceLoop {
  private:
   struct SlotInput {
     std::int64_t slot = 0;
-    std::vector<std::int64_t> arrivals;
+    std::vector<std::int64_t> arrivals;    // counts mode (v1 traces)
+    std::vector<ArrivalBatch> batches;     // valued mode (v2 traces)
     std::vector<double> prices;
   };
   struct FlushCopy;          // deep copy of one SlotRecord (service_loop.cc)
@@ -133,6 +140,10 @@ class ServiceLoop {
   std::unique_ptr<StreamingJobTraceSource> jobs_;
   std::unique_ptr<StreamingPriceTraceSource> prices_;
   ServiceLoopOptions options_;
+  /// Fixed at construction from the job trace's detected schema: valued
+  /// traces flow through the feed as annotated batches (v2), plain traces
+  /// as dense counts (v1) — so v1 serve runs stay byte-identical to before.
+  bool valued_ = false;
   std::unique_ptr<StagedTraceFeed> feed_;
   std::unique_ptr<SimulationEngine> engine_;
   std::shared_ptr<PipelineInspector> inspector_;

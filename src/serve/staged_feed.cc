@@ -6,10 +6,12 @@
 
 namespace grefar {
 
-StagedTraceFeed::StagedTraceFeed(std::size_t num_types, std::size_t num_dcs) {
+StagedTraceFeed::StagedTraceFeed(std::size_t num_types, std::size_t num_dcs,
+                                 bool valued) {
   state_ = std::make_shared<State>();
   state_->num_types = num_types;
   state_->num_dcs = num_dcs;
+  state_->valued = valued;
   state_->arrivals.assign(num_types, 0);
   state_->prices.assign(num_dcs, 0.0);
   state_->max_arrivals.assign(num_types, 0);
@@ -20,6 +22,8 @@ StagedTraceFeed::StagedTraceFeed(std::size_t num_types, std::size_t num_dcs) {
 void StagedTraceFeed::stage(std::int64_t slot,
                             const std::vector<std::int64_t>& arrivals,
                             const std::vector<double>& prices) {
+  GREFAR_CHECK_MSG(!state_->valued,
+                   "a valued feed must be staged with stage_valued()");
   GREFAR_CHECK_MSG(slot > state_->slot,
                    "stage(" << slot << ") after slot " << state_->slot);
   GREFAR_CHECK(arrivals.size() == state_->num_types);
@@ -29,6 +33,30 @@ void StagedTraceFeed::stage(std::int64_t slot,
   std::copy(prices.begin(), prices.end(), state_->prices.begin());
   for (std::size_t j = 0; j < arrivals.size(); ++j) {
     state_->max_arrivals[j] = std::max(state_->max_arrivals[j], arrivals[j]);
+  }
+}
+
+void StagedTraceFeed::stage_valued(std::int64_t slot,
+                                   const std::vector<ArrivalBatch>& batches,
+                                   const std::vector<double>& prices) {
+  GREFAR_CHECK_MSG(state_->valued,
+                   "a counts feed must be staged with stage()");
+  GREFAR_CHECK_MSG(slot > state_->slot,
+                   "stage(" << slot << ") after slot " << state_->slot);
+  GREFAR_CHECK(prices.size() == state_->num_dcs);
+  state_->slot = slot;
+  // Amortized: assign reuses capacity once the batch high-water is warm.
+  state_->batches.assign(batches.begin(), batches.end());  // NOLINT(grefar-hot-path-alloc)
+  std::copy(prices.begin(), prices.end(), state_->prices.begin());
+  std::fill(state_->arrivals.begin(), state_->arrivals.end(), 0);
+  for (const ArrivalBatch& b : batches) {
+    GREFAR_CHECK(b.type < state_->num_types);
+    GREFAR_CHECK(b.count >= 0);
+    state_->arrivals[b.type] += b.count;
+  }
+  for (std::size_t j = 0; j < state_->arrivals.size(); ++j) {
+    state_->max_arrivals[j] =
+        std::max(state_->max_arrivals[j], state_->arrivals[j]);
   }
 }
 
@@ -48,6 +76,16 @@ void StagedTraceFeed::StagedArrivals::arrivals_into(
                                           << t << " but slot " << state_->slot
                                           << " is staged");
   out.assign(state_->arrivals.begin(), state_->arrivals.end());
+}
+
+void StagedTraceFeed::StagedArrivals::valued_arrivals_into(
+    std::int64_t t, std::vector<ArrivalBatch>& out) const {
+  GREFAR_CHECK_MSG(state_->valued,
+                   "valued_arrivals_into on a counts-mode staged feed");
+  GREFAR_CHECK_MSG(t == state_->slot, "staged feed asked for slot "
+                                          << t << " but slot " << state_->slot
+                                          << " is staged");
+  out.assign(state_->batches.begin(), state_->batches.end());
 }
 
 std::int64_t StagedTraceFeed::StagedArrivals::max_arrivals(JobTypeId j) const {

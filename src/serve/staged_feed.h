@@ -24,13 +24,24 @@ namespace grefar {
 
 class StagedTraceFeed {
  public:
-  StagedTraceFeed(std::size_t num_types, std::size_t num_dcs);
+  /// `valued` selects batch-staging mode: the arrival adapter then reports
+  /// has_valued_arrivals() and serves annotated batches (stage_valued below)
+  /// — fixed at construction because the engine samples the flag once.
+  StagedTraceFeed(std::size_t num_types, std::size_t num_dcs,
+                  bool valued = false);
 
   /// Copies one slot of trace data into the feed (storage reused; no
   /// allocation once capacities are warm). `arrivals` sized num_types,
   /// `prices` sized num_dcs; slots must be staged in increasing order.
+  /// Counts mode only (contract-checked).
   void stage(std::int64_t slot, const std::vector<std::int64_t>& arrivals,
              const std::vector<double>& prices);
+
+  /// Batch-staging variant (valued mode only): stages annotated arrival
+  /// batches; the dense per-type counts are derived here so both adapter
+  /// views stay consistent.
+  void stage_valued(std::int64_t slot, const std::vector<ArrivalBatch>& batches,
+                    const std::vector<double>& prices);
 
   std::int64_t staged_slot() const;
 
@@ -45,10 +56,12 @@ class StagedTraceFeed {
   struct State {
     std::int64_t slot = -1;  // nothing staged yet
     std::vector<std::int64_t> arrivals;
+    std::vector<ArrivalBatch> batches;  // valued mode: the staged slot's rows
     std::vector<double> prices;
     std::vector<std::int64_t> max_arrivals;  // running per-type high-water
     std::size_t num_types = 0;
     std::size_t num_dcs = 0;
+    bool valued = false;
   };
 
   class StagedArrivals final : public ArrivalProcess {
@@ -62,6 +75,9 @@ class StagedTraceFeed {
     /// Running high-water of staged counts (a_j^max is unknowable for an
     /// open-ended stream; nothing on the serve path consumes this bound).
     std::int64_t max_arrivals(JobTypeId j) const override;
+    bool has_valued_arrivals() const override { return state_->valued; }
+    void valued_arrivals_into(std::int64_t t,
+                              std::vector<ArrivalBatch>& out) const override;
 
    private:
     std::shared_ptr<const State> state_;

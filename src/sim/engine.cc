@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "obs/counters.h"
@@ -64,6 +65,15 @@ SimulationEngine::SimulationEngine(std::shared_ptr<const ClusterConfig> config,
     row.reserve(config_->num_job_types());
     for (const auto& jt : config_->job_types) row.emplace_back(jt.work);
   }
+  valued_arrivals_ = arrivals_->has_valued_arrivals();
+  deadlines_possible_ = valued_arrivals_;
+  for (const auto& jt : config_->job_types) {
+    if (jt.deadline != kNoDeadline) deadlines_possible_ = true;
+  }
+}
+
+void SimulationEngine::set_admission_policy(std::shared_ptr<AdmissionPolicy> policy) {
+  admission_ = std::move(policy);
 }
 
 double SimulationEngine::central_queue_length(JobTypeId j) const {
@@ -131,6 +141,21 @@ void SimulationEngine::set_inspector(std::shared_ptr<SlotInspector> inspector) {
 }
 
 void SimulationEngine::step() {
+  slot_offered_jobs_ = 0;
+  slot_admitted_jobs_ = 0;
+  slot_rejected_jobs_ = 0;
+  slot_deadline_violations_ = 0;
+  slot_admitted_value_ = 0.0;
+  slot_rejected_value_ = 0.0;
+  slot_realized_value_ = 0.0;
+  slot_decay_loss_ = 0.0;
+  slot_abandoned_jobs_ = 0.0;
+  slot_abandoned_work_ = 0.0;
+  slot_abandoned_value_ = 0.0;
+  if (deadlines_possible_) {
+    obs::ScopedTimer timer("engine.expire");
+    expire_deadlines();
+  }
   {
     obs::ScopedTimer timer("engine.observe");
     observe_into(obs_scratch_);
@@ -212,6 +237,31 @@ void SimulationEngine::step() {
     record.arrivals = &arrival_counts_;
     record.central_after = &central_after_;
     record.dc_after = &dc_after_;
+    record.offered = &offered_counts_;
+    record.admission_active = admission_ != nullptr || valued_arrivals_;
+    record.admitted_value = slot_admitted_value_;
+    record.rejected_value = slot_rejected_value_;
+    record.realized_value = slot_realized_value_;
+    record.decay_loss = slot_decay_loss_;
+    record.abandoned_jobs = slot_abandoned_jobs_;
+    record.abandoned_work = slot_abandoned_work_;
+    record.abandoned_value = slot_abandoned_value_;
+    record.deadline_violations = slot_deadline_violations_;
+    double queued_value = 0.0;
+    for (const auto& q : central_) queued_value += q.total_value();
+    for (const auto& row : dc_) {
+      for (const auto& q : row) queued_value += q.total_value();
+    }
+    record.queued_value_after = queued_value;
+    trace_scope_.admission.active = admission_ != nullptr;
+    trace_scope_.admission.offered_jobs = slot_offered_jobs_;
+    trace_scope_.admission.admitted_jobs = slot_admitted_jobs_;
+    trace_scope_.admission.rejected_jobs = slot_rejected_jobs_;
+    trace_scope_.admission.admitted_value = slot_admitted_value_;
+    trace_scope_.admission.rejected_value = slot_rejected_value_;
+    trace_scope_.admission.threshold =
+        admission_ != nullptr ? admission_->threshold(slot_)
+                              : std::numeric_limits<double>::quiet_NaN();
     inspector_->inspect(record);
   }
   ++slot_;
@@ -321,10 +371,22 @@ void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& actio
           touched_accounts_.push_back(m);  // NOLINT(grefar-hot-path-alloc)
         account_work[m] += consumed;
       }
+      const JobType& jt = config_->job_types[j];
       for (const auto& c : completions_) {
-        dc_delay_sum += static_cast<double>(c.total_delay());
+        const auto delay = c.total_delay();
+        dc_delay_sum += static_cast<double>(delay);
         dc_completions += 1.0;
-        metrics_.record_completion_delay(static_cast<double>(c.total_delay()));
+        metrics_.record_completion_delay(static_cast<double>(delay));
+        // Value realization: the job's base value decayed by its total delay
+        // (workload/job.h). For the default annotation-free workload this is
+        // value 1.0 x factor 1.0 — two adds per completion.
+        const double realized =
+            c.job.value * decay_factor(jt.decay, c.job.decay_rate, delay);
+        slot_realized_value_ += realized;
+        slot_decay_loss_ += c.job.value - realized;
+        // Must stay zero: expire_deadlines removes overdue jobs before any
+        // service (auditor invariant G); counted defensively, never silently.
+        if (c.completion_slot > c.job.deadline_slot) ++slot_deadline_violations_;
       }
     }
     double energy = obs.prices[i] *
@@ -393,25 +455,107 @@ void SimulationEngine::serve(const SlotObservation& obs, const SlotAction& actio
 }
 
 void SimulationEngine::admit_arrivals() {
-  arrivals_->arrivals_into(slot_, arrival_counts_);
-  const std::vector<std::int64_t>& counts = arrival_counts_;
-  GREFAR_CHECK(counts.size() == config_->num_job_types());
-  double jobs = 0.0, work = 0.0;
-  for (std::size_t j = 0; j < counts.size(); ++j) {
-    for (std::int64_t n = 0; n < counts[j]; ++n) {
+  const std::size_t J = config_->num_job_types();
+  // Fetch this slot's offered arrivals as batches. Valued processes hand
+  // over annotated batches directly; plain processes hand over counts,
+  // expanded here into one defaulted batch per non-empty type (identical
+  // job construction order either way — DESIGN.md §11).
+  if (valued_arrivals_) {
+    arrivals_->valued_arrivals_into(slot_, batch_scratch_);
+  } else {
+    arrivals_->arrivals_into(slot_, arrival_counts_);
+    GREFAR_CHECK(arrival_counts_.size() == J);
+    batch_scratch_.clear();
+    for (std::size_t j = 0; j < J; ++j) {
+      if (arrival_counts_[j] <= 0) continue;
+      ArrivalBatch b;
+      b.type = j;
+      b.count = arrival_counts_[j];
+      // Amortized: clear()+refill within high-water capacity.
+      batch_scratch_.push_back(b);  // NOLINT(grefar-hot-path-alloc)
+    }
+  }
+
+  // NOLINTBEGIN(grefar-hot-path-alloc): sized J on the first slot, reused.
+  offered_counts_.assign(J, 0);
+  arrival_counts_.assign(J, 0);
+  // NOLINTEND(grefar-hot-path-alloc)
+  double admitted_work = 0.0;
+  for (const ArrivalBatch& b : batch_scratch_) {
+    GREFAR_CHECK_MSG(b.type < J, "arrival batch for unknown job type " << b.type);
+    GREFAR_CHECK_MSG(b.count >= 0, "negative arrival count " << b.count);
+    if (b.count == 0) continue;
+    const JobType& jt = config_->job_types[b.type];
+    // Batch annotations default to the job type's (NaN / sentinel = unset).
+    const double value = std::isnan(b.value) ? jt.value : b.value;
+    const double decay_rate = std::isnan(b.decay_rate) ? jt.decay_rate : b.decay_rate;
+    const std::int64_t deadline =
+        b.deadline == kTypeDefaultDeadline ? jt.deadline : b.deadline;
+    GREFAR_CHECK_MSG(std::isfinite(value) && value >= 0.0,
+                     "arrival batch value must be finite and >= 0, got " << value);
+    GREFAR_CHECK_MSG(std::isfinite(decay_rate) && decay_rate >= 0.0,
+                     "arrival batch decay rate must be finite and >= 0");
+    GREFAR_CHECK_MSG(deadline == kNoDeadline || deadline >= 0,
+                     "arrival batch deadline must be >= 0 or kNoDeadline");
+
+    offered_counts_[b.type] += b.count;
+    slot_offered_jobs_ += b.count;
+    std::int64_t take = b.count;
+    if (admission_ != nullptr) {
+      take = admission_->admit(slot_, jt, b.count, value, deadline);
+      GREFAR_CHECK_MSG(take >= 0 && take <= b.count,
+                       "admission policy admitted " << take << " of a batch of "
+                                                    << b.count);
+    }
+    const std::int64_t deadline_slot =
+        deadline == kNoDeadline ? kNoDeadlineSlot : slot_ + deadline;
+    for (std::int64_t n = 0; n < take; ++n) {
       Job job;
       job.id = next_job_id_++;
-      job.type = j;
+      job.type = b.type;
       job.arrival_slot = slot_;
       job.dc_entry_slot = slot_;  // updated when routed
-      job.remaining = config_->job_types[j].work;
-      central_[j].push(std::move(job));
+      job.remaining = jt.work;
+      job.value = value;
+      job.decay_rate = decay_rate;
+      job.deadline_slot = deadline_slot;
+      central_[b.type].push(std::move(job));
     }
-    jobs += static_cast<double>(counts[j]);
-    work += static_cast<double>(counts[j]) * config_->job_types[j].work;
+    arrival_counts_[b.type] += take;
+    slot_admitted_jobs_ += take;
+    slot_rejected_jobs_ += b.count - take;
+    admitted_work += static_cast<double>(take) * jt.work;
+    slot_admitted_value_ += static_cast<double>(take) * value;
+    slot_rejected_value_ += static_cast<double>(b.count - take) * value;
   }
-  metrics_.arrived_jobs.add(jobs);
-  metrics_.arrived_work.add(work);
+  metrics_.arrived_jobs.add(static_cast<double>(slot_admitted_jobs_));
+  metrics_.arrived_work.add(admitted_work);
+  metrics_.offered_jobs.add(static_cast<double>(slot_offered_jobs_));
+  metrics_.rejected_jobs.add(static_cast<double>(slot_rejected_jobs_));
+  metrics_.abandoned_jobs.add(slot_abandoned_jobs_);
+  metrics_.abandoned_work.add(slot_abandoned_work_);
+  metrics_.abandoned_value.add(slot_abandoned_value_);
+  metrics_.admitted_value.add(slot_admitted_value_);
+  metrics_.rejected_value.add(slot_rejected_value_);
+  metrics_.realized_value.add(slot_realized_value_);
+  metrics_.decay_loss.add(slot_decay_loss_);
+}
+
+void SimulationEngine::expire_deadlines() {
+  expired_scratch_.clear();
+  for (auto& q : central_) q.expire_before(slot_, expired_scratch_);
+  for (auto& row : dc_) {
+    for (auto& q : row) q.expire_before(slot_, expired_scratch_);
+  }
+  for (const Job& job : expired_scratch_) {
+    slot_abandoned_jobs_ += 1.0;
+    slot_abandoned_work_ += job.remaining;
+    slot_abandoned_value_ += job.value;
+  }
+  if (!expired_scratch_.empty()) {
+    obs::count("engine.jobs_abandoned",
+               static_cast<std::uint64_t>(expired_scratch_.size()));
+  }
 }
 
 }  // namespace grefar

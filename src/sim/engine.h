@@ -12,6 +12,16 @@
 //   5. fairness is scored on the per-account work actually served;
 //   6. arrivals a_j(t) join the central queues (visible from slot t+1).
 //
+// Two optional stages bracket the lifecycle when the workload carries value
+// annotations (workload/job.h):
+//   0. deadline expiry: before observing, jobs whose deadline has passed are
+//      abandoned (they can no longer complete in time and must never be
+//      served — auditor invariant G);
+//   6'. admission control: an attached AdmissionPolicy screens each arrival
+//      batch before it joins the queues; rejected jobs never enter any queue.
+// Both stages are skipped entirely (zero per-slot cost beyond one branch)
+// when no policy is attached and no job type / arrival carries a deadline.
+//
 // With the engine's clamping, queue lengths follow
 //   Q_j(t+1) = max[Q_j(t) - sum_i r_{i,j}(t), 0] + a_j(t)
 //   q_{i,j}(t+1) = max[q_{i,j}(t) + r_{i,j}(t) - h_{i,j}(t), 0]
@@ -35,6 +45,7 @@
 #include "sim/scheduler.h"
 #include "sim/slot_inspector.h"
 #include "util/annotations.h"
+#include "workload/admission.h"
 #include "workload/arrival_process.h"
 
 namespace grefar {
@@ -99,19 +110,42 @@ class SimulationEngine {
     return inspector_;
   }
 
+  /// Attaches an admission policy (nullptr detaches = admit everything).
+  /// The policy screens every arrival batch before it joins the central
+  /// queues; decisions are all-or-nothing accounting-wise — the policy
+  /// returns how many of the batch's identical jobs to admit, and the
+  /// remainder is rejected with its value recorded (never queued).
+  /// Deterministic policies keyed on (seed, slot) preserve the engine's
+  /// bit-identical replay contract (DESIGN.md §11).
+  void set_admission_policy(std::shared_ptr<AdmissionPolicy> policy);
+  AdmissionPolicy* admission_policy() const { return admission_.get(); }
+
  private:
   GREFAR_HOT_PATH
   void route(const SlotObservation& obs, const SlotAction& action);
   GREFAR_HOT_PATH
   void serve(const SlotObservation& obs, const SlotAction& action);
   void admit_arrivals();
+  /// Abandons every queued job whose deadline_slot precedes the current
+  /// slot (stage 0 above). O(1) per deadline-free queue via the queues'
+  /// min-deadline watermark.
+  GREFAR_HOT_PATH
+  void expire_deadlines();
 
   std::shared_ptr<const ClusterConfig> config_;  // immutable, shareable
   std::shared_ptr<const PriceModel> prices_;
   std::shared_ptr<const AvailabilityModel> availability_;
   std::shared_ptr<const ArrivalProcess> arrivals_;
   std::shared_ptr<Scheduler> scheduler_;
+  std::shared_ptr<AdmissionPolicy> admission_;   // nullptr = admit all
   EngineOptions options_;
+  /// True when the arrival process carries per-batch value annotations;
+  /// admit_arrivals then pulls valued batches instead of plain counts.
+  bool valued_arrivals_ = false;
+  /// True when any queued job could ever carry a deadline (a job type
+  /// declares one, or arrivals are valued and may annotate one); gates the
+  /// expiry stage so deadline-free runs pay nothing.
+  bool deadlines_possible_ = false;
 
   std::int64_t slot_ = 0;
   std::uint64_t next_job_id_ = 1;
@@ -139,7 +173,24 @@ class SimulationEngine {
   std::vector<double> routed_per_dc_;            // per-DC routed jobs
   std::vector<std::size_t> route_order_;         // routing destinations, sorted
   std::vector<Completion> completions_;          // one queue's completions
-  std::vector<std::int64_t> arrival_counts_;     // per-type arrivals
+  std::vector<std::int64_t> arrival_counts_;     // per-type admitted arrivals
+  std::vector<std::int64_t> offered_counts_;     // per-type pre-admission a_j(t)
+  std::vector<ArrivalBatch> batch_scratch_;      // this slot's arrival batches
+  std::vector<Job> expired_scratch_;             // this slot's abandoned jobs
+
+  // Per-slot value/admission accumulators, reset at the top of step() and
+  // published to metrics / the SlotRecord / the TraceScope at the end.
+  std::int64_t slot_offered_jobs_ = 0;
+  std::int64_t slot_admitted_jobs_ = 0;
+  std::int64_t slot_rejected_jobs_ = 0;
+  std::int64_t slot_deadline_violations_ = 0;
+  double slot_admitted_value_ = 0.0;
+  double slot_rejected_value_ = 0.0;
+  double slot_realized_value_ = 0.0;
+  double slot_decay_loss_ = 0.0;
+  double slot_abandoned_jobs_ = 0.0;
+  double slot_abandoned_work_ = 0.0;
+  double slot_abandoned_value_ = 0.0;
 
   // Inspector support: extra per-slot bookkeeping (same reuse discipline as
   // the scratch above), maintained only while inspector_ is attached.

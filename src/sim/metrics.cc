@@ -22,6 +22,15 @@ SimMetrics::SimMetrics(std::size_t num_dcs, std::size_t num_accounts)
       arrived_work("arrived_work"),
       total_queue_jobs("total_queue_jobs"),
       max_queue_jobs("max_queue_jobs"),
+      offered_jobs("offered_jobs"),
+      rejected_jobs("rejected_jobs"),
+      abandoned_jobs("abandoned_jobs"),
+      abandoned_work("abandoned_work"),
+      admitted_value("admitted_value"),
+      rejected_value("rejected_value"),
+      abandoned_value("abandoned_value"),
+      realized_value("realized_value"),
+      decay_loss("decay_loss"),
       num_accounts_(num_accounts) {
   GREFAR_CHECK(num_dcs > 0);
   GREFAR_CHECK(num_accounts > 0);
@@ -85,6 +94,20 @@ JsonValue SimMetrics::summary_json() const {
   o["delay_p50"] = number_or_null(delay_p50());
   o["delay_p95"] = number_or_null(delay_p95());
   o["delay_p99"] = number_or_null(delay_p99());
+  {
+    JsonObject adm;
+    adm["offered_jobs"] = JsonValue(offered_jobs.sum());
+    adm["admitted_jobs"] = JsonValue(arrived_jobs.sum());
+    adm["rejected_jobs"] = JsonValue(rejected_jobs.sum());
+    adm["abandoned_jobs"] = JsonValue(abandoned_jobs.sum());
+    adm["abandoned_work"] = JsonValue(abandoned_work.sum());
+    adm["admitted_value"] = JsonValue(admitted_value.sum());
+    adm["rejected_value"] = JsonValue(rejected_value.sum());
+    adm["abandoned_value"] = JsonValue(abandoned_value.sum());
+    adm["realized_value"] = JsonValue(realized_value.sum());
+    adm["decay_loss"] = JsonValue(decay_loss.sum());
+    o["admission"] = JsonValue(std::move(adm));
+  }
   JsonArray per_dc;
   for (std::size_t i = 0; i < num_data_centers(); ++i) {
     JsonObject d;

@@ -34,10 +34,27 @@ class SimMetrics {
   // -- raw per-slot series ---------------------------------------------------
   TimeSeries energy_cost;        // e(t), eq. (2) summed over DCs
   TimeSeries fairness;           // f(t), eq. (3)
-  TimeSeries arrived_jobs;       // total jobs arrived during the slot
-  TimeSeries arrived_work;       // total work arrived during the slot
+  TimeSeries arrived_jobs;       // jobs *admitted* into the queues this slot
+  TimeSeries arrived_work;       // work admitted into the queues this slot
   TimeSeries total_queue_jobs;   // sum of all queue lengths (jobs)
   TimeSeries max_queue_jobs;     // max single queue length (jobs)
+  // -- admission / value economics (arXiv 1404.4865 lineage) ----------------
+  // With no admission policy and no deadlines: offered == arrived (admitted),
+  // rejected/abandoned are all-zero, realized value counts completions at
+  // their decayed values (base value x decay factor).
+  TimeSeries offered_jobs;       // raw a_j(t) total, before admission
+  TimeSeries rejected_jobs;      // jobs turned away by the admission policy
+  TimeSeries abandoned_jobs;     // jobs deadline-expired out of the queues
+  TimeSeries abandoned_work;     // their remaining (unserved) work units
+  TimeSeries admitted_value;     // sum of base values admitted
+  TimeSeries rejected_value;     // sum of base values rejected
+  TimeSeries abandoned_value;    // sum of base values abandoned
+  TimeSeries realized_value;     // decayed value realized by completions
+  TimeSeries decay_loss;         // base - realized over completions
+
+  double total_realized_value() const { return realized_value.sum(); }
+  double total_rejected_value() const { return rejected_value.sum(); }
+  double total_abandoned_value() const { return abandoned_value.sum(); }
   std::vector<TimeSeries> dc_energy_cost;   // e_i(t)
   std::vector<TimeSeries> dc_work;          // work processed in DC i
   std::vector<TimeSeries> dc_routed_jobs;   // jobs routed to DC i

@@ -13,6 +13,8 @@ FifoJobQueue::FifoJobQueue(double job_work) : job_work_(job_work) {
 void FifoJobQueue::push(Job job) {
   GREFAR_CHECK_MSG(job.remaining > 0.0, "cannot enqueue a finished job");
   remaining_work_ += job.remaining;
+  total_value_ += job.value;
+  if (job.deadline_slot < min_deadline_slot_) min_deadline_slot_ = job.deadline_slot;
   jobs_.push_back(std::move(job));
 }
 
@@ -22,6 +24,8 @@ Job FifoJobQueue::pop_front() {
   ++head_;
   remaining_work_ -= job.remaining;
   if (remaining_work_ < 0.0) remaining_work_ = 0.0;  // numeric dust
+  total_value_ -= job.value;
+  if (empty() || total_value_ < 0.0) total_value_ = 0.0;
   compact_if_stale();
   return job;
 }
@@ -65,6 +69,7 @@ void FifoJobQueue::serve_into(double work, std::int64_t slot, double* consumed,
   std::size_t w = head_;
   for (std::size_t r = head_; r < jobs_.size(); ++r) {
     if (jobs_[r].remaining <= 1e-12) {
+      total_value_ -= jobs_[r].value;
       Completion c{jobs_[r], slot};
       c.job.remaining = 0.0;
       // Amortized: the engine passes one high-water completions buffer
@@ -81,7 +86,35 @@ void FifoJobQueue::serve_into(double work, std::int64_t slot, double* consumed,
     head_ = 0;
   }
   if (remaining_work_ < 0.0) remaining_work_ = 0.0;
+  if (empty() || total_value_ < 0.0) total_value_ = 0.0;
   if (consumed != nullptr) *consumed = used;
+}
+
+void FifoJobQueue::expire_before(std::int64_t slot, std::vector<Job>& abandoned) {
+  if (min_deadline_slot_ >= slot) return;  // nothing can be overdue
+  std::int64_t min_deadline = kNoDeadlineSlot;
+  std::size_t w = head_;
+  for (std::size_t r = head_; r < jobs_.size(); ++r) {
+    if (jobs_[r].deadline_slot < slot) {
+      remaining_work_ -= jobs_[r].remaining;
+      total_value_ -= jobs_[r].value;
+      // Amortized: the engine passes one high-water abandoned buffer reused
+      // across queues and slots (see the header contract).
+      abandoned.push_back(std::move(jobs_[r]));  // NOLINT(grefar-hot-path-alloc)
+    } else {
+      if (jobs_[r].deadline_slot < min_deadline) min_deadline = jobs_[r].deadline_slot;
+      if (w != r) jobs_[w] = std::move(jobs_[r]);
+      ++w;
+    }
+  }
+  jobs_.resize(w);  // NOLINT(grefar-hot-path-alloc): shrink, never allocates
+  if (head_ == jobs_.size()) {
+    jobs_.clear();
+    head_ = 0;
+  }
+  min_deadline_slot_ = min_deadline;  // re-tightened by the survivor scan
+  if (remaining_work_ < 0.0) remaining_work_ = 0.0;
+  if (empty() || total_value_ < 0.0) total_value_ = 0.0;
 }
 
 }  // namespace grefar

@@ -59,6 +59,14 @@ class FifoJobQueue {
                   std::vector<Completion>& completions,
                   double per_job_cap = std::numeric_limits<double>::infinity());
 
+  /// Removes every job whose deadline_slot is earlier than `slot` (it can no
+  /// longer complete in time) and *appends* the abandoned jobs, FIFO order,
+  /// to the caller-owned buffer. O(1) when no queued job can be overdue: a
+  /// running min-deadline watermark skips the scan entirely — queues of
+  /// deadline-free jobs pay one compare per slot.
+  GREFAR_HOT_PATH GREFAR_DETERMINISTIC
+  void expire_before(std::int64_t slot, std::vector<Job>& abandoned);
+
   bool empty() const { return head_ == jobs_.size(); }
   std::size_t job_count() const { return jobs_.size() - head_; }
 
@@ -68,6 +76,9 @@ class FifoJobQueue {
   /// Total remaining work units queued.
   double remaining_work() const { return remaining_work_; }
 
+  /// Sum of the base values of all queued jobs (value-conservation ledger).
+  double total_value() const { return total_value_; }
+
   double job_work() const { return job_work_; }
 
  private:
@@ -76,6 +87,11 @@ class FifoJobQueue {
 
   double job_work_;
   double remaining_work_ = 0.0;
+  double total_value_ = 0.0;
+  /// Lower bound on the earliest deadline_slot among queued jobs; may go
+  /// stale (too small) after pops/completions — that only costs an extra
+  /// scan in expire_before, which then re-tightens it.
+  std::int64_t min_deadline_slot_ = kNoDeadlineSlot;
   // Live jobs are jobs_[head_ .. end), FIFO order. A vector with a popped-
   // prefix index replaces std::deque: libstdc++'s deque allocates a ~512 B
   // block map even while empty, which is fatal at millions of per-(i,j)

@@ -46,6 +46,26 @@ struct SlotRecord {
   /// Scheduler-internal annotations for this slot, when the scheduler filled
   /// any (nullptr for schedulers that ignore the scope).
   const TraceScope* scope = nullptr;
+
+  // -- admission / value economics (workload/admission.h) --------------------
+  // `arrivals` above is post-admission: exactly what entered the queues, so
+  // the queue-recurrence invariants hold unchanged. `offered` is the raw
+  // pre-admission a_j(t); with no policy attached the two are equal.
+  const std::vector<std::int64_t>* offered = nullptr;  // pre-admission a_j(t)
+  /// True when an admission policy or valued arrivals shape this run (the
+  /// value fields below are then meaningful and traced).
+  bool admission_active = false;
+  double admitted_value = 0.0;   // sum of base values admitted this slot
+  double rejected_value = 0.0;   // sum of base values turned away this slot
+  double realized_value = 0.0;   // decayed value of this slot's completions
+  double decay_loss = 0.0;       // base - realized over this slot's completions
+  double abandoned_jobs = 0.0;   // deadline-expired jobs removed this slot
+  double abandoned_work = 0.0;   // their remaining work units
+  double abandoned_value = 0.0;  // their base values
+  double queued_value_after = 0.0;  // sum of base values still queued, post-slot
+  /// Jobs that completed after their deadline — must always be zero (the
+  /// engine abandons overdue jobs before serving; auditor invariant G).
+  std::int64_t deadline_violations = 0;
 };
 
 /// Per-slot hook. Implementations must not mutate engine state; throwing

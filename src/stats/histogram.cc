@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/check.h"
 #include "util/strings.h"
@@ -43,10 +44,13 @@ double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + width_; }
 
 double Histogram::quantile(double q) const {
   GREFAR_CHECK(q >= 0.0 && q <= 1.0);
-  if (total_ == 0) return 0.0;
+  if (total_ == 0) return std::numeric_limits<double>::quiet_NaN();
   double target = q * static_cast<double>(total_);
   double cum = static_cast<double>(underflow_);
-  if (target <= cum) return lo_;
+  // Clamp to lo_ only when underflowed samples actually cover the target;
+  // with no underflow, q = 0 falls through and anchors at the first
+  // populated bin instead of the (possibly far-below-data) range start.
+  if (underflow_ > 0 && target <= cum) return lo_;
   for (std::size_t b = 0; b < counts_.size(); ++b) {
     double next = cum + static_cast<double>(counts_[b]);
     if (target <= next && counts_[b] > 0) {

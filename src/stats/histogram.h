@@ -25,7 +25,9 @@ class Histogram {
   std::size_t bins() const { return counts_.size(); }
 
   /// q in [0,1]; returns the interpolated quantile of binned samples.
-  /// Underflow clamps to lo, overflow to hi. Returns 0 when empty.
+  /// Underflow clamps to lo, overflow to hi; with no underflow, q = 0
+  /// anchors at the first populated bin. Returns NaN when empty (the
+  /// P2Quantile::value() convention).
   double quantile(double q) const;
 
   /// Renders a compact textual histogram (for benchmark reports).

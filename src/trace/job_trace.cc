@@ -1,5 +1,6 @@
 #include "trace/job_trace.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -105,6 +106,92 @@ Result<std::vector<std::vector<std::int64_t>>> read_job_trace(const std::string&
   auto content = read_file(path);
   if (!content.ok()) return content.error();
   return job_trace_from_csv(content.value(), num_types);
+}
+
+std::string valued_job_trace_to_csv(
+    const std::vector<std::vector<ArrivalBatch>>& slots) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_row(std::vector<std::string>{"slot", "type", "count", "value",
+                                            "decay", "deadline"});
+  for (std::size_t t = 0; t < slots.size(); ++t) {
+    for (const ArrivalBatch& b : slots[t]) {
+      if (b.count == 0) continue;  // sparse on disk
+      GREFAR_CHECK_MSG(!std::isnan(b.value) && !std::isnan(b.decay_rate) &&
+                           b.deadline != kTypeDefaultDeadline,
+                       "valued_job_trace_to_csv needs concrete annotations; "
+                       "resolve JobType defaults before writing (slot "
+                           << t << ")");
+      writer.write_row(std::vector<std::string>{
+          std::to_string(t), std::to_string(b.type), std::to_string(b.count),
+          format_fixed(b.value, 6), format_fixed(b.decay_rate, 6),
+          std::to_string(b.deadline == kNoDeadline ? -1 : b.deadline)});
+    }
+  }
+  return os.str();
+}
+
+Result<ValuedJobTrace> valued_job_trace_from_csv(std::string_view csv,
+                                                 std::size_t num_types) {
+  ValuedJobTrace trace;
+  std::uint64_t rows_seen = 0;
+  std::uint64_t data_rows = 0;
+  Status st = parse_csv(
+      csv,
+      [&trace, &rows_seen, &data_rows, num_types](
+          const std::vector<std::string>& fields, std::uint64_t row_index,
+          const CsvPosition& row_start) -> Status {
+        ++rows_seen;
+        if (row_index == 0) {
+          auto schema = detect_job_trace_header(fields, row_start);
+          if (!schema.ok()) return schema.error();
+          trace.schema = schema.value();
+          return {};
+        }
+        ++data_rows;
+        ArrivalBatch batch;
+        std::int64_t slot = 0;
+        if (trace.schema == JobTraceSchema::kValued) {
+          auto row = decode_valued_job_trace_row(fields, num_types, row_index,
+                                                 row_start);
+          if (!row.ok()) return row.error();
+          slot = row.value().slot;
+          batch.type = row.value().type;
+          batch.count = row.value().count;
+          batch.value = row.value().value;
+          batch.decay_rate = row.value().decay;
+          batch.deadline = row.value().deadline < 0 ? kNoDeadline
+                                                    : row.value().deadline;
+        } else {
+          auto row = decode_job_trace_row(fields, num_types, row_index, row_start);
+          if (!row.ok()) return row.error();
+          slot = row.value().slot;
+          batch.type = row.value().type;
+          batch.count = row.value().count;
+          // value/decay_rate/deadline keep their "defer to the JobType"
+          // sentinels (workload/arrival_process.h).
+        }
+        auto s = static_cast<std::size_t>(slot);
+        if (trace.slots.size() <= s) trace.slots.resize(s + 1);
+        trace.slots[s].push_back(batch);
+        return {};
+      });
+  if (!st.ok()) return st.error();
+  if (rows_seen == 0) return Error::make("empty job trace");
+  if (data_rows == 0) return Error::make("job trace has no data rows");
+  return trace;
+}
+
+Status write_valued_job_trace(const std::string& path,
+                              const std::vector<std::vector<ArrivalBatch>>& slots) {
+  return write_file(path, valued_job_trace_to_csv(slots));
+}
+
+Result<ValuedJobTrace> read_valued_job_trace(const std::string& path,
+                                             std::size_t num_types) {
+  auto content = read_file(path);
+  if (!content.ok()) return content.error();
+  return valued_job_trace_from_csv(content.value(), num_types);
 }
 
 }  // namespace grefar

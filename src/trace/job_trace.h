@@ -2,18 +2,28 @@
 // driven by recorded (or externally supplied) workloads, exactly as the
 // paper drives its simulator with the Cosmos trace.
 //
-// Format (header required):
+// Two schema versions share one reader family (trace_schema.h):
+//
+// v1 (counts only, header required):
 //   slot,type,count
 //   0,0,3
 //   0,1,1
-//   ...
-// Slots/type pairs may be omitted (count 0) and appear in any order.
+// v2 (value/decay/deadline annotations per batch):
+//   slot,type,count,value,decay,deadline
+//   0,0,3,2.5,0.1,12
+//   0,1,1,1.0,0.0,-1
+//
+// Slot/type pairs may be omitted (count 0) and appear in any order. The
+// valued readers accept either version — v1 rows become batches whose
+// annotations defer to the JobType defaults — so existing traces parse
+// unchanged everywhere.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "trace/trace_schema.h"
 #include "util/result.h"
 #include "workload/arrival_process.h"
 
@@ -47,5 +57,30 @@ Status write_job_trace_streaming(const ArrivalProcess& process,
                                  const std::string& path);
 Result<std::vector<std::vector<std::int64_t>>> read_job_trace(const std::string& path,
                                                               std::size_t num_types);
+
+/// A parsed job trace in batch form: slots[t] holds slot t's arrival
+/// batches in file order (one per data row; duplicates stay separate).
+struct ValuedJobTrace {
+  JobTraceSchema schema = JobTraceSchema::kCounts;
+  std::vector<std::vector<ArrivalBatch>> slots;  // spans [0, max slot in file]
+};
+
+/// Serializes per-slot batches to the v2 CSV format, one row per batch in
+/// order. Every batch must carry concrete annotations (contract-checked):
+/// resolve JobType defaults before writing — the sentinel "defer to type"
+/// encodings (NaN, kTypeDefaultDeadline) have no file representation.
+std::string valued_job_trace_to_csv(
+    const std::vector<std::vector<ArrivalBatch>>& slots);
+
+/// Parses either schema version into batch form (see the header comment):
+/// v1 rows yield batches with deferred annotations, v2 rows carry their own.
+Result<ValuedJobTrace> valued_job_trace_from_csv(std::string_view csv,
+                                                 std::size_t num_types);
+
+/// File variants of the valued writer/reader.
+Status write_valued_job_trace(const std::string& path,
+                              const std::vector<std::vector<ArrivalBatch>>& slots);
+Result<ValuedJobTrace> read_valued_job_trace(const std::string& path,
+                                             std::size_t num_types);
 
 }  // namespace grefar

@@ -26,6 +26,13 @@ StreamingJobTraceSource::StreamingJobTraceSource(
         return on_row(fields, row_index, row_start);
       },
       CsvDialect{}, options_.limits);
+  // Prime far enough to classify the header so schema() works immediately;
+  // any error found here stays sticky and surfaces from the first pull.
+  while (!eof_ && rows_total_ == 0 && !error_) {
+    if (Status st = pump_chunk(); !st.ok()) {
+      error_ = std::make_unique<Error>(st.error());
+    }
+  }
 }
 
 StreamingJobTraceSource::StreamingJobTraceSource(const std::string& path,
@@ -34,7 +41,9 @@ StreamingJobTraceSource::StreamingJobTraceSource(const std::string& path,
     : StreamingJobTraceSource(
           std::make_unique<std::ifstream>(path, std::ios::binary), num_types,
           options) {
-  if (!*static_cast<std::ifstream*>(in_.get())) {
+  // The delegated constructor already primed the header, possibly reading a
+  // small file to EOF (which sets failbit) — only a failed open is an error.
+  if (!static_cast<std::ifstream*>(in_.get())->is_open()) {
     error_ = std::make_unique<Error>(Error::make("cannot open file: " + path));
   }
 }
@@ -43,10 +52,32 @@ Status StreamingJobTraceSource::on_row(const std::vector<std::string>& fields,
                                        std::uint64_t row_index,
                                        const CsvPosition& row_start) {
   ++rows_total_;
-  if (row_index == 0) return check_job_trace_header(fields, row_start);
-  auto row = decode_job_trace_row(fields, num_types_, row_index, row_start);
-  if (!row.ok()) return row.error();
-  const std::int64_t slot = row.value().slot;
+  if (row_index == 0) {
+    auto schema = detect_job_trace_header(fields, row_start);
+    if (!schema.ok()) return schema.error();
+    schema_ = schema.value();
+    return {};
+  }
+  std::int64_t slot = 0;
+  ArrivalBatch batch;
+  if (schema_ == JobTraceSchema::kValued) {
+    auto row = decode_valued_job_trace_row(fields, num_types_, row_index,
+                                           row_start);
+    if (!row.ok()) return row.error();
+    slot = row.value().slot;
+    batch.type = row.value().type;
+    batch.count = row.value().count;
+    batch.value = row.value().value;
+    batch.decay_rate = row.value().decay;
+    batch.deadline = row.value().deadline < 0 ? kNoDeadline : row.value().deadline;
+  } else {
+    auto row = decode_job_trace_row(fields, num_types_, row_index, row_start);
+    if (!row.ok()) return row.error();
+    slot = row.value().slot;
+    batch.type = row.value().type;
+    batch.count = row.value().count;
+    // Annotations keep their "defer to the JobType" sentinels.
+  }
   if (slot < next_) {
     return Error::make(
         "job trace row " + std::to_string(row_index) + " at " +
@@ -55,9 +86,8 @@ Status StreamingJobTraceSource::on_row(const std::vector<std::string>& fields,
         std::to_string(options_.reorder_window) + ")");
   }
   max_seen_ = std::max(max_seen_, slot);
-  auto [it, inserted] =
-      pending_.try_emplace(slot, std::vector<std::int64_t>(num_types_, 0));
-  it->second[row.value().type] += row.value().count;
+  auto [it, inserted] = pending_.try_emplace(slot);
+  it->second.push_back(batch);
   if (inserted) high_water_ = std::max(high_water_, pending_.size());
   ++data_rows_;
   return {};
@@ -81,8 +111,7 @@ Status StreamingJobTraceSource::pump_chunk() {
   return {};
 }
 
-Result<bool> StreamingJobTraceSource::next_slot_into(
-    std::vector<std::int64_t>& counts) {
+Result<bool> StreamingJobTraceSource::advance_to_next_slot() {
   if (error_) return *error_;
   // Pull bytes until slot `next_` is provably complete (a row beyond
   // next_ + window has been seen) or the input ends.
@@ -99,10 +128,39 @@ Result<bool> StreamingJobTraceSource::next_slot_into(
     return *error_;
   }
   if (next_ > max_seen_) return false;  // clean end of stream
+  return true;
+}
+
+Result<bool> StreamingJobTraceSource::next_slot_into(
+    std::vector<std::int64_t>& counts) {
+  GREFAR_CHECK_MSG(emit_style_ != EmitStyle::kBatches,
+                   "cannot mix next_slot_into with next_slot_batches_into");
+  emit_style_ = EmitStyle::kCounts;
+  auto ready = advance_to_next_slot();
+  if (!ready.ok() || !ready.value()) return ready;
   counts.assign(num_types_, 0);
   auto it = pending_.begin();
   if (it != pending_.end() && it->first == next_) {
-    std::copy(it->second.begin(), it->second.end(), counts.begin());
+    // Densify: duplicate (slot, type) rows accumulate, matching the
+    // materializing reader bit-for-bit.
+    for (const ArrivalBatch& b : it->second) counts[b.type] += b.count;
+    pending_.erase(it);
+  }
+  ++next_;
+  return true;
+}
+
+Result<bool> StreamingJobTraceSource::next_slot_batches_into(
+    std::vector<ArrivalBatch>& batches) {
+  GREFAR_CHECK_MSG(emit_style_ != EmitStyle::kCounts,
+                   "cannot mix next_slot_batches_into with next_slot_into");
+  emit_style_ = EmitStyle::kBatches;
+  auto ready = advance_to_next_slot();
+  if (!ready.ok() || !ready.value()) return ready;
+  batches.clear();
+  auto it = pending_.begin();
+  if (it != pending_.end() && it->first == next_) {
+    batches.assign(it->second.begin(), it->second.end());
     pending_.erase(it);
   }
   ++next_;

@@ -12,7 +12,8 @@
 //
 // Semantics match the materializing readers bit-for-bit (golden-equivalence
 // tested over every checked-in trace file):
-//   - job traces: counts for duplicate (slot,type) rows accumulate; slots
+//   - job traces: either schema version (trace_schema.h), detected from the
+//     header; counts for duplicate (slot,type) rows accumulate; slots
 //     absent from the file yield all-zero counts; the emitted range is
 //     [0, max slot in file]; a header-only file is "no data rows".
 //   - price traces: every (slot,dc) must be present for each emitted slot
@@ -27,7 +28,9 @@
 #include <vector>
 
 #include "trace/stream_csv.h"
+#include "trace/trace_schema.h"
 #include "util/result.h"
+#include "workload/arrival_process.h"
 
 namespace grefar {
 
@@ -40,8 +43,12 @@ struct StreamSourceOptions {
   CsvLimits limits;
 };
 
-/// Streams a "slot,type,count" job trace one slot of arrival counts at a
-/// time. Not copyable/movable: the parser callback captures `this`.
+/// Streams a job trace (either schema version, detected from the header —
+/// trace_schema.h) one slot at a time, as dense counts or as annotated
+/// arrival batches. Not copyable/movable: the parser callback captures
+/// `this`. The constructor reads ahead just far enough to classify the
+/// header, so schema() is valid immediately (read errors stay sticky and
+/// surface from the first next_slot call).
 class StreamingJobTraceSource {
  public:
   /// Reads from an arbitrary stream (tests use std::istringstream).
@@ -58,8 +65,22 @@ class StreamingJobTraceSource {
   /// Emits the next slot's counts (sized num_types) into `counts`.
   /// Returns true on a slot, false on clean end of stream; errors are
   /// sticky. No allocation on the steady-state path once `counts` and the
-  /// reorder buffer have reached capacity.
+  /// reorder buffer have reached capacity. Works for either schema (value
+  /// annotations are simply dropped).
   Result<bool> next_slot_into(std::vector<std::int64_t>& counts);
+
+  /// Emits the next slot's arrival batches (file order; one per data row)
+  /// into `batches` — empty for slots absent from the file. v1 rows yield
+  /// batches whose annotations defer to the JobType defaults. Same
+  /// true/false/sticky-error contract as next_slot_into; the two emit
+  /// styles may not be mixed on one source (contract-checked).
+  Result<bool> next_slot_batches_into(std::vector<ArrivalBatch>& batches);
+
+  /// Schema of the underlying trace (valid from construction; kCounts when
+  /// the stream is empty or unreadable — the error surfaces on first pull).
+  JobTraceSchema schema() const { return schema_; }
+  /// Convenience: true when the trace carries value/deadline annotations.
+  bool valued() const { return schema_ == JobTraceSchema::kValued; }
 
   std::size_t num_types() const { return num_types_; }
   /// Slot the next successful next_slot_into() call will emit.
@@ -68,16 +89,25 @@ class StreamingJobTraceSource {
   std::size_t buffered_slots_high_water() const { return high_water_; }
 
  private:
+  enum class EmitStyle { kUnset, kCounts, kBatches };
+
   Status on_row(const std::vector<std::string>& fields,
                 std::uint64_t row_index, const CsvPosition& row_start);
   Status pump_chunk();
+  /// Shared pull loop: pumps until slot next_ is provably complete, then
+  /// reports ready (true), clean end (false), or the sticky error.
+  Result<bool> advance_to_next_slot();
 
   std::unique_ptr<std::istream> in_;
   std::size_t num_types_;
   StreamSourceOptions options_;
   std::unique_ptr<StreamCsvParser> parser_;
   std::vector<char> chunk_;
-  std::map<std::int64_t, std::vector<std::int64_t>> pending_;
+  /// Buffered rows per pending slot, in file order (both schemas store
+  /// batches; densification happens at emit time for next_slot_into).
+  std::map<std::int64_t, std::vector<ArrivalBatch>> pending_;
+  JobTraceSchema schema_ = JobTraceSchema::kCounts;
+  EmitStyle emit_style_ = EmitStyle::kUnset;
   std::int64_t next_ = 0;
   std::int64_t max_seen_ = -1;
   std::uint64_t rows_total_ = 0;

@@ -1,8 +1,8 @@
-// Shared row decoders for the two trace CSV schemas ("slot,type,count" job
-// traces, "slot,dc,price" price traces). Both the materializing readers
-// (job_trace.h / price_trace.h) and the streaming per-slot sources
-// (stream_source.h) decode through these helpers, so schema validation and
-// diagnostics cannot drift between the batch and serve paths.
+// Shared row decoders for the trace CSV schemas: job traces (two versions,
+// see JobTraceSchema) and "slot,dc,price" price traces. Both the
+// materializing readers (job_trace.h / price_trace.h) and the streaming
+// per-slot sources (stream_source.h) decode through these helpers, so schema
+// validation and diagnostics cannot drift between the batch and serve paths.
 //
 // Every diagnostic names the row index and the row's byte position in the
 // source stream ("job trace row 3 is malformed at byte 41 (line 4, col 1)").
@@ -24,6 +24,25 @@ struct JobTraceRow {
   std::int64_t count = 0;
 };
 
+/// Job-trace schema versions, distinguished by the header row:
+///   kCounts — v1, "slot,type,count": arrival counts only (every existing
+///             trace; value/decay/deadline default from the JobType).
+///   kValued — v2, "slot,type,count,value,decay,deadline": each batch
+///             additionally carries a base value (finite, >= 0), a decay
+///             rate (finite, >= 0; the JobType's curve kind applies), and a
+///             relative completion deadline in slots (-1 = no deadline).
+enum class JobTraceSchema { kCounts, kValued };
+
+/// A decoded v2 data row (see JobTraceSchema::kValued).
+struct ValuedJobTraceRow {
+  std::int64_t slot = 0;
+  std::size_t type = 0;
+  std::int64_t count = 0;
+  double value = 0.0;
+  double decay = 0.0;
+  std::int64_t deadline = -1;  // relative slots; -1 = no deadline
+};
+
 struct PriceTraceRow {
   std::int64_t slot = 0;
   std::size_t dc = 0;
@@ -33,6 +52,12 @@ struct PriceTraceRow {
 /// Validates the mandatory "slot,type,count" header row.
 Status check_job_trace_header(const std::vector<std::string>& fields,
                               const CsvPosition& row_start);
+
+/// Classifies a job-trace header row as v1 or v2; fails (naming both
+/// accepted headers and the byte position) on anything else. Readers that
+/// accept either version dispatch per-row decoding on the result.
+Result<JobTraceSchema> detect_job_trace_header(
+    const std::vector<std::string>& fields, const CsvPosition& row_start);
 
 /// Validates the mandatory "slot,dc,price" header row.
 Status check_price_trace_header(const std::vector<std::string>& fields,
@@ -44,6 +69,13 @@ Result<JobTraceRow> decode_job_trace_row(const std::vector<std::string>& fields,
                                          std::size_t num_types,
                                          std::uint64_t row_index,
                                          const CsvPosition& row_start);
+
+/// Decodes one v2 job-trace data row. On top of the v1 failure modes this
+/// fails on non-finite or negative value/decay and deadline < -1; every
+/// diagnostic carries the row's byte offset.
+Result<ValuedJobTraceRow> decode_valued_job_trace_row(
+    const std::vector<std::string>& fields, std::size_t num_types,
+    std::uint64_t row_index, const CsvPosition& row_start);
 
 /// Decodes one price-trace data row. Fails on wrong arity, unparsable
 /// numbers, negative slot, dc id outside [0, num_dcs), or price <= 0.

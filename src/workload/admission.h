@@ -1,0 +1,62 @@
+// AdmissionPolicy: the online admission stage ahead of GreFar routing
+// (arXiv 1404.4865 / 1509.03699).
+//
+// The revenue-management descendants of the paper observe that when jobs
+// carry values, decay curves and deadlines, routing every arrival is wrong:
+// an overloaded system should reject low-value-density work at the door so
+// the capacity it does have realizes the most value. The engine consults the
+// attached policy once per non-empty arrival batch, in batch order, before
+// the batch's jobs enter the central queues; rejected jobs never touch any
+// queue (the InvariantAuditor checks exactly that).
+//
+// Determinism contract (DESIGN.md §11): admit() must be a pure function of
+// (policy parameters, slot, batch) — stateful policies key any randomness on
+// (seed, slot) like ZipfArrivals, so a sweep replays bit-identically at any
+// --jobs / shard count and out-of-order policy construction is safe. One
+// policy instance serves one engine (mirrors Scheduler).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "workload/job.h"
+
+namespace grefar {
+
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+
+  /// How many of the batch's `count` identical jobs to admit, in [0, count].
+  /// `value` is the resolved per-job base value and `deadline` the resolved
+  /// relative deadline (kNoDeadline = none) — batch annotations already
+  /// merged over the JobType defaults. Called once per non-empty batch of
+  /// slot `slot`, in batch order, slots in non-decreasing order.
+  virtual std::int64_t admit(std::int64_t slot, const JobType& type,
+                             std::int64_t count, double value,
+                             std::int64_t deadline) = 0;
+
+  /// The value-density threshold in effect for `slot` (for tracing); NaN
+  /// for policies without one. Pure in (parameters, slot).
+  virtual double threshold(std::int64_t slot) const {
+    (void)slot;
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+
+  virtual std::string name() const = 0;
+};
+
+/// Admits everything — the paper's original behavior, and the ablation
+/// baseline the threshold policies are measured against.
+class AdmitAllPolicy final : public AdmissionPolicy {
+ public:
+  std::int64_t admit(std::int64_t /*slot*/, const JobType& /*type*/,
+                     std::int64_t count, double /*value*/,
+                     std::int64_t /*deadline*/) override {
+    return count;
+  }
+  std::string name() const override { return "admit-all"; }
+};
+
+}  // namespace grefar

@@ -6,6 +6,13 @@
 
 namespace grefar {
 
+void ArrivalProcess::valued_arrivals_into(std::int64_t /*t*/,
+                                          std::vector<ArrivalBatch>& /*out*/) const {
+  GREFAR_CHECK_MSG(false,
+                   "valued_arrivals_into called on an arrival process without "
+                   "value annotations (check has_valued_arrivals first)");
+}
+
 ConstantArrivals::ConstantArrivals(std::vector<std::int64_t> counts)
     : counts_(std::move(counts)) {
   GREFAR_CHECK(!counts_.empty());
@@ -96,6 +103,52 @@ std::int64_t TableArrivals::max_arrivals(JobTypeId j) const {
   std::int64_t m = 0;
   for (const auto& row : counts_) m = std::max(m, row[j]);
   return m;
+}
+
+ValuedTableArrivals::ValuedTableArrivals(
+    std::vector<std::vector<ArrivalBatch>> slots, std::size_t num_types)
+    : slots_(std::move(slots)), num_types_(num_types) {
+  GREFAR_CHECK_MSG(!slots_.empty(), "trace must have at least one slot");
+  GREFAR_CHECK_MSG(num_types_ > 0, "trace must have at least one job type");
+  max_arrivals_.assign(num_types_, 0);
+  std::vector<std::int64_t> slot_counts(num_types_, 0);
+  for (const auto& slot : slots_) {
+    std::fill(slot_counts.begin(), slot_counts.end(), 0);
+    for (const auto& b : slot) {
+      GREFAR_CHECK_MSG(b.type < num_types_, "batch references bad job type");
+      GREFAR_CHECK_MSG(b.count >= 0, "arrival counts must be >= 0");
+      slot_counts[b.type] += b.count;
+    }
+    for (std::size_t j = 0; j < num_types_; ++j) {
+      max_arrivals_[j] = std::max(max_arrivals_[j], slot_counts[j]);
+    }
+  }
+}
+
+std::vector<std::int64_t> ValuedTableArrivals::arrivals(std::int64_t t) const {
+  std::vector<std::int64_t> out;
+  arrivals_into(t, out);
+  return out;
+}
+
+void ValuedTableArrivals::arrivals_into(std::int64_t t,
+                                        std::vector<std::int64_t>& out) const {
+  GREFAR_CHECK(t >= 0);
+  out.assign(num_types_, 0);
+  const auto& slot = slots_[static_cast<std::size_t>(t) % slots_.size()];
+  for (const auto& b : slot) out[b.type] += b.count;
+}
+
+std::int64_t ValuedTableArrivals::max_arrivals(JobTypeId j) const {
+  GREFAR_CHECK(j < num_types_);
+  return max_arrivals_[j];
+}
+
+void ValuedTableArrivals::valued_arrivals_into(
+    std::int64_t t, std::vector<ArrivalBatch>& out) const {
+  GREFAR_CHECK(t >= 0);
+  const auto& slot = slots_[static_cast<std::size_t>(t) % slots_.size()];
+  out.assign(slot.begin(), slot.end());
 }
 
 }  // namespace grefar

@@ -276,6 +276,101 @@ TEST(InvariantAuditor, ResetClearsLedgerAndViolations) {
   EXPECT_TRUE(auditor.ok()) << auditor.report();
 }
 
+// -- G. admission / deadline / value accounting (the PR-9 invariants) --------
+
+TEST(InvariantAuditor, CatchesAdmittedExceedingOffered) {
+  // Rejected work must never enter a queue: an arrivals vector larger than
+  // the offered vector means the engine queued jobs the policy never saw.
+  InvariantAuditor auditor(tiny_config());
+  RecordFixture fx;
+  std::vector<std::int64_t> offered{0};  // arrivals stay {1}
+  SlotRecord rec = fx.record();
+  rec.offered = &offered;
+  rec.admission_active = true;
+  auditor.inspect(rec);
+  ASSERT_FALSE(auditor.ok());
+  EXPECT_EQ(auditor.violations()[0].kind, InvariantKind::kAdmissionAccounting);
+  EXPECT_NE(auditor.violations()[0].to_string().find(
+                "admitted arrivals exceed offered arrivals"),
+            std::string::npos);
+}
+
+TEST(InvariantAuditor, CatchesMisshapenOrNegativeOfferedVector) {
+  InvariantAuditor auditor(tiny_config());
+  RecordFixture fx;
+  std::vector<std::int64_t> offered{1, 1};  // config has one job type
+  SlotRecord rec = fx.record();
+  rec.offered = &offered;
+  auditor.inspect(rec);
+  ASSERT_FALSE(auditor.ok());
+  EXPECT_EQ(auditor.violations()[0].kind, InvariantKind::kAdmissionAccounting);
+
+  InvariantAuditor auditor2(tiny_config());
+  std::vector<std::int64_t> negative{-1};
+  rec.offered = &negative;
+  auditor2.inspect(rec);
+  ASSERT_FALSE(auditor2.ok());
+  EXPECT_EQ(auditor2.violations()[0].kind,
+            InvariantKind::kAdmissionAccounting);
+  EXPECT_NE(auditor2.violations()[0].to_string().find(
+                "negative offered arrival count"),
+            std::string::npos);
+}
+
+TEST(InvariantAuditor, CatchesDeadlineViolations) {
+  // Invariant G: a job past its deadline must be abandoned at the start of
+  // the slot, never processed — any nonzero count is a violation.
+  InvariantAuditor auditor(tiny_config());
+  RecordFixture fx;
+  SlotRecord rec = fx.record();
+  rec.deadline_violations = 2;
+  auditor.inspect(rec);
+  ASSERT_FALSE(auditor.ok());
+  EXPECT_EQ(auditor.violations()[0].kind,
+            InvariantKind::kDeadlineFeasibility);
+  EXPECT_NE(auditor.violations()[0].to_string().find(
+                "completed after their deadline"),
+            std::string::npos);
+}
+
+TEST(InvariantAuditor, CatchesValueLedgerDrift) {
+  // Slot 0 initializes the ledger; slot 1 claims admitted value that never
+  // shows up queued, realized, or abandoned — conservation must flag it.
+  InvariantAuditor auditor(tiny_config());
+  RecordFixture fx;
+  auditor.inspect(fx.record());
+  ASSERT_TRUE(auditor.ok()) << auditor.report();
+  SlotRecord rec = fx.record();
+  rec.admitted_value = 5.0;  // queued_value_after stays 0: 5 units vanished
+  auditor.inspect(rec);
+  ASSERT_FALSE(auditor.ok());
+  EXPECT_EQ(auditor.violations()[0].kind, InvariantKind::kValueConservation);
+  EXPECT_NE(auditor.violations()[0].to_string().find(
+                "queued value != previous + admitted - completed - abandoned"),
+            std::string::npos);
+}
+
+TEST(InvariantAuditor, CatchesNonFiniteAndNegativeValueScalars) {
+  InvariantAuditor auditor(tiny_config());
+  RecordFixture fx;
+  SlotRecord rec = fx.record();
+  rec.realized_value = std::numeric_limits<double>::quiet_NaN();
+  auditor.inspect(rec);
+  ASSERT_FALSE(auditor.ok());
+  EXPECT_EQ(auditor.violations()[0].kind, InvariantKind::kValueConservation);
+
+  InvariantAuditor auditor2(tiny_config());
+  SlotRecord rec2 = fx.record();
+  rec2.abandoned_value = -1.0;
+  auditor2.inspect(rec2);
+  ASSERT_FALSE(auditor2.ok());
+  EXPECT_EQ(auditor2.violations()[0].kind,
+            InvariantKind::kValueConservation);
+  EXPECT_NE(auditor2.violations()[0].to_string().find(
+                "negative value/abandonment scalar"),
+            std::string::npos);
+}
+
 TEST(InvariantAuditor, MaxViolationsCapsRecordingNotCounting) {
   InvariantAuditorOptions options;
   options.max_violations = 2;

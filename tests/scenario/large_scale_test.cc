@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
+#include <vector>
 
 #include "check/invariant_auditor.h"
 #include "core/grefar.h"
@@ -60,6 +62,61 @@ TEST(LargeScale, ZipfArrivalsAreDeterministicAndRandomAccess) {
   std::int64_t total = 0;
   for (auto n : a7) total += n;
   EXPECT_EQ(total, 40);  // every draw lands on some type
+}
+
+TEST(LargeScale, ZipfSampleBoundaries) {
+  ZipfArrivals a(5, 10, 1.0, 1);
+  // u = 0 lands strictly inside the first (most popular) type: the inverse
+  // CDF is "smallest j with cumulative_[j] > 0", which is type 0.
+  EXPECT_EQ(a.sample(0.0), 0u);
+  // u just below 1 must hit the last type, and the upper_bound-end decrement
+  // must keep u == 1.0 (never produced by Rng::uniform, but reachable
+  // through accumulated rounding in u * total) in range instead of walking
+  // one past the end.
+  EXPECT_EQ(a.sample(std::nextafter(1.0, 0.0)), 4u);
+  EXPECT_EQ(a.sample(1.0), 4u);
+  // Single-type degenerate case: everything maps to type 0.
+  ZipfArrivals one(1, 3, 2.0, 1);
+  EXPECT_EQ(one.sample(0.0), 0u);
+  EXPECT_EQ(one.sample(1.0), 0u);
+}
+
+TEST(LargeScale, ZipfMaxArrivalsBoundsEverySlot) {
+  ZipfArrivals a(64, 17, 1.1, 5);
+  for (std::size_t j = 0; j < 64; ++j) {
+    EXPECT_EQ(a.max_arrivals(j), 17);
+  }
+  for (std::int64_t t = 0; t < 50; ++t) {
+    for (auto n : a.arrivals(t)) {
+      EXPECT_LE(n, a.max_arrivals(0));
+    }
+  }
+}
+
+TEST(LargeScale, ZipfArrivalsIntoReplaysOutOfOrder) {
+  ZipfArrivals a(100, 25, 1.3, 42);
+  ZipfArrivals b(100, 25, 1.3, 42);
+  // Interleaved, reversed, and repeated slot access through the reusing
+  // _into API must all replay byte-identically (pure function of (seed, t)).
+  std::vector<std::int64_t> out_a;
+  std::vector<std::int64_t> out_b;
+  const std::vector<std::int64_t> order_a = {9, 2, 5, 2, 0, 9};
+  const std::vector<std::int64_t> order_b = {0, 9, 5, 9, 2, 2};
+  std::vector<std::vector<std::int64_t>> seen_a(10);
+  std::vector<std::vector<std::int64_t>> seen_b(10);
+  for (std::int64_t t : order_a) {
+    a.arrivals_into(t, out_a);
+    seen_a[static_cast<std::size_t>(t)] = out_a;
+  }
+  for (std::int64_t t : order_b) {
+    b.arrivals_into(t, out_b);
+    seen_b[static_cast<std::size_t>(t)] = out_b;
+  }
+  for (std::int64_t t : {0, 2, 5, 9}) {
+    EXPECT_EQ(seen_a[static_cast<std::size_t>(t)],
+              seen_b[static_cast<std::size_t>(t)])
+        << "slot " << t;
+  }
 }
 
 TEST(LargeScale, ZipfHeadIsHeavierThanTail) {

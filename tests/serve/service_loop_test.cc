@@ -10,12 +10,14 @@
 #include <vector>
 
 #include "check/invariant_auditor.h"
+#include "core/admission.h"
 #include "core/grefar.h"
 #include "scenario/paper_scenario.h"
 #include "scenario/serve_scenario.h"
 #include "trace/job_trace.h"
 #include "trace/price_trace.h"
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace grefar {
 namespace {
@@ -148,6 +150,143 @@ TEST(ServiceLoop, BitIdenticalToBatchAtEveryQueueDepth) {
             << "depth=" << depth << " pipelined=" << pipelined << " t=" << t;
       }
     }
+  }
+}
+
+/// A v2 fixture: the serve-scenario cluster with decay curves switched on,
+/// plus a deterministic annotated arrival table serialized to the v2 trace
+/// format. Every annotation is concrete, so the batch reference
+/// (ValuedTableArrivals) and the streamed v2 trace describe the same
+/// workload exactly.
+struct ValuedFixture {
+  PaperScenario scenario;
+  std::shared_ptr<const ClusterConfig> config;
+  std::vector<std::vector<ArrivalBatch>> slots;
+  std::string jobs_csv, prices_csv;
+
+  ValuedFixture() : scenario(make_serve_scenario(2, 6, /*seed=*/11)) {
+    for (std::size_t j = 0; j < scenario.config.job_types.size(); ++j) {
+      scenario.config.job_types[j].decay =
+          j % 2 == 0 ? DecayKind::kExponential : DecayKind::kLinear;
+    }
+    config = std::make_shared<const ClusterConfig>(scenario.config);
+    Rng root(0xF00DULL);
+    slots.resize(static_cast<std::size_t>(kHorizon));
+    for (std::int64_t t = 0; t < kHorizon; ++t) {
+      Rng r = root.fork(t);
+      for (std::size_t j = 0; j < config->job_types.size(); ++j) {
+        ArrivalBatch b;
+        b.type = j;
+        b.count = r.poisson(2.0);
+        b.value = r.uniform(0.5, 3.0) * config->job_types[j].work;
+        b.decay_rate = r.uniform(0.0, 0.2);
+        b.deadline = r.bernoulli(0.5) ? r.uniform_int(2, 10) : kNoDeadline;
+        if (b.count > 0) slots[static_cast<std::size_t>(t)].push_back(b);
+      }
+    }
+    // Pin the trace span to [0, kHorizon) even if the last slot is idle.
+    if (slots.back().empty()) {
+      slots.back().push_back({.type = 0,
+                              .count = 1,
+                              .value = 1.0,
+                              .decay_rate = 0.0,
+                              .deadline = kNoDeadline});
+    }
+    jobs_csv = valued_job_trace_to_csv(slots);
+    prices_csv =
+        price_trace_to_csv(materialize_prices(*scenario.prices, kHorizon));
+  }
+
+  std::shared_ptr<GreFarScheduler> make_scheduler() const {
+    return std::make_shared<GreFarScheduler>(config,
+                                             paper_grefar_params(2.0, 0.5));
+  }
+
+  std::unique_ptr<ServiceLoop> make_loop(ServiceLoopOptions options) const {
+    auto jobs = std::make_unique<StreamingJobTraceSource>(
+        std::make_unique<std::istringstream>(jobs_csv),
+        config->num_job_types());
+    auto prices = std::make_unique<StreamingPriceTraceSource>(
+        std::make_unique<std::istringstream>(prices_csv),
+        config->num_data_centers());
+    return std::make_unique<ServiceLoop>(config, scenario.availability,
+                                         make_scheduler(), std::move(jobs),
+                                         std::move(prices), options);
+  }
+
+  std::unique_ptr<SimulationEngine> run_batch(
+      std::shared_ptr<AdmissionPolicy> admission = nullptr) const {
+    // Parse the same serialized trace the loop streams (the writer's fixed
+    // 6-decimal format rounds annotations, so the in-memory table would
+    // differ from the file in the last ulp).
+    auto arrivals = std::make_shared<ValuedTableArrivals>(
+        valued_job_trace_from_csv(jobs_csv, config->num_job_types())
+            .value()
+            .slots,
+        config->num_job_types());
+    auto prices = std::make_shared<TablePriceModel>(
+        price_trace_from_csv(prices_csv, config->num_data_centers()).value());
+    auto engine = std::make_unique<SimulationEngine>(
+        config, prices, scenario.availability, arrivals, make_scheduler());
+    if (admission != nullptr) engine->set_admission_policy(admission);
+    engine->run(kHorizon);
+    return engine;
+  }
+};
+
+void expect_value_ledger_equal(const SimMetrics& a, const SimMetrics& b) {
+  ASSERT_EQ(a.slots(), b.slots());
+  for (std::size_t t = 0; t < a.slots(); ++t) {
+    EXPECT_EQ(a.realized_value.values()[t], b.realized_value.values()[t]) << t;
+    EXPECT_EQ(a.admitted_value.values()[t], b.admitted_value.values()[t]) << t;
+    EXPECT_EQ(a.rejected_value.values()[t], b.rejected_value.values()[t]) << t;
+    EXPECT_EQ(a.abandoned_value.values()[t], b.abandoned_value.values()[t]) << t;
+    EXPECT_EQ(a.abandoned_jobs.values()[t], b.abandoned_jobs.values()[t]) << t;
+    EXPECT_EQ(a.decay_loss.values()[t], b.decay_loss.values()[t]) << t;
+    EXPECT_EQ(a.rejected_jobs.values()[t], b.rejected_jobs.values()[t]) << t;
+  }
+}
+
+TEST(ServiceLoop, ValuedTraceBitIdenticalToBatchSerialAndPipelined) {
+  ValuedFixture f;
+  auto batch = f.run_batch();
+  // The workload must actually exercise the v2 machinery.
+  EXPECT_GT(batch->metrics().total_realized_value(), 0.0);
+  EXPECT_GT(batch->metrics().abandoned_jobs.sum(), 0.0);
+  EXPECT_GT(batch->metrics().decay_loss.sum(), 0.0);
+
+  for (bool pipelined : {false, true}) {
+    ServiceLoopOptions options;
+    options.pipelined = pipelined;
+    auto loop = f.make_loop(options);
+    InvariantAuditorOptions audit;
+    audit.throw_on_violation = true;
+    auto auditor = std::make_shared<InvariantAuditor>(*f.config, audit);
+    loop->add_flush_inspector(auditor);
+    auto stats = loop->run();
+    ASSERT_TRUE(stats.ok()) << stats.error().message;
+    EXPECT_EQ(stats.value().slots, kHorizon);
+    EXPECT_TRUE(auditor->ok());
+    expect_bitwise_equal(loop->metrics(), batch->metrics());
+    expect_value_ledger_equal(loop->metrics(), batch->metrics());
+  }
+}
+
+TEST(ServiceLoop, AdmissionPolicyMatchesBatchEngine) {
+  ValuedFixture f;
+  auto admission = std::make_shared<ThresholdAdmission>(1.5);
+  auto batch = f.run_batch(admission);
+  EXPECT_GT(batch->metrics().rejected_jobs.sum(), 0.0);
+
+  for (bool pipelined : {false, true}) {
+    ServiceLoopOptions options;
+    options.pipelined = pipelined;
+    options.admission = std::make_shared<ThresholdAdmission>(1.5);
+    auto loop = f.make_loop(options);
+    auto stats = loop->run();
+    ASSERT_TRUE(stats.ok()) << stats.error().message;
+    expect_bitwise_equal(loop->metrics(), batch->metrics());
+    expect_value_ledger_equal(loop->metrics(), batch->metrics());
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -56,10 +58,24 @@ TEST(Histogram, QuantileOfUniformSamples) {
 
 TEST(Histogram, QuantileEdges) {
   Histogram h(0.0, 1.0, 4);
-  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty
+  // Empty histograms have no quantiles: NaN, matching P2Quantile::value().
+  EXPECT_TRUE(std::isnan(h.quantile(0.0)));
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(h.quantile(1.0)));
   h.add(0.5);
   EXPECT_THROW(h.quantile(-0.1), ContractViolation);
   EXPECT_THROW(h.quantile(1.1), ContractViolation);
+}
+
+TEST(Histogram, QuantileZeroAnchorsAtFirstPopulatedBin) {
+  // All mass in [0.5, 0.75) with no underflow: q=0 must report the start of
+  // the populated region, not the histogram's far-below-data lower edge.
+  Histogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 10; ++i) h.add(0.6);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);
+  // With underflowed samples, q=0 still clamps to lo.
+  h.add(-1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
 }
 
 TEST(Histogram, QuantileWithOverflowClamps) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -11,6 +12,7 @@
 #include "scenario/serve_scenario.h"
 #include "trace/job_trace.h"
 #include "trace/price_trace.h"
+#include "util/check.h"
 
 namespace grefar {
 namespace {
@@ -54,16 +56,90 @@ Result<std::vector<std::vector<double>>> drain_prices(
   return series;
 }
 
+/// Densifies a parsed batch trace to the count-table layout next_slot_into
+/// emits (duplicate slot/type rows accumulate, absent slots go all-zero).
+std::vector<std::vector<std::int64_t>> densify(const ValuedJobTrace& trace,
+                                               std::size_t num_types) {
+  std::vector<std::vector<std::int64_t>> table(
+      trace.slots.size(), std::vector<std::int64_t>(num_types, 0));
+  for (std::size_t t = 0; t < trace.slots.size(); ++t) {
+    for (const ArrivalBatch& b : trace.slots[t]) table[t][b.type] += b.count;
+  }
+  return table;
+}
+
 /// The golden-equivalence contract: streaming and materialized readers agree
 /// on success/failure, and bit-for-bit on the data when both succeed. A
-/// huge window removes the ordering restriction the batch reader never had.
+/// huge window removes the ordering restriction the batch readers never had.
+/// The streaming counts API accepts either schema version, so its
+/// materialized counterpart is the valued reader densified; the v1-only
+/// materializer must also agree except on v2 documents, which it rejects by
+/// design (unknown header).
 void expect_job_equivalence(const std::string& csv, std::size_t num_types) {
   StreamSourceOptions options;
   options.reorder_window = 1 << 20;
   auto streamed = drain_jobs(csv, num_types, options);
+  auto valued = valued_job_trace_from_csv(csv, num_types);
+  ASSERT_EQ(streamed.ok(), valued.ok()) << csv;
+  if (valued.ok()) {
+    EXPECT_EQ(streamed.value(), densify(valued.value(), num_types)) << csv;
+  }
   auto batch = job_trace_from_csv(csv, num_types);
+  if (valued.ok() && valued.value().schema == JobTraceSchema::kValued) {
+    EXPECT_FALSE(batch.ok()) << csv;
+  } else {
+    ASSERT_EQ(batch.ok(), streamed.ok()) << csv;
+    if (batch.ok()) {
+      EXPECT_EQ(streamed.value(), batch.value()) << csv;
+    }
+  }
+}
+
+/// Drains a streaming job source through the batch API; on success returns
+/// the per-slot batches (the ValuedJobTrace::slots layout).
+Result<std::vector<std::vector<ArrivalBatch>>> drain_batches(
+    const std::string& csv, std::size_t num_types,
+    StreamSourceOptions options = {}) {
+  StreamingJobTraceSource source(stream_of(csv), num_types, options);
+  std::vector<std::vector<ArrivalBatch>> slots;
+  std::vector<ArrivalBatch> batches;
+  while (true) {
+    auto more = source.next_slot_batches_into(batches);
+    if (!more.ok()) return more.error();
+    if (!more.value()) return slots;
+    slots.push_back(batches);
+  }
+}
+
+void expect_batches_eq(const std::vector<std::vector<ArrivalBatch>>& a,
+                       const std::vector<std::vector<ArrivalBatch>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    ASSERT_EQ(a[t].size(), b[t].size()) << "slot " << t;
+    for (std::size_t k = 0; k < a[t].size(); ++k) {
+      EXPECT_EQ(a[t][k].type, b[t][k].type);
+      EXPECT_EQ(a[t][k].count, b[t][k].count);
+      // Bit-for-bit incl. the NaN "defer to type" sentinel.
+      EXPECT_TRUE(a[t][k].value == b[t][k].value ||
+                  (std::isnan(a[t][k].value) && std::isnan(b[t][k].value)));
+      EXPECT_TRUE(a[t][k].decay_rate == b[t][k].decay_rate ||
+                  (std::isnan(a[t][k].decay_rate) &&
+                   std::isnan(b[t][k].decay_rate)));
+      EXPECT_EQ(a[t][k].deadline, b[t][k].deadline);
+    }
+  }
+}
+
+/// The valued golden-equivalence contract: the streaming batch API and the
+/// materializing valued reader agree on success/failure and, when both
+/// succeed, on every batch annotation — for either schema version.
+void expect_valued_equivalence(const std::string& csv, std::size_t num_types) {
+  StreamSourceOptions options;
+  options.reorder_window = 1 << 20;
+  auto streamed = drain_batches(csv, num_types, options);
+  auto batch = valued_job_trace_from_csv(csv, num_types);
   ASSERT_EQ(streamed.ok(), batch.ok()) << csv;
-  if (batch.ok()) EXPECT_EQ(streamed.value(), batch.value()) << csv;
+  if (batch.ok()) expect_batches_eq(streamed.value(), batch.value().slots);
 }
 
 void expect_price_equivalence(const std::string& csv, std::size_t num_dcs) {
@@ -72,7 +148,9 @@ void expect_price_equivalence(const std::string& csv, std::size_t num_dcs) {
   auto streamed = drain_prices(csv, num_dcs, options);
   auto batch = price_trace_from_csv(csv, num_dcs);
   ASSERT_EQ(streamed.ok(), batch.ok()) << csv;
-  if (batch.ok()) EXPECT_EQ(streamed.value(), batch.value()) << csv;
+  if (batch.ok()) {
+    EXPECT_EQ(streamed.value(), batch.value()) << csv;
+  }
 }
 
 TEST(StreamingJobSource, EmitsSlotsInOrderWithZeroFill) {
@@ -163,6 +241,76 @@ TEST(StreamingJobSource, BufferStaysWithinWindow) {
   EXPECT_LE(source.buffered_slots_high_water(), 7u);
 }
 
+TEST(StreamingJobSource, SchemaDetectedAtConstruction) {
+  StreamingJobTraceSource v2(
+      stream_of("slot,type,count,value,decay,deadline\n0,0,1,2.0,0.1,5\n"), 1);
+  EXPECT_EQ(v2.schema(), JobTraceSchema::kValued);
+  EXPECT_TRUE(v2.valued());
+  StreamingJobTraceSource v1(stream_of("slot,type,count\n0,0,1\n"), 1);
+  EXPECT_EQ(v1.schema(), JobTraceSchema::kCounts);
+  EXPECT_FALSE(v1.valued());
+}
+
+TEST(StreamingJobSource, ValuedBatchesCarryAnnotationsAndZeroFillGaps) {
+  auto slots = drain_batches(
+      "slot,type,count,value,decay,deadline\n0,1,2,2.5,0.125,12\n2,0,1,0.5,0.0,-1\n",
+      2);
+  ASSERT_TRUE(slots.ok());
+  ASSERT_EQ(slots.value().size(), 3u);
+  ASSERT_EQ(slots.value()[0].size(), 1u);
+  EXPECT_EQ(slots.value()[0][0].type, 1u);
+  EXPECT_EQ(slots.value()[0][0].count, 2);
+  EXPECT_EQ(slots.value()[0][0].value, 2.5);
+  EXPECT_EQ(slots.value()[0][0].decay_rate, 0.125);
+  EXPECT_EQ(slots.value()[0][0].deadline, 12);
+  EXPECT_TRUE(slots.value()[1].empty());  // absent slot -> no batches
+  EXPECT_EQ(slots.value()[2][0].deadline, kNoDeadline);  // -1 on disk
+}
+
+TEST(StreamingJobSource, CountsApiOnValuedTraceDropsAnnotations) {
+  // next_slot_into works for either schema: on a v2 trace the counts must
+  // match the materialized reader's, annotations simply dropped.
+  const std::string csv =
+      "slot,type,count,value,decay,deadline\n0,0,3,2.0,0.1,5\n0,0,2,9.0,0.0,-1\n1,1,1,1.0,0.0,-1\n";
+  auto table = drain_jobs(csv, 2);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value(),
+            (std::vector<std::vector<std::int64_t>>{{5, 0}, {0, 1}}));
+}
+
+TEST(StreamingJobSource, MixingEmitStylesIsContractViolation) {
+  StreamingJobTraceSource source(
+      stream_of("slot,type,count\n0,0,1\n1,0,1\n"), 1);
+  std::vector<std::int64_t> counts;
+  ASSERT_TRUE(source.next_slot_into(counts).ok());
+  std::vector<ArrivalBatch> batches;
+  EXPECT_THROW((void)source.next_slot_batches_into(batches),
+               ContractViolation);
+}
+
+TEST(GoldenEquivalence, CuratedValuedDocs) {
+  const std::size_t num_types = 3;
+  for (const std::string& csv : {
+           std::string("slot,type,count,value,decay,deadline\n0,0,1,2.0,0.1,5\n"),
+           std::string("slot,type,count,value,decay,deadline\n"
+                       "2,1,3,1.5,0.0,-1\n0,0,1,0.25,0.5,0\n1,2,4,3.0,0.2,7\n"),
+           std::string("slot,type,count,value,decay,deadline\n"
+                       "0,0,1,1.0,0.0,-1\n0,0,2,2.0,0.1,3\n"),  // dup slot/type
+           std::string("slot,type,count,value,decay,deadline\r\n"
+                       "1,1,1,1.0,0.0,-1\r\n0,0,1,2.0,0.0,4\r\n"),
+           std::string("slot,type,count,value,decay,deadline\n0,0,1,2.0,0.1,5"),
+           std::string("slot,type,count\n0,0,1\n1,2,3\n"),  // v1 via batch API
+           std::string("slot,type,count,value,decay,deadline\n0,0,1\n"),
+           std::string("slot,type,count,value,decay,deadline\n0,0,1,-1.0,0.0,-1\n"),
+           std::string("slot,type,count,value,decay,deadline\n0,0,1,1.0,-0.1,-1\n"),
+           std::string("slot,type,count,value,decay,deadline\n0,0,1,1.0,0.0,-2\n"),
+           std::string("slot,type,count,value,decay,deadline\n0,9,1,1.0,0.0,-1\n"),
+           std::string("slot,type,count,value,decay,deadline\n"),
+       }) {
+    expect_valued_equivalence(csv, num_types);
+  }
+}
+
 TEST(StreamingPriceSource, EmitsPerSlotPrices) {
   auto series = drain_prices(
       "slot,dc,price\n0,0,0.4\n0,1,0.5\n1,0,0.6\n1,1,0.7\n", 2);
@@ -189,7 +337,7 @@ TEST(StreamingPriceSource, HeaderOnlyAndEmpty) {
 
 TEST(GoldenEquivalence, CuratedJobDocs) {
   const std::size_t num_types = 3;
-  for (const std::string csv : {
+  for (const std::string& csv : {
            std::string("slot,type,count\n0,0,1\n"),
            std::string("slot,type,count\n5,2,9\n"),          // leading zero slots
            std::string("slot,type,count\n0,0,1\n0,0,2\n2,1,3\n1,2,4\n"),
@@ -207,7 +355,7 @@ TEST(GoldenEquivalence, CuratedJobDocs) {
 
 TEST(GoldenEquivalence, CuratedPriceDocs) {
   const std::size_t num_dcs = 2;
-  for (const std::string csv : {
+  for (const std::string& csv : {
            std::string("slot,dc,price\n0,0,0.4\n0,1,0.5\n"),
            std::string("slot,dc,price\n0,1,0.5\n0,0,0.4\n1,1,0.7\n1,0,0.6\n"),
            std::string("slot,dc,price\n0,0,0.4\n0,0,0.45\n0,1,0.5\n"),  // dup
@@ -236,6 +384,7 @@ TEST(GoldenEquivalence, FuzzCorpusFiles) {
       const std::string csv = ss.str();
       SCOPED_TRACE(entry.path().string());
       expect_job_equivalence(csv, 4);
+      expect_valued_equivalence(csv, 4);
       expect_price_equivalence(csv, 4);
       ++files;
     }

@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "price/price_model.h"
+#include "util/check.h"
 #include "workload/arrival_process.h"
 
 namespace grefar {
@@ -69,6 +72,119 @@ TEST(JobTrace, FileRoundTrip) {
   auto parsed = read_job_trace(path, 2);
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(parsed.value(), counts);
+  std::remove(path.c_str());
+}
+
+TEST(ValuedJobTrace, CsvRoundTrip) {
+  // Dyadic annotations survive the 6-decimal fixed-point format exactly.
+  std::vector<std::vector<ArrivalBatch>> slots(3);
+  slots[0] = {{.type = 0, .count = 3, .value = 2.5, .decay_rate = 0.125,
+               .deadline = 12},
+              {.type = 1, .count = 1, .value = 0.25, .decay_rate = 0.0,
+               .deadline = kNoDeadline}};
+  slots[2] = {{.type = 1, .count = 4, .value = 1.0, .decay_rate = 0.5,
+               .deadline = 0}};
+  const std::string csv = valued_job_trace_to_csv(slots);
+  EXPECT_EQ(csv.substr(0, csv.find('\n')),
+            "slot,type,count,value,decay,deadline");
+  auto parsed = valued_job_trace_from_csv(csv, 2);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().schema, JobTraceSchema::kValued);
+  ASSERT_EQ(parsed.value().slots.size(), 3u);
+  EXPECT_TRUE(parsed.value().slots[1].empty());
+  for (std::size_t t = 0; t < slots.size(); ++t) {
+    ASSERT_EQ(parsed.value().slots[t].size(), slots[t].size()) << "slot " << t;
+    for (std::size_t k = 0; k < slots[t].size(); ++k) {
+      const ArrivalBatch& in = slots[t][k];
+      const ArrivalBatch& out = parsed.value().slots[t][k];
+      EXPECT_EQ(out.type, in.type);
+      EXPECT_EQ(out.count, in.count);
+      EXPECT_EQ(out.value, in.value);
+      EXPECT_EQ(out.decay_rate, in.decay_rate);
+      EXPECT_EQ(out.deadline, in.deadline);  // incl. kNoDeadline <-> -1
+    }
+  }
+}
+
+TEST(ValuedJobTrace, ReaderAcceptsV1WithDeferredAnnotations) {
+  // A v1 document through the valued reader: batches keep the "defer to the
+  // JobType" sentinels, so existing traces parse unchanged everywhere.
+  auto parsed =
+      valued_job_trace_from_csv("slot,type,count\n0,0,2\n0,1,1\n", 2);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().schema, JobTraceSchema::kCounts);
+  ASSERT_EQ(parsed.value().slots.size(), 1u);
+  ASSERT_EQ(parsed.value().slots[0].size(), 2u);
+  for (const ArrivalBatch& b : parsed.value().slots[0]) {
+    EXPECT_TRUE(std::isnan(b.value));
+    EXPECT_TRUE(std::isnan(b.decay_rate));
+    EXPECT_EQ(b.deadline, kTypeDefaultDeadline);
+  }
+}
+
+TEST(ValuedJobTrace, RejectsUnknownHeaderNamingBothVersions) {
+  auto parsed = valued_job_trace_from_csv("slot,count\n0,1\n", 2);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("'slot,type,count' (v1)"),
+            std::string::npos);
+  EXPECT_NE(
+      parsed.error().message.find("'slot,type,count,value,decay,deadline' (v2)"),
+      std::string::npos);
+}
+
+TEST(ValuedJobTrace, MalformedRowsFailWithByteOffsets) {
+  const std::string header = "slot,type,count,value,decay,deadline\n";
+  const struct {
+    const char* row;
+    const char* needle;
+  } cases[] = {
+      {"0,0,1\n", "needs 6 fields (v2 schema)"},
+      {"0,0,1,abc,0.0,-1\n", "is malformed"},
+      {"0,0,1,-2.0,0.0,-1\n", "non-finite or negative job value"},
+      {"0,0,1,1.0,nan,-1\n", "non-finite or negative decay rate"},
+      {"0,0,1,1.0,-0.5,-1\n", "non-finite or negative decay rate"},
+      {"0,0,1,1.0,0.0,-2\n", "deadline below -1"},
+      {"0,9,1,1.0,0.0,-1\n", "out-of-range type id"},
+      {"-1,0,1,1.0,0.0,-1\n", "has negative value"},
+  };
+  for (const auto& c : cases) {
+    auto parsed = valued_job_trace_from_csv(header + c.row, 2);
+    ASSERT_FALSE(parsed.ok()) << c.row;
+    EXPECT_NE(parsed.error().message.find(c.needle), std::string::npos)
+        << parsed.error().message;
+    // Every diagnostic names the row's byte position: the data row starts
+    // right after the 37-byte header.
+    EXPECT_NE(parsed.error().message.find("at byte 37 (line 2, col 1)"),
+              std::string::npos)
+        << parsed.error().message;
+  }
+}
+
+TEST(ValuedJobTrace, WriterRejectsDeferredSentinels) {
+  // The sentinel "defer to type" encodings have no file representation:
+  // writers must resolve JobType defaults first (contract-checked).
+  std::vector<std::vector<ArrivalBatch>> nan_value(1);
+  nan_value[0] = {{.type = 0, .count = 1}};  // value stays NaN
+  EXPECT_THROW(valued_job_trace_to_csv(nan_value), ContractViolation);
+
+  std::vector<std::vector<ArrivalBatch>> deferred_deadline(1);
+  deferred_deadline[0] = {
+      {.type = 0, .count = 1, .value = 1.0, .decay_rate = 0.0}};
+  EXPECT_THROW(valued_job_trace_to_csv(deferred_deadline), ContractViolation);
+}
+
+TEST(ValuedJobTrace, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/grefar_valued_jobs.csv";
+  std::vector<std::vector<ArrivalBatch>> slots(2);
+  slots[1] = {{.type = 0, .count = 2, .value = 3.5, .decay_rate = 0.25,
+               .deadline = 8}};
+  ASSERT_TRUE(write_valued_job_trace(path, slots).ok());
+  auto parsed = read_valued_job_trace(path, 1);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().slots.size(), 2u);
+  ASSERT_EQ(parsed.value().slots[1].size(), 1u);
+  EXPECT_EQ(parsed.value().slots[1][0].value, 3.5);
+  EXPECT_EQ(parsed.value().slots[1][0].deadline, 8);
   std::remove(path.c_str());
 }
 
