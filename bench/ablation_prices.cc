@@ -71,31 +71,43 @@ int main(int argc, char** argv) {
   };
 
   const double V = 20.0;  // strong deferral to make the temporal effect visible
-  // Two legs per variant: 2v = GreFar, 2v+1 = Always, each on its own scenario.
-  auto sweep = run_sweep(variant_names.size() * 2, horizon, jobs,
-                         [&](std::size_t leg) {
+  // variant x {GreFar, Always} as a SweepSpec cross product: the two policies
+  // of a variant share one materialized scenario (the spiky model realizes
+  // into an immutable table once, so it can be shared across legs).
+  sweep::SweepSpec spec;
+  spec.axes = {{.name = "prices", .labels = {"constant", "paper", "spiky"}},
+               {.name = "policy", .labels = {"grefar", "always"}}};
+  spec.horizon = horizon;
+  spec.scenario = [&](const sweep::SweepPoint& p) {
     PaperScenario scenario = make_paper_scenario(seed);
-    scenario.prices = variant_prices(leg / 2, scenario);
-    std::shared_ptr<Scheduler> scheduler;
-    if (leg % 2 == 0) {
-      scheduler = std::make_shared<GreFarScheduler>(scenario.config,
-                                                    paper_grefar_params(V, 0.0));
+    scenario.prices = variant_prices(p.index(0), scenario);
+    return scenario;
+  };
+  spec.plan = [&](const sweep::SweepPoint& p) {
+    sweep::LegPlan plan;
+    plan.scenario_key = "paper/seed=" + std::to_string(seed) +
+                        "/prices=" + std::to_string(p.index(0));
+    if (p.index(1) == 0) {
+      plan.grefar = sweep::GreFarLegSpec{paper_grefar_params(V, 0.0), {}};
     } else {
-      scheduler = std::make_shared<AlwaysScheduler>(scenario.config);
+      plan.make_scheduler = [](const sweep::ScenarioArtifacts& art) {
+        return std::make_shared<AlwaysScheduler>(*art.config);
+      };
     }
-    return make_scenario_engine(scenario, std::move(scheduler), {}, audit);
-  }, &obs);
+    return plan;
+  };
+  auto sweep_results = run_sweep_spec(spec, jobs, audit, &obs);
 
   SummaryTable table({"price model", "Always cost", "GreFar cost", "saving %",
                       "Always capture", "GreFar capture"});
   for (std::size_t v = 0; v < variant_names.size(); ++v) {
-    const auto& grefar = sweep.engines[v * 2];
-    const auto& always = sweep.engines[v * 2 + 1];
-    double eg = grefar->metrics().final_average_energy_cost();
-    double ea = always->metrics().final_average_energy_cost();
+    const auto& grefar = sweep_results[v * 2].metrics;
+    const auto& always = sweep_results[v * 2 + 1].metrics;
+    double eg = grefar.final_average_energy_cost();
+    double ea = always.final_average_energy_cost();
     table.add_row(variant_names[v], {ea, eg, 100.0 * (ea - eg) / ea,
-                                     price_capture(always->metrics()),
-                                     price_capture(grefar->metrics())});
+                                     price_capture(always),
+                                     price_capture(grefar)});
   }
   std::cout << table.render()
             << "\nexpected: price capture is exactly 1 for everyone under constant\n"

@@ -44,20 +44,31 @@ int main(int argc, char** argv) {
       {PerSlotSolver::kFrankWolfe, 100.0},
       {PerSlotSolver::kProjectedGradient, 100.0},
   };
-  auto sweep = run_sweep(legs.size(), horizon, jobs, [&](std::size_t leg) {
-    PaperScenario scenario = make_paper_scenario(seed);
-    auto scheduler = std::make_shared<GreFarScheduler>(
-        scenario.config, paper_grefar_params(V, legs[leg].beta), legs[leg].solver);
-    return make_scenario_engine(scenario, std::move(scheduler), {}, audit);
-  }, &obs);
+  sweep::SweepSpec spec;
+  sweep::SweepAxis axis{.name = "solver"};
+  for (const Leg& l : legs) {
+    axis.labels.push_back(to_string(l.solver) + "/beta=" +
+                          std::to_string(static_cast<int>(l.beta)));
+  }
+  spec.axes = {axis};
+  spec.horizon = horizon;
+  spec.scenario = [&](const sweep::SweepPoint&) { return make_paper_scenario(seed); };
+  spec.plan = [&](const sweep::SweepPoint& p) {
+    sweep::LegPlan plan;
+    plan.scenario_key = "paper/seed=" + std::to_string(seed);
+    plan.grefar = sweep::GreFarLegSpec{paper_grefar_params(V, legs[p.leg].beta),
+                                       legs[p.leg].solver};
+    return plan;
+  };
+  auto sweep_results = run_sweep_spec(spec, jobs, audit, &obs);
 
   std::cout << "-- beta = 0 (greedy/LP exact; FW/PGD approximate) --\n";
   SummaryTable t0({"solver", "avg energy cost", "overall delay", "ms/1000 slots"});
   for (std::size_t leg = 0; leg < 4; ++leg) {
-    const auto& m = sweep.engines[leg]->metrics();
+    const auto& m = sweep_results[leg].metrics;
     t0.add_row(to_string(legs[leg].solver),
                {m.final_average_energy_cost(), m.mean_delay(),
-                sweep.leg_ms[leg] * 1000.0 / static_cast<double>(horizon)});
+                sweep_results[leg].leg_ms * 1000.0 / static_cast<double>(horizon)});
   }
   std::cout << t0.render() << "\n";
 
@@ -65,10 +76,11 @@ int main(int argc, char** argv) {
   SummaryTable t1({"solver", "avg energy cost", "avg fairness", "overall delay",
                    "ms/1000 slots"});
   for (std::size_t leg = 4; leg < legs.size(); ++leg) {
-    const auto& m = sweep.engines[leg]->metrics();
+    const auto& m = sweep_results[leg].metrics;
     t1.add_row(to_string(legs[leg].solver),
                {m.final_average_energy_cost(), m.final_average_fairness(),
-                m.mean_delay(), sweep.leg_ms[leg] * 1000.0 / static_cast<double>(horizon)});
+                m.mean_delay(),
+                sweep_results[leg].leg_ms * 1000.0 / static_cast<double>(horizon)});
   }
   std::cout << t1.render()
             << "\nexpected: all solvers land on (nearly) the same cost; greedy is\n"

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   const double tier_start = cli.get_double("tier-start");
   const double tier_rate = cli.get_double("tier-rate");
   const auto jobs = jobs_from_cli(cli);
+  const auto audit = audit_from_cli(cli);
 
   ObsSession obs(cli);
 
@@ -44,38 +45,46 @@ int main(int argc, char** argv) {
                "Ren, He, Xu (ICDCS'12), Sec. III-A2 extension", seed, horizon);
 
   // All runs are *billed* under the tariffed cluster; only the scheduler's
-  // belief about billing differs. Each leg builds its own scenario.
+  // belief about billing differs. The sweep materializes the tariffed
+  // scenario once; the tariff-blind schedulers are built on a fresh
+  // untariffed config so their objective stays linear.
   const std::vector<std::string> labels = {
       "Always (tariff-blind)", "GreFar (tariff-blind)", "GreFar (tariff-aware)"};
-  auto sweep = run_sweep(labels.size(), horizon, jobs, [&](std::size_t leg) {
+  sweep::SweepSpec spec;
+  spec.axes = {{.name = "scheduler",
+                .labels = {"always", "grefar-blind", "grefar-aware"}}};
+  spec.horizon = horizon;
+  spec.scenario = [&](const sweep::SweepPoint&) {
     PaperScenario scenario = make_paper_scenario(seed);
-    ClusterConfig tariffed = scenario.config;
     const double inf = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < tariffed.num_data_centers(); ++i) {
-      tariffed.tariffs.emplace_back(
+    for (std::size_t i = 0; i < scenario.config.num_data_centers(); ++i) {
+      scenario.config.tariffs.emplace_back(
           std::vector<TieredTariff::Tier>{{tier_start, 1.0}, {inf, tier_rate}});
     }
-    std::shared_ptr<Scheduler> scheduler;
-    switch (leg) {
-      case 0:
-        scheduler = std::make_shared<AlwaysScheduler>(scenario.config);
-        break;
-      case 1:  // linear-billing belief
-        scheduler = std::make_shared<GreFarScheduler>(scenario.config,
-                                                      paper_grefar_params(V, 0.0));
-        break;
-      default:
-        scheduler = std::make_shared<GreFarScheduler>(tariffed,
-                                                      paper_grefar_params(V, 0.0));
+    return scenario;
+  };
+  spec.plan = [&](const sweep::SweepPoint& p) {
+    sweep::LegPlan plan;
+    plan.scenario_key = "paper/seed=" + std::to_string(seed) + "/tariffed";
+    if (p.leg == 2) {
+      // Tariff-aware: built on the artifacts' (tariffed) config.
+      plan.grefar = sweep::GreFarLegSpec{paper_grefar_params(V, 0.0), {}};
+      return plan;
     }
-    return std::make_unique<SimulationEngine>(tariffed, scenario.prices,
-                                              scenario.availability,
-                                              scenario.arrivals, std::move(scheduler));
-  }, &obs);
+    plan.make_scheduler =
+        [&, leg = p.leg](const sweep::ScenarioArtifacts&) -> std::shared_ptr<Scheduler> {
+      ClusterConfig untariffed = make_paper_scenario(seed).config;
+      if (leg == 0) return std::make_shared<AlwaysScheduler>(untariffed);
+      return std::make_shared<GreFarScheduler>(untariffed,
+                                               paper_grefar_params(V, 0.0));
+    };
+    return plan;
+  };
+  auto sweep_results = run_sweep_spec(spec, jobs, audit, &obs);
 
   SummaryTable table({"scheduler", "avg energy cost", "overall delay", "p95 delay"});
   for (std::size_t leg = 0; leg < labels.size(); ++leg) {
-    const auto& m = sweep.engines[leg]->metrics();
+    const auto& m = sweep_results[leg].metrics;
     table.add_row(labels[leg],
                   {m.final_average_energy_cost(), m.mean_delay(), m.delay_p95()});
   }

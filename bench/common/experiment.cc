@@ -126,6 +126,19 @@ SweepResult run_sweep(
   return result;
 }
 
+std::vector<sweep::SweepLegResult> run_sweep_spec(const sweep::SweepSpec& spec,
+                                                  std::size_t jobs, AuditMode audit,
+                                                  const ObsSession* obs) {
+  sweep::SweepOptions options;
+  options.jobs = jobs;
+  options.audit = audit;
+  sweep::SweepEngine engine(options);
+  return engine.run_collect(
+      spec, [obs](std::size_t leg, SimulationEngine& leg_engine) {
+        if (leg == 0 && obs != nullptr) obs->attach_tracer(leg_engine);
+      });
+}
+
 void parse_or_exit(CliParser& cli, int argc, char** argv) {
   auto status = cli.parse(argc, argv);
   if (status.ok()) return;

@@ -19,6 +19,7 @@
 #include "scenario/paper_scenario.h"
 #include "sim/engine.h"
 #include "stats/time_series.h"
+#include "sweep/sweep_engine.h"
 #include "util/cli.h"
 
 namespace grefar::bench {
@@ -114,6 +115,16 @@ SweepResult run_sweep(
     std::size_t count, std::int64_t horizon, std::size_t jobs,
     const std::function<std::unique_ptr<SimulationEngine>(std::size_t)>& make_engine,
     const ObsSession* obs = nullptr);
+
+/// Runs a declarative SweepSpec on the shared-artifact sweep engine
+/// (src/sweep/): scenarios materialize once per unique key, each worker
+/// reuses one persistent engine/scheduler across its legs, and legs are
+/// chunk-scheduled — same bitwise output at any `jobs` per DESIGN.md §16.
+/// When `obs` is given and tracing is on, leg 0 gets the TracingInspector
+/// attached (tee-ing with the leg's auditor) before it runs.
+std::vector<sweep::SweepLegResult> run_sweep_spec(const sweep::SweepSpec& spec,
+                                                  std::size_t jobs, AuditMode audit,
+                                                  const ObsSession* obs = nullptr);
 
 /// Parses argv; exits the process on --help (status 0) or bad flags (1).
 void parse_or_exit(CliParser& cli, int argc, char** argv);

@@ -35,20 +35,27 @@ int main(int argc, char** argv) {
   print_header("Fig. 2: energy cost and delay vs V (beta = 0)",
                "Ren, He, Xu (ICDCS'12), Fig. 2(a)-(c)", seed, horizon);
 
-  // One leg per V; each builds its own scenario (same seed => same traces).
-  auto sweep = run_sweep(v_values.size(), horizon, jobs, [&](std::size_t leg) {
-    PaperScenario scenario = make_paper_scenario(seed);
-    auto scheduler = std::make_shared<GreFarScheduler>(
-        scenario.config, paper_grefar_params(v_values[leg], 0.0));
-    return make_scenario_engine(scenario, std::move(scheduler), {}, audit);
-  }, &obs);
+  // One leg per V on the shared-artifact sweep engine: the paper scenario is
+  // materialized once and shared read-only by every leg; each worker reuses
+  // one persistent engine/scheduler across its legs (DESIGN.md §16).
+  sweep::SweepSpec spec;
+  spec.axes = {{.name = "V", .values = v_values}};
+  spec.horizon = horizon;
+  spec.scenario = [&](const sweep::SweepPoint&) { return make_paper_scenario(seed); };
+  spec.plan = [&](const sweep::SweepPoint& p) {
+    sweep::LegPlan plan;
+    plan.scenario_key = "paper/seed=" + std::to_string(seed);
+    plan.grefar = sweep::GreFarLegSpec{paper_grefar_params(p.value(0), 0.0), {}};
+    return plan;
+  };
+  auto sweep_results = run_sweep_spec(spec, jobs, audit, &obs);
 
   std::vector<TimeSeries> energy, delay_dc1, delay_dc2, delay_dc3;
   SummaryTable summary({"V", "avg energy cost", "avg delay DC1", "avg delay DC2",
                         "avg delay DC3", "overall delay"});
 
   for (std::size_t leg = 0; leg < v_values.size(); ++leg) {
-    const auto& m = sweep.engines[leg]->metrics();
+    const auto& m = sweep_results[leg].metrics;
     std::string label = "V=" + format_fixed(v_values[leg], 1);
     energy.push_back(named(m.average_energy_cost(), label));
     delay_dc1.push_back(named(m.average_dc_delay(0), label));

@@ -37,36 +37,51 @@ int main(int argc, char** argv) {
   print_header("Robustness: GreFar vs Always across seeds",
                "Ren, He, Xu (ICDCS'12), Fig. 4 (multi-seed)", base_seed, horizon);
 
-  // Two legs per seed: 2s = GreFar, 2s+1 = Always, each on its own scenario
-  // rebuilt from the leg's seed.
-  const auto legs = static_cast<std::size_t>(num_seeds) * 2;
-  auto sweep = run_sweep(legs, horizon, jobs, [&](std::size_t leg) {
-    PaperScenario scenario = make_paper_scenario(base_seed + leg / 2);
-    std::shared_ptr<Scheduler> scheduler;
-    if (leg % 2 == 0) {
-      scheduler = std::make_shared<GreFarScheduler>(scenario.config,
-                                                    paper_grefar_params(V, beta));
+  // seeds x {GreFar, Always} as a SweepSpec cross product: legs of the same
+  // seed share one materialized scenario instead of regenerating it, and the
+  // per-worker engine arena is reused across all 2*num_seeds legs.
+  sweep::SweepSpec spec;
+  sweep::SweepAxis seed_axis{.name = "seed"};
+  for (std::int64_t s = 0; s < num_seeds; ++s) {
+    seed_axis.values.push_back(static_cast<double>(base_seed + static_cast<std::uint64_t>(s)));
+  }
+  spec.axes = {seed_axis, {.name = "policy", .labels = {"grefar", "always"}}};
+  spec.horizon = horizon;
+  auto leg_seed = [&](const sweep::SweepPoint& p) {
+    return base_seed + static_cast<std::uint64_t>(p.index(0));
+  };
+  spec.scenario = [&](const sweep::SweepPoint& p) {
+    return make_paper_scenario(leg_seed(p));
+  };
+  spec.plan = [&](const sweep::SweepPoint& p) {
+    sweep::LegPlan plan;
+    plan.scenario_key = "paper/seed=" + std::to_string(leg_seed(p));
+    if (p.index(1) == 0) {
+      plan.grefar = sweep::GreFarLegSpec{paper_grefar_params(V, beta), {}};
     } else {
-      scheduler = std::make_shared<AlwaysScheduler>(scenario.config);
+      plan.make_scheduler = [](const sweep::ScenarioArtifacts& art) {
+        return std::make_shared<AlwaysScheduler>(*art.config);
+      };
     }
-    return make_scenario_engine(scenario, std::move(scheduler), {}, audit);
-  }, &obs);
+    return plan;
+  };
+  auto sweep_results = run_sweep_spec(spec, jobs, audit, &obs);
 
   RunningStats saving_pct, grefar_cost, always_cost, grefar_delay, always_delay,
       fairness_delta;
   int grefar_wins = 0;
   for (std::int64_t s = 0; s < num_seeds; ++s) {
-    const auto& grefar = sweep.engines[static_cast<std::size_t>(s) * 2];
-    const auto& always = sweep.engines[static_cast<std::size_t>(s) * 2 + 1];
-    double eg = grefar->metrics().final_average_energy_cost();
-    double ea = always->metrics().final_average_energy_cost();
+    const auto& grefar = sweep_results[static_cast<std::size_t>(s) * 2].metrics;
+    const auto& always = sweep_results[static_cast<std::size_t>(s) * 2 + 1].metrics;
+    double eg = grefar.final_average_energy_cost();
+    double ea = always.final_average_energy_cost();
     grefar_cost.add(eg);
     always_cost.add(ea);
     saving_pct.add(100.0 * (ea - eg) / ea);
-    grefar_delay.add(grefar->metrics().mean_delay());
-    always_delay.add(always->metrics().mean_delay());
-    fairness_delta.add(grefar->metrics().final_average_fairness() -
-                       always->metrics().final_average_fairness());
+    grefar_delay.add(grefar.mean_delay());
+    always_delay.add(always.mean_delay());
+    fairness_delta.add(grefar.final_average_fairness() -
+                       always.final_average_fairness());
     if (eg < ea) ++grefar_wins;
   }
 

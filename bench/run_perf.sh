@@ -40,7 +40,7 @@ for arg in "$@"; do
   esac
 done
 
-for bin in perf_scheduler perf_substrate perf_serve; do
+for bin in perf_scheduler perf_substrate perf_serve sweep_throughput; do
   if [[ ! -x "$build_dir/bench/$bin" ]]; then
     echo "error: $build_dir/bench/$bin not built (cmake --build $build_dir)" >&2
     exit 1
@@ -82,7 +82,8 @@ done
 tmp_sched="$(mktemp)"
 tmp_sub="$(mktemp)"
 tmp_serve="$(mktemp)"
-trap 'rm -f "$tmp_sched" "$tmp_sub" "$tmp_serve"' EXIT
+tmp_sweep="$(mktemp)"
+trap 'rm -f "$tmp_sched" "$tmp_sub" "$tmp_serve" "$tmp_sweep"' EXIT
 
 "$build_dir/bench/perf_scheduler" \
   --benchmark_min_time="$min_time" \
@@ -94,25 +95,35 @@ trap 'rm -f "$tmp_sched" "$tmp_sub" "$tmp_serve"' EXIT
   --benchmark_min_time="$min_time" \
   --benchmark_out="$tmp_serve" --benchmark_out_format=json
 
+# Sweep execution engine A/B (DESIGN.md §16): serial (--jobs 1) so the
+# legs/sec numbers measure artifact sharing + engine reuse alone, not
+# parallel scaling. The binary also enforces rebuild-vs-sweep bitwise
+# equality, so a perf run doubles as a correctness check.
+"$build_dir/bench/sweep_throughput" --jobs 1 --json-out "$tmp_sweep"
+
 # Merge the reports into one file (context from the first, benchmarks
-# concatenated) so a single JSON holds the whole perf surface. The
-# allocs_per_slot section is owned by tests/check/alloc_regression_test.cc,
-# not google-benchmark — carry it over from the previous baseline so a
-# re-baseline of the timing numbers does not drop the allocation guard.
-python3 - "$tmp_sched" "$tmp_sub" "$tmp_serve" "$out" \
+# concatenated, the sweep_throughput summary as its own section) so a single
+# JSON holds the whole perf surface. The allocs_per_slot / allocs_per_leg
+# sections are owned by tests/check/alloc_regression_test.cc, not
+# google-benchmark — carry them over from the previous baseline so a
+# re-baseline of the timing numbers does not drop the allocation guards.
+python3 - "$tmp_sched" "$tmp_sub" "$tmp_serve" "$tmp_sweep" "$out" \
   "$repo_root/BENCH_baseline.json" <<'PY'
 import json, os, sys
-sched, sub, serve, out, baseline = sys.argv[1:6]
+sched, sub, serve, sweep, out, baseline = sys.argv[1:7]
 with open(sched) as f:
     merged = json.load(f)
 for part in (sub, serve):
     with open(part) as f:
         merged["benchmarks"].extend(json.load(f)["benchmarks"])
+with open(sweep) as f:
+    merged["sweep_throughput"] = json.load(f)
 if os.path.exists(baseline):
     with open(baseline) as f:
         prev = json.load(f)
-    if "allocs_per_slot" in prev:
-        merged["allocs_per_slot"] = prev["allocs_per_slot"]
+    for section in ("allocs_per_slot", "allocs_per_leg"):
+        if section in prev:
+            merged[section] = prev[section]
 with open(out, "w") as f:
     json.dump(merged, f, indent=1)
     f.write("\n")

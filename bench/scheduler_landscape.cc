@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   const auto horizon = cli.get_int("horizon");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const auto jobs = jobs_from_cli(cli);
+  const auto audit = audit_from_cli(cli);
 
   ObsSession obs(cli);
 
@@ -72,40 +73,70 @@ int main(int argc, char** argv) {
 
   const std::vector<double> grefar_vs = {2.0, 8.0, 32.0};
   const std::vector<std::int64_t> mpc_windows = {2, 8};
-  const std::size_t num_legs = 5 + grefar_vs.size() + mpc_windows.size();
-  auto sweep = run_sweep(num_legs, horizon, jobs, [&](std::size_t leg) {
+
+  // One SweepSpec axis over the whole scheduler zoo. All legs share one
+  // materialized instance (the Poisson arrivals realize into an immutable
+  // table once); the MPC legs forecast from the shared table models — on
+  // this instance prices/availability are already tables and the realized
+  // arrival envelope matches the generator's, so the oracle sees the same
+  // future either way.
+  sweep::SweepSpec spec;
+  sweep::SweepAxis policies{.name = "scheduler",
+                            .labels = {"random", "local-only", "always",
+                                       "cheapest-first", "price-threshold"}};
+  for (double v : grefar_vs) policies.labels.push_back("grefar-v" + format_fixed(v, 0));
+  for (auto w : mpc_windows) policies.labels.push_back("mpc-w" + std::to_string(w));
+  spec.axes = {policies};
+  spec.horizon = horizon;
+  spec.scenario = [&](const sweep::SweepPoint&) {
     Instance inst = make_instance();
-    std::shared_ptr<Scheduler> scheduler;
-    switch (leg) {
-      case 0: scheduler = std::make_shared<RandomScheduler>(inst.config, seed ^ 1); break;
-      case 1: scheduler = std::make_shared<LocalOnlyScheduler>(inst.config); break;
-      case 2: scheduler = std::make_shared<AlwaysScheduler>(inst.config); break;
-      case 3: scheduler = std::make_shared<CheapestFirstScheduler>(inst.config); break;
-      case 4: scheduler = std::make_shared<PriceThresholdScheduler>(inst.config, 0.45); break;
-      default:
-        if (leg < 5 + grefar_vs.size()) {
-          GreFarParams p;
-          p.V = grefar_vs[leg - 5];
-          p.r_max = 50.0;
-          p.h_max = 50.0;
-          scheduler = std::make_shared<GreFarScheduler>(inst.config, p);
-        } else {
+    PaperScenario scenario;
+    scenario.config = inst.config;
+    scenario.prices = inst.prices;
+    scenario.availability = inst.avail;
+    scenario.arrivals = inst.arrivals;
+    scenario.seed = seed;
+    return scenario;
+  };
+  spec.plan = [&](const sweep::SweepPoint& p) {
+    sweep::LegPlan plan;
+    plan.scenario_key = "landscape/seed=" + std::to_string(seed);
+    const std::size_t leg = p.leg;
+    if (leg >= 5 && leg < 5 + grefar_vs.size()) {
+      GreFarParams gp;
+      gp.V = grefar_vs[leg - 5];
+      gp.r_max = 50.0;
+      gp.h_max = 50.0;
+      plan.grefar = sweep::GreFarLegSpec{gp, {}};
+      return plan;
+    }
+    plan.make_scheduler =
+        [leg, seed, &mpc_windows,
+         &grefar_vs](const sweep::ScenarioArtifacts& art) -> std::shared_ptr<Scheduler> {
+      switch (leg) {
+        case 0: return std::make_shared<RandomScheduler>(*art.config, seed ^ 1);
+        case 1: return std::make_shared<LocalOnlyScheduler>(*art.config);
+        case 2: return std::make_shared<AlwaysScheduler>(*art.config);
+        case 3: return std::make_shared<CheapestFirstScheduler>(*art.config);
+        case 4: return std::make_shared<PriceThresholdScheduler>(*art.config, 0.45);
+        default: {
           MpcParams p;
           p.window = mpc_windows[leg - 5 - grefar_vs.size()];
           p.r_max = 50.0;
           p.h_max = 50.0;
-          scheduler = std::make_shared<MpcScheduler>(inst.config, inst.prices,
-                                                     inst.avail, inst.arrivals, p);
+          return std::make_shared<MpcScheduler>(*art.config, art.prices,
+                                                art.availability, art.arrivals, p);
         }
-    }
-    return std::make_unique<SimulationEngine>(inst.config, inst.prices, inst.avail,
-                                              inst.arrivals, std::move(scheduler));
-  }, &obs);
+      }
+    };
+    return plan;
+  };
+  auto sweep_results = run_sweep_spec(spec, jobs, audit, &obs);
 
   SummaryTable table({"scheduler", "avg energy cost", "avg delay", "p95 delay"});
-  for (const auto& engine : sweep.engines) {
-    const auto& m = engine->metrics();
-    table.add_row(engine->scheduler().name(),
+  for (const auto& leg : sweep_results) {
+    const auto& m = leg.metrics;
+    table.add_row(leg.scheduler_name,
                   {m.final_average_energy_cost(), m.mean_delay(), m.delay_p95()});
   }
 

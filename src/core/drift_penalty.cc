@@ -10,8 +10,13 @@ namespace grefar {
 
 PerSlotProblem::PerSlotProblem(const ClusterConfig& config, const SlotObservation& obs,
                                const GreFarParams& params)
+    : PerSlotProblem(config, params) {
+  reset(obs);
+}
+
+PerSlotProblem::PerSlotProblem(const ClusterConfig& config, const GreFarParams& params)
     : config_(&config),
-      obs_(&obs),
+      obs_(nullptr),
       params_(params),
       num_dcs_(config.num_data_centers()),
       num_types_(config.num_job_types()),
@@ -93,8 +98,6 @@ PerSlotProblem::PerSlotProblem(const ClusterConfig& config, const SlotObservatio
   dc_capacity_.resize(num_dcs_);
   marginal_scratch_.resize(num_dcs_);
   dc_value_.resize(num_dcs_);
-
-  reset(obs);
 }
 
 void PerSlotProblem::reset(const SlotObservation& obs) {

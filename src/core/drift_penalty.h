@@ -48,6 +48,7 @@
 #include "solver/capped_box.h"
 #include "solver/objective.h"
 #include "util/annotations.h"
+#include "util/check.h"
 
 namespace grefar {
 
@@ -103,11 +104,30 @@ class PerSlotProblem final : public ConvexObjective {
   PerSlotProblem(const ClusterConfig& config, const SlotObservation& obs,
                  const GreFarParams& params);
 
+  /// Deferred variant: bakes the config-derived state but performs no
+  /// initial reset — the caller must reset() before any other use. Lets a
+  /// caller that re-resets immediately (sparse mode / executor attached
+  /// after construction) pay for and count exactly one reset, the same as
+  /// every later slot.
+  PerSlotProblem(const ClusterConfig& config, const GreFarParams& params);
+
   /// Re-targets the problem at a new observation of the *same* cluster and
   /// params, reusing all internal storage. `obs` must outlive the problem's
   /// next use (the problem keeps a pointer, not a copy).
   GREFAR_HOT_PATH GREFAR_DETERMINISTIC
   void reset(const SlotObservation& obs);
+
+  /// Re-targets the problem at new GreFar parameters for the *same* cluster
+  /// (sweep-leg reuse). Safe because the constructor bakes only
+  /// config-derived state; everything parameter-dependent is recomputed from
+  /// params_ inside the next reset(). Runs the constructor's param checks.
+  void rebind_params(const GreFarParams& params) {
+    GREFAR_CHECK(params.V >= 0.0);
+    GREFAR_CHECK(params.beta >= 0.0);
+    GREFAR_CHECK(params.r_max >= 0.0);
+    GREFAR_CHECK(params.h_max >= 0.0);
+    params_ = params;
+  }
 
   /// Opts in to compact active-type resets. Takes effect at the next
   /// reset(), and only when the observation carries a valid active-type

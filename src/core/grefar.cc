@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/counters.h"
 #include "obs/trace_scope.h"
 #include "util/check.h"
 #include "util/strings.h"
@@ -38,6 +39,54 @@ GreFarScheduler::GreFarScheduler(std::shared_ptr<const ClusterConfig> config,
                    "use Frank-Wolfe or PGD when beta > 0");
   if (params_.intra_slot_jobs > 1) {
     intra_exec_ = std::make_unique<IntraSlotExecutor>(params_.intra_slot_jobs);
+  }
+}
+
+void GreFarScheduler::begin_run(const GreFarParams& params, PerSlotSolver solver,
+                                bool keep_warm) {
+  GREFAR_CHECK(params.V >= 0.0);
+  GREFAR_CHECK(params.beta >= 0.0);
+  GREFAR_CHECK_MSG(!(params.beta > 0.0 &&
+                     (solver == PerSlotSolver::kGreedy || solver == PerSlotSolver::kLp)),
+                   "greedy/lp per-slot solvers ignore the fairness term; "
+                   "use Frank-Wolfe or PGD when beta > 0");
+  if (params.intra_slot_jobs != params_.intra_slot_jobs) {
+    intra_exec_ = params.intra_slot_jobs > 1
+                      ? std::make_unique<IntraSlotExecutor>(params.intra_slot_jobs)
+                      : nullptr;
+  }
+  params_ = params;
+  solver_ = solver;
+  if (problem_.has_value()) problem_->rebind_params(params_);
+
+  // Cross-slot sparse-action bookkeeping covered a matrix from the previous
+  // leg; the next decide must start from the unknown-invariant (full-clear)
+  // state a fresh scheduler would.
+  sparse_route_data_ = nullptr;
+  sparse_proc_data_ = nullptr;
+  routed_obs_sparse_valid_ = false;
+  prev_active_.clear();
+
+  if (keep_warm) {
+    if (solver_scratch_.prev_valid || solver_scratch_.lp_basis_valid) {
+      obs::count("sweep.warm_start_carry");
+    }
+    solver_scratch_.lp_warm_enabled = solver_ == PerSlotSolver::kLp;
+  } else {
+    solver_scratch_.prev_valid = false;
+    solver_scratch_.lp_warm_enabled = false;
+    solver_scratch_.lp_basis_valid = false;
+    // Cold leg start: drop the content-keyed per-DC caches so a reused
+    // scheduler sorts demands and rebuilds pieces exactly where a fresh one
+    // would. The caches never change decisions (they are keyed on the raw
+    // rows), but carrying them across legs would make the per_slot.*
+    // efficiency counters depend on which arena a leg landed on — and the
+    // leg→arena mapping under the dynamic ticket scheduler is not
+    // deterministic.
+    for (auto& key : solver_scratch_.cached_qv) key.clear();
+    for (auto& key : solver_scratch_.cached_avail) key.clear();
+    solver_scratch_.cache_compact = false;
+    solver_scratch_.cache_types.clear();
   }
 }
 
@@ -242,15 +291,14 @@ void GreFarScheduler::decide_into(const SlotObservation& obs, SlotAction& action
     problem_->set_sparse_enabled(compact_problem);
     problem_->reset(*problem_obs);
   } else {
-    // The constructor's reset runs dense (sparse mode and the executor are
-    // attached after); redo it so even slot 0 takes the same path as every
-    // later slot.
-    problem_.emplace(*config_, *problem_obs, params_);
+    // Deferred construction: attach the executor and sparse mode first so
+    // slot 0 runs (and counts) exactly one reset on the same path as every
+    // later slot — a freshly built scheduler must be indistinguishable,
+    // counters included, from a reused one.
+    problem_.emplace(*config_, params_);
     problem_->set_intra_slot_executor(intra_exec_.get());
     problem_->set_sparse_enabled(compact_problem);
-    if (intra_exec_ != nullptr || compact_problem) {
-      problem_->reset(*problem_obs);
-    }
+    problem_->reset(*problem_obs);
   }
   solve_per_slot_into(*problem_, solver_, u_, &solver_scratch_);
   const PerSlotView v = problem_->view();

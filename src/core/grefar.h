@@ -42,6 +42,22 @@ class GreFarScheduler final : public Scheduler {
   GreFarScheduler(std::shared_ptr<const ClusterConfig> config, GreFarParams params,
                   PerSlotSolver solver);
 
+  /// Rebinds a long-lived scheduler to a new sweep leg without
+  /// reconstructing it (DESIGN.md §16). Validates (params, solver) like the
+  /// constructor, rebinds the cached per-slot problem's parameters, and
+  /// invalidates all cross-slot sparse-action bookkeeping, so the next
+  /// decide produces bitwise the same actions as a fresh scheduler's.
+  /// Piece/demand caches in the solver scratch are *kept*: they are keyed on
+  /// byte-equal inputs, so a hit reproduces the rebuild exactly.
+  ///
+  /// `keep_warm` = cross-leg warm starts (perf mode, not bitwise vs cold):
+  /// the previous leg's FW/PGD iterate stays seeded (prev_valid survives)
+  /// and the LP path re-enters the previous leg's simplex basis. Only sound
+  /// when the adjacent leg shares the scenario and cluster config — the
+  /// SweepEngine gates it on exactly that.
+  void begin_run(const GreFarParams& params, PerSlotSolver solver,
+                 bool keep_warm = false);
+
   SlotAction decide(const SlotObservation& obs) override;
   /// The hot path: after the first slot every per-slot structure (the
   /// convex problem, solver scratch, routing work lists, action matrices)

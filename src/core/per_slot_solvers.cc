@@ -198,6 +198,17 @@ void solve_per_slot_greedy_into(const PerSlotProblem& problem, std::vector<doubl
   const std::size_t J = v.num_types;
   const double V = problem.params().V;
 
+  // A compact idle slot has zero active types: nothing can be routed, and
+  // the (qv, ub) demand-cache keys degenerate to empty rows that compare
+  // equal to a *cleared* key (size 0 == J), which would serve the previous
+  // busy slot's demand list against a zero-variable u. Return the empty
+  // action before touching any scratch so the caches keep describing the
+  // last nonzero-column slot.
+  if (J == 0) {
+    u.assign(problem.num_vars(), 0.0);
+    return;
+  }
+
   // NOLINTBEGIN(grefar-hot-path-alloc): per-DC scratch rows are sized on the
   // first solve (N is fixed per cluster) and reused in place afterwards.
   PerSlotSolverScratch local;
@@ -421,9 +432,30 @@ void solve_per_slot_into(const PerSlotProblem& problem, PerSlotSolver solver,
       if (scratch != nullptr) save_iterative_solution(problem, u, *scratch);
       return;
     }
-    case PerSlotSolver::kLp:
+    case PerSlotSolver::kLp: {
+      if (scratch != nullptr && scratch->lp_warm_enabled) {
+        // Warm mode (opt-in, GreFarScheduler::begin_run keep_warm): re-enter
+        // the previous solve's basis — same optimum, not bitwise the same
+        // vertex, so this never runs under a bitwise-equality contract.
+        LinearProgram lp = build_per_slot_lp(problem);
+        LpSolution sol;
+        if (scratch->lp_basis_valid) {
+          obs::count("per_slot.lp_warm_starts");
+          sol = solve_lp(lp, scratch->lp_basis);
+        } else {
+          sol = solve_lp(lp);
+        }
+        GREFAR_CHECK_MSG(sol.optimal(),
+                         "per-slot LP not optimal: " << to_string(sol.status));
+        u.assign(sol.x.begin(), sol.x.begin() +
+                                    static_cast<std::ptrdiff_t>(problem.num_vars()));
+        scratch->lp_basis = std::move(sol.basis);
+        scratch->lp_basis_valid = scratch->lp_basis.valid();
+        return;
+      }
       u = solve_per_slot_lp(problem);
       return;
+    }
   }
   GREFAR_CHECK_MSG(false, "unreachable per-slot solver");
 }

@@ -42,17 +42,33 @@ class SimRunner {
   GREFAR_DETERMINISTIC
   void run(std::vector<std::function<void()>>& tasks) const;
 
-  /// Parallel map with ordered results: results[i] = fn(i).
+  /// Chunked indexed loop over [0, count): indices are handed to workers in
+  /// fixed consecutive ranges of `chunk` via ThreadPool::submit_batch — one
+  /// std::function per *loop task*, not per index. `fn(task, index)` receives
+  /// the loop-task id (0 .. workers-1; always 0 on the serial path) so callers
+  /// can keep worker-local arenas. Within a range, indices run in ascending
+  /// order on one thread. jobs == 1 (or a single worker) executes inline on
+  /// the calling thread, index order 0..count-1, no pool — the historical
+  /// serial contract. Rethrows the first per-index exception in index order.
+  GREFAR_DETERMINISTIC
+  void for_each_index_tasked(
+      std::size_t count,
+      const std::function<void(std::size_t task, std::size_t index)>& fn,
+      std::size_t chunk = 1) const;
+
+  /// for_each_index_tasked without the loop-task id.
+  GREFAR_DETERMINISTIC
+  void for_each_index(std::size_t count,
+                      const std::function<void(std::size_t index)>& fn,
+                      std::size_t chunk = 1) const;
+
+  /// Parallel map with ordered results: results[i] = fn(i). Routed through
+  /// the chunked ticket path, so no per-index closure is allocated.
   template <typename Result>
   std::vector<Result> map(std::size_t count,
                           std::function<Result(std::size_t)> fn) const {
     std::vector<Result> results(count);
-    std::vector<std::function<void()>> tasks;
-    tasks.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      tasks.push_back([&results, &fn, i] { results[i] = fn(i); });
-    }
-    run(tasks);
+    for_each_index(count, [&results, &fn](std::size_t i) { results[i] = fn(i); });
     return results;
   }
 

@@ -39,6 +39,25 @@ class ThreadPool {
   /// Enqueues a task; runs on some worker in FIFO pop order.
   void submit(std::function<void()> task);
 
+  /// Chunked dynamic scheduling (DESIGN.md §16): partitions [0, count) into
+  /// fixed ranges of `chunk` consecutive indices — range k is
+  /// [k*chunk, min((k+1)*chunk, count)), a pure function of (count, chunk) —
+  /// and spawns min(num_threads(), num_ranges) loop tasks that claim ranges
+  /// through a shared atomic ticket counter. Each claimed range is executed
+  /// front to back, so indices within a range always run in ascending order
+  /// on one thread; which *thread* runs a range is scheduling-dependent,
+  /// which is why `body` receives its loop-task id (0 .. tasks-1) for
+  /// worker-local arenas rather than a range id.
+  ///
+  /// Blocks until every range ran (other concurrently submitted work may
+  /// still be in flight — this is not wait_idle). `body` must not throw;
+  /// callers capture per-index failures themselves (see SimRunner). Returns
+  /// the number of loop tasks spawned.
+  std::size_t submit_batch(
+      std::size_t count, std::size_t chunk,
+      const std::function<void(std::size_t task, std::size_t begin,
+                               std::size_t end)>& body);
+
   /// Blocks until every submitted task has completed.
   void wait_idle();
 
@@ -47,7 +66,10 @@ class ThreadPool {
   /// Total tasks that have finished running (for tests / introspection).
   std::size_t completed_tasks() const;
 
-  /// max(1, std::thread::hardware_concurrency()).
+  /// Usable CPUs: the sched_getaffinity CPU count where available (so cgroup
+  /// / taskset limits in containerized CI are honored instead of
+  /// oversubscribing the host), falling back to
+  /// std::thread::hardware_concurrency(); always >= 1.
   static std::size_t default_concurrency();
 
  private:

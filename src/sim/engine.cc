@@ -76,6 +76,86 @@ void SimulationEngine::set_admission_policy(std::shared_ptr<AdmissionPolicy> pol
   admission_ = std::move(policy);
 }
 
+void SimulationEngine::reset(std::shared_ptr<const ClusterConfig> config,
+                             std::shared_ptr<const PriceModel> prices,
+                             std::shared_ptr<const AvailabilityModel> availability,
+                             std::shared_ptr<const ArrivalProcess> arrivals,
+                             std::shared_ptr<Scheduler> scheduler,
+                             EngineOptions options) {
+  GREFAR_CHECK_MSG(config != nullptr, "SimulationEngine needs a cluster config");
+  GREFAR_CHECK(prices != nullptr && availability != nullptr &&
+               arrivals != nullptr && scheduler != nullptr);
+  const bool same_config = config.get() == config_.get();
+  if (!same_config) config->validate();
+  GREFAR_CHECK_MSG(prices->num_data_centers() == config->num_data_centers(),
+                   "price model covers " << prices->num_data_centers()
+                                         << " DCs, cluster has "
+                                         << config->num_data_centers());
+  GREFAR_CHECK_MSG(availability->num_data_centers() == config->num_data_centers(),
+                   "availability model DC count mismatch");
+  GREFAR_CHECK_MSG(availability->num_server_types() == config->num_server_types(),
+                   "availability model server-type count mismatch");
+  GREFAR_CHECK_MSG(arrivals->num_job_types() == config->num_job_types(),
+                   "arrival process job-type count mismatch");
+
+  config_ = std::move(config);
+  prices_ = std::move(prices);
+  availability_ = std::move(availability);
+  arrivals_ = std::move(arrivals);
+  scheduler_ = std::move(scheduler);
+  options_ = options;
+  admission_.reset();
+  inspector_.reset();
+
+  if (!same_config) fairness_fn_ = FairnessFunction(config_->gammas());
+
+  // Queues: same cluster shape ⇒ clear in place keeping capacity; otherwise
+  // rebuild per the constructor.
+  const std::size_t N = config_->num_data_centers();
+  const std::size_t J = config_->num_job_types();
+  bool queues_match = central_.size() == J && dc_.size() == N;
+  for (std::size_t j = 0; queues_match && j < J; ++j) {
+    queues_match = central_[j].job_work() == config_->job_types[j].work;
+  }
+  for (std::size_t i = 0; queues_match && i < N; ++i) {
+    queues_match = dc_[i].size() == J;
+  }
+  if (queues_match) {
+    for (auto& q : central_) q.clear();
+    for (auto& row : dc_) {
+      for (auto& q : row) q.clear();
+    }
+  } else {
+    central_.clear();
+    central_.reserve(J);
+    for (const auto& jt : config_->job_types) central_.emplace_back(jt.work);
+    dc_.assign(N, {});
+    for (auto& row : dc_) {
+      row.reserve(J);
+      for (const auto& jt : config_->job_types) row.emplace_back(jt.work);
+    }
+  }
+
+  metrics_.reset(N, config_->num_accounts());
+  slot_ = 0;
+  next_job_id_ = 1;
+  fairness_record_ = 0.0;
+  // account_work_'s all-zero invariant: zero exactly the touched entries
+  // (serve() relies on it) unless the account count changed.
+  if (account_work_.size() != config_->num_accounts()) {
+    account_work_.assign(config_->num_accounts(), 0.0);
+  } else {
+    for (std::uint32_t m : touched_accounts_) account_work_[m] = 0.0;
+  }
+  touched_accounts_.clear();
+
+  valued_arrivals_ = arrivals_->has_valued_arrivals();
+  deadlines_possible_ = valued_arrivals_;
+  for (const auto& jt : config_->job_types) {
+    if (jt.deadline != kNoDeadline) deadlines_possible_ = true;
+  }
+}
+
 double SimulationEngine::central_queue_length(JobTypeId j) const {
   GREFAR_CHECK(j < central_.size());
   return central_[j].length_jobs();

@@ -74,6 +74,22 @@ class SimulationEngine {
                    std::shared_ptr<const ArrivalProcess> arrivals,
                    std::shared_ptr<Scheduler> scheduler, EngineOptions options = {});
 
+  /// Rebinds this engine to a new scenario without reconstructing it — the
+  /// sweep arena's reuse path (DESIGN.md §16). Performs the constructor's
+  /// null/dimension checks, swaps in the new models/scheduler/options, and
+  /// returns every piece of mutable simulation state (queues, metrics, slot
+  /// counter, job ids, per-account accumulators) to its freshly-constructed
+  /// value; admission policy and inspector are detached (re-attach per leg).
+  /// Scratch buffers keep their high-water capacity, so when the cluster
+  /// shape is unchanged the reset itself is allocation-free and the
+  /// subsequent run is bitwise identical to a fresh engine's. Passing the
+  /// *same* ClusterConfig instance (pointer equality) skips re-validation.
+  void reset(std::shared_ptr<const ClusterConfig> config,
+             std::shared_ptr<const PriceModel> prices,
+             std::shared_ptr<const AvailabilityModel> availability,
+             std::shared_ptr<const ArrivalProcess> arrivals,
+             std::shared_ptr<Scheduler> scheduler, EngineOptions options = {});
+
   /// Advances the simulation by `slots` steps.
   void run(std::int64_t slots);
 

@@ -51,6 +51,29 @@ SimMetrics::SimMetrics(std::size_t num_dcs, std::size_t num_accounts)
   account_work_total.assign(num_accounts, 0.0);
 }
 
+void SimMetrics::reset(std::size_t num_dcs, std::size_t num_accounts) {
+  if (num_dcs != num_data_centers() || num_accounts != num_accounts_ ||
+      (num_accounts <= kMaxPerAccountSeries) != has_per_account_series()) {
+    *this = SimMetrics(num_dcs, num_accounts);
+    return;
+  }
+  TimeSeries* const scalars[] = {
+      &energy_cost,     &fairness,       &arrived_jobs,   &arrived_work,
+      &total_queue_jobs, &max_queue_jobs, &offered_jobs,   &rejected_jobs,
+      &abandoned_jobs,  &abandoned_work, &admitted_value, &rejected_value,
+      &abandoned_value, &realized_value, &decay_loss};
+  for (TimeSeries* s : scalars) s->clear();
+  for (auto* group : {&dc_energy_cost, &dc_work, &dc_routed_jobs,
+                      &dc_delay_sum, &dc_completions, &dc_price, &account_work}) {
+    for (TimeSeries& s : *group) s.clear();
+  }
+  account_work_total.assign(num_accounts, 0.0);
+  delay_stats = RunningStats{};
+  delay_p50_.reset();
+  delay_p95_.reset();
+  delay_p99_.reset();
+}
+
 void SimMetrics::record_completion_delay(double delay) {
   delay_stats.add(delay);
   delay_p50_.add(delay);

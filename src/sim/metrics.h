@@ -26,6 +26,13 @@ class SimMetrics {
 
   SimMetrics(std::size_t num_dcs, std::size_t num_accounts);
 
+  /// Back to the freshly-constructed state. When the (num_dcs, num_accounts)
+  /// shape is unchanged, every series is cleared in place keeping its heap
+  /// capacity (sweep-arena reuse, allocation-free in steady state); a shape
+  /// change falls back to rebuilding. Either way the observable state is
+  /// bitwise equal to SimMetrics(num_dcs, num_accounts).
+  void reset(std::size_t num_dcs, std::size_t num_accounts);
+
   /// Records one job completion (total delay in slots) for the percentile
   /// trackers; the engine calls this for every finishing job.
   GREFAR_HOT_PATH GREFAR_DETERMINISTIC

@@ -38,6 +38,17 @@ class FifoJobQueue {
   /// Enqueues an arriving/routed job (its remaining work must be positive).
   void push(Job job);
 
+  /// Empties the queue but keeps the job-type binding and the vector's heap
+  /// capacity (engine reuse across sweep legs); observable state is bitwise
+  /// equal to a fresh FifoJobQueue(job_work()).
+  void clear() {
+    jobs_.clear();
+    head_ = 0;
+    remaining_work_ = 0.0;
+    total_value_ = 0.0;
+    min_deadline_slot_ = kNoDeadlineSlot;
+  }
+
   /// Pops the frontmost whole job (for routing from the central queue).
   /// Contract-checked non-empty.
   GREFAR_DETERMINISTIC

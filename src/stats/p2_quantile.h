@@ -15,6 +15,10 @@ class P2Quantile {
 
   void add(double x);
 
+  /// Back to the freshly-constructed state for the same quantile (sweep
+  /// engine reuse); bitwise-equal to a new P2Quantile(q).
+  void reset() { *this = P2Quantile(q_); }
+
   /// Current estimate. Exact while fewer than 5 samples have been seen;
   /// NaN when empty — "no samples" must not masquerade as a zero-delay
   /// percentile (JSON emitters serialize it as null).

@@ -20,6 +20,10 @@ class TimeSeries {
   /// Appends the value observed at the next slot.
   void add(double value);
 
+  /// Drops all samples but keeps the name and the heap capacity, so a reused
+  /// engine's metrics re-record without reallocating (sweep arena contract).
+  void clear() { values_.clear(); }
+
   std::size_t size() const { return values_.size(); }
   bool empty() const { return values_.empty(); }
   double at(std::size_t i) const;

@@ -18,6 +18,7 @@
 
 #include "core/grefar.h"
 #include "scenario/paper_scenario.h"
+#include "sweep/sweep_engine.h"
 #include "util/json.h"
 
 namespace {
@@ -117,6 +118,58 @@ TEST(AllocRegression, LpSteadyStateStaysWithinBaseline) {
   EXPECT_LE(measured, limit)
       << "LP hot path now allocates " << measured
       << " times per slot (baseline allows " << limit
+      << "); find the new allocation or re-baseline BENCH_baseline.json";
+}
+
+/// Steady-state allocations per sweep leg on a reused SweepEngine: run the
+/// spec once to grow every arena and materialize the scenario, then measure
+/// a second identical run. What remains per leg is plan resolution (a few
+/// strings/closures) plus whatever the engine-reuse path still allocates —
+/// the quantity DESIGN.md §16's allocation-free-steady-state claim is about.
+double measure_allocs_per_leg() {
+  constexpr std::int64_t kHorizon = 32;
+  constexpr std::size_t kLegs = 32;
+  sweep::SweepSpec spec;
+  spec.axes = {{.name = "V", .values = std::vector<double>(kLegs, 0.0)}};
+  for (std::size_t i = 0; i < kLegs; ++i) {
+    spec.axes[0].values[i] = 0.5 + static_cast<double>(i);
+  }
+  spec.horizon = kHorizon;
+  spec.scenario = [](const sweep::SweepPoint&) { return make_paper_scenario(42); };
+  spec.plan = [](const sweep::SweepPoint& p) {
+    sweep::LegPlan plan;
+    plan.scenario_key = "paper/seed=42";
+    plan.grefar = sweep::GreFarLegSpec{paper_grefar_params(p.value(0), 0.0), {}};
+    return plan;
+  };
+  sweep::SweepOptions options;
+  options.jobs = 1;
+  options.audit = AuditMode::kOff;
+  sweep::SweepEngine engine(options);
+  auto noop = [](std::size_t, SimulationEngine&) {};
+  engine.run(spec, noop);  // warm-up: grows arenas, fills the artifact cache
+  g_allocations.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  engine.run(spec, noop);
+  g_counting.store(false, std::memory_order_relaxed);
+  return static_cast<double>(g_allocations.load(std::memory_order_relaxed)) /
+         static_cast<double>(kLegs);
+}
+
+TEST(AllocRegression, SweepSteadyStateAllocsPerLegStaysWithinBaseline) {
+  auto doc = parse_json_file(GREFAR_BENCH_BASELINE);
+  ASSERT_TRUE(doc.ok());
+  const JsonValue* section = doc.value().find("allocs_per_leg");
+  ASSERT_NE(section, nullptr)
+      << "BENCH_baseline.json has no allocs_per_leg section";
+  const JsonValue* entry = section->find("sweep_grefar_greedy");
+  ASSERT_TRUE(entry != nullptr && entry->is_number());
+  const double limit = entry->as_number() * 1.1;
+  ASSERT_GT(limit, 0.0);
+  const double measured = measure_allocs_per_leg();
+  EXPECT_LE(measured, limit)
+      << "sweep steady state now allocates " << measured
+      << " times per leg (baseline allows " << limit
       << "); find the new allocation or re-baseline BENCH_baseline.json";
 }
 

@@ -295,6 +295,54 @@ TEST(CrossSlotWarmStart, OnMatchesTheColdObjective) {
   }
 }
 
+TEST(GreedySolver, IdleCompactSlotServesNoStaleDemands) {
+  // A busy compact slot primes the per-DC demand caches; the following
+  // zero-active-type slot must produce the empty action. Regression: with
+  // J == 0 the (qv, ub) cache key rows are empty and compare equal to a
+  // *cleared* key (size 0 == J), so the fill served the previous busy
+  // slot's demand list and wrote through the zero-variable u — a crash
+  // whenever the caller's vector had no retained capacity (fresh engine or
+  // a buffer std::move'd away by an iterative solver).
+  auto config = test_config();
+  Rng rng(31);
+  GreFarParams p = params(0.0, 0.0);  // V = 0: route everything queued
+  p.clamp_to_queue = true;            // compact resets need the clamp
+
+  SlotObservation busy = random_obs(config, rng);
+  busy.active_types_valid = true;
+  busy.active_types = {0, 1};
+  PerSlotProblem problem(config, busy, p);
+  problem.set_sparse_enabled(true);
+  problem.reset(busy);
+  ASSERT_TRUE(problem.compact());
+
+  PerSlotSolverScratch scratch;
+  std::vector<double> primed;
+  solve_per_slot_greedy_into(problem, primed, &scratch);
+  double routed = 0.0;
+  for (double v : primed) routed += v;
+  ASSERT_GT(routed, 0.0);  // the demand caches now hold nonempty lists
+
+  SlotObservation idle = busy;
+  idle.dc_queue.fill(0.0);
+  idle.central_queue.assign(config.num_job_types(), 0.0);
+  idle.active_types.clear();
+  problem.reset(idle);
+  ASSERT_TRUE(problem.compact());
+  ASSERT_EQ(problem.num_vars(), 0u);
+
+  std::vector<double> u;  // no capacity — the crashing shape
+  solve_per_slot_greedy_into(problem, u, &scratch);
+  EXPECT_TRUE(u.empty());
+
+  // The idle slot must not have poisoned the caches for the next busy one.
+  problem.reset(busy);
+  std::vector<double> again;
+  solve_per_slot_greedy_into(problem, again, &scratch);
+  ASSERT_EQ(again.size(), primed.size());
+  for (std::size_t k = 0; k < again.size(); ++k) EXPECT_EQ(again[k], primed[k]);
+}
+
 TEST(PerSlotSolverNames, AreStable) {
   EXPECT_EQ(to_string(PerSlotSolver::kGreedy), "greedy");
   EXPECT_EQ(to_string(PerSlotSolver::kFrankWolfe), "frank-wolfe");

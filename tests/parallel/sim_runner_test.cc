@@ -8,6 +8,10 @@
 #include <thread>
 #include <vector>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 #include <gtest/gtest.h>
 
 #include "baselines/baselines.h"
@@ -55,6 +59,56 @@ TEST(ThreadPoolTest, WaitIdleReturnsWithEmptyQueue) {
   EXPECT_EQ(counter.load(), 1);
 }
 
+TEST(ThreadPoolTest, SubmitBatchCoversEveryIndexExactlyOnce) {
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                            std::size_t{200}}) {
+    ThreadPool pool(4);
+    constexpr std::size_t kCount = 100;
+    std::vector<std::atomic<int>> hits(kCount);
+    std::size_t tasks = pool.submit_batch(
+        kCount, chunk, [&](std::size_t, std::size_t begin, std::size_t end) {
+          ASSERT_LE(begin, end);
+          ASSERT_LE(end, kCount);
+          for (std::size_t i = begin; i < end; ++i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+    EXPECT_GE(tasks, 1u);
+    EXPECT_LE(tasks, pool.num_threads());
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "chunk " << chunk << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SubmitBatchHandlesEmptyAndOversizedChunks) {
+  ThreadPool pool(2);
+  int calls = 0;
+  // count == 0: no ranges, returns without touching the body.
+  pool.submit_batch(0, 4, [&](std::size_t, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // chunk > count: one range spanning everything, one loop task.
+  std::vector<int> seen;
+  std::size_t tasks = pool.submit_batch(
+      3, 100, [&](std::size_t task, std::size_t begin, std::size_t end) {
+        EXPECT_EQ(task, 0u);
+        for (std::size_t i = begin; i < end; ++i) seen.push_back(static_cast<int>(i));
+      });
+  EXPECT_EQ(tasks, 1u);
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ThreadPoolTest, DefaultConcurrencyMatchesAffinityMask) {
+  std::size_t n = ThreadPool::default_concurrency();
+  EXPECT_GE(n, 1u);
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  ASSERT_EQ(sched_getaffinity(0, sizeof(set), &set), 0);
+  EXPECT_EQ(n, static_cast<std::size_t>(CPU_COUNT(&set)));
+#endif
+}
+
 TEST(SimRunnerTest, MapReturnsResultsInIndexOrder) {
   SimRunner runner(4);
   auto results = runner.map<std::size_t>(
@@ -62,6 +116,56 @@ TEST(SimRunnerTest, MapReturnsResultsInIndexOrder) {
   ASSERT_EQ(results.size(), 50u);
   for (std::size_t i = 0; i < results.size(); ++i) {
     EXPECT_EQ(results[i], i * i);
+  }
+}
+
+TEST(SimRunnerTest, MapIsIdenticalAtAnyChunkSize) {
+  SimRunner reference(1);
+  auto expected = reference.map<std::size_t>(
+      37, [](std::size_t i) { return i * 3 + 1; });
+  for (std::size_t jobs : {std::size_t{4}, std::size_t{8}}) {
+    for (std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+      SimRunner runner(jobs);
+      std::vector<std::size_t> got(37);
+      runner.for_each_index(
+          37, [&got](std::size_t i) { got[i] = i * 3 + 1; }, chunk);
+      EXPECT_EQ(got, expected) << "jobs " << jobs << " chunk " << chunk;
+    }
+  }
+}
+
+// jobs == 1 is the historical serial contract: every index runs inline on
+// the calling thread, in ascending order, with loop-task id 0 and no pool.
+TEST(SimRunnerTest, SingleJobRunsInlineInOrder) {
+  SimRunner runner(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  runner.for_each_index_tasked(
+      20,
+      [&](std::size_t task, std::size_t index) {
+        EXPECT_EQ(task, 0u);
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(index);
+      },
+      /*chunk=*/7);
+  ASSERT_EQ(order.size(), 20u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimRunnerTest, ForEachIndexTaskedRethrowsFirstFailureInIndexOrder) {
+  SimRunner runner(4);
+  try {
+    runner.for_each_index_tasked(
+        10,
+        [](std::size_t, std::size_t index) {
+          if (index == 3 || index == 7) {
+            throw std::runtime_error("index " + std::to_string(index));
+          }
+        },
+        /*chunk=*/2);
+    FAIL() << "expected for_each_index_tasked to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 3");
   }
 }
 
